@@ -1,0 +1,55 @@
+// Shared workload generators for the benchmark suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+
+namespace ecl::bench {
+
+/// The paper's testbench: a byte stream of `packets` packets. Every fifth
+/// packet carries a corrupted CRC and every seventh a foreign address, so
+/// both rejection paths stay exercised.
+inline std::vector<std::uint8_t> stackByteStream(int packets)
+{
+    std::vector<std::uint8_t> stream;
+    stream.reserve(static_cast<std::size_t>(packets) *
+                   static_cast<std::size_t>(paper::kPktSize));
+    for (int p = 0; p < packets; ++p) {
+        std::uint8_t addr =
+            (p % 7 == 6) ? 0x21 : static_cast<std::uint8_t>(paper::kAddrByte);
+        std::vector<std::uint8_t> pkt(
+            static_cast<std::size_t>(paper::kPktSize), 0);
+        for (int i = 0; i < paper::kHdrSize; ++i)
+            pkt[static_cast<std::size_t>(i)] = addr;
+        for (int i = 0; i < 20; ++i)
+            pkt[static_cast<std::size_t>(paper::kHdrSize + i)] =
+                static_cast<std::uint8_t>((p * 13 + i * 3) & 0xff);
+        if (p % 5 == 4) pkt[40] = 0x77; // break the CRC
+        stream.insert(stream.end(), pkt.begin(), pkt.end());
+    }
+    return stream;
+}
+
+/// Event trace for the audio buffer: `messages` record/playback sessions.
+/// Each event is one of: 's' sample, 'p' play, 'x' stop, 't' tick.
+inline std::vector<char> bufferEventTrace(int messages)
+{
+    std::vector<char> trace;
+    for (int m = 0; m < messages; ++m) {
+        trace.push_back('p');
+        for (int f = 0; f < 3; ++f) { // three frames of four samples
+            for (int sMul = 0; sMul < 4; ++sMul) {
+                trace.push_back('s');
+                if ((m + sMul) % 3 == 0) trace.push_back('t');
+            }
+        }
+        trace.push_back('x');
+        trace.push_back('t');
+    }
+    return trace;
+}
+
+} // namespace ecl::bench

@@ -1,0 +1,145 @@
+// Table 1 — "Results of synchronous/asynchronous implementation trade-offs".
+//
+// Reproduces the paper's only results table: the protocol stack (Figures
+// 1-4) and the audio buffer controller, each compiled two ways:
+//   * 1 task : synchronous composition (every module inlined into a single
+//              EFSM) running as one task under the kernel;
+//   * 3 tasks: each module its own task under the RTOS simulator, signals
+//              carried by 1-place event buffers.
+// Columns match the paper: memory (code/data) split into task vs RTOS
+// shares, and execution cycles split the same way. The stack runs the
+// paper's 500-packet testbench; the buffer runs a 60-message trace.
+//
+// Absolute numbers come from our R3000-style cost model (DESIGN.md), so
+// only the qualitative shape is compared against the paper's values, which
+// are printed alongside.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/cost/cost.h"
+#include "src/rtos/rtos.h"
+
+using namespace ecl;
+
+namespace {
+
+struct Row {
+    const char* example;
+    const char* partition;
+    std::size_t taskCode, taskData, rtosCode, rtosData;
+    std::uint64_t taskKcyc, rtosKcyc;
+};
+
+Row measureStack(bool threeTasks, int packets)
+{
+    Compiler compiler(paper::protocolStackSource());
+    rtos::Network net;
+    int assembleTask;
+    if (threeTasks) {
+        assembleTask = net.addTask(compiler.compile("assemble"));
+        int crc = net.addTask(compiler.compile("checkcrc"));
+        int hdr = net.addTask(compiler.compile("prochdr"));
+        net.connect(assembleTask, "outpkt", crc, "inpkt");
+        net.connect(assembleTask, "outpkt", hdr, "inpkt");
+        net.connect(crc, "crc_ok", hdr, "crc_ok");
+    } else {
+        assembleTask = net.addTask(compiler.compile("toplevel"));
+    }
+    net.boot();
+    for (std::uint8_t b : bench::stackByteStream(packets)) {
+        net.injectScalar(assembleTask, "in_byte", b);
+        net.run();
+    }
+    rtos::MemoryReport m = net.memory();
+    return {"Stack", threeTasks ? "3 tasks" : "1 task", m.taskCode,
+            m.taskData, m.rtosCode, m.rtosData, net.taskCycles() / 1000,
+            net.rtosCycles() / 1000};
+}
+
+Row measureBuffer(bool threeTasks, int messages)
+{
+    Compiler compiler(paper::audioBufferSource());
+    rtos::Network net;
+    int prod;
+    int play;
+    int blink;
+    if (threeTasks) {
+        prod = net.addTask(compiler.compile("producer"));
+        play = net.addTask(compiler.compile("playback"));
+        blink = net.addTask(compiler.compile("blinker"));
+        net.connect(prod, "frame_ready", play, "frame_ready");
+    } else {
+        prod = play = blink = net.addTask(compiler.compile("buffer_top"));
+    }
+    net.boot();
+    for (char ev : bench::bufferEventTrace(messages)) {
+        switch (ev) {
+        case 's': net.inject(prod, "sample"); break;
+        case 'p': net.inject(play, "play"); break;
+        case 'x': net.inject(play, "stop"); break;
+        case 't': net.inject(blink, "tick"); break;
+        }
+        net.run();
+    }
+    rtos::MemoryReport m = net.memory();
+    return {"Buffer", threeTasks ? "3 tasks" : "1 task", m.taskCode,
+            m.taskData, m.rtosCode, m.rtosData, net.taskCycles() / 1000,
+            net.rtosCycles() / 1000};
+}
+
+void printRow(const Row& r)
+{
+    std::printf("%-8s %-8s %8zu %8zu %10zu %8zu %12llu %10llu\n", r.example,
+                r.partition, r.taskCode, r.taskData, r.rtosCode, r.rtosData,
+                static_cast<unsigned long long>(r.taskKcyc),
+                static_cast<unsigned long long>(r.rtosKcyc));
+}
+
+void shapeCheck(const char* what, bool ok)
+{
+    std::printf("  [%s] %s\n", ok ? "ok" : "MISMATCH", what);
+}
+
+} // namespace
+
+int main()
+{
+    std::printf("Table 1: synchronous/asynchronous implementation "
+                "trade-offs (model units: bytes, kcycles)\n\n");
+    std::printf("%-8s %-8s %8s %8s %10s %8s %12s %10s\n", "Example", "Part.",
+                "TaskCode", "TaskData", "RTOSCode", "RTOSData", "TaskKcyc",
+                "RTOSKcyc");
+
+    Row s1 = measureStack(false, 500);
+    Row s3 = measureStack(true, 500);
+    Row b1 = measureBuffer(false, 60);
+    Row b3 = measureBuffer(true, 60);
+    printRow(s1);
+    printRow(s3);
+    printRow(b1);
+    printRow(b3);
+
+    std::printf("\nPaper's Table 1 (MIPS R3000, bytes / kcycles):\n");
+    std::printf("  Stack  1 task : 1008/160  RTOS 5584/1504  time 4283/8032\n");
+    std::printf("  Stack  3 tasks: 1632/352  RTOS 5872/1744  time 4161/8815\n");
+    std::printf("  Buffer 1 task : 7072/80   RTOS 7120/3040  time 51/123\n");
+    std::printf("  Buffer 3 tasks: 2544/144  RTOS 7376/3536  time 57/145\n");
+
+    std::printf("\nShape checks against the paper:\n");
+    shapeCheck("stack: sync task code < async task code (tight coupling)",
+               s1.taskCode < s3.taskCode);
+    shapeCheck("stack: sync task data < async task data", s1.taskData < s3.taskData);
+    shapeCheck("buffer: sync task code > async task code (product blowup)",
+               b1.taskCode > b3.taskCode);
+    shapeCheck("RTOS code grows with task count (stack)", s1.rtosCode < s3.rtosCode);
+    shapeCheck("RTOS data grows with task count (stack)", s1.rtosData < s3.rtosData);
+    shapeCheck("RTOS code grows with task count (buffer)", b1.rtosCode < b3.rtosCode);
+    shapeCheck("stack: async kernel time > sync kernel time (inter-task events)",
+               s3.rtosKcyc > s1.rtosKcyc);
+    shapeCheck("buffer: async kernel time > sync kernel time",
+               b3.rtosKcyc > b1.rtosKcyc);
+    shapeCheck("buffer workload is orders of magnitude lighter than stack",
+               b1.taskKcyc * 10 < s1.taskKcyc);
+    return 0;
+}

@@ -1,0 +1,100 @@
+// The paper's protocol stack (Figures 1-4), end to end.
+//
+// Feeds three packets through the synchronous composition — one good, one
+// with a corrupted CRC, one addressed elsewhere — and prints the observable
+// timeline (packet boundaries, CRC verdicts, address matches). Then runs
+// the same stimulus through the asynchronous three-task RTOS composition
+// and reports the Table 1-style accounting for this short trace.
+#include <cstdio>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "src/rtos/rtos.h"
+
+using namespace ecl;
+
+namespace {
+
+std::vector<std::uint8_t> packet(std::uint8_t addr, bool badCrc)
+{
+    std::vector<std::uint8_t> p(static_cast<std::size_t>(paper::kPktSize), 0);
+    for (int i = 0; i < paper::kHdrSize; ++i) p[static_cast<std::size_t>(i)] = addr;
+    for (int i = 0; i < 16; ++i)
+        p[static_cast<std::size_t>(paper::kHdrSize + i)] =
+            static_cast<std::uint8_t>(0x40 + i);
+    if (badCrc) p[45] = 0xff;
+    return p;
+}
+
+} // namespace
+
+int main()
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    std::printf("toplevel EFSM: %zu states (assemble || checkcrc || prochdr "
+                "collapsed)\n\n",
+                mod->machine().stats().states);
+
+    auto eng = mod->makeEngine();
+    eng->react();
+
+    struct Case {
+        const char* label;
+        std::vector<std::uint8_t> bytes;
+    };
+    Case cases[] = {
+        {"good packet, our address", packet(paper::kAddrByte, false)},
+        {"corrupted CRC", packet(paper::kAddrByte, true)},
+        {"foreign address", packet(0x3c, false)},
+    };
+
+    for (const Case& c : cases) {
+        std::printf("== %s ==\n", c.label);
+        int instant = 0;
+        for (std::uint8_t b : c.bytes) {
+            eng->setInputScalar("in_byte", b);
+            eng->react();
+            ++instant;
+            if (eng->outputPresent("packet"))
+                std::printf("  instant %3d: packet assembled\n", instant);
+        }
+        for (int i = 0; i < paper::kHdrSize + 2; ++i) {
+            eng->react();
+            ++instant;
+            if (eng->outputPresent("crc_ok"))
+                std::printf("  instant %3d: crc_ok = %lld\n", instant,
+                            static_cast<long long>(
+                                eng->outputValue("crc_ok").toInt()));
+            if (eng->outputPresent("addr_match"))
+                std::printf("  instant %3d: ADDR MATCH\n", instant);
+        }
+    }
+
+    std::printf("\n== same stimulus, asynchronous 3-task composition ==\n");
+    rtos::Network net;
+    int a = net.addTask(compiler.compile("assemble"));
+    int c = net.addTask(compiler.compile("checkcrc"));
+    int h = net.addTask(compiler.compile("prochdr"));
+    net.connect(a, "outpkt", c, "inpkt");
+    net.connect(a, "outpkt", h, "inpkt");
+    net.connect(c, "crc_ok", h, "crc_ok");
+    net.onOutput(h, "addr_match",
+                 [](const Value*) { std::printf("  ADDR MATCH (async)\n"); });
+    net.boot();
+    for (const Case& cs : cases)
+        for (std::uint8_t b : cs.bytes) {
+            net.injectScalar(a, "in_byte", b);
+            net.run();
+        }
+
+    rtos::MemoryReport m = net.memory();
+    std::printf("\n3-task accounting for this trace:\n"
+                "  task code %zu B, task data %zu B, RTOS code %zu B, "
+                "RTOS data %zu B\n"
+                "  task cycles %llu, RTOS cycles %llu\n",
+                m.taskCode, m.taskData, m.rtosCode, m.rtosData,
+                static_cast<unsigned long long>(net.taskCycles()),
+                static_cast<unsigned long long>(net.rtosCycles()));
+    return 0;
+}

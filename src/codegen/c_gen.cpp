@@ -1,0 +1,387 @@
+#include "src/codegen/c_gen.h"
+
+#include "src/frontend/ast_printer.h"
+#include "src/support/strings.h"
+
+namespace ecl::codegen {
+
+using namespace ast;
+
+namespace {
+
+/// C declarator for a possibly-array type: `byte m[2][3]`.
+std::string cDecl(const Type* t, const std::string& name)
+{
+    std::string dims;
+    while (t->kind() == TypeKind::Array) {
+        dims += "[" + std::to_string(t->count()) + "]";
+        t = t->element();
+    }
+    return t->name() + " " + name + dims;
+}
+
+/// C expression printer with type-aware fixes relative to the AST printer:
+///  * `~` on a bool operand prints as `!` (ECL's logical-not rule),
+///  * casts of byte arrays to scalars print as ecl_le_bytes(...) calls.
+class CPrinter {
+public:
+    explicit CPrinter(
+        const std::unordered_map<const Expr*, const Type*>* types)
+        : types_(types)
+    {
+    }
+
+    std::string expr(const Expr& e) const
+    {
+        switch (e.kind) {
+        case ExprKind::Unary: {
+            const auto& x = static_cast<const UnaryExpr&>(e);
+            if (x.op == UnaryOp::BitNot && types_) {
+                auto it = types_->find(x.operand.get());
+                if (it != types_->end() && it->second->isBool())
+                    return "(!" + expr(*x.operand) + ")";
+            }
+            std::string inner = expr(*x.operand);
+            switch (x.op) {
+            case UnaryOp::Plus: return "(+" + inner + ")";
+            case UnaryOp::Minus: return "(-" + inner + ")";
+            case UnaryOp::Not: return "(!" + inner + ")";
+            case UnaryOp::BitNot: return "(~" + inner + ")";
+            case UnaryOp::PreInc: return "(++" + inner + ")";
+            case UnaryOp::PreDec: return "(--" + inner + ")";
+            case UnaryOp::PostInc: return "(" + inner + "++)";
+            case UnaryOp::PostDec: return "(" + inner + "--)";
+            }
+            return "?";
+        }
+        case ExprKind::Cast: {
+            const auto& x = static_cast<const CastExpr&>(e);
+            if (types_) {
+                auto it = types_->find(x.operand.get());
+                if (it != types_->end() &&
+                    it->second->kind() == TypeKind::Array) {
+                    std::string inner = expr(*x.operand);
+                    return "((" + x.typeName + ")ecl_le_bytes(" + inner +
+                           ", sizeof(" + inner + ")))";
+                }
+            }
+            return "((" + x.typeName + ")" + expr(*x.operand) + ")";
+        }
+        case ExprKind::Binary: {
+            const auto& x = static_cast<const BinaryExpr&>(e);
+            // Reuse the shared printer's operator spellings via printExpr
+            // on a shallow basis: print children with this printer.
+            static const char* names[] = {"+", "-",  "*",  "/",  "%",  "<<",
+                                          ">>", "<",  ">",  "<=", ">=", "==",
+                                          "!=", "&",  "|",  "^",  "&&", "||"};
+            return "(" + expr(*x.lhs) + " " +
+                   names[static_cast<int>(x.op)] + " " + expr(*x.rhs) + ")";
+        }
+        case ExprKind::Assign: {
+            const auto& x = static_cast<const AssignExpr&>(e);
+            static const char* names[] = {"=",  "+=", "-=", "*=",  "/=", "%=",
+                                          "<<=", ">>=", "&=", "|=", "^="};
+            return expr(*x.lhs) + " " + names[static_cast<int>(x.op)] + " " +
+                   expr(*x.rhs);
+        }
+        case ExprKind::Cond: {
+            const auto& x = static_cast<const CondExpr&>(e);
+            return "(" + expr(*x.cond) + " ? " + expr(*x.thenExpr) + " : " +
+                   expr(*x.elseExpr) + ")";
+        }
+        case ExprKind::Index: {
+            const auto& x = static_cast<const IndexExpr&>(e);
+            return expr(*x.base) + "[" + expr(*x.index) + "]";
+        }
+        case ExprKind::Member: {
+            const auto& x = static_cast<const MemberExpr&>(e);
+            return expr(*x.base) + "." + x.field;
+        }
+        case ExprKind::Call: {
+            const auto& x = static_cast<const CallExpr&>(e);
+            if (x.callee == "__sizeof_expr")
+                return "sizeof(" + expr(*x.args[0]) + ")";
+            std::string out = x.callee + "(";
+            for (std::size_t i = 0; i < x.args.size(); ++i) {
+                if (i) out += ", ";
+                out += expr(*x.args[i]);
+            }
+            return out + ")";
+        }
+        default: return printExpr(e);
+        }
+    }
+
+    std::string stmt(const Stmt& s, int depth) const
+    {
+        const std::string pad(4 * static_cast<std::size_t>(depth), ' ');
+        switch (s.kind) {
+        case StmtKind::Block: {
+            const auto& x = static_cast<const BlockStmt&>(s);
+            std::string out = pad + "{\n";
+            for (const StmtPtr& st : x.body) out += stmt(*st, depth + 1);
+            return out + pad + "}\n";
+        }
+        case StmtKind::Decl: {
+            // Module variables are file-scope; re-executing a declaration
+            // re-initializes them.
+            const auto& x = static_cast<const DeclStmt&>(s);
+            std::string out;
+            for (const Declarator& d : x.decls) {
+                out += pad + "memset(&" + d.name + ", 0, sizeof(" + d.name +
+                       "));\n";
+                if (d.init)
+                    out += pad + d.name + " = " + expr(*d.init) + ";\n";
+            }
+            return out;
+        }
+        case StmtKind::ExprStmt:
+            return pad + expr(*static_cast<const ExprStmt&>(s).expr) + ";\n";
+        case StmtKind::If: {
+            const auto& x = static_cast<const IfStmt&>(s);
+            std::string out = pad + "if (" + expr(*x.cond) + ")\n" +
+                              stmt(*x.thenStmt, depth + 1);
+            if (x.elseStmt) out += pad + "else\n" + stmt(*x.elseStmt, depth + 1);
+            return out;
+        }
+        case StmtKind::While: {
+            const auto& x = static_cast<const WhileStmt&>(s);
+            return pad + "while (" + expr(*x.cond) + ")\n" +
+                   stmt(*x.body, depth + 1);
+        }
+        case StmtKind::DoWhile: {
+            const auto& x = static_cast<const DoWhileStmt&>(s);
+            return pad + "do\n" + stmt(*x.body, depth + 1) + pad + "while (" +
+                   expr(*x.cond) + ");\n";
+        }
+        case StmtKind::For: {
+            const auto& x = static_cast<const ForStmt&>(s);
+            // The init may be a Decl/Block (comma form); hoist it above.
+            std::string out;
+            if (x.init) out += stmt(*x.init, depth);
+            out += pad + "for (; ";
+            if (x.cond) out += expr(*x.cond);
+            out += "; ";
+            if (x.step) out += expr(*x.step);
+            out += ")\n" + stmt(*x.body, depth + 1);
+            return out;
+        }
+        case StmtKind::Break: return pad + "break;\n";
+        case StmtKind::Continue: return pad + "continue;\n";
+        case StmtKind::Return: {
+            const auto& x = static_cast<const ReturnStmt&>(s);
+            if (x.value) return pad + "return " + expr(*x.value) + ";\n";
+            return pad + "return;\n";
+        }
+        case StmtKind::Empty: return pad + ";\n";
+        default:
+            return pad + "/* reactive statement (unreachable in data) */;\n";
+        }
+    }
+
+private:
+    const std::unordered_map<const Expr*, const Type*>* types_;
+};
+
+void printTree(const efsm::TransNode& t, const CompiledModule& mod,
+               const CPrinter& printer, int depth, std::string& out)
+{
+    const ModuleSema& sema = mod.moduleSema();
+    const std::string pad(4 * static_cast<std::size_t>(depth), ' ');
+
+    for (const efsm::Action& a : t.prefixActions) {
+        if (a.kind == efsm::Action::Kind::Emit) {
+            const SignalInfo& sig =
+                sema.signals[static_cast<std::size_t>(a.signal)];
+            if (a.valueExpr)
+                out += pad + sig.name + " = " + printer.expr(*a.valueExpr) +
+                       ";\n";
+            out += pad + sig.name + "_present = 1;\n";
+        } else {
+            const ir::DataAction& da =
+                mod.reactiveProgram().actions[static_cast<std::size_t>(
+                    a.dataActionId)];
+            if (da.extractedLoop) {
+                out += pad + "ecl_data_" + std::to_string(da.id) + "();\n";
+            } else if (da.stmt) {
+                out += printer.stmt(*da.stmt, depth);
+            } else if (da.expr) {
+                out += pad + printer.expr(*da.expr) + ";\n";
+            }
+        }
+    }
+
+    if (t.isLeaf) {
+        if (t.runtimeError)
+            out += pad + "ecl_runtime_error(\"instantaneous loop\");\n";
+        out += pad + "ecl_state = " + std::to_string(t.nextState) + ";\n";
+        out += pad + "goto ecl_done;\n";
+        return;
+    }
+
+    std::string cond;
+    if (t.testsSignal)
+        cond = sema.signals[static_cast<std::size_t>(t.signal)].name +
+               "_present";
+    else
+        cond = printer.expr(*t.dataCond);
+    out += pad + "if (" + cond + ") {\n";
+    printTree(*t.onTrue, mod, printer, depth + 1, out);
+    out += pad + "} else {\n";
+    printTree(*t.onFalse, mod, printer, depth + 1, out);
+    out += pad + "}\n";
+}
+
+} // namespace
+
+std::string generateC(const CompiledModule& mod)
+{
+    const ModuleSema& sema = mod.moduleSema();
+    const ProgramSema& prog = mod.programSema();
+    CPrinter printer(&sema.exprType);
+
+    std::string out;
+    out += "/* Generated by the ECL compiler: software synthesis of module '" +
+           mod.name() + "'.\n";
+    out += " * One reaction = one call to " + mod.name() + "_react().\n */\n";
+    out += "#include <string.h>\n#include <stdbool.h>\n\n";
+    out += "static long ecl_le_bytes(const void *p, unsigned n)\n"
+           "{\n"
+           "    const unsigned char *b = (const unsigned char *)p;\n"
+           "    long v = 0;\n"
+           "    unsigned i;\n"
+           "    for (i = 0; i < n && i < 8; i++)\n"
+           "        v |= (long)b[i] << (8 * i);\n"
+           "    return v;\n"
+           "}\n\n"
+           "extern void ecl_runtime_error(const char *msg);\n\n";
+
+    // User type declarations, constants and helper functions, in order.
+    for (const TopDeclPtr& d : prog.program->decls) {
+        switch (d->kind) {
+        case DeclKind::Typedef: {
+            const auto& x = static_cast<const TypedefDecl&>(*d);
+            const Type* t = prog.types.lookup(x.name);
+            if (t->isAggregate()) {
+                out += "typedef ";
+                out += t->kind() == TypeKind::Union ? "union" : "struct";
+                out += " {\n";
+                for (const Type::Field& f : t->fields())
+                    out += "    " + cDecl(f.type, f.name) + ";\n";
+                out += "} " + x.name + ";\n\n";
+            } else {
+                out += "typedef " + cDecl(t, x.name) + ";\n";
+                // cDecl puts dims after the name, which is correct for
+                // array typedefs too.
+                out += "\n";
+            }
+            break;
+        }
+        case DeclKind::Aggregate: {
+            const auto& x = static_cast<const AggregateDecl&>(*d);
+            std::string key =
+                (x.def.isUnion ? "union " : "struct ") + x.def.tag;
+            const Type* t = prog.types.lookup(key);
+            out += (x.def.isUnion ? "union " : "struct ") + x.def.tag +
+                   " {\n";
+            for (const Type::Field& f : t->fields())
+                out += "    " + cDecl(f.type, f.name) + ";\n";
+            out += "};\n\n";
+            break;
+        }
+        case DeclKind::GlobalVar: {
+            const auto& x = static_cast<const GlobalVarDecl&>(*d);
+            for (const Declarator& decl : x.decls) {
+                auto it = prog.constants.find(decl.name);
+                if (it != prog.constants.end())
+                    out += "enum { " + decl.name + " = " +
+                           std::to_string(it->second) + " };\n";
+            }
+            out += "\n";
+            break;
+        }
+        case DeclKind::Function: {
+            const auto& x = static_cast<const FunctionDecl&>(*d);
+            const FunctionInfo* info = prog.findFunction(x.name);
+            auto fsIt = mod.functions().find(x.name);
+            const CPrinter fnPrinter(
+                fsIt != mod.functions().end() ? &fsIt->second.exprType
+                                              : nullptr);
+            out += info->returnType->name() + " " + x.name + "(";
+            if (info->params.empty()) out += "void";
+            for (std::size_t i = 0; i < info->params.size(); ++i) {
+                if (i) out += ", ";
+                out += cDecl(info->params[i].second, info->params[i].first);
+            }
+            out += ")\n";
+            out += fnPrinter.stmt(*x.body, 0);
+            out += "\n";
+            break;
+        }
+        case DeclKind::Module: break;
+        }
+    }
+
+    // Signals: value variable named like the signal + presence flag.
+    out += "/* --- signals --- */\n";
+    for (const SignalInfo& s : sema.signals) {
+        if (!s.pure) out += "static " + cDecl(s.valueType, s.name) + ";\n";
+        out += "static unsigned char " + s.name + "_present;\n";
+    }
+    out += "\n/* --- module variables --- */\n";
+    for (const VarInfo& v : sema.vars)
+        out += "static " + cDecl(v.type, v.name) + ";\n";
+    out += "\nstatic int ecl_state = 0;\n\n";
+
+    // Extracted data-loop functions.
+    for (const ir::DataAction& a : mod.reactiveProgram().actions) {
+        if (!a.extractedLoop) continue;
+        out += "/* extracted data loop */\n";
+        out += "static void ecl_data_" + std::to_string(a.id) + "(void)\n";
+        out += "{\n";
+        if (a.stmt) out += printer.stmt(*a.stmt, 1);
+        out += "}\n\n";
+    }
+
+    // Input setters.
+    for (const SignalInfo& s : sema.signals) {
+        if (s.dir != ecl::SignalDir::Input) continue;
+        if (s.pure) {
+            out += "void " + mod.name() + "_set_" + s.name +
+                   "(void) { " + s.name + "_present = 1; }\n";
+        } else {
+            out += "void " + mod.name() + "_set_" + s.name + "(" +
+                   cDecl(s.valueType, "v") + ") { " + s.name +
+                   (s.valueType->kind() == TypeKind::Array
+                        ? "; /* array copy */ memcpy(&" + s.name +
+                              ", &v, sizeof(" + s.name + ")); "
+                        : " = v; ") +
+                   s.name + "_present = 1; }\n";
+        }
+    }
+    out += "\n";
+
+    // The reaction function.
+    out += "void " + mod.name() + "_react(void)\n{\n";
+    out += "    /* local and output presence is per-instant */\n";
+    for (const SignalInfo& s : sema.signals)
+        if (s.dir != ecl::SignalDir::Input)
+            out += "    " + s.name + "_present = 0;\n";
+    out += "\n    switch (ecl_state) {\n";
+    for (const efsm::State& st : mod.machine().states) {
+        out += "    case " + std::to_string(st.id) + ":";
+        out += st.boot ? " /* boot */\n" : (st.dead ? " /* dead */\n" : "\n");
+        if (st.tree) printTree(*st.tree, mod, printer, 2, out);
+        out += "        break;\n";
+    }
+    out += "    }\n";
+    out += "ecl_done:\n";
+    for (const SignalInfo& s : sema.signals)
+        if (s.dir == ecl::SignalDir::Input)
+            out += "    " + s.name + "_present = 0;\n";
+    out += "    return;\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace ecl::codegen

@@ -1,0 +1,24 @@
+// C software synthesis from the EFSM — the paper's software back end [1].
+//
+// Emits a self-contained, compilable C file:
+//  * the user's type declarations and C helper functions,
+//  * one file-scope variable per module variable and per signal (a valued
+//    signal's value variable carries the signal's own name, so extracted
+//    data statements compile verbatim; presence is `<name>_present`),
+//  * one function per extracted data loop,
+//  * `void <module>_react(void)`: switch over states, nested-if decision
+//    trees with actions interleaved, state update, input-flag clearing,
+//  * input setters (`<module>_set_<sig>`) for the environment.
+//
+// Tests validate the output with `gcc -fsyntax-only`.
+#pragma once
+
+#include <string>
+
+#include "src/core/compiler.h"
+
+namespace ecl::codegen {
+
+std::string generateC(const CompiledModule& module);
+
+} // namespace ecl::codegen

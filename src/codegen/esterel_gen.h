@@ -1,0 +1,31 @@
+// Esterel source generation — the paper's phase-1 artifact.
+//
+// The ECL compiler's first phase splits an ECL file into an Esterel file
+// (the reactive skeleton), a C file (extracted data code) and glue. This
+// generator prints the reactive IR in Esterel-v5-style syntax, with data
+// statements appearing as host-language procedure calls (`call ecl_data_N`)
+// and data predicates as host-function tests — exactly the boundary the
+// paper describes.
+#pragma once
+
+#include <string>
+
+#include "src/ir/ir.h"
+#include "src/sema/sema.h"
+
+namespace ecl::codegen {
+
+/// Prints the reactive part of `program` as an Esterel module named
+/// `moduleName`, with interface and local signal declarations from `sema`.
+std::string generateEsterel(const ir::ReactiveProgram& program,
+                            const ModuleSema& sema,
+                            const std::string& moduleName);
+
+/// Prints the companion C file: one procedure per data action, operating on
+/// the module's variables and signal values (the paper's "glue logic" that
+/// lets Esterel code reach fields of ECL non-scalar data types).
+std::string generateEsterelDataFile(const ir::ReactiveProgram& program,
+                                    const ModuleSema& sema,
+                                    const std::string& moduleName);
+
+} // namespace ecl::codegen

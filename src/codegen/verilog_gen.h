@@ -1,0 +1,29 @@
+// Verilog hardware synthesis from the EFSM.
+//
+// The paper (Section 1/3): "If the data-dominated C part is empty, then the
+// complete ECL specification can be implemented either in hardware or in
+// software." This generator implements that rule: modules whose reaction
+// contains no data actions and only pure signals synthesize to a clocked
+// Verilog FSM (one clock tick = one instant; inputs are presence wires,
+// outputs are registered presence pulses). Modules with a data part are
+// rejected with an explanation, matching the paper's software-only fallback.
+#pragma once
+
+#include <string>
+
+#include "src/core/compiler.h"
+
+namespace ecl::codegen {
+
+struct HwReport {
+    bool synthesizable = false;
+    std::string reason;     ///< Why not, when !synthesizable.
+    std::string verilog;    ///< The RTL, when synthesizable.
+    std::size_t stateBits = 0;
+    std::size_t flipFlops = 0;
+    std::size_t gateEstimate = 0;
+};
+
+HwReport generateVerilog(const CompiledModule& module);
+
+} // namespace ecl::codegen

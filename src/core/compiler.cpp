@@ -1,0 +1,76 @@
+#include "src/core/compiler.h"
+
+#include "src/frontend/parser.h"
+#include "src/efsm/optimize.h"
+#include "src/sema/elaborate.h"
+
+namespace ecl {
+
+CompiledModule::CompiledModule(std::shared_ptr<const SharedProgram> shared,
+                               std::unique_ptr<ast::ModuleDecl> flat,
+                               const CompileOptions& options,
+                               Diagnostics& diags)
+    : shared_(std::move(shared)), flat_(std::move(flat))
+{
+    sema_ = std::make_unique<ModuleSema>(
+        analyzeModule(*flat_, shared_->sema, diags));
+    reactive_ = std::make_unique<ir::ReactiveProgram>(
+        lowerModule(*flat_, *sema_, diags, &lowerStats_));
+    machine_ = std::make_unique<efsm::Efsm>(
+        buildEfsm(*reactive_, *sema_, diags, options.efsm));
+    if (options.optimizeEfsm) efsm::optimize(*machine_);
+}
+
+std::unique_ptr<rt::SyncEngine> CompiledModule::makeEngine() const
+{
+    auto engine = std::make_unique<rt::SyncEngine>(
+        *machine_, *sema_, shared_->sema, shared_->functions);
+    // Keep this module alive while the engine exists (compile() hands out
+    // shared_ptrs; stack-constructed modules simply skip the retain).
+    if (auto self = weak_from_this().lock()) engine->retain(self);
+    return engine;
+}
+
+std::unique_ptr<rt::RcEngine> CompiledModule::makeBaselineEngine() const
+{
+    auto engine = std::make_unique<rt::RcEngine>(
+        *reactive_, *sema_, shared_->sema, shared_->functions);
+    if (auto self = weak_from_this().lock()) engine->retain(self);
+    return engine;
+}
+
+Compiler::Compiler(const std::string& source)
+{
+    shared_ = std::make_shared<SharedProgram>();
+    shared_->program = parseEcl(source, diags_);
+    shared_->sema = analyzeProgramDecls(shared_->program, diags_);
+    // ProgramSema::program points at the pre-move AST; fix it up to the
+    // final location inside the shared struct.
+    shared_->sema.program = &shared_->program;
+    for (const ast::TopDeclPtr& d : shared_->program.decls) {
+        if (d->kind != ast::DeclKind::Function) continue;
+        const auto& fn = static_cast<const ast::FunctionDecl&>(*d);
+        shared_->functions.emplace(
+            fn.name, analyzeFunction(fn, shared_->sema, diags_));
+    }
+}
+
+std::shared_ptr<CompiledModule> Compiler::compile(const std::string& topName,
+                                                  const CompileOptions& options)
+{
+    std::unique_ptr<ast::ModuleDecl> flat =
+        elaborate(shared_->program, shared_->sema, topName, diags_);
+    return std::make_shared<CompiledModule>(shared_, std::move(flat), options,
+                                            diags_);
+}
+
+std::vector<std::string> Compiler::moduleNames() const
+{
+    std::vector<std::string> out;
+    for (const ast::TopDeclPtr& d : shared_->program.decls)
+        if (d->kind == ast::DeclKind::Module)
+            out.push_back(static_cast<const ast::ModuleDecl&>(*d).name);
+    return out;
+}
+
+} // namespace ecl

@@ -1,0 +1,118 @@
+// The ECL compiler driver — the library's primary public API.
+//
+// Pipeline (paper Section 1, "ECL Overview"):
+//   source --lex/parse--> AST --sema--> typed program
+//          --elaborate--> flat module (sync composition by inlining)
+//          --partition/lower--> reactive IR + data actions (the split)
+//          --build--> EFSM
+//          --codegen--> Esterel / C / Verilog artifacts (src/codegen)
+//
+// Usage:
+//   ecl::Compiler compiler(sourceText);
+//   auto mod = compiler.compile("toplevel");
+//   auto engine = mod->makeEngine();
+//   engine->setInputScalar("in_byte", 0x5a);
+//   engine->react();
+//
+// A CompiledModule owns every structure the engines reference; keep the
+// shared_ptr alive as long as any engine created from it runs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/efsm/efsm.h"
+#include "src/frontend/ast.h"
+#include "src/ir/ir.h"
+#include "src/partition/lower.h"
+#include "src/runtime/engine.h"
+#include "src/sema/sema.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+struct CompileOptions {
+    efsm::BuildOptions efsm;
+    /// Run the decision-tree optimizer (redundant/repeated test
+    /// elimination) after the build. Off by default so size studies see
+    /// the raw automaton; see src/efsm/optimize.h.
+    bool optimizeEfsm = false;
+};
+
+/// Parsed + program-analyzed source, shared by all modules compiled from it.
+struct SharedProgram {
+    ast::Program program;
+    ProgramSema sema;
+    rt::FunctionSemaMap functions;
+};
+
+class CompiledModule : public std::enable_shared_from_this<CompiledModule> {
+public:
+    CompiledModule(std::shared_ptr<const SharedProgram> shared,
+                   std::unique_ptr<ast::ModuleDecl> flat,
+                   const CompileOptions& options, Diagnostics& diags);
+
+    [[nodiscard]] const std::string& name() const { return flat_->name; }
+    [[nodiscard]] const ast::ModuleDecl& flatModule() const { return *flat_; }
+    [[nodiscard]] const ModuleSema& moduleSema() const { return *sema_; }
+    [[nodiscard]] const ir::ReactiveProgram& reactiveProgram() const
+    {
+        return *reactive_;
+    }
+    [[nodiscard]] const efsm::Efsm& machine() const { return *machine_; }
+    [[nodiscard]] const ProgramSema& programSema() const
+    {
+        return shared_->sema;
+    }
+    [[nodiscard]] const rt::FunctionSemaMap& functions() const
+    {
+        return shared_->functions;
+    }
+    [[nodiscard]] const LowerStats& lowerStats() const { return lowerStats_; }
+
+    /// Creates a synchronous EFSM engine. The CompiledModule must outlive it.
+    [[nodiscard]] std::unique_ptr<rt::SyncEngine> makeEngine() const;
+
+    /// Creates the Reactive-C-style baseline engine (related-work
+    /// comparison and differential-testing oracle).
+    [[nodiscard]] std::unique_ptr<rt::RcEngine> makeBaselineEngine() const;
+
+private:
+    std::shared_ptr<const SharedProgram> shared_;
+    std::unique_ptr<ast::ModuleDecl> flat_;
+    std::unique_ptr<ModuleSema> sema_;
+    std::unique_ptr<ir::ReactiveProgram> reactive_;
+    std::unique_ptr<efsm::Efsm> machine_;
+    LowerStats lowerStats_;
+};
+
+class Compiler {
+public:
+    /// Parses and analyzes `source`. Throws EclError with diagnostics on
+    /// lexical, syntax or program-level semantic errors.
+    explicit Compiler(const std::string& source);
+
+    /// Compiles module `topName` synchronously: every instantiation inlined
+    /// into one EFSM (the paper's single-task implementation).
+    std::shared_ptr<CompiledModule> compile(const std::string& topName,
+                                            const CompileOptions& options = {});
+
+    [[nodiscard]] const ast::Program& program() const
+    {
+        return shared_->program;
+    }
+    [[nodiscard]] const ProgramSema& programSema() const
+    {
+        return shared_->sema;
+    }
+    [[nodiscard]] const Diagnostics& diagnostics() const { return diags_; }
+
+    /// Names of all modules in the program (for async composition).
+    [[nodiscard]] std::vector<std::string> moduleNames() const;
+
+private:
+    std::shared_ptr<SharedProgram> shared_;
+    Diagnostics diags_;
+};
+
+} // namespace ecl

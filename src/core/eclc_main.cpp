@@ -1,0 +1,188 @@
+// eclc — the ECL command-line compiler.
+//
+// Usage:
+//   eclc [options] file.ecl
+//
+// Options:
+//   --module NAME      top module to compile (default: last module in file)
+//   --emit KIND        artifact: c | esterel | verilog | efsm | ir | stats
+//                      (default: c). May be repeated.
+//   --async            compile every module separately and report per-task
+//                      sizes instead of collapsing into one EFSM
+//   -o PREFIX          write artifacts to PREFIX.<ext> instead of stdout
+//
+// Mirrors the paper's flow: one ECL file in; Esterel + C (+ glue) out; the
+// EFSM and synthesis artifacts derived from them.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/codegen/c_gen.h"
+#include "src/codegen/esterel_gen.h"
+#include "src/codegen/verilog_gen.h"
+#include "src/core/compiler.h"
+#include "src/cost/cost.h"
+#include "src/ir/ir.h"
+
+namespace {
+
+struct Options {
+    std::string file;
+    std::string module;
+    std::vector<std::string> emits;
+    std::string outPrefix;
+    bool asyncMode = false;
+    bool optimize = false;
+};
+
+int usage()
+{
+    std::fprintf(stderr,
+                 "usage: eclc [--module NAME] [--emit c|esterel|verilog|"
+                 "efsm|ir|stats]... [--async] [--optimize] [-o PREFIX] "
+                 "file.ecl\n");
+    return 2;
+}
+
+void writeArtifact(const Options& opt, const std::string& ext,
+                   const std::string& text)
+{
+    if (opt.outPrefix.empty()) {
+        std::printf("%s", text.c_str());
+        return;
+    }
+    std::string path = opt.outPrefix + "." + ext;
+    std::ofstream out(path);
+    out << text;
+    std::fprintf(stderr, "eclc: wrote %s (%zu bytes)\n", path.c_str(),
+                 text.size());
+}
+
+std::string statsText(const ecl::CompiledModule& mod)
+{
+    ecl::cost::CostModel cm;
+    auto st = mod.machine().stats();
+    auto sz = cm.moduleSize(mod.machine());
+    std::ostringstream out;
+    out << "module " << mod.name() << ":\n"
+        << "  EFSM states:        " << st.states << "\n"
+        << "  decision nodes:     " << st.testNodes << "\n"
+        << "  transition leaves:  " << st.leaves << "\n"
+        << "  max tree depth:     " << st.maxTreeDepth << "\n"
+        << "  data actions:       " << mod.lowerStats().dataActions << "\n"
+        << "  extracted loops:    " << mod.lowerStats().extractedLoops << "\n"
+        << "  pause points:       " << mod.lowerStats().pauses << "\n"
+        << "  est. code size:     " << sz.codeBytes << " B (R3000 model)\n"
+        << "  est. data size:     " << sz.dataBytes << " B\n";
+    return out.str();
+}
+
+int emitAll(const Options& opt, const ecl::CompiledModule& mod)
+{
+    for (const std::string& kind : opt.emits) {
+        if (kind == "c") {
+            writeArtifact(opt, "c", ecl::codegen::generateC(mod));
+        } else if (kind == "esterel") {
+            writeArtifact(opt, "strl",
+                          ecl::codegen::generateEsterel(
+                              mod.reactiveProgram(), mod.moduleSema(),
+                              mod.name()));
+            writeArtifact(opt, "data.c",
+                          ecl::codegen::generateEsterelDataFile(
+                              mod.reactiveProgram(), mod.moduleSema(),
+                              mod.name()));
+        } else if (kind == "verilog") {
+            ecl::codegen::HwReport hw = ecl::codegen::generateVerilog(mod);
+            if (!hw.synthesizable) {
+                std::fprintf(stderr, "eclc: %s\n", hw.reason.c_str());
+                return 1;
+            }
+            writeArtifact(opt, "v", hw.verilog);
+        } else if (kind == "efsm") {
+            writeArtifact(opt, "efsm", mod.machine().describe());
+        } else if (kind == "ir") {
+            writeArtifact(opt, "ir",
+                          ecl::ir::printIr(*mod.reactiveProgram().root));
+        } else if (kind == "stats") {
+            writeArtifact(opt, "stats", statsText(mod));
+        } else {
+            std::fprintf(stderr, "eclc: unknown --emit kind '%s'\n",
+                         kind.c_str());
+            return 2;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--module" && i + 1 < argc) {
+            opt.module = argv[++i];
+        } else if (arg == "--emit" && i + 1 < argc) {
+            opt.emits.push_back(argv[++i]);
+        } else if (arg == "-o" && i + 1 < argc) {
+            opt.outPrefix = argv[++i];
+        } else if (arg == "--async") {
+            opt.asyncMode = true;
+        } else if (arg == "--optimize") {
+            opt.optimize = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            if (!opt.file.empty()) return usage();
+            opt.file = arg;
+        }
+    }
+    if (opt.file.empty()) return usage();
+    if (opt.emits.empty()) opt.emits.push_back("c");
+
+    std::ifstream in(opt.file);
+    if (!in) {
+        std::fprintf(stderr, "eclc: cannot open %s\n", opt.file.c_str());
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    try {
+        ecl::Compiler compiler(buffer.str());
+        std::vector<std::string> modules = compiler.moduleNames();
+        if (modules.empty()) {
+            std::fprintf(stderr, "eclc: no modules in %s\n",
+                         opt.file.c_str());
+            return 1;
+        }
+
+        ecl::CompileOptions copts;
+        copts.optimizeEfsm = opt.optimize;
+
+        if (opt.asyncMode) {
+            // Per-module compilation (the RTOS/task path).
+            int rc = 0;
+            for (const std::string& name : modules) {
+                auto mod = compiler.compile(name, copts);
+                std::printf("--- task %s ---\n", name.c_str());
+                rc |= emitAll(opt, *mod);
+            }
+            return rc;
+        }
+
+        std::string top = opt.module.empty() ? modules.back() : opt.module;
+        auto mod = compiler.compile(top, copts);
+        return emitAll(opt, *mod);
+    } catch (const ecl::EclError& e) {
+        std::fprintf(stderr, "eclc: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,205 @@
+#include "src/core/paper_sources.h"
+
+namespace ecl::paper {
+
+std::string protocolStackSource()
+{
+    return R"ECL(
+/* Protocol stack fragment -- DAC'99 ECL paper, Figures 1-4. */
+
+#define HDRSIZE 6
+#define DATASIZE 56
+#define CRCSIZE 2
+#define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE
+#define ADDR_BYTE 165
+
+typedef unsigned char byte;
+
+typedef struct {
+    byte packet[PKTSIZE];
+} packet_view_1_t;
+
+typedef struct {
+    byte header[HDRSIZE];
+    byte data[DATASIZE];
+    byte crc[CRCSIZE];
+} packet_view_2_t;
+
+typedef union {
+    packet_view_1_t raw;
+    packet_view_2_t cooked;
+} packet_t;
+
+/* Figure 1: an ECL module assembling bytes into packets. */
+module assemble (input pure reset,
+                 input byte in_byte, output packet_t outpkt)
+{
+    int cnt;
+    packet_t buffer;
+
+    /* outermost reactive loop */
+    while (1) {
+        do {
+            /* get PKTSIZE bytes */
+            for (cnt = 0; cnt < PKTSIZE; cnt++) {
+                await (in_byte);
+                buffer.raw.packet[cnt] = in_byte;
+            }
+            /* assemble them and emit the output */
+            emit_v (outpkt, buffer);
+        } abort (reset);
+    }
+}
+
+/* Figure 2: an ECL module checking a Cyclic Redundancy Code.
+   The CRC fold is a data loop (no halting statement): the compiler
+   extracts it as a C function. The verdict is published after one delta
+   cycle so the synchronous composition can await it (DESIGN.md). */
+module checkcrc (input pure reset,
+                 input packet_t inpkt, output bool crc_ok)
+{
+    int i;
+    unsigned int crc;
+
+    while (1) {
+        do {
+            await (inpkt);
+            for (i = 0, crc = 0; i < PKTSIZE; i++) {
+                crc = (crc ^ inpkt.raw.packet[i]) << 1;
+            }
+            await ();
+            emit_v (crc_ok, crc == (int) inpkt.cooked.crc);
+        } abort (reset);
+    }
+}
+
+/* Figure 3: an ECL module performing a computation on the packet header.
+   The "lengthy computation" runs one header byte per instant; the parallel
+   watcher kills it via kill_check when the CRC fails. */
+module prochdr (input pure reset, input bool crc_ok,
+                input packet_t inpkt, output pure addr_match)
+{
+    signal pure kill_check; /* local signal */
+    bool match_ok;
+    int hidx;
+
+    while (1) {
+        do {
+            await (inpkt);
+            par {
+                do {
+                    /* lengthy multi-instant address match */
+                    match_ok = true;
+                    for (hidx = 0; hidx < HDRSIZE; hidx++) {
+                        await ();
+                        if (inpkt.cooked.header[hidx] != ADDR_BYTE)
+                            match_ok = false;
+                    }
+                } abort (kill_check);
+                {
+                    await (crc_ok);
+                    if (~crc_ok) emit (kill_check);
+                    /* else just wait for both to complete */
+                }
+            }
+            /* now both branches have terminated */
+            if (crc_ok && match_ok) emit (addr_match);
+        } abort (reset);
+    }
+}
+
+/* Figure 4: the ECL top-level module for the simple protocol stack. */
+module toplevel (input pure reset,
+                 input byte in_byte, output pure addr_match)
+{
+    signal packet_t packet;
+    signal bool crc_ok;
+
+    par {
+        assemble (reset, in_byte, packet);
+        checkcrc (reset, packet, crc_ok);
+        prochdr (reset, crc_ok, packet, addr_match);
+    }
+}
+)ECL";
+}
+
+std::string audioBufferSource()
+{
+    return R"ECL(
+/* Voice-mail pager audio buffer controller (reconstruction of the paper's
+   second Table 1 design). Three loosely coupled, control-heavy modules:
+   their pause points are driven by independent inputs (sample / play,
+   stop / tick), so the collapsed synchronous product automaton is much
+   larger than the sum of the three task automata -- the paper's Buffer
+   row shape. Control-encoded counting (await chains instead of data
+   counters) is idiomatic Esterel and keeps reactions test-free. */
+
+/* Producer: assembles 4 microphone samples into one audio frame. */
+module producer (input pure reset, input pure sample,
+                 output pure frame_ready)
+{
+    while (1) {
+        do {
+            await (sample);
+            await (sample);
+            await (sample);
+            await (sample);
+            emit (frame_ready);
+        } abort (reset);
+    }
+}
+
+/* Playback control: prefill two frames, then play until stop. */
+module playback (input pure reset, input pure play, input pure stop,
+                 input pure frame_ready,
+                 output pure speaker_on, output pure speaker_off)
+{
+    while (1) {
+        do {
+            await (play);
+            await (frame_ready);
+            await (frame_ready);
+            emit (speaker_on);
+            do {
+                halt ();
+            } abort (stop);
+            emit (speaker_off);
+        } abort (reset);
+    }
+}
+
+/* Status LED blinker: 1 tick on, 2 ticks off, period 5. */
+module blinker (input pure reset, input pure tick,
+                output pure led_on, output pure led_off)
+{
+    while (1) {
+        do {
+            await (tick);
+            emit (led_on);
+            await (tick);
+            await (tick);
+            emit (led_off);
+            await (tick);
+            await (tick);
+        } abort (reset);
+    }
+}
+
+module buffer_top (input pure reset, input pure sample, input pure play,
+                   input pure stop, input pure tick,
+                   output pure speaker_on, output pure speaker_off,
+                   output pure led_on, output pure led_off)
+{
+    signal pure frame_ready;
+
+    par {
+        producer (reset, sample, frame_ready);
+        playback (reset, play, stop, frame_ready, speaker_on, speaker_off);
+        blinker (reset, tick, led_on, led_off);
+    }
+}
+)ECL";
+}
+
+} // namespace ecl::paper

@@ -1,0 +1,35 @@
+// Canonical ECL sources from the paper (Figures 1-4) plus the reconstructed
+// audio buffer controller of the Table 1 "Buffer" row.
+//
+// The protocol stack follows the paper's listings with two documented
+// adaptations (see DESIGN.md):
+//  * `checkcrc` publishes its verdict after one delta cycle (`await ();`)
+//    so that the *synchronous* composition can await crc_ok — Esterel's
+//    await is non-immediate, and in a single-EFSM composition crc_ok would
+//    otherwise be emitted in the very instant prochdr starts awaiting it
+//    (the paper itself notes sync/async behaviours can differ here).
+//  * `prochdr`'s "lengthy computation" placeholder is implemented as a
+//    multi-instant header/address match using await() delta cycles.
+#pragma once
+
+#include <string>
+
+namespace ecl::paper {
+
+/// Figures 1-4: types + assemble + checkcrc + prochdr + toplevel.
+std::string protocolStackSource();
+
+/// Reconstructed voice-mail-pager audio buffer controller: three loosely
+/// coupled control-heavy modules (producer burst control, playback FSM,
+/// status blinker) under one toplevel. Loose coupling makes the collapsed
+/// single-EFSM implementation large (Table 1's Buffer row shape).
+std::string audioBufferSource();
+
+/// Packet constants matching the protocol stack source.
+inline constexpr int kHdrSize = 6;
+inline constexpr int kDataSize = 56;
+inline constexpr int kCrcSize = 2;
+inline constexpr int kPktSize = kHdrSize + kDataSize + kCrcSize;
+inline constexpr int kAddrByte = 0xA5;
+
+} // namespace ecl::paper

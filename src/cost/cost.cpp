@@ -1,0 +1,325 @@
+#include "src/cost/cost.h"
+
+#include <cstdint>
+#include <set>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+namespace ecl::cost {
+
+using namespace ast;
+
+std::size_t countExprNodes(const Expr& e)
+{
+    switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::Ident:
+    case ExprKind::SizeofType: return 1;
+    case ExprKind::Unary:
+        return 1 + countExprNodes(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::Binary: {
+        const auto& x = static_cast<const BinaryExpr&>(e);
+        return 1 + countExprNodes(*x.lhs) + countExprNodes(*x.rhs);
+    }
+    case ExprKind::Assign: {
+        const auto& x = static_cast<const AssignExpr&>(e);
+        return 1 + countExprNodes(*x.lhs) + countExprNodes(*x.rhs);
+    }
+    case ExprKind::Cond: {
+        const auto& x = static_cast<const CondExpr&>(e);
+        return 1 + countExprNodes(*x.cond) + countExprNodes(*x.thenExpr) +
+               countExprNodes(*x.elseExpr);
+    }
+    case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        return 1 + countExprNodes(*x.base) + countExprNodes(*x.index);
+    }
+    case ExprKind::Member:
+        return 1 + countExprNodes(*static_cast<const MemberExpr&>(e).base);
+    case ExprKind::Call: {
+        const auto& x = static_cast<const CallExpr&>(e);
+        std::size_t n = 2; // call overhead
+        for (const ExprPtr& a : x.args) n += countExprNodes(*a);
+        return n;
+    }
+    case ExprKind::Cast:
+        return 1 + countExprNodes(*static_cast<const CastExpr&>(e).operand);
+    }
+    return 1;
+}
+
+std::size_t countStmtNodes(const Stmt& s)
+{
+    switch (s.kind) {
+    case StmtKind::Block: {
+        std::size_t n = 0;
+        for (const StmtPtr& st : static_cast<const BlockStmt&>(s).body)
+            n += countStmtNodes(*st);
+        return n;
+    }
+    case StmtKind::Decl: {
+        const auto& x = static_cast<const DeclStmt&>(s);
+        std::size_t n = 0;
+        for (const Declarator& d : x.decls) {
+            n += 1;
+            if (d.init) n += countExprNodes(*d.init);
+        }
+        return n;
+    }
+    case StmtKind::ExprStmt:
+        return countExprNodes(*static_cast<const ExprStmt&>(s).expr);
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        std::size_t n = 1 + countExprNodes(*x.cond) +
+                        countStmtNodes(*x.thenStmt);
+        if (x.elseStmt) n += countStmtNodes(*x.elseStmt);
+        return n;
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        return 2 + countExprNodes(*x.cond) + countStmtNodes(*x.body);
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        return 2 + countExprNodes(*x.cond) + countStmtNodes(*x.body);
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        std::size_t n = 2;
+        if (x.init) n += countStmtNodes(*x.init);
+        if (x.cond) n += countExprNodes(*x.cond);
+        if (x.step) n += countExprNodes(*x.step);
+        return n + countStmtNodes(*x.body);
+    }
+    case StmtKind::Return: {
+        const auto& x = static_cast<const ReturnStmt&>(s);
+        return 1 + (x.value ? countExprNodes(*x.value) : 0);
+    }
+    case StmtKind::Break:
+    case StmtKind::Continue:
+    case StmtKind::Empty: return 1;
+    default: return 1; // reactive statements never reach data sizing
+    }
+}
+
+std::uint64_t CostModel::reactionCycles(const rt::ReactionResult& r) const
+{
+    const ExecCounters& c = r.dataCounters;
+    std::uint64_t cycles = p_.cycReactionEntry;
+    cycles += r.treeTests * p_.cycTest;
+    cycles += c.exprOps * p_.cycExprOp;
+    cycles += c.loads * p_.cycLoad;
+    cycles += c.stores * p_.cycStore;
+    cycles += c.branches * p_.cycBranch;
+    cycles += c.calls * p_.cycCall;
+    cycles += c.aggBytes * p_.cycPerAggByte;
+    cycles += r.emitsRun * p_.cycEmit;
+    return cycles;
+}
+
+namespace {
+
+struct SizeAcc {
+    std::size_t tests = 0;
+    std::size_t leaves = 0;
+    std::size_t emits = 0;            ///< distinct emit actions
+    std::size_t emitValueNodes = 0;   ///< AST nodes of distinct emit values
+    std::size_t inlineActionNodes = 0;///< AST nodes of distinct data bodies
+    std::size_t extractedCallSites = 0;
+    std::size_t actionInvokes = 0;    ///< per-run references to action blocks
+};
+
+/// Counts *unique* code blocks across the whole machine: automaton code
+/// generators (Esterel v3, POLIS) merge identical continuations via gotos,
+/// so repeated blocks cost code bytes only once. Two sharing levels:
+///  * decision nodes (test or leaf, WITHOUT the action run that reaches
+///    them) — shared whenever the remaining decision structure coincides,
+///    which collapses the cross product of independent par components;
+///  * action runs (the straight-line data/emit code on one edge plus its
+///    jump target) — shared when the same actions lead to the same block.
+/// Action identity is the AST node pointer (same node ⇒ same generated
+/// text).
+class DagCounter {
+public:
+    explicit DagCounter(const ir::ReactiveProgram& prog) : prog_(prog) {}
+
+    void internTree(const efsm::TransNode& t) { internRun(t); }
+
+    [[nodiscard]] const SizeAcc& acc() const { return acc_; }
+
+private:
+    int internNode(const efsm::TransNode& t)
+    {
+        std::string sig;
+        if (t.isLeaf) {
+            sig = "L" + std::to_string(t.nextState) +
+                  (t.terminates ? "T" : "") + (t.runtimeError ? "E" : "");
+        } else {
+            int a = internRun(*t.onTrue);
+            int b = internRun(*t.onFalse);
+            sig = t.testsSignal
+                      ? "S" + std::to_string(t.signal)
+                      : "C" + std::to_string(reinterpret_cast<std::uintptr_t>(
+                                  t.dataCond));
+            sig += "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+        }
+        auto it = nodeIds_.find(sig);
+        if (it != nodeIds_.end()) return it->second;
+        int id = static_cast<int>(nodeIds_.size());
+        nodeIds_.emplace(std::move(sig), id);
+        if (t.isLeaf)
+            acc_.leaves++;
+        else
+            acc_.tests++;
+        return id;
+    }
+
+    int internRun(const efsm::TransNode& t)
+    {
+        int target = internNode(t);
+        std::string sig;
+        for (const efsm::Action& a : t.prefixActions) {
+            if (a.kind == efsm::Action::Kind::Emit) {
+                sig += "e" + std::to_string(a.signal) + "@" +
+                       std::to_string(
+                           reinterpret_cast<std::uintptr_t>(a.valueExpr)) +
+                       ";";
+            } else {
+                sig += "d" + std::to_string(a.dataActionId) + ";";
+            }
+        }
+        sig += "->" + std::to_string(target);
+        auto it = runIds_.find(sig);
+        if (it != runIds_.end()) return it->second;
+        int id = static_cast<int>(runIds_.size());
+        runIds_.emplace(std::move(sig), id);
+        chargeActions(t);
+        return id;
+    }
+
+    void chargeActions(const efsm::TransNode& t)
+    {
+        // Distinct action bodies are generated once (shared helper blocks);
+        // each occurrence in a unique run pays only an invoke.
+        for (const efsm::Action& a : t.prefixActions) {
+            acc_.actionInvokes++;
+            std::string key =
+                a.kind == efsm::Action::Kind::Emit
+                    ? "e" + std::to_string(a.signal) + "@" +
+                          std::to_string(
+                              reinterpret_cast<std::uintptr_t>(a.valueExpr))
+                    : "d" + std::to_string(a.dataActionId);
+            if (!seenActions_.insert(std::move(key)).second) continue;
+            if (a.kind == efsm::Action::Kind::Emit) {
+                acc_.emits++;
+                if (a.valueExpr)
+                    acc_.emitValueNodes += countExprNodes(*a.valueExpr);
+            } else {
+                const ir::DataAction& da =
+                    prog_.actions[static_cast<std::size_t>(a.dataActionId)];
+                if (da.extractedLoop) {
+                    acc_.extractedCallSites++;
+                } else if (da.stmt) {
+                    acc_.inlineActionNodes += countStmtNodes(*da.stmt);
+                } else if (da.expr) {
+                    acc_.inlineActionNodes += countExprNodes(*da.expr);
+                }
+            }
+        }
+    }
+
+    const ir::ReactiveProgram& prog_;
+    std::unordered_map<std::string, int> nodeIds_;
+    std::unordered_map<std::string, int> runIds_;
+    std::set<std::string> seenActions_;
+    SizeAcc acc_;
+};
+
+} // namespace
+
+CodeSize CostModel::moduleSize(const efsm::Efsm& machine) const
+{
+    DagCounter counter(*machine.program);
+    for (const efsm::State& s : machine.states)
+        if (s.tree) counter.internTree(*s.tree);
+    const SizeAcc& acc = counter.acc();
+    if (std::getenv("ECL_COST_DEBUG"))
+        std::fprintf(stderr,
+                     "[cost] states=%zu uniqTests=%zu uniqLeaves=%zu "
+                     "emits=%zu emitValNodes=%zu inlineNodes=%zu calls=%zu\n",
+                     machine.states.size(), acc.tests, acc.leaves, acc.emits,
+                     acc.emitValueNodes, acc.inlineActionNodes,
+                     acc.extractedCallSites);
+
+    CodeSize out;
+    out.codeBytes = p_.bytesModuleOverhead;
+    out.codeBytes += machine.states.size() * p_.bytesPerStateEntry;
+    out.codeBytes += acc.tests * p_.bytesPerTestNode;
+    out.codeBytes += acc.leaves * p_.bytesPerLeaf;
+    out.codeBytes += acc.emits * p_.bytesPerEmit;
+    out.codeBytes += (acc.emitValueNodes + acc.inlineActionNodes) *
+                     p_.bytesPerAstNode;
+    out.codeBytes += acc.extractedCallSites * p_.bytesPerCallSite;
+    out.codeBytes += acc.actionInvokes * p_.bytesPerActionInvoke;
+
+    // Extracted data-loop functions generated once each.
+    for (const ir::DataAction& da : machine.program->actions) {
+        if (!da.extractedLoop) continue;
+        std::size_t nodes = da.stmt ? countStmtNodes(*da.stmt)
+                                    : (da.expr ? countExprNodes(*da.expr) : 0);
+        out.codeBytes += p_.bytesPerExtractedFn + nodes * p_.bytesPerAstNode;
+    }
+
+    // Glue: presence-flag handling per signal.
+    out.codeBytes += machine.sema->signals.size() * p_.bytesPerSignalGlue;
+
+    // Data: variables + signal values + presence flags + the state word.
+    out.dataBytes = p_.bytesStateVar;
+    for (const VarInfo& v : machine.sema->vars) out.dataBytes += v.type->size();
+    for (const SignalInfo& s : machine.sema->signals) {
+        out.dataBytes += p_.bytesPerSignalFlag;
+        if (!s.pure) out.dataBytes += s.valueType->size();
+    }
+    return out;
+}
+
+namespace {
+
+std::size_t irNodeCount(const ir::Node& n)
+{
+    std::size_t c = 1;
+    for (const ir::NodePtr& ch : n.children) c += irNodeCount(*ch);
+    return c;
+}
+
+} // namespace
+
+CodeSize CostModel::baselineSize(const ir::ReactiveProgram& program,
+                                 const ModuleSema& sema) const
+{
+    CodeSize out;
+    // Interpreter core (fixed) + one node record per IR node + the data
+    // statements once each (they are not duplicated in the baseline).
+    constexpr std::size_t kInterpreterBytes = 2600;
+    constexpr std::size_t kBytesPerIrNodeRecord = 16;
+    out.codeBytes = kInterpreterBytes;
+    if (program.root)
+        out.dataBytes += irNodeCount(*program.root) * kBytesPerIrNodeRecord;
+    for (const ir::DataAction& da : program.actions) {
+        std::size_t nodes = da.stmt ? countStmtNodes(*da.stmt)
+                                    : (da.expr ? countExprNodes(*da.expr) : 0);
+        out.codeBytes += nodes * p_.bytesPerAstNode;
+    }
+    out.dataBytes += p_.bytesStateVar;
+    for (const VarInfo& v : sema.vars) out.dataBytes += v.type->size();
+    for (const SignalInfo& s : sema.signals) {
+        out.dataBytes += p_.bytesPerSignalFlag;
+        if (!s.pure) out.dataBytes += s.valueType->size();
+    }
+    return out;
+}
+
+} // namespace ecl::cost

@@ -1,0 +1,768 @@
+#include <algorithm>
+#include <climits>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "src/efsm/efsm.h"
+
+namespace ecl::efsm {
+
+namespace {
+
+using ir::Node;
+using ir::NodeKind;
+
+// ---------------------------------------------------------------------------
+// Symbolic reaction machinery
+// ---------------------------------------------------------------------------
+
+/// One decision literal on the path to a leaf. `actionsBefore` records how
+/// many actions had accumulated when the fork happened, so the tree builder
+/// can attach the actions between two forks to the right tree edge.
+struct GuardLit {
+    bool isSignal = false;
+    int signal = -1;
+    const ast::Expr* cond = nullptr;
+    bool value = false;
+    std::size_t actionsBefore = 0;
+
+    [[nodiscard]] bool sameAtom(const GuardLit& o) const
+    {
+        return isSignal == o.isSignal && signal == o.signal &&
+               cond == o.cond && actionsBefore == o.actionsBefore;
+    }
+};
+
+struct SymCtx {
+    std::vector<signed char> inputStatus; ///< -1 unknown, 0 absent, 1 present
+    std::set<int> emitted;                ///< non-input signals emitted so far
+    std::vector<GuardLit> path;
+    std::vector<Action> actions;
+    std::map<const Node*, int> loopCounts;
+};
+
+struct Completion {
+    enum Kind { Term, Pause, Exit, Error } kind = Term;
+    int trapId = -1;
+    int trapDepth = INT_MAX;
+};
+
+struct Outcome {
+    SymCtx ctx;
+    Completion comp;
+    PauseSet pauses;
+};
+
+Completion combineComp(const Completion& a, const Completion& b)
+{
+    if (a.kind == Completion::Error || b.kind == Completion::Error)
+        return {Completion::Error, -1, INT_MAX};
+    if (a.kind == Completion::Exit && b.kind == Completion::Exit)
+        return a.trapDepth <= b.trapDepth ? a : b; // outermost trap wins
+    if (a.kind == Completion::Exit) return a;
+    if (b.kind == Completion::Exit) return b;
+    if (a.kind == Completion::Pause || b.kind == Completion::Pause)
+        return {Completion::Pause, -1, INT_MAX};
+    return {Completion::Term, -1, INT_MAX};
+}
+
+enum class Mode { Start, Resume };
+
+class Builder {
+public:
+    Builder(const ir::ReactiveProgram& program, const ModuleSema& sema,
+            Diagnostics& diags, const BuildOptions& options)
+        : prog_(program), sema_(sema), diags_(diags), opt_(options)
+    {
+    }
+
+    Efsm run()
+    {
+        Efsm m;
+        m.sema = &sema_;
+        m.program = &prog_;
+
+        // State 0 is the boot state.
+        State boot;
+        boot.id = 0;
+        boot.boot = true;
+        m.states.push_back(std::move(boot));
+        m.initialState = 0;
+
+        std::deque<int> queue{0};
+        while (!queue.empty()) {
+            int id = queue.front();
+            queue.pop_front();
+
+            // Snapshot what we need (m.states may reallocate on intern).
+            bool isBoot = m.states[static_cast<std::size_t>(id)].boot;
+            bool isDead = m.states[static_cast<std::size_t>(id)].dead;
+            PauseSet config = m.states[static_cast<std::size_t>(id)].config;
+
+            if (isDead) {
+                auto leaf = std::make_unique<TransNode>();
+                leaf->isLeaf = true;
+                leaf->nextState = id;
+                m.states[static_cast<std::size_t>(id)].tree = std::move(leaf);
+                continue;
+            }
+
+            config_ = config;
+            SymCtx ctx;
+            ctx.inputStatus.assign(sema_.signals.size(), -1);
+            std::vector<Outcome> outcomes =
+                isBoot ? react(*prog_.root, Mode::Start, std::move(ctx))
+                       : react(*prog_.root, Mode::Resume, std::move(ctx));
+
+            // Map outcomes to leaves / next states.
+            std::vector<const Outcome*> ptrs;
+            ptrs.reserve(outcomes.size());
+            for (Outcome& o : outcomes) ptrs.push_back(&o);
+
+            std::unique_ptr<TransNode> tree =
+                buildTree(m, queue, ptrs, 0, 0);
+            m.states[static_cast<std::size_t>(id)].tree = std::move(tree);
+        }
+
+        // Mark auto-resume states (configs holding delta pauses).
+        for (State& s : m.states) {
+            bool delta = false;
+            s.config.forEach([&](std::size_t p) {
+                if (p < prog_.pauseDelta.size() && prog_.pauseDelta[p])
+                    delta = true;
+            });
+            s.autoResume = delta;
+        }
+        return m;
+    }
+
+private:
+    [[noreturn]] void fail(SourceLoc loc, const std::string& msg)
+    {
+        diags_.error(loc, msg);
+        throw EclError(loc, msg);
+    }
+
+    int internState(Efsm& m, std::deque<int>& queue, const PauseSet& config,
+                    bool dead)
+    {
+        if (dead) {
+            if (m.deadState >= 0) return m.deadState;
+            State s;
+            s.id = static_cast<int>(m.states.size());
+            s.dead = true;
+            m.deadState = s.id;
+            m.states.push_back(std::move(s));
+            queue.push_back(m.deadState);
+            return m.deadState;
+        }
+        auto it = interned_.find(config);
+        if (it != interned_.end()) return it->second;
+        if (m.states.size() >= opt_.maxStates)
+            fail({}, "EFSM state limit exceeded (" +
+                         std::to_string(opt_.maxStates) + ")");
+        State s;
+        s.id = static_cast<int>(m.states.size());
+        s.config = config;
+        interned_[config] = s.id;
+        m.states.push_back(std::move(s));
+        queue.push_back(m.states.back().id);
+        return m.states.back().id;
+    }
+
+    std::unique_ptr<TransNode> buildTree(Efsm& m, std::deque<int>& queue,
+                                         const std::vector<const Outcome*>& outs,
+                                         std::size_t depth,
+                                         std::size_t actionsConsumed)
+    {
+        if (outs.empty())
+            fail({}, "internal: empty outcome set while building tree");
+
+        // Leaf: a single outcome whose path is fully consumed.
+        if (outs.size() == 1 &&
+            outs[0]->ctx.path.size() == depth) {
+            const Outcome& o = *outs[0];
+            auto leaf = std::make_unique<TransNode>();
+            leaf->isLeaf = true;
+            leaf->prefixActions.assign(
+                o.ctx.actions.begin() +
+                    static_cast<std::ptrdiff_t>(actionsConsumed),
+                o.ctx.actions.end());
+            if (o.comp.kind == Completion::Error) {
+                leaf->runtimeError = true;
+                leaf->prefixActions.clear();
+                leaf->nextState = internState(m, queue, {}, true);
+                leaf->terminates = true;
+            } else if (o.comp.kind == Completion::Pause) {
+                leaf->nextState = internState(m, queue, o.pauses, false);
+            } else {
+                leaf->nextState = internState(m, queue, {}, true);
+                leaf->terminates = true;
+            }
+            return leaf;
+        }
+
+        // All remaining outcomes must agree on the atom at `depth`.
+        const Outcome* first = nullptr;
+        for (const Outcome* o : outs)
+            if (o->ctx.path.size() > depth) {
+                first = o;
+                break;
+            }
+        if (!first)
+            fail({}, "internal: ambiguous reaction (duplicate decision "
+                     "paths)");
+        const GuardLit& atom = first->ctx.path[depth];
+
+        std::vector<const Outcome*> trues;
+        std::vector<const Outcome*> falses;
+        for (const Outcome* o : outs) {
+            if (o->ctx.path.size() <= depth)
+                fail({}, "internal: outcome path shorter than its siblings");
+            const GuardLit& lit = o->ctx.path[depth];
+            if (!lit.sameAtom(atom))
+                fail({}, "internal: decision-path divergence (prefix "
+                         "property violated)");
+            (lit.value ? trues : falses).push_back(o);
+        }
+        if (trues.empty() || falses.empty())
+            fail({}, "internal: one-sided fork in decision tree");
+
+        auto node = std::make_unique<TransNode>();
+        // Actions accumulated since the previous fork run before this test.
+        node->prefixActions.assign(
+            first->ctx.actions.begin() +
+                static_cast<std::ptrdiff_t>(actionsConsumed),
+            first->ctx.actions.begin() +
+                static_cast<std::ptrdiff_t>(atom.actionsBefore));
+        node->testsSignal = atom.isSignal;
+        node->signal = atom.signal;
+        node->dataCond = atom.cond;
+        node->onTrue = buildTree(m, queue, trues, depth + 1,
+                                 atom.actionsBefore);
+        node->onFalse = buildTree(m, queue, falses, depth + 1,
+                                  atom.actionsBefore);
+        return node;
+    }
+
+    // --- symbolic signal-guard evaluation -----------------------------------
+
+    bool isInput(int sig) const
+    {
+        return sema_.signals[static_cast<std::size_t>(sig)].dir ==
+               ecl::SignalDir::Input;
+    }
+
+    std::vector<std::pair<SymCtx, bool>> evalGuard(const ir::SigGuard& g,
+                                                   SymCtx ctx)
+    {
+        switch (g.kind) {
+        case ir::SigGuard::Kind::Ref: {
+            if (isInput(g.signal)) {
+                signed char st =
+                    ctx.inputStatus[static_cast<std::size_t>(g.signal)];
+                if (st >= 0) {
+                    std::vector<std::pair<SymCtx, bool>> out;
+                    out.emplace_back(std::move(ctx), st == 1);
+                    return out;
+                }
+                std::size_t nActs = ctx.actions.size();
+                SymCtx tctx = ctx;
+                tctx.inputStatus[static_cast<std::size_t>(g.signal)] = 1;
+                tctx.path.push_back({true, g.signal, nullptr, true, nActs});
+                SymCtx fctx = std::move(ctx);
+                fctx.inputStatus[static_cast<std::size_t>(g.signal)] = 0;
+                fctx.path.push_back({true, g.signal, nullptr, false, nActs});
+                std::vector<std::pair<SymCtx, bool>> out;
+                out.emplace_back(std::move(tctx), true);
+                out.emplace_back(std::move(fctx), false);
+                return out;
+            }
+            // Local/output signal: status is determined by emissions made
+            // earlier in this instant (static causality guarantees emitters
+            // already ran).
+            bool present = ctx.emitted.count(g.signal) > 0;
+            std::vector<std::pair<SymCtx, bool>> out;
+            out.emplace_back(std::move(ctx), present);
+            return out;
+        }
+        case ir::SigGuard::Kind::Not: {
+            auto inner = evalGuard(*g.lhs, std::move(ctx));
+            for (auto& [c, v] : inner) v = !v;
+            return inner;
+        }
+        case ir::SigGuard::Kind::And: {
+            auto lhs = evalGuard(*g.lhs, std::move(ctx));
+            std::vector<std::pair<SymCtx, bool>> out;
+            for (auto& [c, v] : lhs) {
+                if (!v) {
+                    out.emplace_back(std::move(c), false);
+                    continue;
+                }
+                auto rhs = evalGuard(*g.rhs, std::move(c));
+                for (auto& r : rhs) out.push_back(std::move(r));
+            }
+            return out;
+        }
+        case ir::SigGuard::Kind::Or: {
+            auto lhs = evalGuard(*g.lhs, std::move(ctx));
+            std::vector<std::pair<SymCtx, bool>> out;
+            for (auto& [c, v] : lhs) {
+                if (v) {
+                    out.emplace_back(std::move(c), true);
+                    continue;
+                }
+                auto rhs = evalGuard(*g.rhs, std::move(c));
+                for (auto& r : rhs) out.push_back(std::move(r));
+            }
+            return out;
+        }
+        }
+        fail({}, "internal: bad guard kind");
+    }
+
+    // --- the reaction --------------------------------------------------------
+
+    void checkBudget(std::size_t n)
+    {
+        if (n > opt_.maxOutcomesPerReaction)
+            fail({}, "reaction outcome limit exceeded (too many symbolic "
+                     "paths in one instant)");
+    }
+
+    [[nodiscard]] bool selectedIn(const Node& n) const
+    {
+        return n.pausesInSubtree.intersects(config_);
+    }
+
+    std::vector<Outcome> react(const Node& n, Mode mode, SymCtx ctx)
+    {
+        if (mode == Mode::Resume) return resume(n, std::move(ctx));
+        return start(n, std::move(ctx));
+    }
+
+    /// Threads `outs` (whatever completed) through children [from..) of a
+    /// Seq, starting each subsequent child.
+    std::vector<Outcome> seqTail(const Node& seq, std::size_t from,
+                                 std::vector<Outcome> outs)
+    {
+        for (std::size_t i = from; i < seq.children.size(); ++i) {
+            std::vector<Outcome> next;
+            for (Outcome& o : outs) {
+                if (o.comp.kind != Completion::Term) {
+                    next.push_back(std::move(o));
+                    continue;
+                }
+                std::vector<Outcome> sub =
+                    start(*seq.children[i], std::move(o.ctx));
+                for (Outcome& s : sub) next.push_back(std::move(s));
+            }
+            outs = std::move(next);
+            checkBudget(outs.size());
+        }
+        return outs;
+    }
+
+    std::vector<Outcome> start(const Node& n, SymCtx ctx)
+    {
+        switch (n.kind) {
+        case NodeKind::Nothing: {
+            std::vector<Outcome> out;
+            out.push_back({std::move(ctx), {Completion::Term, -1, INT_MAX}, {}});
+            return out;
+        }
+        case NodeKind::Pause: {
+            Outcome o;
+            o.ctx = std::move(ctx);
+            o.comp = {Completion::Pause, -1, INT_MAX};
+            o.pauses.set(static_cast<std::size_t>(n.pauseId));
+            std::vector<Outcome> out;
+            out.push_back(std::move(o));
+            return out;
+        }
+        case NodeKind::Emit: {
+            Action a;
+            a.kind = Action::Kind::Emit;
+            a.signal = n.signal;
+            a.valueExpr = n.valueExpr;
+            ctx.actions.push_back(a);
+            if (!isInput(n.signal)) ctx.emitted.insert(n.signal);
+            std::vector<Outcome> out;
+            out.push_back({std::move(ctx), {Completion::Term, -1, INT_MAX}, {}});
+            return out;
+        }
+        case NodeKind::DataStmt: {
+            Action a;
+            a.kind = Action::Kind::Data;
+            a.dataActionId = n.dataActionId;
+            ctx.actions.push_back(a);
+            std::vector<Outcome> out;
+            out.push_back({std::move(ctx), {Completion::Term, -1, INT_MAX}, {}});
+            return out;
+        }
+        case NodeKind::If: {
+            std::size_t nActs = ctx.actions.size();
+            SymCtx tctx = ctx;
+            tctx.path.push_back({false, -1, n.condExpr, true, nActs});
+            SymCtx fctx = std::move(ctx);
+            fctx.path.push_back({false, -1, n.condExpr, false, nActs});
+            std::vector<Outcome> out = start(*n.children[0], std::move(tctx));
+            std::vector<Outcome> fo = start(*n.children[1], std::move(fctx));
+            for (Outcome& o : fo) out.push_back(std::move(o));
+            checkBudget(out.size());
+            return out;
+        }
+        case NodeKind::Present: {
+            std::vector<Outcome> out;
+            for (auto& [c, v] : evalGuard(*n.guard, std::move(ctx))) {
+                std::vector<Outcome> sub =
+                    start(*n.children[v ? 0 : 1], std::move(c));
+                for (Outcome& o : sub) out.push_back(std::move(o));
+            }
+            checkBudget(out.size());
+            return out;
+        }
+        case NodeKind::Seq: {
+            std::vector<Outcome> outs;
+            outs.push_back({std::move(ctx), {Completion::Term, -1, INT_MAX}, {}});
+            return seqTail(n, 0, std::move(outs));
+        }
+        case NodeKind::Loop: return loopFrom(n, Mode::Start, std::move(ctx));
+        case NodeKind::Par: return parRun(n, Mode::Start, std::move(ctx));
+        case NodeKind::Abort:
+        case NodeKind::Suspend: {
+            // Non-immediate: the guard is not tested in the starting instant.
+            std::vector<Outcome> body = start(*n.children[0], std::move(ctx));
+            return body;
+        }
+        case NodeKind::Trap: {
+            std::vector<Outcome> body = start(*n.children[0], std::move(ctx));
+            return catchTrap(n, std::move(body));
+        }
+        case NodeKind::Exit: {
+            Outcome o;
+            o.ctx = std::move(ctx);
+            o.comp = {Completion::Exit, n.trapId,
+                      prog_.trapDepth[static_cast<std::size_t>(n.trapId)]};
+            std::vector<Outcome> out;
+            out.push_back(std::move(o));
+            return out;
+        }
+        }
+        fail(n.loc, "internal: bad node kind in start");
+    }
+
+    std::vector<Outcome> resume(const Node& n, SymCtx ctx)
+    {
+        switch (n.kind) {
+        case NodeKind::Pause: {
+            // Control was here; it moves on.
+            std::vector<Outcome> out;
+            out.push_back({std::move(ctx), {Completion::Term, -1, INT_MAX}, {}});
+            return out;
+        }
+        case NodeKind::Seq: {
+            std::size_t idx = n.children.size();
+            for (std::size_t i = 0; i < n.children.size(); ++i)
+                if (selectedIn(*n.children[i])) {
+                    idx = i;
+                    break;
+                }
+            if (idx == n.children.size())
+                fail(n.loc, "internal: resume of Seq without selected child");
+            std::vector<Outcome> outs =
+                resume(*n.children[idx], std::move(ctx));
+            return seqTail(n, idx + 1, std::move(outs));
+        }
+        case NodeKind::Loop: return loopFrom(n, Mode::Resume, std::move(ctx));
+        case NodeKind::If:
+        case NodeKind::Present: {
+            const Node& active =
+                selectedIn(*n.children[0]) ? *n.children[0] : *n.children[1];
+            return resume(active, std::move(ctx));
+        }
+        case NodeKind::Par: return parRun(n, Mode::Resume, std::move(ctx));
+        case NodeKind::Abort: {
+            const Node& body = *n.children[0];
+            const Node* handler =
+                n.children.size() > 1 ? n.children[1].get() : nullptr;
+            // Control may rest inside the handler (preemption happened in an
+            // earlier instant): the abort itself is finished then.
+            if (handler && selectedIn(*handler) && !selectedIn(body))
+                return resume(*handler, std::move(ctx));
+            std::vector<Outcome> out;
+            if (!n.weak) {
+                for (auto& [c, v] : evalGuard(*n.guard, std::move(ctx))) {
+                    if (v) {
+                        // Strong preemption: the body performs no action.
+                        if (handler) {
+                            for (Outcome& h : start(*handler, std::move(c)))
+                                out.push_back(std::move(h));
+                        } else {
+                            out.push_back(
+                                {std::move(c), {Completion::Term, -1, INT_MAX}, {}});
+                        }
+                    } else {
+                        for (Outcome& b : resume(body, std::move(c)))
+                            out.push_back(std::move(b));
+                    }
+                }
+                checkBudget(out.size());
+                return out;
+            }
+            // Weak abort: the body runs this instant, then the guard decides.
+            for (Outcome& b : resume(body, std::move(ctx))) {
+                Completion bodyComp = b.comp;
+                PauseSet bodyPauses = b.pauses;
+                for (auto& [c, v] : evalGuard(*n.guard, std::move(b.ctx))) {
+                    if (v && bodyComp.kind == Completion::Pause) {
+                        // Kill the body at end of instant; run the handler.
+                        if (handler) {
+                            for (Outcome& h : start(*handler, std::move(c)))
+                                out.push_back(std::move(h));
+                        } else {
+                            out.push_back(
+                                {std::move(c), {Completion::Term, -1, INT_MAX}, {}});
+                        }
+                    } else {
+                        out.push_back({std::move(c), bodyComp, bodyPauses});
+                    }
+                }
+            }
+            checkBudget(out.size());
+            return out;
+        }
+        case NodeKind::Suspend: {
+            const Node& body = *n.children[0];
+            std::vector<Outcome> out;
+            for (auto& [c, v] : evalGuard(*n.guard, std::move(ctx))) {
+                if (v) {
+                    Outcome o;
+                    o.ctx = std::move(c);
+                    o.comp = {Completion::Pause, -1, INT_MAX};
+                    o.pauses = n.pausesInSubtree;
+                    o.pauses &= config_;
+                    out.push_back(std::move(o));
+                } else {
+                    for (Outcome& b : resume(body, std::move(c)))
+                        out.push_back(std::move(b));
+                }
+            }
+            checkBudget(out.size());
+            return out;
+        }
+        case NodeKind::Trap: {
+            std::vector<Outcome> body = resume(*n.children[0], std::move(ctx));
+            return catchTrap(n, std::move(body));
+        }
+        default:
+            fail(n.loc, "internal: resume of a node without pauses");
+        }
+    }
+
+    std::vector<Outcome> catchTrap(const Node& n, std::vector<Outcome> body)
+    {
+        for (Outcome& o : body) {
+            if (o.comp.kind == Completion::Exit && o.comp.trapId == n.trapId) {
+                o.comp = {Completion::Term, -1, INT_MAX};
+                o.pauses = PauseSet{};
+            }
+        }
+        return body;
+    }
+
+    std::vector<Outcome> loopFrom(const Node& n, Mode mode, SymCtx ctx)
+    {
+        const Node& body = *n.children[0];
+        std::vector<Outcome> pending;
+        if (mode == Mode::Resume)
+            pending = resume(body, std::move(ctx));
+        else {
+            ctx.loopCounts[&n]++;
+            if (ctx.loopCounts[&n] > opt_.loopIterationLimit) {
+                std::vector<Outcome> out;
+                out.push_back(
+                    {std::move(ctx), {Completion::Error, -1, INT_MAX}, {}});
+                return out;
+            }
+            pending = start(body, std::move(ctx));
+        }
+        // Terminated bodies restart the loop within the same instant.
+        std::vector<Outcome> out;
+        for (Outcome& o : pending) {
+            if (o.comp.kind != Completion::Term) {
+                out.push_back(std::move(o));
+                continue;
+            }
+            SymCtx c = std::move(o.ctx);
+            c.loopCounts[&n]++;
+            if (c.loopCounts[&n] > opt_.loopIterationLimit) {
+                // Statically-unverifiable instantaneous loop: prune this
+                // symbolic path into a runtime-trap leaf (see efsm.h).
+                out.push_back(
+                    {std::move(c), {Completion::Error, -1, INT_MAX}, {}});
+                continue;
+            }
+            for (Outcome& r : loopRestart(n, std::move(c)))
+                out.push_back(std::move(r));
+        }
+        checkBudget(out.size());
+        return out;
+    }
+
+    std::vector<Outcome> loopRestart(const Node& n, SymCtx ctx)
+    {
+        const Node& body = *n.children[0];
+        std::vector<Outcome> pending = start(body, std::move(ctx));
+        std::vector<Outcome> out;
+        for (Outcome& o : pending) {
+            if (o.comp.kind != Completion::Term) {
+                out.push_back(std::move(o));
+                continue;
+            }
+            SymCtx c = std::move(o.ctx);
+            c.loopCounts[&n]++;
+            if (c.loopCounts[&n] > opt_.loopIterationLimit) {
+                out.push_back(
+                    {std::move(c), {Completion::Error, -1, INT_MAX}, {}});
+                continue;
+            }
+            for (Outcome& r : loopRestart(n, std::move(c)))
+                out.push_back(std::move(r));
+        }
+        return out;
+    }
+
+    std::vector<Outcome> parRun(const Node& n, Mode mode, SymCtx ctx)
+    {
+        std::vector<Outcome> acc;
+        acc.push_back({std::move(ctx), {Completion::Term, -1, INT_MAX}, {}});
+        for (const ir::NodePtr& b : n.children) {
+            std::vector<Outcome> next;
+            for (Outcome& o : acc) {
+                std::vector<Outcome> branchOuts;
+                if (mode == Mode::Resume) {
+                    if (selectedIn(*b))
+                        branchOuts = resume(*b, std::move(o.ctx));
+                    else {
+                        // This branch finished in an earlier instant.
+                        branchOuts.push_back(
+                            {std::move(o.ctx), {Completion::Term, -1, INT_MAX}, {}});
+                    }
+                } else {
+                    branchOuts = start(*b, std::move(o.ctx));
+                }
+                for (Outcome& bo : branchOuts) {
+                    Outcome merged;
+                    merged.ctx = std::move(bo.ctx);
+                    merged.comp = combineComp(o.comp, bo.comp);
+                    merged.pauses = o.pauses;
+                    merged.pauses |= bo.pauses;
+                    next.push_back(std::move(merged));
+                }
+            }
+            acc = std::move(next);
+            checkBudget(acc.size());
+        }
+        // A par that does not pause kills every branch's pauses.
+        for (Outcome& o : acc)
+            if (o.comp.kind != Completion::Pause) o.pauses = PauseSet{};
+        return acc;
+    }
+
+    const ir::ReactiveProgram& prog_;
+    const ModuleSema& sema_;
+    Diagnostics& diags_;
+    BuildOptions opt_;
+    PauseSet config_;
+    std::unordered_map<PauseSet, int, PauseSetHash> interned_;
+};
+
+void collectStats(const TransNode& t, EfsmStats& s, std::size_t depth)
+{
+    s.maxTreeDepth = std::max(s.maxTreeDepth, depth);
+    s.actionsTotal += t.prefixActions.size();
+    if (t.isLeaf) {
+        s.leaves++;
+        return;
+    }
+    s.testNodes++;
+    collectStats(*t.onTrue, s, depth + 1);
+    collectStats(*t.onFalse, s, depth + 1);
+}
+
+} // namespace
+
+EfsmStats Efsm::stats() const
+{
+    EfsmStats s;
+    s.states = states.size();
+    for (const State& st : states)
+        if (st.tree) collectStats(*st.tree, s, 1);
+    return s;
+}
+
+namespace {
+
+std::string describeTree(const Efsm& m, const TransNode& t, int depth)
+{
+    std::string pad(2 * static_cast<std::size_t>(depth), ' ');
+    std::string acts;
+    if (!t.prefixActions.empty()) {
+        acts = " [";
+        for (std::size_t i = 0; i < t.prefixActions.size(); ++i) {
+            if (i) acts += ", ";
+            const Action& a = t.prefixActions[i];
+            if (a.kind == Action::Kind::Emit) {
+                acts += "emit " +
+                        m.sema->signals[static_cast<std::size_t>(a.signal)]
+                            .name;
+            } else {
+                acts += "data#" + std::to_string(a.dataActionId);
+            }
+        }
+        acts += "]";
+    }
+    if (t.isLeaf) {
+        std::string out = pad + "-> s" + std::to_string(t.nextState);
+        if (t.terminates) out += " (terminated)";
+        if (t.runtimeError) out += " (runtime-trap)";
+        out += acts;
+        return out + "\n";
+    }
+    std::string label =
+        t.testsSignal
+            ? m.sema->signals[static_cast<std::size_t>(t.signal)].name + "?"
+            : std::string("<data-cond>?");
+    std::string out = pad + label + acts + "\n";
+    out += describeTree(m, *t.onTrue, depth + 1);
+    out += pad + "else\n";
+    out += describeTree(m, *t.onFalse, depth + 1);
+    return out;
+}
+
+} // namespace
+
+std::string Efsm::describe() const
+{
+    std::string out;
+    for (const State& s : states) {
+        out += "state s" + std::to_string(s.id);
+        if (s.boot) out += " (boot)";
+        if (s.dead) out += " (dead)";
+        if (s.autoResume) out += " (auto-resume)";
+        out += " config=" + s.config.toString() + "\n";
+        if (s.tree) out += describeTree(*this, *s.tree, 1);
+    }
+    return out;
+}
+
+Efsm buildEfsm(const ir::ReactiveProgram& program, const ModuleSema& sema,
+               Diagnostics& diags, const BuildOptions& options)
+{
+    return Builder(program, sema, diags, options).run();
+}
+
+} // namespace ecl::efsm

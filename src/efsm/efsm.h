@@ -1,0 +1,113 @@
+// Extended finite state machine produced from the reactive kernel IR.
+//
+// A control state is the set of pause points where control rests (plus a
+// distinguished boot state for the first reaction and a dead state after
+// the module terminates). Each state owns a binary decision tree over
+//  * input-signal presence tests, and
+//  * data predicates (C expressions evaluated against the variable store),
+// whose leaves carry the ordered list of actions for that reaction (data
+// statements and signal emissions) and the successor state.
+//
+// Local/output signal tests never appear in the tree: static causality
+// (emitter-ordered par branches) resolves them at build time — exactly the
+// "case analysis done by the Esterel compiler" the paper credits for fast
+// reactions (Section 3, Compilation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+#include "src/sema/sema.h"
+#include "src/support/bitset.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl::efsm {
+
+struct Action {
+    enum class Kind { Data, Emit };
+    Kind kind = Kind::Data;
+    int dataActionId = -1;                  ///< Kind::Data
+    int signal = -1;                        ///< Kind::Emit
+    const ast::Expr* valueExpr = nullptr;   ///< Kind::Emit (null when pure)
+};
+
+struct TransNode {
+    /// Actions executed when control ENTERS this node, before its test (or
+    /// before the leaf's transition completes). Reactions interleave data
+    /// actions with data-predicate tests, so actions live on tree edges —
+    /// `cnt++` must run before `cnt < PKTSIZE` is evaluated.
+    std::vector<Action> prefixActions;
+
+    // Test node (isLeaf == false): exactly one of the two is set.
+    bool testsSignal = false;
+    int signal = -1;                      ///< input signal presence test
+    const ast::Expr* dataCond = nullptr;  ///< data predicate
+    std::unique_ptr<TransNode> onTrue;
+    std::unique_ptr<TransNode> onFalse;
+
+    // Leaf (isLeaf == true). The leaf's own prefixActions are the trailing
+    // actions of the reaction (those after the last test).
+    bool isLeaf = false;
+    int nextState = -1;
+    bool terminates = false; ///< Module finished in this reaction.
+    /// Statically-unverifiable instantaneous-loop path: the symbolic
+    /// unrolling limit was hit, so this leaf traps at runtime if a real
+    /// execution ever reaches it (it should not, for data-consistent
+    /// programs like the paper's Figure 1).
+    bool runtimeError = false;
+};
+
+struct State {
+    int id = -1;
+    PauseSet config;
+    bool boot = false;
+    bool dead = false;
+    /// True when the config holds a delta pause (await()): the module must
+    /// react next instant even with no input events.
+    bool autoResume = false;
+    std::unique_ptr<TransNode> tree;
+};
+
+/// EFSM statistics used by the cost model and the benches.
+struct EfsmStats {
+    std::size_t states = 0;
+    std::size_t leaves = 0;
+    std::size_t testNodes = 0;
+    std::size_t actionsTotal = 0;
+    std::size_t maxTreeDepth = 0;
+};
+
+class Efsm {
+public:
+    std::vector<State> states;
+    int initialState = 0;
+    int deadState = -1;
+
+    /// The signal table of the module (not owned).
+    const ModuleSema* sema = nullptr;
+    /// The lowered program (not owned) — actions index into it.
+    const ir::ReactiveProgram* program = nullptr;
+
+    [[nodiscard]] EfsmStats stats() const;
+    [[nodiscard]] std::string describe() const; ///< Human-readable dump.
+};
+
+struct BuildOptions {
+    std::size_t maxStates = 200000;
+    std::size_t maxOutcomesPerReaction = 100000;
+    /// Max starts of one loop node within a single instant before the
+    /// path becomes a runtime trap. 2 covers the legitimate case (body
+    /// exits via abort/trap, loop restarts once, then pauses); anything
+    /// deeper is a statically-unverifiable instantaneous loop.
+    int loopIterationLimit = 2;
+};
+
+/// Builds the EFSM by symbolic reaction exploration. Throws EclError on
+/// instantaneous loops, state explosion beyond the limits, and internal
+/// inconsistencies. `program` and `sema` must outlive the returned Efsm.
+Efsm buildEfsm(const ir::ReactiveProgram& program, const ModuleSema& sema,
+               Diagnostics& diags, const BuildOptions& options = {});
+
+} // namespace ecl::efsm

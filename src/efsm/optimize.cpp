@@ -1,0 +1,121 @@
+#include "src/efsm/optimize.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecl::efsm {
+
+namespace {
+
+/// Structural signature of a subtree (actions + tests + leaf targets).
+std::string signature(const TransNode& t)
+{
+    std::string sig;
+    for (const Action& a : t.prefixActions) {
+        if (a.kind == Action::Kind::Emit)
+            sig += "e" + std::to_string(a.signal) + "@" +
+                   std::to_string(
+                       reinterpret_cast<std::uintptr_t>(a.valueExpr)) +
+                   ";";
+        else
+            sig += "d" + std::to_string(a.dataActionId) + ";";
+    }
+    if (t.isLeaf) {
+        sig += "L" + std::to_string(t.nextState) + (t.terminates ? "T" : "") +
+               (t.runtimeError ? "E" : "");
+        return sig;
+    }
+    sig += t.testsSignal
+               ? "S" + std::to_string(t.signal)
+               : "C" + std::to_string(
+                           reinterpret_cast<std::uintptr_t>(t.dataCond));
+    sig += "(" + signature(*t.onTrue) + "," + signature(*t.onFalse) + ")";
+    return sig;
+}
+
+struct TestFact {
+    bool isSignal;
+    int signal;
+    const ast::Expr* cond;
+    bool value;
+};
+
+bool sameAtom(const TransNode& t, const TestFact& f)
+{
+    return t.testsSignal == f.isSignal && t.signal == f.signal &&
+           t.dataCond == f.cond;
+}
+
+class Optimizer {
+public:
+    OptimizeStats stats;
+
+    /// `facts` holds test outcomes established by ancestors with no
+    /// intervening actions (actions invalidate data facts).
+    std::unique_ptr<TransNode> run(std::unique_ptr<TransNode> t,
+                                   std::vector<TestFact> facts)
+    {
+        if (t->isLeaf) return t;
+
+        // Actions on this edge may change data predicates: drop data facts
+        // (signal facts survive, presence is fixed within the instant).
+        if (!t->prefixActions.empty()) {
+            std::vector<TestFact> kept;
+            for (const TestFact& f : facts)
+                if (f.isSignal) kept.push_back(f);
+            facts = std::move(kept);
+        }
+
+        // Repeated test resolved by an ancestor fact?
+        for (const TestFact& f : facts) {
+            if (!sameAtom(*t, f)) continue;
+            ++stats.repeatedTestsResolved;
+            std::unique_ptr<TransNode> taken =
+                std::move(f.value ? t->onTrue : t->onFalse);
+            // This edge's actions run before the (removed) test.
+            taken->prefixActions.insert(taken->prefixActions.begin(),
+                                        t->prefixActions.begin(),
+                                        t->prefixActions.end());
+            return run(std::move(taken), std::move(facts));
+        }
+
+        // Recurse with the corresponding fact added.
+        TestFact self{t->testsSignal, t->signal, t->dataCond, true};
+        {
+            std::vector<TestFact> f2 = facts;
+            self.value = true;
+            f2.push_back(self);
+            t->onTrue = run(std::move(t->onTrue), std::move(f2));
+        }
+        {
+            std::vector<TestFact> f2 = facts;
+            self.value = false;
+            f2.push_back(self);
+            t->onFalse = run(std::move(t->onFalse), std::move(f2));
+        }
+
+        // Redundant test: both branches identical.
+        if (signature(*t->onTrue) == signature(*t->onFalse)) {
+            ++stats.testsRemoved;
+            std::unique_ptr<TransNode> merged = std::move(t->onTrue);
+            merged->prefixActions.insert(merged->prefixActions.begin(),
+                                         t->prefixActions.begin(),
+                                         t->prefixActions.end());
+            return merged;
+        }
+        return t;
+    }
+};
+
+} // namespace
+
+OptimizeStats optimize(Efsm& machine)
+{
+    Optimizer opt;
+    for (State& s : machine.states)
+        if (s.tree) s.tree = opt.run(std::move(s.tree), {});
+    return opt.stats;
+}
+
+} // namespace ecl::efsm

@@ -1,0 +1,26 @@
+// EFSM optimization passes.
+//
+// The paper (Section 3, Key Features): "logic synthesis and optimization
+// can be applied to reduce size or improve speed". This module implements
+// the decision-tree cleanups that matter for automaton code:
+//  * redundant-test elimination: a test whose branches are structurally
+//    identical is removed (the outcome does not matter);
+//  * repeated-test elimination: a test dominated by an identical ancestor
+//    test with no intervening actions resolves to the ancestor's outcome.
+// Both preserve reaction semantics exactly (validated by differential
+// tests against the unoptimized machine).
+#pragma once
+
+#include "src/efsm/efsm.h"
+
+namespace ecl::efsm {
+
+struct OptimizeStats {
+    std::size_t testsRemoved = 0;
+    std::size_t repeatedTestsResolved = 0;
+};
+
+/// Optimizes every state's decision tree in place.
+OptimizeStats optimize(Efsm& machine);
+
+} // namespace ecl::efsm

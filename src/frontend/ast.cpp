@@ -1,0 +1,274 @@
+#include "src/frontend/ast.h"
+
+#include "src/support/diagnostics.h"
+
+namespace ecl::ast {
+
+SigExprPtr makeSigRef(std::string name, SourceLoc loc)
+{
+    auto e = std::make_unique<SigExpr>();
+    e->kind = SigExprKind::Ref;
+    e->name = std::move(name);
+    e->loc = loc;
+    return e;
+}
+
+SigExprPtr makeSigNot(SigExprPtr inner, SourceLoc loc)
+{
+    auto e = std::make_unique<SigExpr>();
+    e->kind = SigExprKind::Not;
+    e->lhs = std::move(inner);
+    e->loc = loc;
+    return e;
+}
+
+SigExprPtr makeSigAnd(SigExprPtr a, SigExprPtr b, SourceLoc loc)
+{
+    auto e = std::make_unique<SigExpr>();
+    e->kind = SigExprKind::And;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    e->loc = loc;
+    return e;
+}
+
+SigExprPtr makeSigOr(SigExprPtr a, SigExprPtr b, SourceLoc loc)
+{
+    auto e = std::make_unique<SigExpr>();
+    e->kind = SigExprKind::Or;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    e->loc = loc;
+    return e;
+}
+
+SigExprPtr cloneSigExpr(const SigExpr& e)
+{
+    auto out = std::make_unique<SigExpr>();
+    out->kind = e.kind;
+    out->loc = e.loc;
+    out->name = e.name;
+    if (e.lhs) out->lhs = cloneSigExpr(*e.lhs);
+    if (e.rhs) out->rhs = cloneSigExpr(*e.rhs);
+    return out;
+}
+
+void collectSigRefs(const SigExpr& e, std::vector<std::string>& out)
+{
+    switch (e.kind) {
+    case SigExprKind::Ref: {
+        for (const std::string& s : out)
+            if (s == e.name) return;
+        out.push_back(e.name);
+        return;
+    }
+    case SigExprKind::Not: collectSigRefs(*e.lhs, out); return;
+    case SigExprKind::And:
+    case SigExprKind::Or:
+        collectSigRefs(*e.lhs, out);
+        collectSigRefs(*e.rhs, out);
+        return;
+    }
+}
+
+const ModuleDecl* Program::findModule(std::string_view name) const
+{
+    for (const TopDeclPtr& d : decls)
+        if (d->kind == DeclKind::Module) {
+            const auto* m = static_cast<const ModuleDecl*>(d.get());
+            if (m->name == name) return m;
+        }
+    return nullptr;
+}
+
+const FunctionDecl* Program::findFunction(std::string_view name) const
+{
+    for (const TopDeclPtr& d : decls)
+        if (d->kind == DeclKind::Function) {
+            const auto* f = static_cast<const FunctionDecl*>(d.get());
+            if (f->name == name) return f;
+        }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Cloning
+// ---------------------------------------------------------------------------
+
+ExprPtr cloneExpr(const Expr& e)
+{
+    switch (e.kind) {
+    case ExprKind::IntLit: {
+        const auto& x = static_cast<const IntLitExpr&>(e);
+        return std::make_unique<IntLitExpr>(x.value, x.loc);
+    }
+    case ExprKind::BoolLit: {
+        const auto& x = static_cast<const BoolLitExpr&>(e);
+        return std::make_unique<BoolLitExpr>(x.value, x.loc);
+    }
+    case ExprKind::Ident: {
+        const auto& x = static_cast<const IdentExpr&>(e);
+        return std::make_unique<IdentExpr>(x.name, x.loc);
+    }
+    case ExprKind::Unary: {
+        const auto& x = static_cast<const UnaryExpr&>(e);
+        return std::make_unique<UnaryExpr>(x.op, cloneExpr(*x.operand), x.loc);
+    }
+    case ExprKind::Binary: {
+        const auto& x = static_cast<const BinaryExpr&>(e);
+        return std::make_unique<BinaryExpr>(x.op, cloneExpr(*x.lhs),
+                                            cloneExpr(*x.rhs), x.loc);
+    }
+    case ExprKind::Assign: {
+        const auto& x = static_cast<const AssignExpr&>(e);
+        return std::make_unique<AssignExpr>(x.op, cloneExpr(*x.lhs),
+                                            cloneExpr(*x.rhs), x.loc);
+    }
+    case ExprKind::Cond: {
+        const auto& x = static_cast<const CondExpr&>(e);
+        return std::make_unique<CondExpr>(cloneExpr(*x.cond),
+                                          cloneExpr(*x.thenExpr),
+                                          cloneExpr(*x.elseExpr), x.loc);
+    }
+    case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        return std::make_unique<IndexExpr>(cloneExpr(*x.base),
+                                           cloneExpr(*x.index), x.loc);
+    }
+    case ExprKind::Member: {
+        const auto& x = static_cast<const MemberExpr&>(e);
+        return std::make_unique<MemberExpr>(cloneExpr(*x.base), x.field, x.loc);
+    }
+    case ExprKind::Call: {
+        const auto& x = static_cast<const CallExpr&>(e);
+        std::vector<ExprPtr> args;
+        args.reserve(x.args.size());
+        for (const ExprPtr& a : x.args) args.push_back(cloneExpr(*a));
+        return std::make_unique<CallExpr>(x.callee, std::move(args), x.loc);
+    }
+    case ExprKind::Cast: {
+        const auto& x = static_cast<const CastExpr&>(e);
+        return std::make_unique<CastExpr>(x.typeName, cloneExpr(*x.operand),
+                                          x.loc);
+    }
+    case ExprKind::SizeofType: {
+        const auto& x = static_cast<const SizeofTypeExpr&>(e);
+        return std::make_unique<SizeofTypeExpr>(x.typeName, x.loc);
+    }
+    }
+    throw EclError("cloneExpr: unknown expression kind");
+}
+
+namespace {
+
+Declarator cloneDeclarator(const Declarator& d)
+{
+    Declarator out;
+    out.name = d.name;
+    out.loc = d.loc;
+    for (const ExprPtr& dim : d.arrayDims) out.arrayDims.push_back(cloneExpr(*dim));
+    if (d.init) out.init = cloneExpr(*d.init);
+    return out;
+}
+
+} // namespace
+
+StmtPtr cloneStmt(const Stmt& s)
+{
+    switch (s.kind) {
+    case StmtKind::Block: {
+        const auto& x = static_cast<const BlockStmt&>(s);
+        auto out = std::make_unique<BlockStmt>(x.loc);
+        for (const StmtPtr& st : x.body) out->body.push_back(cloneStmt(*st));
+        return out;
+    }
+    case StmtKind::Decl: {
+        const auto& x = static_cast<const DeclStmt&>(s);
+        auto out = std::make_unique<DeclStmt>(x.type, x.loc);
+        for (const Declarator& d : x.decls) out->decls.push_back(cloneDeclarator(d));
+        return out;
+    }
+    case StmtKind::ExprStmt: {
+        const auto& x = static_cast<const ExprStmt&>(s);
+        return std::make_unique<ExprStmt>(cloneExpr(*x.expr), x.loc);
+    }
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        return std::make_unique<IfStmt>(
+            cloneExpr(*x.cond), cloneStmt(*x.thenStmt),
+            x.elseStmt ? cloneStmt(*x.elseStmt) : nullptr, x.loc);
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        return std::make_unique<WhileStmt>(cloneExpr(*x.cond),
+                                           cloneStmt(*x.body), x.loc);
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        return std::make_unique<DoWhileStmt>(cloneStmt(*x.body),
+                                             cloneExpr(*x.cond), x.loc);
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        auto out = std::make_unique<ForStmt>(x.loc);
+        if (x.init) out->init = cloneStmt(*x.init);
+        if (x.cond) out->cond = cloneExpr(*x.cond);
+        if (x.step) out->step = cloneExpr(*x.step);
+        out->body = cloneStmt(*x.body);
+        return out;
+    }
+    case StmtKind::Break: return std::make_unique<BreakStmt>(s.loc);
+    case StmtKind::Continue: return std::make_unique<ContinueStmt>(s.loc);
+    case StmtKind::Return: {
+        const auto& x = static_cast<const ReturnStmt&>(s);
+        return std::make_unique<ReturnStmt>(
+            x.value ? cloneExpr(*x.value) : nullptr, x.loc);
+    }
+    case StmtKind::Empty: return std::make_unique<EmptyStmt>(s.loc);
+    case StmtKind::Await: {
+        const auto& x = static_cast<const AwaitStmt&>(s);
+        return std::make_unique<AwaitStmt>(
+            x.cond ? cloneSigExpr(*x.cond) : nullptr, x.loc);
+    }
+    case StmtKind::Emit: {
+        const auto& x = static_cast<const EmitStmt&>(s);
+        return std::make_unique<EmitStmt>(
+            x.signal, x.value ? cloneExpr(*x.value) : nullptr, x.loc);
+    }
+    case StmtKind::Halt: return std::make_unique<HaltStmt>(s.loc);
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        return std::make_unique<PresentStmt>(
+            cloneSigExpr(*x.cond), cloneStmt(*x.thenStmt),
+            x.elseStmt ? cloneStmt(*x.elseStmt) : nullptr, x.loc);
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        return std::make_unique<AbortStmt>(
+            cloneStmt(*x.body), cloneSigExpr(*x.cond), x.weak,
+            x.handler ? cloneStmt(*x.handler) : nullptr, x.loc);
+    }
+    case StmtKind::Suspend: {
+        const auto& x = static_cast<const SuspendStmt&>(s);
+        return std::make_unique<SuspendStmt>(cloneStmt(*x.body),
+                                             cloneSigExpr(*x.cond), x.loc);
+    }
+    case StmtKind::Par: {
+        const auto& x = static_cast<const ParStmt&>(s);
+        auto out = std::make_unique<ParStmt>(x.loc);
+        for (const StmtPtr& b : x.branches) out->branches.push_back(cloneStmt(*b));
+        return out;
+    }
+    case StmtKind::SignalDecl: {
+        const auto& x = static_cast<const SignalDeclStmt&>(s);
+        auto out = std::make_unique<SignalDeclStmt>(x.loc);
+        out->pure = x.pure;
+        out->type = x.type;
+        out->names = x.names;
+        return out;
+    }
+    }
+    throw EclError("cloneStmt: unknown statement kind");
+}
+
+} // namespace ecl::ast

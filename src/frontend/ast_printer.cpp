@@ -1,0 +1,358 @@
+#include "src/frontend/ast_printer.h"
+
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+using namespace ast;
+
+namespace {
+
+const char* binOpText(BinaryOp op)
+{
+    switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Rem: return "%";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::BitAnd: return "&";
+    case BinaryOp::BitOr: return "|";
+    case BinaryOp::BitXor: return "^";
+    case BinaryOp::LogAnd: return "&&";
+    case BinaryOp::LogOr: return "||";
+    }
+    return "?";
+}
+
+const char* assignOpText(AssignOp op)
+{
+    switch (op) {
+    case AssignOp::Plain: return "=";
+    case AssignOp::Add: return "+=";
+    case AssignOp::Sub: return "-=";
+    case AssignOp::Mul: return "*=";
+    case AssignOp::Div: return "/=";
+    case AssignOp::Rem: return "%=";
+    case AssignOp::Shl: return "<<=";
+    case AssignOp::Shr: return ">>=";
+    case AssignOp::And: return "&=";
+    case AssignOp::Or: return "|=";
+    case AssignOp::Xor: return "^=";
+    }
+    return "?";
+}
+
+std::string ind(int depth) { return std::string(4 * static_cast<std::size_t>(depth), ' '); }
+
+std::string printDeclarator(const Declarator& d)
+{
+    std::string out = d.name;
+    for (const ExprPtr& dim : d.arrayDims) out += "[" + printExpr(*dim) + "]";
+    if (d.init) out += " = " + printExpr(*d.init);
+    return out;
+}
+
+} // namespace
+
+std::string printExpr(const Expr& e)
+{
+    switch (e.kind) {
+    case ExprKind::IntLit:
+        return std::to_string(static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::BoolLit:
+        return static_cast<const BoolLitExpr&>(e).value ? "true" : "false";
+    case ExprKind::Ident: return static_cast<const IdentExpr&>(e).name;
+    case ExprKind::Unary: {
+        const auto& x = static_cast<const UnaryExpr&>(e);
+        std::string inner = printExpr(*x.operand);
+        switch (x.op) {
+        case UnaryOp::Plus: return "(+" + inner + ")";
+        case UnaryOp::Minus: return "(-" + inner + ")";
+        case UnaryOp::Not: return "(!" + inner + ")";
+        case UnaryOp::BitNot: return "(~" + inner + ")";
+        case UnaryOp::PreInc: return "(++" + inner + ")";
+        case UnaryOp::PreDec: return "(--" + inner + ")";
+        case UnaryOp::PostInc: return "(" + inner + "++)";
+        case UnaryOp::PostDec: return "(" + inner + "--)";
+        }
+        return "?";
+    }
+    case ExprKind::Binary: {
+        const auto& x = static_cast<const BinaryExpr&>(e);
+        return "(" + printExpr(*x.lhs) + " " + binOpText(x.op) + " " +
+               printExpr(*x.rhs) + ")";
+    }
+    case ExprKind::Assign: {
+        const auto& x = static_cast<const AssignExpr&>(e);
+        return printExpr(*x.lhs) + " " + assignOpText(x.op) + " " +
+               printExpr(*x.rhs);
+    }
+    case ExprKind::Cond: {
+        const auto& x = static_cast<const CondExpr&>(e);
+        return "(" + printExpr(*x.cond) + " ? " + printExpr(*x.thenExpr) +
+               " : " + printExpr(*x.elseExpr) + ")";
+    }
+    case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        return printExpr(*x.base) + "[" + printExpr(*x.index) + "]";
+    }
+    case ExprKind::Member: {
+        const auto& x = static_cast<const MemberExpr&>(e);
+        return printExpr(*x.base) + "." + x.field;
+    }
+    case ExprKind::Call: {
+        const auto& x = static_cast<const CallExpr&>(e);
+        std::string out = x.callee + "(";
+        for (std::size_t i = 0; i < x.args.size(); ++i) {
+            if (i) out += ", ";
+            out += printExpr(*x.args[i]);
+        }
+        return out + ")";
+    }
+    case ExprKind::Cast: {
+        const auto& x = static_cast<const CastExpr&>(e);
+        return "(" + x.typeName + ") " + printExpr(*x.operand);
+    }
+    case ExprKind::SizeofType:
+        return "sizeof(" + static_cast<const SizeofTypeExpr&>(e).typeName +
+               ")";
+    }
+    return "?";
+}
+
+std::string printSigExpr(const SigExpr& e)
+{
+    switch (e.kind) {
+    case SigExprKind::Ref: return e.name;
+    case SigExprKind::Not: return "~" + printSigExpr(*e.lhs);
+    case SigExprKind::And:
+        return "(" + printSigExpr(*e.lhs) + " & " + printSigExpr(*e.rhs) + ")";
+    case SigExprKind::Or:
+        return "(" + printSigExpr(*e.lhs) + " | " + printSigExpr(*e.rhs) + ")";
+    }
+    return "?";
+}
+
+std::string printStmt(const Stmt& s, int depth)
+{
+    const std::string pad = ind(depth);
+    switch (s.kind) {
+    case StmtKind::Block: {
+        const auto& x = static_cast<const BlockStmt&>(s);
+        std::string out = pad + "{\n";
+        for (const StmtPtr& st : x.body) out += printStmt(*st, depth + 1);
+        out += pad + "}\n";
+        return out;
+    }
+    case StmtKind::Decl: {
+        const auto& x = static_cast<const DeclStmt&>(s);
+        std::string out = pad + x.type.name + " ";
+        for (std::size_t i = 0; i < x.decls.size(); ++i) {
+            if (i) out += ", ";
+            out += printDeclarator(x.decls[i]);
+        }
+        return out + ";\n";
+    }
+    case StmtKind::ExprStmt:
+        return pad + printExpr(*static_cast<const ExprStmt&>(s).expr) + ";\n";
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        std::string out = pad + "if (" + printExpr(*x.cond) + ")\n";
+        out += printStmt(*x.thenStmt, depth + 1);
+        if (x.elseStmt) {
+            out += pad + "else\n";
+            out += printStmt(*x.elseStmt, depth + 1);
+        }
+        return out;
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        return pad + "while (" + printExpr(*x.cond) + ")\n" +
+               printStmt(*x.body, depth + 1);
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        return pad + "do\n" + printStmt(*x.body, depth + 1) + pad +
+               "while (" + printExpr(*x.cond) + ");\n";
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        std::string head = pad + "for (";
+        if (x.init) {
+            std::string initStr = printStmt(*x.init, 0);
+            // Strip trailing newline; keep the ';'.
+            while (!initStr.empty() &&
+                   (initStr.back() == '\n' || initStr.back() == ' '))
+                initStr.pop_back();
+            head += initStr;
+        } else {
+            head += ";";
+        }
+        head += " ";
+        if (x.cond) head += printExpr(*x.cond);
+        head += "; ";
+        if (x.step) head += printExpr(*x.step);
+        head += ")\n";
+        return head + printStmt(*x.body, depth + 1);
+    }
+    case StmtKind::Break: return pad + "break;\n";
+    case StmtKind::Continue: return pad + "continue;\n";
+    case StmtKind::Return: {
+        const auto& x = static_cast<const ReturnStmt&>(s);
+        if (x.value) return pad + "return " + printExpr(*x.value) + ";\n";
+        return pad + "return;\n";
+    }
+    case StmtKind::Empty: return pad + ";\n";
+    case StmtKind::Await: {
+        const auto& x = static_cast<const AwaitStmt&>(s);
+        if (x.cond) return pad + "await (" + printSigExpr(*x.cond) + ");\n";
+        return pad + "await ();\n";
+    }
+    case StmtKind::Emit: {
+        const auto& x = static_cast<const EmitStmt&>(s);
+        if (x.value)
+            return pad + "emit_v (" + x.signal + ", " + printExpr(*x.value) +
+                   ");\n";
+        return pad + "emit (" + x.signal + ");\n";
+    }
+    case StmtKind::Halt: return pad + "halt ();\n";
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        std::string out =
+            pad + "present (" + printSigExpr(*x.cond) + ")\n" +
+            printStmt(*x.thenStmt, depth + 1);
+        if (x.elseStmt) {
+            out += pad + "else\n";
+            out += printStmt(*x.elseStmt, depth + 1);
+        }
+        return out;
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        std::string out = pad + "do\n" + printStmt(*x.body, depth + 1);
+        out += pad + (x.weak ? "weak_abort (" : "abort (") +
+               printSigExpr(*x.cond) + ")";
+        if (x.handler) {
+            out += " handle\n" + printStmt(*x.handler, depth + 1);
+        } else {
+            out += ";\n";
+        }
+        return out;
+    }
+    case StmtKind::Suspend: {
+        const auto& x = static_cast<const SuspendStmt&>(s);
+        return pad + "do\n" + printStmt(*x.body, depth + 1) + pad +
+               "suspend (" + printSigExpr(*x.cond) + ");\n";
+    }
+    case StmtKind::Par: {
+        const auto& x = static_cast<const ParStmt&>(s);
+        std::string out = pad + "par {\n";
+        for (const StmtPtr& b : x.branches) out += printStmt(*b, depth + 1);
+        out += pad + "}\n";
+        return out;
+    }
+    case StmtKind::SignalDecl: {
+        const auto& x = static_cast<const SignalDeclStmt&>(s);
+        std::string out = pad + "signal ";
+        out += x.pure ? "pure" : x.type.name;
+        out += " ";
+        for (std::size_t i = 0; i < x.names.size(); ++i) {
+            if (i) out += ", ";
+            out += x.names[i];
+        }
+        return out + ";\n";
+    }
+    }
+    throw EclError("printStmt: unknown statement kind");
+}
+
+std::string printProgram(const Program& p)
+{
+    std::string out;
+    for (const TopDeclPtr& d : p.decls) {
+        switch (d->kind) {
+        case DeclKind::Typedef: {
+            const auto& x = static_cast<const TypedefDecl&>(*d);
+            out += "typedef ";
+            if (x.aggregate) {
+                out += x.aggregate->isUnion ? "union" : "struct";
+                if (!x.aggregate->tag.empty()) out += " " + x.aggregate->tag;
+                out += " {\n";
+                for (const FieldDecl& f : x.aggregate->fields)
+                    out += "    " + f.type.name + " " +
+                           printDeclarator(f.decl) + ";\n";
+                out += "}";
+            } else {
+                out += x.underlying.name;
+            }
+            out += " " + x.name;
+            for (const ExprPtr& dim : x.arrayDims)
+                out += "[" + printExpr(*dim) + "]";
+            out += ";\n\n";
+            break;
+        }
+        case DeclKind::Aggregate: {
+            const auto& x = static_cast<const AggregateDecl&>(*d);
+            out += x.def.isUnion ? "union " : "struct ";
+            out += x.def.tag + " {\n";
+            for (const FieldDecl& f : x.def.fields)
+                out += "    " + f.type.name + " " + printDeclarator(f.decl) +
+                       ";\n";
+            out += "};\n\n";
+            break;
+        }
+        case DeclKind::Function: {
+            const auto& x = static_cast<const FunctionDecl&>(*d);
+            out += x.returnType.name + " " + x.name + "(";
+            for (std::size_t i = 0; i < x.params.size(); ++i) {
+                if (i) out += ", ";
+                out += x.params[i].type.name + " " + x.params[i].name;
+                for (const ExprPtr& dim : x.params[i].arrayDims)
+                    out += "[" + printExpr(*dim) + "]";
+            }
+            out += ")\n";
+            out += printStmt(*x.body, 0);
+            out += "\n";
+            break;
+        }
+        case DeclKind::Module: {
+            const auto& x = static_cast<const ModuleDecl&>(*d);
+            out += "module " + x.name + " (";
+            for (std::size_t i = 0; i < x.params.size(); ++i) {
+                if (i) out += ", ";
+                const SignalParam& p = x.params[i];
+                out += p.dir == SignalDir::Input ? "input " : "output ";
+                out += p.pure ? "pure" : p.type.name;
+                out += " " + p.name;
+            }
+            out += ")\n";
+            out += printStmt(*x.body, 0);
+            out += "\n";
+            break;
+        }
+        case DeclKind::GlobalVar: {
+            const auto& x = static_cast<const GlobalVarDecl&>(*d);
+            if (x.isConst) out += "const ";
+            out += x.type.name + " ";
+            for (std::size_t i = 0; i < x.decls.size(); ++i) {
+                if (i) out += ", ";
+                out += printDeclarator(x.decls[i]);
+            }
+            out += ";\n\n";
+            break;
+        }
+        }
+    }
+    return out;
+}
+
+} // namespace ecl

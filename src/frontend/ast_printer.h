@@ -1,0 +1,20 @@
+// Pretty-printer producing canonical ECL-like text from the AST.
+// Used by tests (round-trip / golden checks) and by the code generators
+// (printing extracted data statements as C).
+#pragma once
+
+#include <string>
+
+#include "src/frontend/ast.h"
+
+namespace ecl {
+
+std::string printExpr(const ast::Expr& e);
+std::string printSigExpr(const ast::SigExpr& e);
+
+/// Prints a statement with the given indentation depth (4 spaces per level).
+std::string printStmt(const ast::Stmt& s, int depth = 0);
+
+std::string printProgram(const ast::Program& p);
+
+} // namespace ecl

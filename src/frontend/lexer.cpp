@@ -1,0 +1,497 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ecl {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywordTable()
+{
+    static const std::unordered_map<std::string_view, Tok> table = {
+        {"if", Tok::KwIf},
+        {"else", Tok::KwElse},
+        {"while", Tok::KwWhile},
+        {"for", Tok::KwFor},
+        {"do", Tok::KwDo},
+        {"break", Tok::KwBreak},
+        {"continue", Tok::KwContinue},
+        {"return", Tok::KwReturn},
+        {"typedef", Tok::KwTypedef},
+        {"struct", Tok::KwStruct},
+        {"union", Tok::KwUnion},
+        {"unsigned", Tok::KwUnsigned},
+        {"signed", Tok::KwSigned},
+        {"int", Tok::KwInt},
+        {"char", Tok::KwChar},
+        {"short", Tok::KwShort},
+        {"long", Tok::KwLong},
+        {"void", Tok::KwVoid},
+        {"bool", Tok::KwBool},
+        {"true", Tok::KwTrue},
+        {"false", Tok::KwFalse},
+        {"const", Tok::KwConst},
+        {"sizeof", Tok::KwSizeof},
+        {"module", Tok::KwModule},
+        {"input", Tok::KwInput},
+        {"output", Tok::KwOutput},
+        {"pure", Tok::KwPure},
+        {"signal", Tok::KwSignal},
+        {"emit", Tok::KwEmit},
+        {"emit_v", Tok::KwEmitV},
+        {"await", Tok::KwAwait},
+        {"halt", Tok::KwHalt},
+        {"present", Tok::KwPresent},
+        {"abort", Tok::KwAbort},
+        {"weak_abort", Tok::KwWeakAbort},
+        {"suspend", Tok::KwSuspend},
+        {"handle", Tok::KwHandle},
+        {"par", Tok::KwPar},
+    };
+    return table;
+}
+
+} // namespace
+
+const char* tokName(Tok t)
+{
+    switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::CharLit: return "character literal";
+    case Tok::StringLit: return "string literal";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwTypedef: return "'typedef'";
+    case Tok::KwStruct: return "'struct'";
+    case Tok::KwUnion: return "'union'";
+    case Tok::KwUnsigned: return "'unsigned'";
+    case Tok::KwSigned: return "'signed'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwChar: return "'char'";
+    case Tok::KwShort: return "'short'";
+    case Tok::KwLong: return "'long'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwSizeof: return "'sizeof'";
+    case Tok::KwModule: return "'module'";
+    case Tok::KwInput: return "'input'";
+    case Tok::KwOutput: return "'output'";
+    case Tok::KwPure: return "'pure'";
+    case Tok::KwSignal: return "'signal'";
+    case Tok::KwEmit: return "'emit'";
+    case Tok::KwEmitV: return "'emit_v'";
+    case Tok::KwAwait: return "'await'";
+    case Tok::KwHalt: return "'halt'";
+    case Tok::KwPresent: return "'present'";
+    case Tok::KwAbort: return "'abort'";
+    case Tok::KwWeakAbort: return "'weak_abort'";
+    case Tok::KwSuspend: return "'suspend'";
+    case Tok::KwHandle: return "'handle'";
+    case Tok::KwPar: return "'par'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Dot: return "'.'";
+    case Tok::Question: return "'?'";
+    case Tok::Colon: return "':'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::BangEq: return "'!='";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PercentAssign: return "'%='";
+    case Tok::AmpAssign: return "'&='";
+    case Tok::PipeAssign: return "'|='";
+    case Tok::CaretAssign: return "'^='";
+    case Tok::ShlAssign: return "'<<='";
+    case Tok::ShrAssign: return "'>>='";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string_view source, Diagnostics& diags)
+    : src_(source), diags_(diags)
+{
+}
+
+char Lexer::peek(std::size_t ahead) const
+{
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance()
+{
+    char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void Lexer::skipWhitespaceAndComments()
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n') advance();
+        } else if (c == '/' && peek(1) == '*') {
+            SourceLoc start = here();
+            advance();
+            advance();
+            bool closed = false;
+            while (!atEnd()) {
+                if (peek() == '*' && peek(1) == '/') {
+                    advance();
+                    advance();
+                    closed = true;
+                    break;
+                }
+                advance();
+            }
+            if (!closed) diags_.error(start, "unterminated block comment");
+        } else {
+            return;
+        }
+    }
+}
+
+Token Lexer::nextRawToken()
+{
+    skipWhitespaceAndComments();
+    Token tok;
+    tok.loc = here();
+    if (atEnd()) {
+        tok.kind = Tok::End;
+        return tok;
+    }
+    char c = advance();
+
+    auto two = [&](char second, Tok ifTwo, Tok ifOne) {
+        if (peek() == second) {
+            advance();
+            tok.kind = ifTwo;
+        } else {
+            tok.kind = ifOne;
+        }
+        return tok;
+    };
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident(1, c);
+        while (std::isalnum(static_cast<unsigned char>(peek())) ||
+               peek() == '_')
+            ident += advance();
+        auto it = keywordTable().find(ident);
+        if (it != keywordTable().end()) {
+            tok.kind = it->second;
+            tok.text = ident;
+        } else {
+            tok.kind = Tok::Ident;
+            tok.text = std::move(ident);
+        }
+        return tok;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string num(1, c);
+        bool hex = false;
+        if (c == '0' && (peek() == 'x' || peek() == 'X')) {
+            num += advance();
+            hex = true;
+        }
+        while (std::isalnum(static_cast<unsigned char>(peek())))
+            num += advance();
+        tok.kind = Tok::IntLit;
+        tok.text = num;
+        // Strip C integer suffixes (u, l, ul, ...).
+        std::string digits = num;
+        while (!digits.empty() &&
+               (std::tolower(static_cast<unsigned char>(digits.back())) ==
+                    'u' ||
+                std::tolower(static_cast<unsigned char>(digits.back())) ==
+                    'l'))
+            digits.pop_back();
+        try {
+            tok.intValue = std::stoll(digits, nullptr, hex ? 16 : 0);
+        } catch (const std::exception&) {
+            diags_.error(tok.loc, "invalid integer literal '" + num + "'");
+            tok.intValue = 0;
+        }
+        return tok;
+    }
+
+    if (c == '\'') {
+        std::string spelling;
+        std::int64_t value = 0;
+        if (peek() == '\\') {
+            advance();
+            char esc = atEnd() ? '\0' : advance();
+            switch (esc) {
+            case 'n': value = '\n'; break;
+            case 't': value = '\t'; break;
+            case 'r': value = '\r'; break;
+            case '0': value = '\0'; break;
+            case '\\': value = '\\'; break;
+            case '\'': value = '\''; break;
+            default:
+                diags_.error(tok.loc, "unknown escape in character literal");
+            }
+        } else if (!atEnd()) {
+            value = static_cast<unsigned char>(advance());
+        }
+        if (peek() == '\'')
+            advance();
+        else
+            diags_.error(tok.loc, "unterminated character literal");
+        tok.kind = Tok::CharLit;
+        tok.intValue = value;
+        return tok;
+    }
+
+    if (c == '"') {
+        std::string str;
+        while (!atEnd() && peek() != '"') {
+            char ch = advance();
+            if (ch == '\\' && !atEnd()) {
+                char esc = advance();
+                switch (esc) {
+                case 'n': str += '\n'; break;
+                case 't': str += '\t'; break;
+                case '\\': str += '\\'; break;
+                case '"': str += '"'; break;
+                default: str += esc;
+                }
+            } else {
+                str += ch;
+            }
+        }
+        if (!atEnd())
+            advance();
+        else
+            diags_.error(tok.loc, "unterminated string literal");
+        tok.kind = Tok::StringLit;
+        tok.text = std::move(str);
+        return tok;
+    }
+
+    switch (c) {
+    case '(': tok.kind = Tok::LParen; return tok;
+    case ')': tok.kind = Tok::RParen; return tok;
+    case '{': tok.kind = Tok::LBrace; return tok;
+    case '}': tok.kind = Tok::RBrace; return tok;
+    case '[': tok.kind = Tok::LBracket; return tok;
+    case ']': tok.kind = Tok::RBracket; return tok;
+    case ';': tok.kind = Tok::Semi; return tok;
+    case ',': tok.kind = Tok::Comma; return tok;
+    case '.': tok.kind = Tok::Dot; return tok;
+    case '?': tok.kind = Tok::Question; return tok;
+    case ':': tok.kind = Tok::Colon; return tok;
+    case '~': tok.kind = Tok::Tilde; return tok;
+    case '+':
+        if (peek() == '+') {
+            advance();
+            tok.kind = Tok::PlusPlus;
+            return tok;
+        }
+        return two('=', Tok::PlusAssign, Tok::Plus);
+    case '-':
+        if (peek() == '-') {
+            advance();
+            tok.kind = Tok::MinusMinus;
+            return tok;
+        }
+        return two('=', Tok::MinusAssign, Tok::Minus);
+    case '*': return two('=', Tok::StarAssign, Tok::Star);
+    case '/': return two('=', Tok::SlashAssign, Tok::Slash);
+    case '%': return two('=', Tok::PercentAssign, Tok::Percent);
+    case '^': return two('=', Tok::CaretAssign, Tok::Caret);
+    case '!': return two('=', Tok::BangEq, Tok::Bang);
+    case '=': return two('=', Tok::EqEq, Tok::Assign);
+    case '&':
+        if (peek() == '&') {
+            advance();
+            tok.kind = Tok::AmpAmp;
+            return tok;
+        }
+        return two('=', Tok::AmpAssign, Tok::Amp);
+    case '|':
+        if (peek() == '|') {
+            advance();
+            tok.kind = Tok::PipePipe;
+            return tok;
+        }
+        return two('=', Tok::PipeAssign, Tok::Pipe);
+    case '<':
+        if (peek() == '<') {
+            advance();
+            return two('=', Tok::ShlAssign, Tok::Shl);
+        }
+        return two('=', Tok::Le, Tok::Lt);
+    case '>':
+        if (peek() == '>') {
+            advance();
+            return two('=', Tok::ShrAssign, Tok::Shr);
+        }
+        return two('=', Tok::Ge, Tok::Gt);
+    default:
+        diags_.error(tok.loc,
+                     std::string("unexpected character '") + c + "'");
+        // Produce something so the parser can continue.
+        tok.kind = Tok::Semi;
+        return tok;
+    }
+}
+
+void Lexer::handleDirective()
+{
+    // `pos_` sits just past the '#'. Read the directive name.
+    SourceLoc loc = here();
+    std::string name;
+    while (std::isalpha(static_cast<unsigned char>(peek()))) name += advance();
+
+    if (name != "define") {
+        if (name != "include" && name != "pragma")
+            diags_.warning(loc, "ignoring unsupported directive '#" + name +
+                                    "'");
+        while (!atEnd() && peek() != '\n') advance();
+        return;
+    }
+
+    // #define NAME replacement...  (object-like only)
+    while (peek() == ' ' || peek() == '\t') advance();
+    std::string macroName;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        macroName += advance();
+    if (macroName.empty()) {
+        diags_.error(loc, "#define without a macro name");
+        while (!atEnd() && peek() != '\n') advance();
+        return;
+    }
+    if (peek() == '(') {
+        diags_.error(loc, "function-like macros are not supported");
+        while (!atEnd() && peek() != '\n') advance();
+        return;
+    }
+
+    // Tokenize the rest of the line as the replacement list.
+    std::vector<Token> replacement;
+    int defLine = line_;
+    while (true) {
+        // Stop at end of the directive line (backslash continuations are
+        // not supported; the paper's examples do not use them).
+        skipWhitespaceAndComments();
+        if (atEnd() || line_ != defLine) break;
+        std::size_t save = pos_;
+        Token t = nextRawToken();
+        if (t.kind == Tok::End) break;
+        if (t.loc.line != defLine) {
+            // Token started on a following line: rewind is impossible with
+            // our streaming design, so push it to the main output instead.
+            emitExpanded(t, 0);
+            break;
+        }
+        (void)save;
+        replacement.push_back(std::move(t));
+    }
+    if (macros_.count(macroName))
+        diags_.warning(loc, "redefinition of macro '" + macroName + "'");
+    macros_[macroName] = std::move(replacement);
+}
+
+void Lexer::emitExpanded(const Token& tok, int depth)
+{
+    if (depth > 32) {
+        diags_.error(tok.loc, "macro expansion too deep (recursive #define?)");
+        return;
+    }
+    if (tok.kind == Tok::Ident) {
+        auto it = macros_.find(tok.text);
+        if (it != macros_.end()) {
+            for (const Token& rep : it->second) {
+                Token copy = rep;
+                copy.loc = tok.loc; // report at the use site
+                emitExpanded(copy, depth + 1);
+            }
+            return;
+        }
+    }
+    out_.push_back(tok);
+}
+
+std::vector<Token> Lexer::run()
+{
+    while (true) {
+        skipWhitespaceAndComments();
+        if (atEnd()) break;
+        if (peek() == '#' && col_ == 1) {
+            advance();
+            handleDirective();
+            continue;
+        }
+        if (peek() == '#') {
+            // Directives not at the start of a line: still treat as one.
+            advance();
+            handleDirective();
+            continue;
+        }
+        Token t = nextRawToken();
+        if (t.kind == Tok::End) break;
+        emitExpanded(t, 0);
+    }
+    Token end;
+    end.kind = Tok::End;
+    end.loc = here();
+    out_.push_back(end);
+    return std::move(out_);
+}
+
+std::vector<Token> lex(std::string_view source, Diagnostics& diags)
+{
+    return Lexer(source, diags).run();
+}
+
+} // namespace ecl

@@ -1,0 +1,63 @@
+// The ECL lexer: converts source text into a token stream.
+//
+// Handles:
+//  * all tokens of the supported C subset plus the ECL reactive keywords,
+//  * // and /* */ comments,
+//  * object-like `#define NAME replacement-tokens` macros with recursive
+//    expansion (the paper's Figure 1 relies on `#define PKTSIZE
+//    HDRSIZE+DATASIZE+CRCSIZE`),
+//  * other preprocessor lines (`#include`, `#ifdef`, ...) are skipped with a
+//    warning — ECL programs are self-contained compilation units.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/token.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+/// Tokenizes `source`. Macro expansion is performed eagerly, so the returned
+/// stream contains no preprocessor artifacts. Errors (bad characters,
+/// unterminated comments/literals, recursive macros) are reported to `diags`;
+/// lexing continues where possible so later phases can report more issues.
+std::vector<Token> lex(std::string_view source, Diagnostics& diags);
+
+/// Internal lexer class, exposed for unit testing of macro tables.
+class Lexer {
+public:
+    Lexer(std::string_view source, Diagnostics& diags);
+
+    std::vector<Token> run();
+
+    /// Macro table built from #define lines (name -> replacement tokens).
+    [[nodiscard]] const std::unordered_map<std::string, std::vector<Token>>&
+    macros() const
+    {
+        return macros_;
+    }
+
+private:
+    void lexLine();
+    void handleDirective();
+    Token nextRawToken();
+    void skipWhitespaceAndComments();
+    [[nodiscard]] char peek(std::size_t ahead = 0) const;
+    char advance();
+    [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+    [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+    void emitExpanded(const Token& tok, int depth);
+
+    std::string_view src_;
+    Diagnostics& diags_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    std::vector<Token> out_;
+    std::unordered_map<std::string, std::vector<Token>> macros_;
+};
+
+} // namespace ecl

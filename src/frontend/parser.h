@@ -1,0 +1,92 @@
+// Recursive-descent parser for ECL.
+//
+// The grammar is the C subset described in DESIGN.md plus the reactive
+// statements of the paper. Typedef names are tracked during parsing to
+// disambiguate declarations from expressions (classic C lexer feedback,
+// kept inside the parser here since ECL forbids local typedefs).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/frontend/token.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+class Parser {
+public:
+    Parser(std::vector<Token> tokens, Diagnostics& diags);
+
+    /// Parses a whole translation unit. Throws EclError on unrecoverable
+    /// syntax errors (after recording them in the diagnostics).
+    ast::Program parseProgram();
+
+    /// Parses a single expression (used by tests and by tools).
+    ast::ExprPtr parseExpressionOnly();
+
+private:
+    // Token helpers.
+    [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+    const Token& advance();
+    bool check(Tok kind) const { return peek().kind == kind; }
+    bool accept(Tok kind);
+    const Token& expect(Tok kind, std::string_view context);
+    [[noreturn]] void fail(const Token& at, const std::string& message);
+
+    // Type specifiers.
+    [[nodiscard]] bool startsTypeSpec(std::size_t ahead = 0) const;
+    ast::TypeSpec parseTypeSpec();
+    ast::Declarator parseDeclarator(bool allowInit);
+
+    // Top level.
+    ast::TopDeclPtr parseTopDecl();
+    ast::TopDeclPtr parseTypedef();
+    std::unique_ptr<ast::AggregateDef> parseAggregateDef();
+    ast::TopDeclPtr parseModule();
+    ast::TopDeclPtr parseFunctionOrGlobal(bool isConst);
+
+    // Statements.
+    ast::StmtPtr parseStatement();
+    std::unique_ptr<ast::BlockStmt> parseBlock();
+    ast::StmtPtr parseIf();
+    ast::StmtPtr parseWhile();
+    ast::StmtPtr parseDoFamily();
+    ast::StmtPtr parseFor();
+    ast::StmtPtr parseDeclStatement();
+    ast::StmtPtr parseSignalDecl();
+    ast::StmtPtr parseAwait();
+    ast::StmtPtr parseEmit(bool valued);
+    ast::StmtPtr parsePresent();
+    ast::StmtPtr parsePar();
+
+    // Signal expressions.
+    ast::SigExprPtr parseSigExpr();
+    ast::SigExprPtr parseSigOr();
+    ast::SigExprPtr parseSigAnd();
+    ast::SigExprPtr parseSigUnary();
+
+    // Expressions (C precedence).
+    ast::ExprPtr parseExpr();
+    ast::ExprPtr parseAssignment();
+    ast::ExprPtr parseConditional();
+    ast::ExprPtr parseBinary(int minPrec);
+    ast::ExprPtr parseUnary();
+    ast::ExprPtr parsePostfix();
+    ast::ExprPtr parsePrimary();
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+    Diagnostics& diags_;
+    std::set<std::string> typeNames_;
+};
+
+/// Convenience wrapper: lex + parse. Throws EclError (with diagnostics
+/// recorded in `diags`) if the source does not parse.
+ast::Program parseEcl(std::string_view source, Diagnostics& diags);
+
+} // namespace ecl

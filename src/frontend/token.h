@@ -1,0 +1,117 @@
+// Token definitions for the ECL language (a C subset plus reactive keywords).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/source_location.h"
+
+namespace ecl {
+
+enum class Tok {
+    End,
+    Ident,
+    IntLit,
+    CharLit,
+    StringLit,
+
+    // C keywords (the supported subset).
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwTypedef,
+    KwStruct,
+    KwUnion,
+    KwUnsigned,
+    KwSigned,
+    KwInt,
+    KwChar,
+    KwShort,
+    KwLong,
+    KwVoid,
+    KwBool,
+    KwTrue,
+    KwFalse,
+    KwConst,
+    KwSizeof,
+
+    // ECL reactive keywords.
+    KwModule,
+    KwInput,
+    KwOutput,
+    KwPure,
+    KwSignal,
+    KwEmit,
+    KwEmitV,
+    KwAwait,
+    KwHalt,
+    KwPresent,
+    KwAbort,
+    KwWeakAbort,
+    KwSuspend,
+    KwHandle,
+    KwPar,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Question,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+};
+
+/// Printable name of a token kind, for diagnostics.
+const char* tokName(Tok t);
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;          ///< Identifier spelling / literal spelling.
+    std::int64_t intValue = 0; ///< Value for IntLit / CharLit.
+    SourceLoc loc;
+};
+
+} // namespace ecl

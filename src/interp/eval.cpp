@@ -1,0 +1,496 @@
+#include "src/interp/eval.h"
+
+#include <cstring>
+
+namespace ecl {
+
+using namespace ast;
+
+Evaluator::Evaluator(
+    const ProgramSema& program,
+    const std::unordered_map<std::string, FunctionSema>& functionSemas,
+    const ModuleSema* module, Store* moduleStore, const SignalReader* signals)
+    : prog_(program), functionSemas_(functionSemas), module_(module),
+      signals_(signals)
+{
+    if (module_) {
+        Frame f;
+        f.exprTypes = &module_->exprType;
+        f.refKinds = &module_->refKind;
+        f.vars = &module_->vars;
+        f.varIndex = &module_->varIndex;
+        f.store = moduleStore;
+        f.isModule = true;
+        frames_.push_back(f);
+    }
+}
+
+void Evaluator::fail(SourceLoc loc, const std::string& msg) const
+{
+    throw EclError(loc, "runtime: " + msg);
+}
+
+void Evaluator::charge(std::uint64_t n)
+{
+    opsUsed_ += n;
+    if (opsUsed_ > opBudget_)
+        throw EclError("runtime: op budget exceeded (runaway data loop?)");
+}
+
+const Type* Evaluator::typeOf(const Expr& e) const
+{
+    const Frame& f = frames_.back();
+    auto it = f.exprTypes->find(&e);
+    if (it == f.exprTypes->end())
+        fail(e.loc, "expression was not typed by sema (internal error)");
+    return it->second;
+}
+
+RefKind Evaluator::refKindOf(const Expr& e) const
+{
+    const Frame& f = frames_.back();
+    auto it = f.refKinds->find(&e);
+    if (it == f.refKinds->end())
+        fail(e.loc, "identifier was not resolved by sema (internal error)");
+    return it->second;
+}
+
+Value Evaluator::convertScalar(const Value& v, const Type* target)
+{
+    if (v.type() == target) return v;
+    return Value::fromInt(target, v.toInt());
+}
+
+Value Evaluator::evalExpr(const Expr& e) { return evalExprIn(e); }
+
+Value Evaluator::evalExprIn(const Expr& e)
+{
+    charge(1);
+    switch (e.kind) {
+    case ExprKind::IntLit:
+        counters_.exprOps++;
+        return Value::fromInt(prog_.types.intType(),
+                              static_cast<const IntLitExpr&>(e).value);
+    case ExprKind::BoolLit:
+        counters_.exprOps++;
+        return Value::fromInt(prog_.types.boolType(),
+                              static_cast<const BoolLitExpr&>(e).value ? 1 : 0);
+    case ExprKind::Ident: {
+        const auto& x = static_cast<const IdentExpr&>(e);
+        switch (refKindOf(e)) {
+        case RefKind::Var: {
+            counters_.loads++;
+            LValue lv = evalLValue(e);
+            if (lv.type->isScalar())
+                return Value::fromInt(lv.type, readScalar(lv.ptr, lv.type));
+            return Value::fromBytes(lv.type, lv.ptr);
+        }
+        case RefKind::SignalValue: {
+            counters_.loads++;
+            if (!signals_ || !module_)
+                fail(e.loc, "signal value read outside module context");
+            const SignalInfo* sig = module_->findSignal(x.name);
+            return signals_->signalValue(sig->index);
+        }
+        case RefKind::Constant: {
+            counters_.exprOps++;
+            return Value::fromInt(prog_.types.intType(),
+                                  prog_.constants.at(x.name));
+        }
+        default: fail(e.loc, "bad identifier kind");
+        }
+    }
+    case ExprKind::Unary: return evalUnary(static_cast<const UnaryExpr&>(e));
+    case ExprKind::Binary: return evalBinary(static_cast<const BinaryExpr&>(e));
+    case ExprKind::Assign: {
+        const auto& x = static_cast<const AssignExpr&>(e);
+        LValue dst = evalLValue(*x.lhs);
+        Value rhs = evalExprIn(*x.rhs);
+        if (x.op != AssignOp::Plain) {
+            counters_.loads++;
+            std::int64_t a = readScalar(dst.ptr, dst.type);
+            std::int64_t b = rhs.toInt();
+            std::int64_t r = 0;
+            switch (x.op) {
+            case AssignOp::Add: r = a + b; break;
+            case AssignOp::Sub: r = a - b; break;
+            case AssignOp::Mul: r = a * b; break;
+            case AssignOp::Div:
+                if (b == 0) fail(e.loc, "division by zero");
+                r = a / b;
+                break;
+            case AssignOp::Rem:
+                if (b == 0) fail(e.loc, "remainder by zero");
+                r = a % b;
+                break;
+            case AssignOp::Shl: r = a << (b & 63); break;
+            case AssignOp::Shr: r = a >> (b & 63); break;
+            case AssignOp::And: r = a & b; break;
+            case AssignOp::Or: r = a | b; break;
+            case AssignOp::Xor: r = a ^ b; break;
+            case AssignOp::Plain: break;
+            }
+            counters_.exprOps++;
+            counters_.stores++;
+            writeScalar(dst.ptr, dst.type, r);
+            return Value::fromInt(dst.type, readScalar(dst.ptr, dst.type));
+        }
+        if (dst.type->isScalar()) {
+            counters_.stores++;
+            writeScalar(dst.ptr, dst.type, rhs.toInt());
+            return Value::fromInt(dst.type, readScalar(dst.ptr, dst.type));
+        }
+        // Aggregate copy (same type enforced by sema).
+        counters_.stores++;
+        counters_.aggBytes += dst.type->size();
+        std::memcpy(dst.ptr, rhs.data(), dst.type->size());
+        return rhs;
+    }
+    case ExprKind::Cond: {
+        const auto& x = static_cast<const CondExpr&>(e);
+        counters_.branches++;
+        return evalExprIn(*x.cond).toBool() ? evalExprIn(*x.thenExpr)
+                                            : evalExprIn(*x.elseExpr);
+    }
+    case ExprKind::Index:
+    case ExprKind::Member: {
+        // May be an rvalue path into a signal value or variable.
+        LValue lv = evalLValue(e);
+        counters_.loads++;
+        if (lv.type->isScalar())
+            return Value::fromInt(lv.type, readScalar(lv.ptr, lv.type));
+        return Value::fromBytes(lv.type, lv.ptr);
+    }
+    case ExprKind::Call: return evalCall(static_cast<const CallExpr&>(e));
+    case ExprKind::Cast: {
+        const auto& x = static_cast<const CastExpr&>(e);
+        const Type* target = typeOf(e);
+        Value v = evalExprIn(*x.operand);
+        counters_.exprOps++;
+        if (v.type()->isScalar()) return convertScalar(v, target);
+        // Array reinterpretation (paper Figure 2): little-endian bytes.
+        return Value::fromInt(target,
+                              readBytesLE(v.data(), v.size()));
+    }
+    case ExprKind::SizeofType: {
+        const auto& x = static_cast<const SizeofTypeExpr&>(e);
+        const Type* t = prog_.types.lookup(x.typeName);
+        counters_.exprOps++;
+        return Value::fromInt(prog_.types.intType(),
+                              static_cast<std::int64_t>(t->size()));
+    }
+    }
+    fail(e.loc, "unknown expression kind");
+}
+
+LValue Evaluator::evalLValue(const Expr& e)
+{
+    switch (e.kind) {
+    case ExprKind::Ident: {
+        const auto& x = static_cast<const IdentExpr&>(e);
+        RefKind rk = refKindOf(e);
+        Frame& f = frames_.back();
+        if (rk == RefKind::Var) {
+            auto it = f.varIndex->find(x.name);
+            if (it == f.varIndex->end())
+                fail(e.loc, "unbound variable '" + x.name + "'");
+            Value& v = f.store->at(it->second);
+            return {v.data(), v.type()};
+        }
+        if (rk == RefKind::SignalValue) {
+            // Signal values can be *read* through member/index paths:
+            // `inpkt.raw.packet[i]`. Writing is rejected by sema, so a
+            // const_cast-free read path would need a parallel ConstLValue;
+            // we keep one LValue type and trust sema's lvalue check.
+            if (!signals_ || !module_)
+                fail(e.loc, "signal access outside module context");
+            const SignalInfo* sig = module_->findSignal(x.name);
+            const Value& v = signals_->signalValue(sig->index);
+            return {const_cast<std::uint8_t*>(v.data()), v.type()};
+        }
+        fail(e.loc, "cannot take the address of '" + x.name + "'");
+    }
+    case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        LValue base = evalLValue(*x.base);
+        std::int64_t idx = evalExprIn(*x.index).toInt();
+        counters_.exprOps++;
+        if (base.type->kind() != TypeKind::Array)
+            fail(e.loc, "indexing non-array");
+        if (idx < 0 || static_cast<std::size_t>(idx) >= base.type->count())
+            fail(e.loc, "array index " + std::to_string(idx) +
+                            " out of bounds [0," +
+                            std::to_string(base.type->count()) + ")");
+        const Type* elem = base.type->element();
+        return {base.ptr + static_cast<std::size_t>(idx) * elem->size(), elem};
+    }
+    case ExprKind::Member: {
+        const auto& x = static_cast<const MemberExpr&>(e);
+        LValue base = evalLValue(*x.base);
+        const Type::Field* f = base.type->findField(x.field);
+        if (!f) fail(e.loc, "no field '" + x.field + "'");
+        return {base.ptr + f->offset, f->type};
+    }
+    default: fail(e.loc, "expression is not an lvalue");
+    }
+}
+
+Value Evaluator::evalUnary(const UnaryExpr& e)
+{
+    counters_.exprOps++;
+    switch (e.op) {
+    case UnaryOp::Plus: return evalExprIn(*e.operand);
+    case UnaryOp::Minus: {
+        Value v = evalExprIn(*e.operand);
+        return Value::fromInt(prog_.types.intType(), -v.toInt());
+    }
+    case UnaryOp::Not: {
+        Value v = evalExprIn(*e.operand);
+        return Value::fromInt(prog_.types.boolType(), v.toBool() ? 0 : 1);
+    }
+    case UnaryOp::BitNot: {
+        Value v = evalExprIn(*e.operand);
+        if (v.type()->isBool()) // paper: `if (~crc_ok)` means logical not
+            return Value::fromInt(prog_.types.boolType(), v.toBool() ? 0 : 1);
+        return Value::fromInt(prog_.types.intType(), ~v.toInt());
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+        LValue lv = evalLValue(*e.operand);
+        counters_.loads++;
+        counters_.stores++;
+        std::int64_t old = readScalar(lv.ptr, lv.type);
+        std::int64_t delta =
+            (e.op == UnaryOp::PreInc || e.op == UnaryOp::PostInc) ? 1 : -1;
+        writeScalar(lv.ptr, lv.type, old + delta);
+        bool post = e.op == UnaryOp::PostInc || e.op == UnaryOp::PostDec;
+        return Value::fromInt(lv.type,
+                              post ? old : readScalar(lv.ptr, lv.type));
+    }
+    }
+    fail(e.loc, "bad unary op");
+}
+
+Value Evaluator::evalBinary(const BinaryExpr& e)
+{
+    // Short-circuit forms first.
+    if (e.op == BinaryOp::LogAnd) {
+        counters_.branches++;
+        if (!evalExprIn(*e.lhs).toBool())
+            return Value::fromInt(prog_.types.boolType(), 0);
+        return Value::fromInt(prog_.types.boolType(),
+                              evalExprIn(*e.rhs).toBool() ? 1 : 0);
+    }
+    if (e.op == BinaryOp::LogOr) {
+        counters_.branches++;
+        if (evalExprIn(*e.lhs).toBool())
+            return Value::fromInt(prog_.types.boolType(), 1);
+        return Value::fromInt(prog_.types.boolType(),
+                              evalExprIn(*e.rhs).toBool() ? 1 : 0);
+    }
+
+    Value av = evalExprIn(*e.lhs);
+    Value bv = evalExprIn(*e.rhs);
+    std::int64_t a = av.toInt();
+    std::int64_t b = bv.toInt();
+    counters_.exprOps++;
+
+    auto boolRes = [&](bool r) {
+        return Value::fromInt(prog_.types.boolType(), r ? 1 : 0);
+    };
+    auto intRes = [&](std::int64_t r) {
+        return Value::fromInt(prog_.types.intType(), r);
+    };
+
+    switch (e.op) {
+    case BinaryOp::Add: return intRes(a + b);
+    case BinaryOp::Sub: return intRes(a - b);
+    case BinaryOp::Mul: return intRes(a * b);
+    case BinaryOp::Div:
+        if (b == 0) fail(e.loc, "division by zero");
+        return intRes(a / b);
+    case BinaryOp::Rem:
+        if (b == 0) fail(e.loc, "remainder by zero");
+        return intRes(a % b);
+    case BinaryOp::Shl: return intRes(a << (b & 63));
+    case BinaryOp::Shr: return intRes(a >> (b & 63));
+    case BinaryOp::Lt: return boolRes(a < b);
+    case BinaryOp::Gt: return boolRes(a > b);
+    case BinaryOp::Le: return boolRes(a <= b);
+    case BinaryOp::Ge: return boolRes(a >= b);
+    case BinaryOp::Eq: return boolRes(a == b);
+    case BinaryOp::Ne: return boolRes(a != b);
+    case BinaryOp::BitAnd: return intRes(a & b);
+    case BinaryOp::BitOr: return intRes(a | b);
+    case BinaryOp::BitXor: return intRes(a ^ b);
+    default: fail(e.loc, "bad binary op");
+    }
+}
+
+Value Evaluator::evalCall(const CallExpr& e)
+{
+    if (e.callee == "__sizeof_expr") {
+        // sizeof(expr): type is static; no evaluation of the operand.
+        const Frame& f = frames_.back();
+        auto it = f.exprTypes->find(e.args[0].get());
+        if (it == f.exprTypes->end()) fail(e.loc, "untyped sizeof operand");
+        counters_.exprOps++;
+        return Value::fromInt(prog_.types.intType(),
+                              static_cast<std::int64_t>(it->second->size()));
+    }
+    std::vector<Value> args;
+    args.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) args.push_back(evalExprIn(*a));
+    return callFunction(e.callee, std::move(args), e.loc);
+}
+
+Value Evaluator::callFunction(const std::string& name,
+                              std::vector<Value> args, SourceLoc loc)
+{
+    counters_.calls++;
+    charge(4);
+    auto semaIt = functionSemas_.find(name);
+    const FunctionInfo* info = prog_.findFunction(name);
+    if (semaIt == functionSemas_.end() || !info)
+        fail(loc, "call to unknown function '" + name + "'");
+    const FunctionSema& fs = semaIt->second;
+
+    if (frames_.size() > 64) fail(loc, "call depth limit exceeded");
+
+    Store frameStore(fs.vars);
+    // Bind parameters (by value; scalars converted).
+    for (std::size_t i = 0; i < info->params.size(); ++i) {
+        Value& slot = frameStore.at(static_cast<int>(i));
+        const Type* pt = info->params[i].second;
+        if (pt->isScalar())
+            slot = convertScalar(args[i], pt);
+        else
+            slot = args[i];
+    }
+
+    Frame f;
+    f.exprTypes = &fs.exprType;
+    f.refKinds = &fs.refKind;
+    f.vars = &fs.vars;
+    f.varIndex = &fs.varIndex;
+    f.store = &frameStore;
+    f.isModule = false;
+    frames_.push_back(f);
+
+    ExecResult r;
+    try {
+        r = execStmtIn(*fs.decl->body);
+    } catch (...) {
+        frames_.pop_back();
+        throw;
+    }
+    frames_.pop_back();
+
+    if (r.status == ExecStatus::Return && !r.returnValue.empty())
+        return info->returnType->isScalar()
+                   ? convertScalar(r.returnValue, info->returnType)
+                   : r.returnValue;
+    if (!info->returnType->isVoid() && r.status != ExecStatus::Return)
+        fail(loc, "function '" + name + "' fell off the end without return");
+    return Value(prog_.types.intType()); // void: dummy zero
+}
+
+ExecResult Evaluator::execStmt(const Stmt& s) { return execStmtIn(s); }
+
+ExecResult Evaluator::execStmtIn(const Stmt& s)
+{
+    charge(1);
+    switch (s.kind) {
+    case StmtKind::Block: {
+        const auto& x = static_cast<const BlockStmt&>(s);
+        for (const StmtPtr& st : x.body) {
+            ExecResult r = execStmtIn(*st);
+            if (r.status != ExecStatus::Normal) return r;
+        }
+        return {};
+    }
+    case StmtKind::Decl: {
+        const auto& x = static_cast<const DeclStmt&>(s);
+        Frame& f = frames_.back();
+        for (const Declarator& d : x.decls) {
+            auto it = f.varIndex->find(d.name);
+            if (it == f.varIndex->end()) continue;
+            Value& slot = f.store->at(it->second);
+            slot.zero();
+            if (d.init) {
+                Value v = evalExprIn(*d.init);
+                counters_.stores++;
+                if (slot.type()->isScalar())
+                    writeScalar(slot.data(), slot.type(), v.toInt());
+                else
+                    std::memcpy(slot.data(), v.data(), slot.size());
+            }
+        }
+        return {};
+    }
+    case StmtKind::ExprStmt:
+        evalExprIn(*static_cast<const ExprStmt&>(s).expr);
+        return {};
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        counters_.branches++;
+        if (evalExprIn(*x.cond).toBool()) return execStmtIn(*x.thenStmt);
+        if (x.elseStmt) return execStmtIn(*x.elseStmt);
+        return {};
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        while (true) {
+            counters_.branches++;
+            if (!evalExprIn(*x.cond).toBool()) break;
+            ExecResult r = execStmtIn(*x.body);
+            if (r.status == ExecStatus::Break) break;
+            if (r.status == ExecStatus::Return) return r;
+        }
+        return {};
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        while (true) {
+            ExecResult r = execStmtIn(*x.body);
+            if (r.status == ExecStatus::Break) break;
+            if (r.status == ExecStatus::Return) return r;
+            counters_.branches++;
+            if (!evalExprIn(*x.cond).toBool()) break;
+        }
+        return {};
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        if (x.init) execStmtIn(*x.init);
+        while (true) {
+            if (x.cond) {
+                counters_.branches++;
+                if (!evalExprIn(*x.cond).toBool()) break;
+            }
+            ExecResult r = execStmtIn(*x.body);
+            if (r.status == ExecStatus::Break) break;
+            if (r.status == ExecStatus::Return) return r;
+            if (x.step) evalExprIn(*x.step);
+        }
+        return {};
+    }
+    case StmtKind::Break: return {ExecStatus::Break, {}};
+    case StmtKind::Continue: return {ExecStatus::Continue, {}};
+    case StmtKind::Return: {
+        const auto& x = static_cast<const ReturnStmt&>(s);
+        ExecResult r;
+        r.status = ExecStatus::Return;
+        if (x.value) r.returnValue = evalExprIn(*x.value);
+        return r;
+    }
+    case StmtKind::Empty: return {};
+    default:
+        fail(s.loc, "reactive statement reached the data evaluator "
+                    "(internal error: partitioner should have split it)");
+    }
+}
+
+} // namespace ecl

@@ -1,0 +1,52 @@
+#include "src/interp/value.h"
+
+namespace ecl {
+
+std::int64_t readScalar(const std::uint8_t* p, const Type* t)
+{
+    std::uint64_t raw = 0;
+    for (std::size_t i = 0; i < t->size(); ++i)
+        raw |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    if (t->isBool()) return raw != 0 ? 1 : 0;
+    if (t->isSigned() && t->size() < 8) {
+        std::uint64_t signBit = std::uint64_t{1} << (8 * t->size() - 1);
+        if (raw & signBit) raw |= ~((signBit << 1) - 1);
+    }
+    return static_cast<std::int64_t>(raw);
+}
+
+void writeScalar(std::uint8_t* p, const Type* t, std::int64_t v)
+{
+    if (t->isBool()) {
+        p[0] = v != 0 ? 1 : 0;
+        return;
+    }
+    auto raw = static_cast<std::uint64_t>(v);
+    for (std::size_t i = 0; i < t->size(); ++i)
+        p[i] = static_cast<std::uint8_t>(raw >> (8 * i));
+}
+
+std::int64_t readBytesLE(const std::uint8_t* p, std::size_t n)
+{
+    std::uint64_t raw = 0;
+    for (std::size_t i = 0; i < n && i < 8; ++i)
+        raw |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return static_cast<std::int64_t>(raw);
+}
+
+std::string Value::toString() const
+{
+    if (!type_) return "<empty>";
+    if (type_->isScalar()) return std::to_string(toInt());
+    static const char* hex = "0123456789abcdef";
+    std::string out = type_->name() + "{";
+    for (std::size_t i = 0; i < bytes_.size(); ++i) {
+        if (i) out += ' ';
+        out += hex[bytes_[i] >> 4];
+        out += hex[bytes_[i] & 15];
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace ecl

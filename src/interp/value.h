@@ -1,0 +1,89 @@
+// Byte-backed runtime values.
+//
+// Every ECL value is a typed byte buffer with little-endian scalar encoding
+// and the packed layout computed by TypeTable. This gives C semantics for
+// structs, arrays and — crucially for the paper's packet example — unions:
+// writing `pkt.raw.packet[3]` and reading `pkt.cooked.header[3]` touch the
+// same bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/sema/types.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+/// Reads a scalar of type `t` from `p` (little-endian, sign-extended for
+/// signed types; bool reads as 0/1).
+std::int64_t readScalar(const std::uint8_t* p, const Type* t);
+
+/// Writes `v` as a scalar of type `t` at `p` (little-endian, truncating).
+void writeScalar(std::uint8_t* p, const Type* t, std::int64_t v);
+
+/// Reads up to 8 bytes little-endian, zero-extended — the semantics of the
+/// paper's `(int) pkt.cooked.crc` array reinterpretation cast.
+std::int64_t readBytesLE(const std::uint8_t* p, std::size_t n);
+
+/// A self-contained typed value.
+class Value {
+public:
+    Value() = default;
+    explicit Value(const Type* t) : type_(t), bytes_(t ? t->size() : 0, 0) {}
+
+    static Value fromInt(const Type* t, std::int64_t v)
+    {
+        Value out(t);
+        if (!t->isScalar())
+            throw EclError("Value::fromInt on non-scalar type " + t->name());
+        writeScalar(out.data(), t, v);
+        return out;
+    }
+
+    static Value fromBytes(const Type* t, const std::uint8_t* p)
+    {
+        Value out(t);
+        std::memcpy(out.data(), p, t->size());
+        return out;
+    }
+
+    [[nodiscard]] const Type* type() const { return type_; }
+    [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+    [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+    [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+    [[nodiscard]] bool empty() const { return type_ == nullptr; }
+
+    [[nodiscard]] std::int64_t toInt() const
+    {
+        if (!type_ || !type_->isScalar())
+            throw EclError("Value::toInt on non-scalar value");
+        return readScalar(data(), type_);
+    }
+
+    [[nodiscard]] bool toBool() const { return toInt() != 0; }
+
+    void zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+    friend bool operator==(const Value& a, const Value& b)
+    {
+        return a.type_ == b.type_ && a.bytes_ == b.bytes_;
+    }
+
+    /// Debug rendering: scalars as numbers, aggregates as hex bytes.
+    [[nodiscard]] std::string toString() const;
+
+private:
+    const Type* type_ = nullptr;
+    std::vector<std::uint8_t> bytes_;
+};
+
+/// A reference into some value's storage: the write target of assignments.
+struct LValue {
+    std::uint8_t* ptr = nullptr;
+    const Type* type = nullptr;
+};
+
+} // namespace ecl

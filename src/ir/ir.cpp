@@ -1,0 +1,139 @@
+#include "src/ir/ir.h"
+
+#include <algorithm>
+
+namespace ecl::ir {
+
+NodePtr makeNode(NodeKind k) { return std::make_unique<Node>(k); }
+
+namespace {
+
+void mergeUnique(std::vector<int>& into, const std::vector<int>& from)
+{
+    for (int v : from)
+        if (std::find(into.begin(), into.end(), v) == into.end())
+            into.push_back(v);
+}
+
+void collectGuardSigs(const SigGuard& g, std::vector<int>& out)
+{
+    switch (g.kind) {
+    case SigGuard::Kind::Ref:
+        if (std::find(out.begin(), out.end(), g.signal) == out.end())
+            out.push_back(g.signal);
+        return;
+    case SigGuard::Kind::Not: collectGuardSigs(*g.lhs, out); return;
+    case SigGuard::Kind::And:
+    case SigGuard::Kind::Or:
+        collectGuardSigs(*g.lhs, out);
+        collectGuardSigs(*g.rhs, out);
+        return;
+    }
+}
+
+void analyzeNode(Node& n)
+{
+    n.pausesInSubtree = PauseSet{};
+    n.mayEmit.clear();
+    n.testedSigs.clear();
+    // Note: n.valueReads of leaves was filled by the lowerer; keep leaf
+    // entries and merge children below.
+
+    if (n.kind == NodeKind::Pause)
+        n.pausesInSubtree.set(static_cast<std::size_t>(n.pauseId));
+    if (n.kind == NodeKind::Emit) n.mayEmit.push_back(n.signal);
+    if (n.guard) collectGuardSigs(*n.guard, n.testedSigs);
+
+    for (NodePtr& c : n.children) {
+        analyzeNode(*c);
+        n.pausesInSubtree |= c->pausesInSubtree;
+        mergeUnique(n.mayEmit, c->mayEmit);
+        mergeUnique(n.testedSigs, c->testedSigs);
+        mergeUnique(n.valueReads, c->valueReads);
+    }
+}
+
+} // namespace
+
+void ReactiveProgram::analyze()
+{
+    if (root) analyzeNode(*root);
+}
+
+bool evalGuard(const SigGuard& g, const std::vector<bool>& present)
+{
+    switch (g.kind) {
+    case SigGuard::Kind::Ref:
+        return present[static_cast<std::size_t>(g.signal)];
+    case SigGuard::Kind::Not: return !evalGuard(*g.lhs, present);
+    case SigGuard::Kind::And:
+        return evalGuard(*g.lhs, present) && evalGuard(*g.rhs, present);
+    case SigGuard::Kind::Or:
+        return evalGuard(*g.lhs, present) || evalGuard(*g.rhs, present);
+    }
+    return false;
+}
+
+SigGuardPtr cloneGuard(const SigGuard& g)
+{
+    auto out = std::make_unique<SigGuard>();
+    out->kind = g.kind;
+    out->signal = g.signal;
+    if (g.lhs) out->lhs = cloneGuard(*g.lhs);
+    if (g.rhs) out->rhs = cloneGuard(*g.rhs);
+    return out;
+}
+
+namespace {
+
+std::string guardText(const SigGuard& g)
+{
+    switch (g.kind) {
+    case SigGuard::Kind::Ref: return "s" + std::to_string(g.signal);
+    case SigGuard::Kind::Not: return "~" + guardText(*g.lhs);
+    case SigGuard::Kind::And:
+        return "(" + guardText(*g.lhs) + " & " + guardText(*g.rhs) + ")";
+    case SigGuard::Kind::Or:
+        return "(" + guardText(*g.lhs) + " | " + guardText(*g.rhs) + ")";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string printIr(const Node& n, int depth)
+{
+    std::string pad(2 * static_cast<std::size_t>(depth), ' ');
+    std::string out = pad;
+    switch (n.kind) {
+    case NodeKind::Nothing: out += "nothing"; break;
+    case NodeKind::Pause:
+        out += "pause #" + std::to_string(n.pauseId);
+        if (n.delta) out += " (delta)";
+        break;
+    case NodeKind::Emit:
+        out += "emit s" + std::to_string(n.signal);
+        if (n.valueExpr) out += " <value>";
+        break;
+    case NodeKind::DataStmt:
+        out += "data #" + std::to_string(n.dataActionId);
+        break;
+    case NodeKind::If: out += "if <cond>"; break;
+    case NodeKind::Present: out += "present " + guardText(*n.guard); break;
+    case NodeKind::Seq: out += "seq"; break;
+    case NodeKind::Loop: out += "loop"; break;
+    case NodeKind::Par: out += "par"; break;
+    case NodeKind::Abort:
+        out += n.weak ? "weak_abort " : "abort ";
+        out += guardText(*n.guard);
+        break;
+    case NodeKind::Suspend: out += "suspend " + guardText(*n.guard); break;
+    case NodeKind::Trap: out += "trap T" + std::to_string(n.trapId); break;
+    case NodeKind::Exit: out += "exit T" + std::to_string(n.trapId); break;
+    }
+    out += "\n";
+    for (const NodePtr& c : n.children) out += printIr(*c, depth + 1);
+    return out;
+}
+
+} // namespace ecl::ir

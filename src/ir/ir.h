@@ -1,0 +1,135 @@
+// Reactive kernel IR — the Esterel kernel statements ECL lowers to.
+//
+// Kernel constructs: Nothing, Pause, Emit, DataStmt (an extracted C
+// statement), If (data-predicate branch), Present (signal-presence branch),
+// Seq, Loop, Par, Abort (strong/weak, optional handler), Suspend, Trap/Exit.
+// `await`, `halt`, C loops, break/continue are desugared by the lowerer
+// (src/ir/lower.cpp) exactly as in Esterel:
+//
+//   await (e)  =>  trap T { loop { pause; present (e) exit T; } }
+//   halt       =>  loop { pause; }
+//   while (c) B => trap Tb { loop { if (c) { trap Tc { B } } else exit Tb } }
+//
+// Pause points carry unique ids; an EFSM control state is the set of pause
+// ids where control rests (src/efsm).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/support/bitset.h"
+#include "src/support/source_location.h"
+
+namespace ecl::ir {
+
+/// Signal-presence guard with resolved signal indices.
+struct SigGuard {
+    enum class Kind { Ref, And, Or, Not };
+    Kind kind = Kind::Ref;
+    int signal = -1; ///< For Ref: SignalInfo::index.
+    std::unique_ptr<SigGuard> lhs;
+    std::unique_ptr<SigGuard> rhs;
+};
+
+using SigGuardPtr = std::unique_ptr<SigGuard>;
+
+enum class NodeKind {
+    Nothing,
+    Pause,
+    Emit,
+    DataStmt,
+    If,
+    Present,
+    Seq,
+    Loop,
+    Par,
+    Abort,
+    Suspend,
+    Trap,
+    Exit,
+};
+
+/// One extracted data action: a C statement executed atomically within a
+/// reaction. `extractedLoop` marks the paper's "data loops" (compiled to
+/// separate C functions by codegen); plain assignments stay inline.
+struct DataAction {
+    int id = -1;
+    const ast::Stmt* stmt = nullptr; ///< Either stmt or expr is set.
+    const ast::Expr* expr = nullptr; ///< For `for`-step expressions.
+    bool extractedLoop = false;
+};
+
+struct Node {
+    explicit Node(NodeKind k) : kind(k) {}
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    NodeKind kind;
+    SourceLoc loc;
+
+    // Pause
+    int pauseId = -1;
+    bool delta = false; ///< True for the `await()` delta-cycle pause.
+
+    // Emit
+    int signal = -1;
+    const ast::Expr* valueExpr = nullptr; ///< Null for pure emit.
+
+    // DataStmt
+    int dataActionId = -1;
+
+    // If
+    const ast::Expr* condExpr = nullptr;
+
+    // Present / Abort / Suspend
+    SigGuardPtr guard;
+    bool weak = false; ///< Abort only.
+
+    // Trap / Exit
+    int trapId = -1;
+
+    // Children:
+    //   Seq: items; Loop: [body]; Par: branches (in causality order);
+    //   If/Present: [then, else]; Abort: [body, handler?]; Suspend: [body];
+    //   Trap: [body].
+    std::vector<std::unique_ptr<Node>> children;
+
+    // Analysis results (filled by analyze() below).
+    PauseSet pausesInSubtree;
+    std::vector<int> mayEmit;     ///< Signal indices possibly emitted within.
+    std::vector<int> testedSigs;  ///< Signal indices tested within.
+    std::vector<int> valueReads;  ///< Signals whose *value* data code reads
+                                  ///< (filled by the lowerer for causality).
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+NodePtr makeNode(NodeKind k);
+
+/// A lowered reactive program for one module.
+struct ReactiveProgram {
+    NodePtr root;
+    int pauseCount = 0;
+    int trapCount = 0;
+    std::vector<DataAction> actions;
+    /// trap id -> static nesting depth (0 = outermost); used to resolve
+    /// concurrent exits (the outermost trap wins).
+    std::vector<int> trapDepth;
+    /// pause id -> whether it is a delta (await()) pause.
+    std::vector<bool> pauseDelta;
+
+    /// Runs subtree analyses (pause sets, may-emit, tested signals).
+    void analyze();
+};
+
+/// Renders the IR as indented text (tests, debugging).
+std::string printIr(const Node& n, int depth = 0);
+
+/// Evaluates the guard against a complete presence assignment.
+bool evalGuard(const SigGuard& g, const std::vector<bool>& present);
+
+SigGuardPtr cloneGuard(const SigGuard& g);
+
+} // namespace ecl::ir

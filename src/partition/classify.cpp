@@ -1,0 +1,316 @@
+#include "src/partition/classify.h"
+
+namespace ecl {
+
+using namespace ast;
+
+namespace {
+
+template <typename Pred>
+bool anyStmt(const Stmt& s, Pred&& pred)
+{
+    if (pred(s)) return true;
+    switch (s.kind) {
+    case StmtKind::Block: {
+        const auto& x = static_cast<const BlockStmt&>(s);
+        for (const StmtPtr& st : x.body)
+            if (anyStmt(*st, pred)) return true;
+        return false;
+    }
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        if (anyStmt(*x.thenStmt, pred)) return true;
+        return x.elseStmt && anyStmt(*x.elseStmt, pred);
+    }
+    case StmtKind::While:
+        return anyStmt(*static_cast<const WhileStmt&>(s).body, pred);
+    case StmtKind::DoWhile:
+        return anyStmt(*static_cast<const DoWhileStmt&>(s).body, pred);
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        if (x.init && anyStmt(*x.init, pred)) return true;
+        return anyStmt(*x.body, pred);
+    }
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        if (anyStmt(*x.thenStmt, pred)) return true;
+        return x.elseStmt && anyStmt(*x.elseStmt, pred);
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        if (anyStmt(*x.body, pred)) return true;
+        return x.handler && anyStmt(*x.handler, pred);
+    }
+    case StmtKind::Suspend:
+        return anyStmt(*static_cast<const SuspendStmt&>(s).body, pred);
+    case StmtKind::Par: {
+        const auto& x = static_cast<const ParStmt&>(s);
+        for (const StmtPtr& b : x.branches)
+            if (anyStmt(*b, pred)) return true;
+        return false;
+    }
+    default: return false;
+    }
+}
+
+} // namespace
+
+bool containsReactive(const Stmt& s)
+{
+    return anyStmt(s, [](const Stmt& st) {
+        switch (st.kind) {
+        case StmtKind::Await:
+        case StmtKind::Halt:
+        case StmtKind::Emit:
+        case StmtKind::Present:
+        case StmtKind::Abort:
+        case StmtKind::Suspend:
+        case StmtKind::Par:
+        case StmtKind::SignalDecl: return true;
+        default: return false;
+        }
+    });
+}
+
+bool containsHalting(const Stmt& s)
+{
+    return anyStmt(s, [](const Stmt& st) {
+        return st.kind == StmtKind::Await || st.kind == StmtKind::Halt;
+    });
+}
+
+bool isConstTrue(const Expr& e)
+{
+    if (e.kind == ExprKind::IntLit)
+        return static_cast<const IntLitExpr&>(e).value != 0;
+    if (e.kind == ExprKind::BoolLit)
+        return static_cast<const BoolLitExpr&>(e).value;
+    return false;
+}
+
+HaltFlow analyzeHaltFlow(const Stmt& s)
+{
+    switch (s.kind) {
+    case StmtKind::Await:
+    case StmtKind::Halt: return {false, false, false};
+    case StmtKind::Break: return {false, false, true};
+    case StmtKind::Continue: return {false, true, false};
+    case StmtKind::Block: {
+        const auto& x = static_cast<const BlockStmt&>(s);
+        HaltFlow out;
+        bool entryNoHalt = true; // a no-halt path reaches the next child
+        for (const StmtPtr& st : x.body) {
+            HaltFlow f = analyzeHaltFlow(*st);
+            if (entryNoHalt) {
+                out.contNoHalt |= f.contNoHalt;
+                out.breakNoHalt |= f.breakNoHalt;
+            }
+            entryNoHalt = entryNoHalt && f.fallNoHalt;
+        }
+        out.fallNoHalt = entryNoHalt;
+        return out;
+    }
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        HaltFlow a = analyzeHaltFlow(*x.thenStmt);
+        HaltFlow b =
+            x.elseStmt ? analyzeHaltFlow(*x.elseStmt) : HaltFlow{true, false, false};
+        return {a.fallNoHalt || b.fallNoHalt, a.contNoHalt || b.contNoHalt,
+                a.breakNoHalt || b.breakNoHalt};
+    }
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        HaltFlow a = analyzeHaltFlow(*x.thenStmt);
+        HaltFlow b =
+            x.elseStmt ? analyzeHaltFlow(*x.elseStmt) : HaltFlow{true, false, false};
+        return {a.fallNoHalt || b.fallNoHalt, a.contNoHalt || b.contNoHalt,
+                a.breakNoHalt || b.breakNoHalt};
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        HaltFlow b = analyzeHaltFlow(*x.body);
+        // Optimistic rule (matches the paper accepting Figure 1): a nested
+        // loop that halts inside counts as halting even though a
+        // zero-iteration entry is statically conceivable — the EFSM builder
+        // turns such unverifiable paths into runtime traps.
+        bool halting = containsHalting(*x.body);
+        bool fall = halting ? b.breakNoHalt
+                            : (!isConstTrue(*x.cond) || b.breakNoHalt);
+        return {fall, false, false};
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        HaltFlow b = analyzeHaltFlow(*x.body);
+        bool fall = b.breakNoHalt ||
+                    ((b.fallNoHalt || b.contNoHalt) && !isConstTrue(*x.cond));
+        return {fall, false, false};
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        HaltFlow b = analyzeHaltFlow(*x.body);
+        bool constTrue = !x.cond || isConstTrue(*x.cond);
+        bool halting = containsHalting(*x.body);
+        bool fall =
+            halting ? b.breakNoHalt : (!constTrue || b.breakNoHalt);
+        return {fall, false, false};
+    }
+    case StmtKind::Par: {
+        const auto& x = static_cast<const ParStmt&>(s);
+        bool fall = true;
+        for (const StmtPtr& b : x.branches)
+            fall = fall && analyzeHaltFlow(*b).fallNoHalt;
+        return {fall, false, false};
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        // Preempted exits happen in later instants (after a halt), so only
+        // the body's first-instant flow matters.
+        HaltFlow b = analyzeHaltFlow(*x.body);
+        return b;
+    }
+    case StmtKind::Suspend:
+        return analyzeHaltFlow(*static_cast<const SuspendStmt&>(s).body);
+    default:
+        // Data statements, declarations, emits, empty: instantaneous.
+        return {true, false, false};
+    }
+}
+
+bool hasFreeLoopEscape(const Stmt& s)
+{
+    // Walk without descending into nested loops (their escapes are bound).
+    switch (s.kind) {
+    case StmtKind::Break:
+    case StmtKind::Continue: return true;
+    case StmtKind::Block: {
+        const auto& x = static_cast<const BlockStmt&>(s);
+        for (const StmtPtr& st : x.body)
+            if (hasFreeLoopEscape(*st)) return true;
+        return false;
+    }
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        if (hasFreeLoopEscape(*x.thenStmt)) return true;
+        return x.elseStmt && hasFreeLoopEscape(*x.elseStmt);
+    }
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        if (hasFreeLoopEscape(*x.thenStmt)) return true;
+        return x.elseStmt && hasFreeLoopEscape(*x.elseStmt);
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        if (hasFreeLoopEscape(*x.body)) return true;
+        return x.handler && hasFreeLoopEscape(*x.handler);
+    }
+    case StmtKind::Suspend:
+        return hasFreeLoopEscape(*static_cast<const SuspendStmt&>(s).body);
+    case StmtKind::Par: {
+        // break/continue may not cross par (sema enforces); nothing inside
+        // a par can escape a loop around `s`.
+        return false;
+    }
+    case StmtKind::While:
+    case StmtKind::DoWhile:
+    case StmtKind::For: return false; // escapes bound by the nested loop
+    default: return false;
+    }
+}
+
+namespace {
+
+void classifyIn(const Stmt& s, ClassifyResult& out, Diagnostics& diags)
+{
+    auto classifyLoop = [&](const Stmt& loop, const Stmt& body,
+                            const Expr* cond) {
+        bool reactiveInside = containsReactive(body);
+        bool haltingInside = containsHalting(body);
+        (void)cond;
+        if (!reactiveInside) {
+            out.loops[&loop] = LoopClass::Data;
+            out.dataLoops++;
+            return;
+        }
+        if (!haltingInside) {
+            diags.error(loop.loc,
+                        "loop emits or tests signals but never halts: it "
+                        "would iterate instantaneously; add 'await();' to "
+                        "split iterations across instants or make the loop "
+                        "pure data");
+            throw EclError(loop.loc, "instantaneous reactive loop");
+        }
+        HaltFlow f = analyzeHaltFlow(body);
+        if (f.fallNoHalt || f.contNoHalt) {
+            diags.error(loop.loc,
+                        "loop halts on some repeating paths but not all "
+                        "(paper Section 4 requires a halting statement in "
+                        "each path); add 'await();' on the instantaneous "
+                        "paths or split the loop");
+            throw EclError(loop.loc, "mixed reactive/data loop");
+        }
+        out.loops[&loop] = LoopClass::Reactive;
+        out.reactiveLoops++;
+    };
+
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const StmtPtr& st : static_cast<const BlockStmt&>(s).body)
+            classifyIn(*st, out, diags);
+        return;
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        classifyIn(*x.thenStmt, out, diags);
+        if (x.elseStmt) classifyIn(*x.elseStmt, out, diags);
+        return;
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        classifyLoop(s, *x.body, x.cond.get());
+        classifyIn(*x.body, out, diags);
+        return;
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        classifyLoop(s, *x.body, x.cond.get());
+        classifyIn(*x.body, out, diags);
+        return;
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        classifyLoop(s, *x.body, x.cond.get());
+        classifyIn(*x.body, out, diags);
+        return;
+    }
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        classifyIn(*x.thenStmt, out, diags);
+        if (x.elseStmt) classifyIn(*x.elseStmt, out, diags);
+        return;
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        classifyIn(*x.body, out, diags);
+        if (x.handler) classifyIn(*x.handler, out, diags);
+        return;
+    }
+    case StmtKind::Suspend:
+        classifyIn(*static_cast<const SuspendStmt&>(s).body, out, diags);
+        return;
+    case StmtKind::Par:
+        for (const StmtPtr& b : static_cast<const ParStmt&>(s).branches)
+            classifyIn(*b, out, diags);
+        return;
+    default: return;
+    }
+}
+
+} // namespace
+
+ClassifyResult classifyLoops(const ModuleDecl& m, Diagnostics& diags)
+{
+    ClassifyResult out;
+    classifyIn(*m.body, out, diags);
+    return out;
+}
+
+} // namespace ecl

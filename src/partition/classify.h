@@ -1,0 +1,57 @@
+// Loop classification — the heart of the paper's reactive/data split.
+//
+// Section 4 of the paper defines exactly two legal loop classes:
+//  1. *Reactive loops* contain at least one halting statement (await/halt)
+//     on each path that repeats the loop — they compile to Esterel loops
+//     (EFSM transitions).
+//  2. *Data loops* contain no halting statement on any path — they appear
+//     instantaneous and are extracted as C functions.
+// A loop that halts on some repeating paths but not others is rejected with
+// a diagnostic suggesting `await()` (delta cycle) or extraction.
+#pragma once
+
+#include <unordered_map>
+
+#include "src/frontend/ast.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+enum class LoopClass { Data, Reactive };
+
+struct ClassifyResult {
+    std::unordered_map<const ast::Stmt*, LoopClass> loops;
+    int dataLoops = 0;
+    int reactiveLoops = 0;
+};
+
+/// True if `s` contains any reactive construct (await, halt, emit, present,
+/// abort, suspend, par, signal declaration).
+bool containsReactive(const ast::Stmt& s);
+
+/// True if `s` contains a halting statement (await or halt).
+bool containsHalting(const ast::Stmt& s);
+
+/// Control-flow facts about paths through a statement that have NOT passed
+/// a halting statement.
+struct HaltFlow {
+    bool fallNoHalt = false;  ///< May complete normally without halting.
+    bool contNoHalt = false;  ///< May reach `continue` without halting.
+    bool breakNoHalt = false; ///< May reach `break` without halting.
+};
+
+HaltFlow analyzeHaltFlow(const ast::Stmt& s);
+
+/// True for `break`/`continue` that would escape out of `s` itself
+/// (i.e., not enclosed in a loop within `s`).
+bool hasFreeLoopEscape(const ast::Stmt& s);
+
+/// True for integer/bool literals with a non-zero value ("while (1)").
+bool isConstTrue(const ast::Expr& e);
+
+/// Classifies every loop in the module body. Throws EclError on mixed
+/// loops (halting on some repeating paths only) and on data-looking loops
+/// that contain emits but never halt.
+ClassifyResult classifyLoops(const ast::ModuleDecl& m, Diagnostics& diags);
+
+} // namespace ecl

@@ -1,0 +1,699 @@
+#include "src/partition/lower.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace ecl {
+
+using namespace ast;
+using ir::Node;
+using ir::NodeKind;
+using ir::NodePtr;
+
+namespace {
+
+// --- signal value reads (glue analysis) ------------------------------------
+
+void collectReadsExpr(const Expr& e, const ModuleSema& sema,
+                      std::vector<int>& out)
+{
+    auto add = [&](int idx) {
+        if (std::find(out.begin(), out.end(), idx) == out.end())
+            out.push_back(idx);
+    };
+    switch (e.kind) {
+    case ExprKind::Ident: {
+        auto it = sema.refKind.find(&e);
+        if (it != sema.refKind.end() && it->second == RefKind::SignalValue) {
+            const auto& x = static_cast<const IdentExpr&>(e);
+            if (const SignalInfo* s = sema.findSignal(x.name)) add(s->index);
+        }
+        return;
+    }
+    case ExprKind::Unary:
+        collectReadsExpr(*static_cast<const UnaryExpr&>(e).operand, sema, out);
+        return;
+    case ExprKind::Binary: {
+        const auto& x = static_cast<const BinaryExpr&>(e);
+        collectReadsExpr(*x.lhs, sema, out);
+        collectReadsExpr(*x.rhs, sema, out);
+        return;
+    }
+    case ExprKind::Assign: {
+        const auto& x = static_cast<const AssignExpr&>(e);
+        collectReadsExpr(*x.lhs, sema, out);
+        collectReadsExpr(*x.rhs, sema, out);
+        return;
+    }
+    case ExprKind::Cond: {
+        const auto& x = static_cast<const CondExpr&>(e);
+        collectReadsExpr(*x.cond, sema, out);
+        collectReadsExpr(*x.thenExpr, sema, out);
+        collectReadsExpr(*x.elseExpr, sema, out);
+        return;
+    }
+    case ExprKind::Index: {
+        const auto& x = static_cast<const IndexExpr&>(e);
+        collectReadsExpr(*x.base, sema, out);
+        collectReadsExpr(*x.index, sema, out);
+        return;
+    }
+    case ExprKind::Member:
+        collectReadsExpr(*static_cast<const MemberExpr&>(e).base, sema, out);
+        return;
+    case ExprKind::Call:
+        for (const ExprPtr& a : static_cast<const CallExpr&>(e).args)
+            collectReadsExpr(*a, sema, out);
+        return;
+    case ExprKind::Cast:
+        collectReadsExpr(*static_cast<const CastExpr&>(e).operand, sema, out);
+        return;
+    default: return;
+    }
+}
+
+void collectReadsStmt(const Stmt& s, const ModuleSema& sema,
+                      std::vector<int>& out)
+{
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const StmtPtr& st : static_cast<const BlockStmt&>(s).body)
+            collectReadsStmt(*st, sema, out);
+        return;
+    case StmtKind::Decl:
+        for (const Declarator& d : static_cast<const DeclStmt&>(s).decls)
+            if (d.init) collectReadsExpr(*d.init, sema, out);
+        return;
+    case StmtKind::ExprStmt:
+        collectReadsExpr(*static_cast<const ExprStmt&>(s).expr, sema, out);
+        return;
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        collectReadsExpr(*x.cond, sema, out);
+        collectReadsStmt(*x.thenStmt, sema, out);
+        if (x.elseStmt) collectReadsStmt(*x.elseStmt, sema, out);
+        return;
+    }
+    case StmtKind::While: {
+        const auto& x = static_cast<const WhileStmt&>(s);
+        collectReadsExpr(*x.cond, sema, out);
+        collectReadsStmt(*x.body, sema, out);
+        return;
+    }
+    case StmtKind::DoWhile: {
+        const auto& x = static_cast<const DoWhileStmt&>(s);
+        collectReadsStmt(*x.body, sema, out);
+        collectReadsExpr(*x.cond, sema, out);
+        return;
+    }
+    case StmtKind::For: {
+        const auto& x = static_cast<const ForStmt&>(s);
+        if (x.init) collectReadsStmt(*x.init, sema, out);
+        if (x.cond) collectReadsExpr(*x.cond, sema, out);
+        if (x.step) collectReadsExpr(*x.step, sema, out);
+        collectReadsStmt(*x.body, sema, out);
+        return;
+    }
+    case StmtKind::Return: {
+        const auto& x = static_cast<const ReturnStmt&>(s);
+        if (x.value) collectReadsExpr(*x.value, sema, out);
+        return;
+    }
+    case StmtKind::Emit: {
+        const auto& x = static_cast<const EmitStmt&>(s);
+        if (x.value) collectReadsExpr(*x.value, sema, out);
+        return;
+    }
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        collectReadsStmt(*x.thenStmt, sema, out);
+        if (x.elseStmt) collectReadsStmt(*x.elseStmt, sema, out);
+        return;
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        collectReadsStmt(*x.body, sema, out);
+        if (x.handler) collectReadsStmt(*x.handler, sema, out);
+        return;
+    }
+    case StmtKind::Suspend:
+        collectReadsStmt(*static_cast<const SuspendStmt&>(s).body, sema, out);
+        return;
+    case StmtKind::Par:
+        for (const StmtPtr& b : static_cast<const ParStmt&>(s).branches)
+            collectReadsStmt(*b, sema, out);
+        return;
+    default: return;
+    }
+}
+
+// --- the lowerer ------------------------------------------------------------
+
+class Lowerer {
+public:
+    Lowerer(const ModuleSema& sema, const ClassifyResult& classes,
+            Diagnostics& diags)
+        : sema_(sema), classes_(classes), diags_(diags)
+    {
+    }
+
+    ir::ReactiveProgram run(const ModuleDecl& m)
+    {
+        ir::ReactiveProgram prog;
+        prog.root = lowerStmt(*m.body);
+        prog.pauseCount = pauseCount_;
+        prog.trapCount = trapCount_;
+        prog.actions = std::move(actions_);
+        prog.trapDepth = std::move(trapDepth_);
+        prog.pauseDelta = std::move(pauseDelta_);
+        prog.analyze();
+        return prog;
+    }
+
+private:
+    [[noreturn]] void fail(SourceLoc loc, const std::string& msg)
+    {
+        diags_.error(loc, msg);
+        throw EclError(loc, msg);
+    }
+
+    int newPause(bool delta)
+    {
+        pauseDelta_.push_back(delta);
+        return pauseCount_++;
+    }
+
+    int newTrap()
+    {
+        trapDepth_.push_back(curTrapDepth_);
+        return trapCount_++;
+    }
+
+    NodePtr mk(NodeKind k, SourceLoc loc)
+    {
+        NodePtr n = ir::makeNode(k);
+        n->loc = loc;
+        return n;
+    }
+
+    NodePtr mkData(const Stmt* stmt, const Expr* expr, bool extracted,
+                   SourceLoc loc)
+    {
+        ir::DataAction a;
+        a.id = static_cast<int>(actions_.size());
+        a.stmt = stmt;
+        a.expr = expr;
+        a.extractedLoop = extracted;
+        actions_.push_back(a);
+        NodePtr n = mk(NodeKind::DataStmt, loc);
+        n->dataActionId = a.id;
+        if (stmt) n->valueReads = collectSignalValueReads(*stmt, sema_);
+        if (expr) n->valueReads = collectSignalValueReadsExpr(*expr, sema_);
+        return n;
+    }
+
+    ir::SigGuardPtr lowerGuard(const SigExpr& se)
+    {
+        auto g = std::make_unique<ir::SigGuard>();
+        switch (se.kind) {
+        case SigExprKind::Ref: {
+            g->kind = ir::SigGuard::Kind::Ref;
+            const SignalInfo* sig = sema_.findSignal(se.name);
+            if (!sig) fail(se.loc, "unknown signal '" + se.name + "'");
+            g->signal = sig->index;
+            return g;
+        }
+        case SigExprKind::Not:
+            g->kind = ir::SigGuard::Kind::Not;
+            g->lhs = lowerGuard(*se.lhs);
+            return g;
+        case SigExprKind::And:
+            g->kind = ir::SigGuard::Kind::And;
+            g->lhs = lowerGuard(*se.lhs);
+            g->rhs = lowerGuard(*se.rhs);
+            return g;
+        case SigExprKind::Or:
+            g->kind = ir::SigGuard::Kind::Or;
+            g->lhs = lowerGuard(*se.lhs);
+            g->rhs = lowerGuard(*se.rhs);
+            return g;
+        }
+        fail(se.loc, "bad signal expression");
+    }
+
+    /// True if `s` can be emitted as one atomic data action.
+    bool isPureData(const Stmt& s)
+    {
+        switch (s.kind) {
+        case StmtKind::Empty:
+        case StmtKind::SignalDecl:
+        case StmtKind::Await:
+        case StmtKind::Emit:
+        case StmtKind::Halt:
+        case StmtKind::Present:
+        case StmtKind::Abort:
+        case StmtKind::Suspend:
+        case StmtKind::Par:
+        case StmtKind::Break:
+        case StmtKind::Continue:
+        case StmtKind::Return: return false;
+        default:
+            return !containsReactive(s) && !hasFreeLoopEscape(s);
+        }
+    }
+
+    NodePtr lowerStmt(const Stmt& s)
+    {
+        if (isPureData(s)) {
+            bool extractedLoop =
+                (s.kind == StmtKind::While || s.kind == StmtKind::For ||
+                 s.kind == StmtKind::DoWhile);
+            return mkData(&s, nullptr, extractedLoop, s.loc);
+        }
+
+        switch (s.kind) {
+        case StmtKind::Empty:
+        case StmtKind::SignalDecl: return mk(NodeKind::Nothing, s.loc);
+
+        case StmtKind::Block: {
+            const auto& x = static_cast<const BlockStmt&>(s);
+            NodePtr seq = mk(NodeKind::Seq, s.loc);
+            for (const StmtPtr& st : x.body) {
+                if (st->kind == StmtKind::Empty ||
+                    st->kind == StmtKind::SignalDecl)
+                    continue;
+                seq->children.push_back(lowerStmt(*st));
+            }
+            if (seq->children.empty()) return mk(NodeKind::Nothing, s.loc);
+            if (seq->children.size() == 1)
+                return std::move(seq->children.front());
+            return seq;
+        }
+
+        case StmtKind::If: {
+            const auto& x = static_cast<const IfStmt&>(s);
+            NodePtr n = mk(NodeKind::If, s.loc);
+            n->condExpr = x.cond.get();
+            n->valueReads = collectSignalValueReadsExpr(*x.cond, sema_);
+            n->children.push_back(lowerStmt(*x.thenStmt));
+            n->children.push_back(x.elseStmt ? lowerStmt(*x.elseStmt)
+                                             : mk(NodeKind::Nothing, s.loc));
+            return n;
+        }
+
+        case StmtKind::Present: {
+            const auto& x = static_cast<const PresentStmt&>(s);
+            NodePtr n = mk(NodeKind::Present, s.loc);
+            n->guard = lowerGuard(*x.cond);
+            n->children.push_back(lowerStmt(*x.thenStmt));
+            n->children.push_back(x.elseStmt ? lowerStmt(*x.elseStmt)
+                                             : mk(NodeKind::Nothing, s.loc));
+            return n;
+        }
+
+        case StmtKind::While: return lowerWhile(static_cast<const WhileStmt&>(s));
+        case StmtKind::DoWhile:
+            return lowerDoWhile(static_cast<const DoWhileStmt&>(s));
+        case StmtKind::For: return lowerFor(static_cast<const ForStmt&>(s));
+
+        case StmtKind::Break: {
+            if (loopStack_.empty()) fail(s.loc, "break outside loop");
+            NodePtr n = mk(NodeKind::Exit, s.loc);
+            n->trapId = loopStack_.back().breakTrap;
+            return n;
+        }
+        case StmtKind::Continue: {
+            if (loopStack_.empty()) fail(s.loc, "continue outside loop");
+            NodePtr n = mk(NodeKind::Exit, s.loc);
+            n->trapId = loopStack_.back().continueTrap;
+            return n;
+        }
+
+        case StmtKind::Await: {
+            const auto& x = static_cast<const AwaitStmt&>(s);
+            if (!x.cond) {
+                NodePtr p = mk(NodeKind::Pause, s.loc);
+                p->pauseId = newPause(/*delta=*/true);
+                p->delta = true;
+                return p;
+            }
+            // trap T { loop { pause; present (e) exit T; } }
+            NodePtr trap = mk(NodeKind::Trap, s.loc);
+            trap->trapId = newTrap();
+            ++curTrapDepth_;
+            NodePtr loop = mk(NodeKind::Loop, s.loc);
+            NodePtr seq = mk(NodeKind::Seq, s.loc);
+            NodePtr pause = mk(NodeKind::Pause, s.loc);
+            pause->pauseId = newPause(false);
+            NodePtr present = mk(NodeKind::Present, s.loc);
+            present->guard = lowerGuard(*x.cond);
+            NodePtr exit = mk(NodeKind::Exit, s.loc);
+            exit->trapId = trap->trapId;
+            present->children.push_back(std::move(exit));
+            present->children.push_back(mk(NodeKind::Nothing, s.loc));
+            seq->children.push_back(std::move(pause));
+            seq->children.push_back(std::move(present));
+            loop->children.push_back(std::move(seq));
+            trap->children.push_back(std::move(loop));
+            --curTrapDepth_;
+            return trap;
+        }
+
+        case StmtKind::Halt: {
+            NodePtr loop = mk(NodeKind::Loop, s.loc);
+            NodePtr pause = mk(NodeKind::Pause, s.loc);
+            pause->pauseId = newPause(false);
+            loop->children.push_back(std::move(pause));
+            return loop;
+        }
+
+        case StmtKind::Emit: {
+            const auto& x = static_cast<const EmitStmt&>(s);
+            const SignalInfo* sig = sema_.findSignal(x.signal);
+            if (!sig) fail(s.loc, "unknown signal '" + x.signal + "'");
+            NodePtr n = mk(NodeKind::Emit, s.loc);
+            n->signal = sig->index;
+            n->valueExpr = x.value.get();
+            if (x.value)
+                n->valueReads = collectSignalValueReadsExpr(*x.value, sema_);
+            return n;
+        }
+
+        case StmtKind::Abort: {
+            const auto& x = static_cast<const AbortStmt&>(s);
+            NodePtr n = mk(NodeKind::Abort, s.loc);
+            n->guard = lowerGuard(*x.cond);
+            n->weak = x.weak;
+            n->children.push_back(lowerStmt(*x.body));
+            if (x.handler) n->children.push_back(lowerStmt(*x.handler));
+            return n;
+        }
+
+        case StmtKind::Suspend: {
+            const auto& x = static_cast<const SuspendStmt&>(s);
+            NodePtr n = mk(NodeKind::Suspend, s.loc);
+            n->guard = lowerGuard(*x.cond);
+            n->children.push_back(lowerStmt(*x.body));
+            return n;
+        }
+
+        case StmtKind::Par: {
+            const auto& x = static_cast<const ParStmt&>(s);
+            NodePtr n = mk(NodeKind::Par, s.loc);
+            // break/continue may not cross par boundaries.
+            std::vector<LoopCtx> saved;
+            saved.swap(loopStack_);
+            for (const StmtPtr& b : x.branches)
+                n->children.push_back(lowerStmt(*b));
+            loopStack_.swap(saved);
+            if (n->children.empty()) return mk(NodeKind::Nothing, s.loc);
+            return n;
+        }
+
+        case StmtKind::Decl:
+        case StmtKind::ExprStmt:
+            // Reach here only when containing loop escapes: treat as data.
+            return mkData(&s, nullptr, false, s.loc);
+
+        case StmtKind::Return:
+            fail(s.loc, "'return' cannot appear in a module body");
+
+        default: fail(s.loc, "cannot lower statement");
+        }
+    }
+
+    struct LoopCtx {
+        int breakTrap;
+        int continueTrap;
+    };
+
+    /// Shared tail for all three reactive loop forms.
+    /// while(c) B:
+    ///   trap Tb { loop { if (c) { trap Tc { B } } else exit Tb } }
+    NodePtr lowerWhile(const WhileStmt& x)
+    {
+        requireReactiveLoop(x);
+        NodePtr trapB = mk(NodeKind::Trap, x.loc);
+        trapB->trapId = newTrap();
+        ++curTrapDepth_;
+
+        NodePtr loop = mk(NodeKind::Loop, x.loc);
+        int trapCId = newTrap();
+        ++curTrapDepth_;
+        loopStack_.push_back({trapB->trapId, trapCId});
+        NodePtr trapC = mk(NodeKind::Trap, x.loc);
+        trapC->trapId = trapCId;
+        trapC->children.push_back(lowerStmt(*x.body));
+        loopStack_.pop_back();
+        --curTrapDepth_;
+
+        if (isConstTrue(*x.cond)) {
+            loop->children.push_back(std::move(trapC));
+        } else {
+            NodePtr iff = mk(NodeKind::If, x.loc);
+            iff->condExpr = x.cond.get();
+            iff->valueReads = collectSignalValueReadsExpr(*x.cond, sema_);
+            iff->children.push_back(std::move(trapC));
+            NodePtr exitB = mk(NodeKind::Exit, x.loc);
+            exitB->trapId = trapB->trapId;
+            iff->children.push_back(std::move(exitB));
+            loop->children.push_back(std::move(iff));
+        }
+        trapB->children.push_back(std::move(loop));
+        --curTrapDepth_;
+        return trapB;
+    }
+
+    NodePtr lowerDoWhile(const DoWhileStmt& x)
+    {
+        requireReactiveLoop(x);
+        NodePtr trapB = mk(NodeKind::Trap, x.loc);
+        trapB->trapId = newTrap();
+        ++curTrapDepth_;
+        NodePtr loop = mk(NodeKind::Loop, x.loc);
+        NodePtr seq = mk(NodeKind::Seq, x.loc);
+
+        int trapCId = newTrap();
+        ++curTrapDepth_;
+        loopStack_.push_back({trapB->trapId, trapCId});
+        NodePtr trapC = mk(NodeKind::Trap, x.loc);
+        trapC->trapId = trapCId;
+        trapC->children.push_back(lowerStmt(*x.body));
+        loopStack_.pop_back();
+        --curTrapDepth_;
+        seq->children.push_back(std::move(trapC));
+
+        if (!isConstTrue(*x.cond)) {
+            NodePtr iff = mk(NodeKind::If, x.loc);
+            iff->condExpr = x.cond.get();
+            iff->valueReads = collectSignalValueReadsExpr(*x.cond, sema_);
+            iff->children.push_back(mk(NodeKind::Nothing, x.loc));
+            NodePtr exitB = mk(NodeKind::Exit, x.loc);
+            exitB->trapId = trapB->trapId;
+            iff->children.push_back(std::move(exitB));
+            seq->children.push_back(std::move(iff));
+        }
+        loop->children.push_back(std::move(seq));
+        trapB->children.push_back(std::move(loop));
+        --curTrapDepth_;
+        return trapB;
+    }
+
+    NodePtr lowerFor(const ForStmt& x)
+    {
+        requireReactiveLoop(x);
+        NodePtr outer = mk(NodeKind::Seq, x.loc);
+        if (x.init) outer->children.push_back(lowerStmt(*x.init));
+
+        NodePtr trapB = mk(NodeKind::Trap, x.loc);
+        trapB->trapId = newTrap();
+        ++curTrapDepth_;
+        NodePtr loop = mk(NodeKind::Loop, x.loc);
+
+        NodePtr iterSeq = mk(NodeKind::Seq, x.loc);
+        int trapCId = newTrap();
+        ++curTrapDepth_;
+        loopStack_.push_back({trapB->trapId, trapCId});
+        NodePtr trapC = mk(NodeKind::Trap, x.loc);
+        trapC->trapId = trapCId;
+        trapC->children.push_back(lowerStmt(*x.body));
+        loopStack_.pop_back();
+        --curTrapDepth_;
+        iterSeq->children.push_back(std::move(trapC));
+        if (x.step)
+            iterSeq->children.push_back(
+                mkData(nullptr, x.step.get(), false, x.loc));
+
+        if (x.cond && !isConstTrue(*x.cond)) {
+            NodePtr iff = mk(NodeKind::If, x.loc);
+            iff->condExpr = x.cond.get();
+            iff->valueReads = collectSignalValueReadsExpr(*x.cond, sema_);
+            iff->children.push_back(std::move(iterSeq));
+            NodePtr exitB = mk(NodeKind::Exit, x.loc);
+            exitB->trapId = trapB->trapId;
+            iff->children.push_back(std::move(exitB));
+            loop->children.push_back(std::move(iff));
+        } else {
+            loop->children.push_back(std::move(iterSeq));
+        }
+        trapB->children.push_back(std::move(loop));
+        --curTrapDepth_;
+        outer->children.push_back(std::move(trapB));
+        if (outer->children.size() == 1)
+            return std::move(outer->children.front());
+        return outer;
+    }
+
+    void requireReactiveLoop(const Stmt& s)
+    {
+        auto it = classes_.loops.find(&s);
+        if (it == classes_.loops.end() || it->second != LoopClass::Reactive)
+            fail(s.loc, "internal: loop reached reactive lowering without "
+                        "Reactive classification");
+    }
+
+    const ModuleSema& sema_;
+    const ClassifyResult& classes_;
+    Diagnostics& diags_;
+    int pauseCount_ = 0;
+    int trapCount_ = 0;
+    int curTrapDepth_ = 0;
+    std::vector<int> trapDepth_;
+    std::vector<bool> pauseDelta_;
+    std::vector<ir::DataAction> actions_;
+    std::vector<LoopCtx> loopStack_;
+};
+
+} // namespace
+
+std::vector<int> collectSignalValueReads(const Stmt& s, const ModuleSema& sema)
+{
+    std::vector<int> out;
+    collectReadsStmt(s, sema, out);
+    return out;
+}
+
+std::vector<int> collectSignalValueReadsExpr(const Expr& e,
+                                             const ModuleSema& sema)
+{
+    std::vector<int> out;
+    collectReadsExpr(e, sema, out);
+    return out;
+}
+
+ir::ReactiveProgram lowerModule(const ModuleDecl& module,
+                                const ModuleSema& sema, Diagnostics& diags,
+                                LowerStats* stats)
+{
+    ClassifyResult classes = classifyLoops(module, diags);
+    Lowerer lowerer(sema, classes, diags);
+    ir::ReactiveProgram prog = lowerer.run(module);
+    scheduleParBranches(prog, sema, diags);
+    if (stats) {
+        stats->dataActions = static_cast<int>(prog.actions.size());
+        stats->extractedLoops = 0;
+        for (const ir::DataAction& a : prog.actions)
+            if (a.extractedLoop) stats->extractedLoops++;
+        stats->pauses = prog.pauseCount;
+        stats->traps = prog.trapCount;
+    }
+    return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Static causality: order par branches emitter-before-tester.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool readsOrTests(const ir::Node& n, int sig)
+{
+    return std::find(n.testedSigs.begin(), n.testedSigs.end(), sig) !=
+               n.testedSigs.end() ||
+           std::find(n.valueReads.begin(), n.valueReads.end(), sig) !=
+               n.valueReads.end();
+}
+
+void schedulePar(ir::Node& n, const ModuleSema& sema, Diagnostics& diags)
+{
+    for (ir::NodePtr& c : n.children) schedulePar(*c, sema, diags);
+    if (n.kind != NodeKind::Par) return;
+
+    const std::size_t k = n.children.size();
+    // edge[i][j]: branch i must run before branch j (i may emit a non-input
+    // signal that j tests or reads).
+    std::vector<std::vector<bool>> edge(k, std::vector<bool>(k, false));
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            if (i == j) continue;
+            for (int sig : n.children[i]->mayEmit) {
+                const SignalInfo& info =
+                    sema.signals[static_cast<std::size_t>(sig)];
+                if (info.dir == ecl::SignalDir::Input) continue;
+                if (readsOrTests(*n.children[j], sig)) {
+                    edge[i][j] = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Stable topological sort (Kahn, preferring original order).
+    std::vector<std::size_t> order;
+    std::vector<bool> placed(k, false);
+    for (std::size_t round = 0; round < k; ++round) {
+        bool progress = false;
+        for (std::size_t j = 0; j < k && !progress; ++j) {
+            if (placed[j]) continue;
+            bool ready = true;
+            for (std::size_t i = 0; i < k; ++i)
+                if (!placed[i] && i != j && edge[i][j]) ready = false;
+            if (ready) {
+                order.push_back(j);
+                placed[j] = true;
+                progress = true;
+            }
+        }
+        if (!progress) {
+            // Collect the signals involved for the diagnostic.
+            std::string sigs;
+            for (std::size_t i = 0; i < k; ++i) {
+                if (placed[i]) continue;
+                for (int sig : n.children[i]->mayEmit) {
+                    const SignalInfo& info =
+                        sema.signals[static_cast<std::size_t>(sig)];
+                    if (info.dir == ecl::SignalDir::Input) continue;
+                    for (std::size_t j = 0; j < k; ++j) {
+                        if (placed[j] || i == j) continue;
+                        if (readsOrTests(*n.children[j], sig)) {
+                            if (!sigs.empty()) sigs += ", ";
+                            sigs += info.name;
+                        }
+                    }
+                }
+            }
+            diags.error(n.loc,
+                        "causality cycle between par branches (signals: " +
+                            sigs +
+                            "); ECL requires a static emitter-before-tester "
+                            "order (DESIGN.md: static causality)");
+            throw EclError(n.loc, "causality cycle");
+        }
+    }
+
+    std::vector<ir::NodePtr> reordered;
+    reordered.reserve(k);
+    for (std::size_t idx : order)
+        reordered.push_back(std::move(n.children[idx]));
+    n.children = std::move(reordered);
+}
+
+} // namespace
+
+void scheduleParBranches(ir::ReactiveProgram& program, const ModuleSema& sema,
+                         Diagnostics& diags)
+{
+    if (program.root) schedulePar(*program.root, sema, diags);
+}
+
+} // namespace ecl

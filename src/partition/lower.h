@@ -1,0 +1,44 @@
+// AST -> reactive kernel IR lowering, applying the reactive/data partition.
+//
+// This is the paper's compilation phase 1: the ECL program is split into a
+// reactive skeleton (IR nodes, later compiled to an EFSM) and data actions
+// (C statements executed atomically by a reaction — the extracted data
+// loops plus inline assignments). Glue information (which signals' values
+// data code reads) is recorded on IR nodes for the causality scheduler.
+#pragma once
+
+#include "src/frontend/ast.h"
+#include "src/ir/ir.h"
+#include "src/partition/classify.h"
+#include "src/sema/sema.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+struct LowerStats {
+    int dataActions = 0;
+    int extractedLoops = 0;
+    int pauses = 0;
+    int traps = 0;
+};
+
+/// Lowers a flattened, sema-checked module. Throws EclError on
+/// classification errors (mixed loops) and malformed reactive code.
+ir::ReactiveProgram lowerModule(const ast::ModuleDecl& module,
+                                const ModuleSema& sema, Diagnostics& diags,
+                                LowerStats* stats = nullptr);
+
+/// Collects indices of signals whose *values* are read inside `s`
+/// (expressions resolved by sema as SignalValue references).
+std::vector<int> collectSignalValueReads(const ast::Stmt& s,
+                                         const ModuleSema& sema);
+std::vector<int> collectSignalValueReadsExpr(const ast::Expr& e,
+                                             const ModuleSema& sema);
+
+/// Orders every Par node's branches so that potential emitters of a local
+/// or output signal run before its testers/readers (static causality).
+/// Throws EclError on causality cycles. Must run after program.analyze().
+void scheduleParBranches(ir::ReactiveProgram& program, const ModuleSema& sema,
+                         Diagnostics& diags);
+
+} // namespace ecl

@@ -1,0 +1,148 @@
+// Synchronous reactive engines.
+//
+// SyncEngine executes the compiled EFSM: one decision-tree walk per instant
+// — the paper's fast path ("the Esterel compiler does case analysis much
+// better than a human designer").
+//
+// RcEngine is the Reactive-C-style baseline of the related-work section:
+// it re-walks the whole reactive program structure every instant, keeping
+// an explicit set of active pause points. Semantically equivalent (used as
+// a differential-testing oracle) but with interpretive overhead per
+// reaction, like RC's direct compilation to C.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/efsm/efsm.h"
+#include "src/interp/eval.h"
+#include "src/ir/ir.h"
+#include "src/runtime/signal_env.h"
+#include "src/sema/sema.h"
+
+namespace ecl::rt {
+
+using FunctionSemaMap = std::unordered_map<std::string, FunctionSema>;
+
+struct ReactionResult {
+    std::vector<int> emittedOutputs; ///< Output-signal indices, in order.
+    bool terminated = false;
+    std::uint64_t treeTests = 0;  ///< Decision nodes walked (EFSM) or IR
+                                  ///< nodes visited (baseline).
+    std::uint64_t actionsRun = 0;
+    std::uint64_t emitsRun = 0;   ///< All emissions (incl. local signals).
+    ExecCounters dataCounters;    ///< From the data evaluator.
+};
+
+/// Common interface so tests and benches can drive both engines uniformly.
+class ReactiveEngine {
+public:
+    virtual ~ReactiveEngine() = default;
+
+    /// Keeps an owner (typically the CompiledModule) alive for the
+    /// engine's lifetime — engines hold references into compiled
+    /// structures.
+    void retain(std::shared_ptr<const void> owner) { owner_ = std::move(owner); }
+
+    virtual void setInput(const std::string& name) = 0;
+    virtual void setInputScalar(const std::string& name, std::int64_t v) = 0;
+    virtual void setInputValue(const std::string& name, Value v) = 0;
+    virtual ReactionResult react() = 0;
+
+    [[nodiscard]] virtual bool outputPresent(const std::string& name) const = 0;
+    [[nodiscard]] virtual Value outputValue(const std::string& name) const = 0;
+    [[nodiscard]] virtual bool terminated() const = 0;
+    /// True when the engine must react next instant even with no inputs
+    /// (an await() delta pause is pending).
+    [[nodiscard]] virtual bool needsAutoResume() const = 0;
+
+private:
+    std::shared_ptr<const void> owner_;
+};
+
+class SyncEngine final : public ReactiveEngine {
+public:
+    SyncEngine(const efsm::Efsm& machine, const ModuleSema& sema,
+               const ProgramSema& program, const FunctionSemaMap& functions);
+
+    void setInput(const std::string& name) override;
+    void setInputScalar(const std::string& name, std::int64_t v) override;
+    void setInputValue(const std::string& name, Value v) override;
+    ReactionResult react() override;
+
+    [[nodiscard]] bool outputPresent(const std::string& name) const override;
+    [[nodiscard]] Value outputValue(const std::string& name) const override;
+    [[nodiscard]] bool terminated() const override;
+    [[nodiscard]] bool needsAutoResume() const override;
+
+    [[nodiscard]] int currentState() const { return state_; }
+    [[nodiscard]] Store& store() { return store_; }
+    [[nodiscard]] SignalEnv& env() { return env_; }
+    [[nodiscard]] const SignalEnv& env() const { return env_; }
+    [[nodiscard]] const ModuleSema& sema() const { return sema_; }
+
+    /// Data memory footprint: variables + signal values (memory model).
+    [[nodiscard]] std::size_t dataBytes() const;
+
+private:
+    int signalIndex(const std::string& name, bool wantInput) const;
+    void runActions(const std::vector<efsm::Action>& actions,
+                    ReactionResult& result);
+
+    const efsm::Efsm& machine_;
+    const ModuleSema& sema_;
+    SignalEnv env_;
+    Store store_;
+    Evaluator eval_;
+    int state_ = 0;
+    std::vector<bool> lastPresent_;
+    bool instantOpen_ = false;
+};
+
+class RcEngine final : public ReactiveEngine {
+public:
+    RcEngine(const ir::ReactiveProgram& program, const ModuleSema& sema,
+             const ProgramSema& programSema, const FunctionSemaMap& functions);
+
+    void setInput(const std::string& name) override;
+    void setInputScalar(const std::string& name, std::int64_t v) override;
+    void setInputValue(const std::string& name, Value v) override;
+    ReactionResult react() override;
+
+    [[nodiscard]] bool outputPresent(const std::string& name) const override;
+    [[nodiscard]] Value outputValue(const std::string& name) const override;
+    [[nodiscard]] bool terminated() const override;
+    [[nodiscard]] bool needsAutoResume() const override;
+
+    [[nodiscard]] Store& store() { return store_; }
+
+private:
+    enum class Comp { Term, Pause, Exit };
+    struct WalkResult {
+        Comp comp = Comp::Term;
+        int trapId = -1;
+        int trapDepth = 0;
+        PauseSet pauses;
+    };
+    enum class Mode { Start, Resume };
+
+    int signalIndex(const std::string& name, bool wantInput) const;
+    WalkResult walk(const ir::Node& n, Mode mode, ReactionResult& result);
+    bool guardValue(const ir::SigGuard& g);
+    void doEmit(const ir::Node& n, ReactionResult& result);
+
+    const ir::ReactiveProgram& prog_;
+    const ModuleSema& sema_;
+    SignalEnv env_;
+    Store store_;
+    Evaluator eval_;
+    PauseSet config_;
+    bool started_ = false;
+    bool dead_ = false;
+    std::vector<bool> lastPresent_;
+};
+
+} // namespace ecl::rt

@@ -1,0 +1,65 @@
+#include "src/runtime/signal_env.h"
+
+namespace ecl::rt {
+
+SignalEnv::SignalEnv(const ModuleSema& sema) : sema_(sema)
+{
+    present_.assign(sema.signals.size(), false);
+    values_.reserve(sema.signals.size());
+    for (const SignalInfo& s : sema.signals)
+        values_.emplace_back(s.pure ? Value{} : Value(s.valueType));
+}
+
+void SignalEnv::beginInstant()
+{
+    present_.assign(present_.size(), false);
+}
+
+void SignalEnv::setPresent(int idx)
+{
+    present_[static_cast<std::size_t>(idx)] = true;
+}
+
+void SignalEnv::setValue(int idx, Value v)
+{
+    const SignalInfo& info = sema_.signals[static_cast<std::size_t>(idx)];
+    if (info.pure)
+        throw EclError("cannot set a value on pure signal '" + info.name +
+                       "'");
+    present_[static_cast<std::size_t>(idx)] = true;
+    Value& slot = values_[static_cast<std::size_t>(idx)];
+    if (info.valueType->isScalar())
+        slot = Value::fromInt(info.valueType, v.toInt());
+    else if (v.type() == info.valueType)
+        slot = std::move(v);
+    else
+        throw EclError("signal value type mismatch for '" + info.name + "'");
+}
+
+const Value& SignalEnv::signalValue(int idx) const
+{
+    const Value& v = values_[static_cast<std::size_t>(idx)];
+    if (v.empty())
+        throw EclError("value read on pure signal '" +
+                       sema_.signals[static_cast<std::size_t>(idx)].name +
+                       "'");
+    return v;
+}
+
+std::vector<int> SignalEnv::presentWithDir(SignalDir dir) const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < present_.size(); ++i)
+        if (present_[i] && sema_.signals[i].dir == dir)
+            out.push_back(static_cast<int>(i));
+    return out;
+}
+
+std::size_t SignalEnv::valueBytes() const
+{
+    std::size_t n = 0;
+    for (const Value& v : values_) n += v.size();
+    return n;
+}
+
+} // namespace ecl::rt

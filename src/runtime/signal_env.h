@@ -1,0 +1,49 @@
+// Signal environment: per-instant presence flags plus persistent values.
+//
+// Esterel rules implemented here (DESIGN.md Section 3):
+//  * presence is per instant (cleared between reactions),
+//  * a valued signal keeps its value until the next emission,
+//  * a never-emitted valued signal reads as zero (defined for determinism).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/interp/eval.h"
+#include "src/interp/value.h"
+#include "src/sema/sema.h"
+
+namespace ecl::rt {
+
+class SignalEnv final : public SignalReader {
+public:
+    explicit SignalEnv(const ModuleSema& sema);
+
+    /// Clears all presence flags (start of a new instant).
+    void beginInstant();
+
+    void setPresent(int idx);
+    void setValue(int idx, Value v); ///< Emits: marks present + stores value.
+
+    [[nodiscard]] bool isPresent(int idx) const
+    {
+        return present_[static_cast<std::size_t>(idx)];
+    }
+
+    const Value& signalValue(int idx) const override;
+
+    /// Indices of currently-present signals with the given direction.
+    [[nodiscard]] std::vector<int> presentWithDir(SignalDir dir) const;
+
+    [[nodiscard]] std::size_t signalCount() const { return present_.size(); }
+
+    /// Total bytes of value storage (for the memory model).
+    [[nodiscard]] std::size_t valueBytes() const;
+
+private:
+    const ModuleSema& sema_;
+    std::vector<bool> present_;
+    std::vector<Value> values_; ///< Empty Value for pure signals.
+};
+
+} // namespace ecl::rt

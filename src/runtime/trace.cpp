@@ -1,0 +1,134 @@
+#include "src/runtime/trace.h"
+
+#include <algorithm>
+
+namespace ecl::rt {
+
+TraceRecorder::TraceRecorder(const ModuleSema& sema,
+                             std::vector<std::string> signals)
+    : sema_(sema)
+{
+    auto wanted = [&](const std::string& name) {
+        return signals.empty() ||
+               std::find(signals.begin(), signals.end(), name) !=
+                   signals.end();
+    };
+    for (const SignalInfo& s : sema.signals) {
+        if (!wanted(s.name)) continue;
+        Track t;
+        t.name = s.name;
+        t.signalIndex = s.index;
+        t.valued = !s.pure && s.valueType->isScalar();
+        tracks_.push_back(std::move(t));
+    }
+}
+
+void TraceRecorder::sample(const SyncEngine& engine)
+{
+    for (Track& t : tracks_) {
+        bool present = false;
+        // outputPresent works for any signal by name (observability API).
+        present = engine.outputPresent(t.name);
+        t.present.push_back(present);
+        if (t.valued) {
+            std::int64_t v = engine.env().signalValue(t.signalIndex).toInt();
+            t.values.push_back(v);
+        }
+    }
+    ++instants_;
+}
+
+void TraceRecorder::sampleRaw(const std::vector<bool>& present,
+                              const std::vector<std::int64_t>& values)
+{
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        Track& t = tracks_[i];
+        t.present.push_back(i < present.size() && present[i]);
+        if (t.valued)
+            t.values.push_back(i < values.size() ? values[i] : 0);
+    }
+    ++instants_;
+}
+
+namespace {
+
+/// VCD identifier characters start at '!' (33).
+std::string vcdId(std::size_t n)
+{
+    std::string id;
+    do {
+        id += static_cast<char>('!' + n % 94);
+        n /= 94;
+    } while (n);
+    return id;
+}
+
+} // namespace
+
+std::string TraceRecorder::toVcd(const std::string& moduleName) const
+{
+    std::string out;
+    out += "$date ecl trace $end\n";
+    out += "$version ecl reactive runtime $end\n";
+    out += "$timescale 1ns $end\n";
+    out += "$scope module " + moduleName + " $end\n";
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+        const Track& t = tracks_[i];
+        out += "$var wire 1 " + vcdId(2 * i) + " " + t.name + " $end\n";
+        if (t.valued)
+            out += "$var integer 64 " + vcdId(2 * i + 1) + " " + t.name +
+                   "_val $end\n";
+    }
+    out += "$upscope $end\n$enddefinitions $end\n";
+
+    std::vector<signed char> lastPresent(tracks_.size(), -1);
+    std::vector<std::int64_t> lastValue(tracks_.size(),
+                                        std::int64_t{0x7fffffffffffffff});
+    for (std::size_t inst = 0; inst < instants_; ++inst) {
+        std::string changes;
+        for (std::size_t i = 0; i < tracks_.size(); ++i) {
+            const Track& t = tracks_[i];
+            signed char p = t.present[inst] ? 1 : 0;
+            if (p != lastPresent[i]) {
+                changes += std::string(p ? "1" : "0") + vcdId(2 * i) + "\n";
+                lastPresent[i] = p;
+            }
+            if (t.valued && t.values[inst] != lastValue[i]) {
+                // Binary value dump.
+                std::uint64_t raw =
+                    static_cast<std::uint64_t>(t.values[inst]);
+                std::string bits;
+                if (raw == 0) bits = "0";
+                while (raw) {
+                    bits += (raw & 1) ? '1' : '0';
+                    raw >>= 1;
+                }
+                std::reverse(bits.begin(), bits.end());
+                changes += "b" + bits + " " + vcdId(2 * i + 1) + "\n";
+                lastValue[i] = t.values[inst];
+            }
+        }
+        if (!changes.empty() || inst == 0)
+            out += "#" + std::to_string(inst) + "\n" + changes;
+    }
+    out += "#" + std::to_string(instants_) + "\n";
+    return out;
+}
+
+std::string TraceRecorder::toTimeline() const
+{
+    std::size_t nameWidth = 0;
+    for (const Track& t : tracks_)
+        nameWidth = std::max(nameWidth, t.name.size());
+    std::string out;
+    for (const Track& t : tracks_) {
+        out += t.name;
+        out.append(nameWidth - t.name.size() + 1, ' ');
+        for (std::size_t i = 0; i < instants_; ++i)
+            out += t.present[i] ? '#' : '.';
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ecl::rt

@@ -1,0 +1,57 @@
+// Reaction tracing: records per-instant signal activity and renders it as
+// a VCD (Value Change Dump) waveform or a compact text timeline.
+//
+// The paper leans on Esterel's "sophisticated graphical source-level
+// debugger" for specification-level exploration; this recorder is our
+// equivalent: attach it to any engine, run the stimulus, and inspect the
+// waves in GTKWave or the textual dump in a terminal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+#include "src/sema/sema.h"
+
+namespace ecl::rt {
+
+class TraceRecorder {
+public:
+    /// Records signals of `sema` (all of them, or a subset by name).
+    explicit TraceRecorder(const ModuleSema& sema,
+                           std::vector<std::string> signals = {});
+
+    /// Samples the engine's last reaction (call right after react()).
+    void sample(const SyncEngine& engine);
+
+    /// Presence flags can also be provided directly (baseline engine,
+    /// RTOS tasks): `present[i]` for recorded signal i, `values[i]` the
+    /// scalar value or 0.
+    void sampleRaw(const std::vector<bool>& present,
+                   const std::vector<std::int64_t>& values);
+
+    [[nodiscard]] std::size_t instants() const { return instants_; }
+
+    /// IEEE-1364 VCD: one time unit per instant, wires for presence, and
+    /// integer variables for scalar-valued signals.
+    [[nodiscard]] std::string toVcd(const std::string& moduleName) const;
+
+    /// Terminal timeline: one row per signal, one column per instant.
+    [[nodiscard]] std::string toTimeline() const;
+
+private:
+    struct Track {
+        std::string name;
+        int signalIndex;
+        bool valued;            ///< Scalar-valued (value track emitted).
+        std::vector<bool> present;
+        std::vector<std::int64_t> values;
+    };
+
+    const ModuleSema& sema_;
+    std::vector<Track> tracks_;
+    std::size_t instants_ = 0;
+};
+
+} // namespace ecl::rt

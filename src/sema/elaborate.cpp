@@ -1,0 +1,512 @@
+#include "src/sema/elaborate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ecl {
+
+using namespace ast;
+
+namespace {
+
+/// A signal visible in some module scope, as needed for instantiation
+/// checking (pre-sema, so types are still spellings).
+struct ScopeSignal {
+    bool pure = false;
+    std::string typeName;  ///< Empty when pure.
+    bool isInput = false;  ///< True only for the enclosing module's inputs.
+};
+
+using SignalScope = std::unordered_map<std::string, ScopeSignal>;
+using RenameMap = std::unordered_map<std::string, std::string>;
+
+void collectScopeSignalsFromStmt(const Stmt& s, SignalScope& scope)
+{
+    switch (s.kind) {
+    case StmtKind::Block:
+        for (const StmtPtr& st : static_cast<const BlockStmt&>(s).body)
+            collectScopeSignalsFromStmt(*st, scope);
+        return;
+    case StmtKind::SignalDecl: {
+        const auto& x = static_cast<const SignalDeclStmt&>(s);
+        for (const std::string& n : x.names)
+            scope[n] = {x.pure, x.pure ? "" : x.type.name, false};
+        return;
+    }
+    case StmtKind::If: {
+        const auto& x = static_cast<const IfStmt&>(s);
+        collectScopeSignalsFromStmt(*x.thenStmt, scope);
+        if (x.elseStmt) collectScopeSignalsFromStmt(*x.elseStmt, scope);
+        return;
+    }
+    case StmtKind::While:
+        collectScopeSignalsFromStmt(*static_cast<const WhileStmt&>(s).body,
+                                    scope);
+        return;
+    case StmtKind::DoWhile:
+        collectScopeSignalsFromStmt(*static_cast<const DoWhileStmt&>(s).body,
+                                    scope);
+        return;
+    case StmtKind::For:
+        collectScopeSignalsFromStmt(*static_cast<const ForStmt&>(s).body,
+                                    scope);
+        return;
+    case StmtKind::Present: {
+        const auto& x = static_cast<const PresentStmt&>(s);
+        collectScopeSignalsFromStmt(*x.thenStmt, scope);
+        if (x.elseStmt) collectScopeSignalsFromStmt(*x.elseStmt, scope);
+        return;
+    }
+    case StmtKind::Abort: {
+        const auto& x = static_cast<const AbortStmt&>(s);
+        collectScopeSignalsFromStmt(*x.body, scope);
+        if (x.handler) collectScopeSignalsFromStmt(*x.handler, scope);
+        return;
+    }
+    case StmtKind::Suspend:
+        collectScopeSignalsFromStmt(*static_cast<const SuspendStmt&>(s).body,
+                                    scope);
+        return;
+    case StmtKind::Par:
+        for (const StmtPtr& b : static_cast<const ParStmt&>(s).branches)
+            collectScopeSignalsFromStmt(*b, scope);
+        return;
+    default: return;
+    }
+}
+
+SignalScope collectScopeSignals(const ModuleDecl& m)
+{
+    SignalScope scope;
+    for (const SignalParam& p : m.params)
+        scope[p.name] = {p.pure, p.pure ? "" : p.type.name,
+                         p.dir == ast::SignalDir::Input};
+    collectScopeSignalsFromStmt(*m.body, scope);
+    return scope;
+}
+
+class Elaborator {
+public:
+    Elaborator(const Program& prog, const ProgramSema& sema,
+               Diagnostics& diags)
+        : prog_(prog), sema_(sema), diags_(diags)
+    {
+    }
+
+    std::unique_ptr<ModuleDecl> run(const std::string& topName)
+    {
+        const ModuleDecl* top = prog_.findModule(topName);
+        if (!top) {
+            diags_.error({}, "no module named '" + topName + "'");
+            throw EclError("no module named '" + topName + "'");
+        }
+        auto flat = std::make_unique<ModuleDecl>(top->loc);
+        flat->name = top->name;
+        for (const SignalParam& p : top->params) flat->params.push_back(p);
+        stack_.push_back(topName);
+        SignalScope scope = collectScopeSignals(*top);
+        StmtPtr body = transform(cloneStmt(*top->body), scope);
+        stack_.pop_back();
+        // transform() preserves the Block at the root.
+        flat->body.reset(static_cast<BlockStmt*>(body.release()));
+        return flat;
+    }
+
+private:
+    [[noreturn]] void fail(SourceLoc loc, const std::string& msg)
+    {
+        diags_.error(loc, msg);
+        throw EclError(loc, msg);
+    }
+
+    /// Rewrites identifiers/signal names per `map`, recursively.
+    void renameExpr(Expr& e, const RenameMap& map)
+    {
+        switch (e.kind) {
+        case ExprKind::Ident: {
+            auto& x = static_cast<IdentExpr&>(e);
+            auto it = map.find(x.name);
+            if (it != map.end()) x.name = it->second;
+            return;
+        }
+        case ExprKind::Unary:
+            renameExpr(*static_cast<UnaryExpr&>(e).operand, map);
+            return;
+        case ExprKind::Binary: {
+            auto& x = static_cast<BinaryExpr&>(e);
+            renameExpr(*x.lhs, map);
+            renameExpr(*x.rhs, map);
+            return;
+        }
+        case ExprKind::Assign: {
+            auto& x = static_cast<AssignExpr&>(e);
+            renameExpr(*x.lhs, map);
+            renameExpr(*x.rhs, map);
+            return;
+        }
+        case ExprKind::Cond: {
+            auto& x = static_cast<CondExpr&>(e);
+            renameExpr(*x.cond, map);
+            renameExpr(*x.thenExpr, map);
+            renameExpr(*x.elseExpr, map);
+            return;
+        }
+        case ExprKind::Index: {
+            auto& x = static_cast<IndexExpr&>(e);
+            renameExpr(*x.base, map);
+            renameExpr(*x.index, map);
+            return;
+        }
+        case ExprKind::Member:
+            renameExpr(*static_cast<MemberExpr&>(e).base, map);
+            return;
+        case ExprKind::Call: {
+            auto& x = static_cast<CallExpr&>(e);
+            for (ExprPtr& a : x.args) renameExpr(*a, map);
+            return;
+        }
+        case ExprKind::Cast:
+            renameExpr(*static_cast<CastExpr&>(e).operand, map);
+            return;
+        default: return;
+        }
+    }
+
+    void renameSigExpr(SigExpr& se, const RenameMap& map)
+    {
+        switch (se.kind) {
+        case SigExprKind::Ref: {
+            auto it = map.find(se.name);
+            if (it != map.end()) se.name = it->second;
+            return;
+        }
+        case SigExprKind::Not: renameSigExpr(*se.lhs, map); return;
+        case SigExprKind::And:
+        case SigExprKind::Or:
+            renameSigExpr(*se.lhs, map);
+            renameSigExpr(*se.rhs, map);
+            return;
+        }
+    }
+
+    void renameStmt(Stmt& s, const RenameMap& map)
+    {
+        switch (s.kind) {
+        case StmtKind::Block:
+            for (StmtPtr& st : static_cast<BlockStmt&>(s).body)
+                renameStmt(*st, map);
+            return;
+        case StmtKind::Decl: {
+            auto& x = static_cast<DeclStmt&>(s);
+            for (Declarator& d : x.decls) {
+                auto it = map.find(d.name);
+                if (it != map.end()) d.name = it->second;
+                for (ExprPtr& dim : d.arrayDims) renameExpr(*dim, map);
+                if (d.init) renameExpr(*d.init, map);
+            }
+            return;
+        }
+        case StmtKind::ExprStmt:
+            renameExpr(*static_cast<ExprStmt&>(s).expr, map);
+            return;
+        case StmtKind::If: {
+            auto& x = static_cast<IfStmt&>(s);
+            renameExpr(*x.cond, map);
+            renameStmt(*x.thenStmt, map);
+            if (x.elseStmt) renameStmt(*x.elseStmt, map);
+            return;
+        }
+        case StmtKind::While: {
+            auto& x = static_cast<WhileStmt&>(s);
+            renameExpr(*x.cond, map);
+            renameStmt(*x.body, map);
+            return;
+        }
+        case StmtKind::DoWhile: {
+            auto& x = static_cast<DoWhileStmt&>(s);
+            renameStmt(*x.body, map);
+            renameExpr(*x.cond, map);
+            return;
+        }
+        case StmtKind::For: {
+            auto& x = static_cast<ForStmt&>(s);
+            if (x.init) renameStmt(*x.init, map);
+            if (x.cond) renameExpr(*x.cond, map);
+            if (x.step) renameExpr(*x.step, map);
+            renameStmt(*x.body, map);
+            return;
+        }
+        case StmtKind::Return: {
+            auto& x = static_cast<ReturnStmt&>(s);
+            if (x.value) renameExpr(*x.value, map);
+            return;
+        }
+        case StmtKind::Await: {
+            auto& x = static_cast<AwaitStmt&>(s);
+            if (x.cond) renameSigExpr(*x.cond, map);
+            return;
+        }
+        case StmtKind::Emit: {
+            auto& x = static_cast<EmitStmt&>(s);
+            auto it = map.find(x.signal);
+            if (it != map.end()) x.signal = it->second;
+            if (x.value) renameExpr(*x.value, map);
+            return;
+        }
+        case StmtKind::Present: {
+            auto& x = static_cast<PresentStmt&>(s);
+            renameSigExpr(*x.cond, map);
+            renameStmt(*x.thenStmt, map);
+            if (x.elseStmt) renameStmt(*x.elseStmt, map);
+            return;
+        }
+        case StmtKind::Abort: {
+            auto& x = static_cast<AbortStmt&>(s);
+            renameStmt(*x.body, map);
+            renameSigExpr(*x.cond, map);
+            if (x.handler) renameStmt(*x.handler, map);
+            return;
+        }
+        case StmtKind::Suspend: {
+            auto& x = static_cast<SuspendStmt&>(s);
+            renameStmt(*x.body, map);
+            renameSigExpr(*x.cond, map);
+            return;
+        }
+        case StmtKind::Par:
+            for (StmtPtr& b : static_cast<ParStmt&>(s).branches)
+                renameStmt(*b, map);
+            return;
+        case StmtKind::SignalDecl: {
+            auto& x = static_cast<SignalDeclStmt&>(s);
+            for (std::string& n : x.names) {
+                auto it = map.find(n);
+                if (it != map.end()) n = it->second;
+            }
+            return;
+        }
+        default: return;
+        }
+    }
+
+    /// Recursively replaces module instantiations within `s`.
+    /// `scope` lists the signals visible at this point (for checking).
+    StmtPtr transform(StmtPtr s, const SignalScope& scope)
+    {
+        switch (s->kind) {
+        case StmtKind::Block: {
+            auto& x = static_cast<BlockStmt&>(*s);
+            for (StmtPtr& st : x.body) st = transform(std::move(st), scope);
+            return s;
+        }
+        case StmtKind::ExprStmt: {
+            auto& x = static_cast<ExprStmt&>(*s);
+            if (x.expr->kind == ExprKind::Call) {
+                const auto& call = static_cast<const CallExpr&>(*x.expr);
+                if (prog_.findModule(call.callee))
+                    return inlineInstance(call, scope);
+            }
+            return s;
+        }
+        case StmtKind::If: {
+            auto& x = static_cast<IfStmt&>(*s);
+            x.thenStmt = transform(std::move(x.thenStmt), scope);
+            if (x.elseStmt) x.elseStmt = transform(std::move(x.elseStmt), scope);
+            return s;
+        }
+        case StmtKind::While: {
+            auto& x = static_cast<WhileStmt&>(*s);
+            x.body = transform(std::move(x.body), scope);
+            return s;
+        }
+        case StmtKind::DoWhile: {
+            auto& x = static_cast<DoWhileStmt&>(*s);
+            x.body = transform(std::move(x.body), scope);
+            return s;
+        }
+        case StmtKind::For: {
+            auto& x = static_cast<ForStmt&>(*s);
+            x.body = transform(std::move(x.body), scope);
+            return s;
+        }
+        case StmtKind::Present: {
+            auto& x = static_cast<PresentStmt&>(*s);
+            x.thenStmt = transform(std::move(x.thenStmt), scope);
+            if (x.elseStmt) x.elseStmt = transform(std::move(x.elseStmt), scope);
+            return s;
+        }
+        case StmtKind::Abort: {
+            auto& x = static_cast<AbortStmt&>(*s);
+            x.body = transform(std::move(x.body), scope);
+            if (x.handler) x.handler = transform(std::move(x.handler), scope);
+            return s;
+        }
+        case StmtKind::Suspend: {
+            auto& x = static_cast<SuspendStmt&>(*s);
+            x.body = transform(std::move(x.body), scope);
+            return s;
+        }
+        case StmtKind::Par: {
+            auto& x = static_cast<ParStmt&>(*s);
+            for (StmtPtr& b : x.branches) b = transform(std::move(b), scope);
+            return s;
+        }
+        default: return s;
+        }
+    }
+
+    StmtPtr inlineInstance(const CallExpr& call, const SignalScope& scope)
+    {
+        const ModuleDecl* callee = prog_.findModule(call.callee);
+        if (std::find(stack_.begin(), stack_.end(), call.callee) !=
+            stack_.end())
+            fail(call.loc, "recursive instantiation of module '" +
+                               call.callee + "'");
+
+        if (call.args.size() != callee->params.size())
+            fail(call.loc, "module '" + call.callee + "' expects " +
+                               std::to_string(callee->params.size()) +
+                               " signals, got " +
+                               std::to_string(call.args.size()));
+
+        RenameMap map;
+        for (std::size_t i = 0; i < call.args.size(); ++i) {
+            const SignalParam& formal = callee->params[i];
+            const Expr& actual = *call.args[i];
+            if (actual.kind != ExprKind::Ident)
+                fail(actual.loc, "module actuals must be signal names");
+            const std::string& actualName =
+                static_cast<const IdentExpr&>(actual).name;
+            auto it = scope.find(actualName);
+            if (it == scope.end())
+                fail(actual.loc, "'" + actualName +
+                                     "' is not a signal in this scope");
+            const ScopeSignal& sig = it->second;
+            if (formal.dir == ast::SignalDir::Output && sig.isInput)
+                fail(actual.loc, "module output '" + formal.name +
+                                     "' cannot drive enclosing input '" +
+                                     actualName + "'");
+            if (formal.pure != sig.pure)
+                fail(actual.loc,
+                     "pure/valued mismatch binding '" + actualName +
+                         "' to '" + formal.name + "'");
+            if (!formal.pure) {
+                const Type* ft =
+                    sema_.types.lookup(formal.type.name);
+                const Type* at = sema_.types.lookup(sig.typeName);
+                if (!ft || !at || ft != at)
+                    fail(actual.loc,
+                         "signal type mismatch binding '" + actualName +
+                             "' (" + sig.typeName + ") to '" + formal.name +
+                             "' (" + formal.type.name + ")");
+            }
+            map[formal.name] = actualName;
+        }
+
+        // Rename callee-local names with a unique instance prefix.
+        std::string prefix =
+            call.callee + "_" + std::to_string(++instanceCounter_) + "__";
+        SignalScope calleeScope = collectScopeSignals(*callee);
+        for (const auto& [name, sig] : calleeScope) {
+            if (map.count(name)) continue; // formal, already mapped
+            map[name] = prefix + name;
+        }
+        collectLocalVarNames(*callee->body, prefix, map);
+
+        StmtPtr body = cloneStmt(*callee->body);
+        renameStmt(*body, map);
+
+        // The inlined scope: enclosing signals plus renamed callee locals.
+        SignalScope inner = scope;
+        for (const auto& [name, sig] : calleeScope) {
+            if (scope.count(name) && !map.count(name)) continue;
+            auto it = map.find(name);
+            std::string newName = it != map.end() ? it->second : name;
+            ScopeSignal copy = sig;
+            copy.isInput = false; // locals of the instance
+            inner[newName] = copy;
+        }
+
+        stack_.push_back(call.callee);
+        body = transform(std::move(body), inner);
+        stack_.pop_back();
+        return body;
+    }
+
+    /// Adds `prefix` renames for every variable declared in the body.
+    void collectLocalVarNames(const Stmt& s, const std::string& prefix,
+                              RenameMap& map)
+    {
+        switch (s.kind) {
+        case StmtKind::Block:
+            for (const StmtPtr& st : static_cast<const BlockStmt&>(s).body)
+                collectLocalVarNames(*st, prefix, map);
+            return;
+        case StmtKind::Decl: {
+            const auto& x = static_cast<const DeclStmt&>(s);
+            for (const Declarator& d : x.decls)
+                if (!map.count(d.name)) map[d.name] = prefix + d.name;
+            return;
+        }
+        case StmtKind::If: {
+            const auto& x = static_cast<const IfStmt&>(s);
+            collectLocalVarNames(*x.thenStmt, prefix, map);
+            if (x.elseStmt) collectLocalVarNames(*x.elseStmt, prefix, map);
+            return;
+        }
+        case StmtKind::While:
+            collectLocalVarNames(*static_cast<const WhileStmt&>(s).body,
+                                 prefix, map);
+            return;
+        case StmtKind::DoWhile:
+            collectLocalVarNames(*static_cast<const DoWhileStmt&>(s).body,
+                                 prefix, map);
+            return;
+        case StmtKind::For: {
+            const auto& x = static_cast<const ForStmt&>(s);
+            if (x.init) collectLocalVarNames(*x.init, prefix, map);
+            collectLocalVarNames(*x.body, prefix, map);
+            return;
+        }
+        case StmtKind::Present: {
+            const auto& x = static_cast<const PresentStmt&>(s);
+            collectLocalVarNames(*x.thenStmt, prefix, map);
+            if (x.elseStmt) collectLocalVarNames(*x.elseStmt, prefix, map);
+            return;
+        }
+        case StmtKind::Abort: {
+            const auto& x = static_cast<const AbortStmt&>(s);
+            collectLocalVarNames(*x.body, prefix, map);
+            if (x.handler) collectLocalVarNames(*x.handler, prefix, map);
+            return;
+        }
+        case StmtKind::Suspend:
+            collectLocalVarNames(*static_cast<const SuspendStmt&>(s).body,
+                                 prefix, map);
+            return;
+        case StmtKind::Par:
+            for (const StmtPtr& b : static_cast<const ParStmt&>(s).branches)
+                collectLocalVarNames(*b, prefix, map);
+            return;
+        default: return;
+        }
+    }
+
+    const Program& prog_;
+    const ProgramSema& sema_;
+    Diagnostics& diags_;
+    std::vector<std::string> stack_;
+    int instanceCounter_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<ModuleDecl> elaborate(const Program& program,
+                                      const ProgramSema& programSema,
+                                      const std::string& topName,
+                                      Diagnostics& diags)
+{
+    return Elaborator(program, programSema, diags).run(topName);
+}
+
+} // namespace ecl

@@ -1,0 +1,33 @@
+// Elaboration: synchronous composition by module inlining.
+//
+// The paper's toplevel (Figure 4) instantiates three modules inside `par`.
+// For the synchronous (single-EFSM) implementation, instantiations are
+// inlined: the callee body is cloned, formal signals are substituted by the
+// actual signal names, and callee-local names (variables and local signals)
+// are renamed with a unique per-instance prefix. The result is one flat
+// module that sema/IR/EFSM operate on.
+//
+// The asynchronous implementation (one task per module) does NOT use this
+// path: each module is elaborated separately and composed by the RTOS
+// network (src/rtos).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/frontend/ast.h"
+#include "src/sema/sema.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+/// Returns a flattened clone of module `topName` with every module
+/// instantiation recursively inlined. Checks instantiation arity, signal
+/// direction and value-type compatibility. Throws EclError on errors
+/// (unknown module, recursive instantiation, bad actuals).
+std::unique_ptr<ast::ModuleDecl> elaborate(const ast::Program& program,
+                                           const ProgramSema& programSema,
+                                           const std::string& topName,
+                                           Diagnostics& diags);
+
+} // namespace ecl

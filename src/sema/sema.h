@@ -1,0 +1,131 @@
+// Semantic analysis for ECL programs.
+//
+// Two levels:
+//  * program level: resolve typedefs/aggregates into the TypeTable, collect
+//    C helper functions and file-scope constants;
+//  * module level: collect signals and (hoisted) variables of a flattened
+//    module, resolve every identifier, and type-check every expression.
+//
+// ECL restriction carried over from the paper (Section 3, footnote on
+// Esterel's Pascal-like scoping): file-scope variables must be `const`;
+// within one module all declared variable names must be distinct (no block
+// shadowing), which makes hoisting to module scope sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/sema/types.h"
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+// ---------------------------------------------------------------------------
+// Program level
+// ---------------------------------------------------------------------------
+
+struct FunctionInfo {
+    const ast::FunctionDecl* decl = nullptr;
+    const Type* returnType = nullptr;
+    std::vector<std::pair<std::string, const Type*>> params;
+};
+
+struct ProgramSema {
+    const ast::Program* program = nullptr;
+    TypeTable types;
+    std::unordered_map<std::string, FunctionInfo> functions;
+    std::unordered_map<std::string, std::int64_t> constants;
+
+    [[nodiscard]] const FunctionInfo* findFunction(const std::string& n) const
+    {
+        auto it = functions.find(n);
+        return it == functions.end() ? nullptr : &it->second;
+    }
+};
+
+/// Builds the type table, function signatures and constant table.
+/// Throws EclError (after recording diagnostics) on semantic errors.
+ProgramSema analyzeProgramDecls(const ast::Program& program,
+                                Diagnostics& diags);
+
+/// Evaluates a compile-time constant expression (array dimensions, constant
+/// globals). Supports literals, constant names, arithmetic/bitwise/logical
+/// operators and sizeof(type).
+std::int64_t evalConstExpr(const ast::Expr& e, const ProgramSema& sema,
+                           Diagnostics& diags);
+
+// ---------------------------------------------------------------------------
+// Module level
+// ---------------------------------------------------------------------------
+
+enum class SignalDir { Input, Output, Local };
+
+struct SignalInfo {
+    std::string name;
+    SignalDir dir = SignalDir::Local;
+    bool pure = false;
+    const Type* valueType = nullptr; ///< Null for pure signals.
+    int index = -1;
+};
+
+struct VarInfo {
+    std::string name;
+    const Type* type = nullptr;
+    int index = -1;
+};
+
+/// What an identifier (or call) refers to, as resolved by sema.
+enum class RefKind { Var, SignalValue, Constant, FunctionCall, ModuleInst, SizeofBuiltin };
+
+struct ModuleSema {
+    std::string name;
+    const ast::ModuleDecl* decl = nullptr;
+
+    std::vector<SignalInfo> signals;
+    std::unordered_map<std::string, int> signalIndex;
+    std::vector<VarInfo> vars;
+    std::unordered_map<std::string, int> varIndex;
+
+    std::unordered_map<const ast::Expr*, const Type*> exprType;
+    std::unordered_map<const ast::Expr*, RefKind> refKind;
+
+    [[nodiscard]] const SignalInfo* findSignal(const std::string& n) const
+    {
+        auto it = signalIndex.find(n);
+        return it == signalIndex.end() ? nullptr : &signals[static_cast<std::size_t>(it->second)];
+    }
+    [[nodiscard]] const VarInfo* findVar(const std::string& n) const
+    {
+        auto it = varIndex.find(n);
+        return it == varIndex.end() ? nullptr : &vars[static_cast<std::size_t>(it->second)];
+    }
+    [[nodiscard]] const Type* typeOf(const ast::Expr& e) const
+    {
+        auto it = exprType.find(&e);
+        return it == exprType.end() ? nullptr : it->second;
+    }
+};
+
+/// Analyzes a (flattened — see elaborate.h) module. Signals and variables
+/// are collected, identifiers resolved, expressions typed and reactive
+/// statements validated. Throws EclError on errors.
+ModuleSema analyzeModule(const ast::ModuleDecl& module,
+                         const ProgramSema& programSema, Diagnostics& diags);
+
+/// Per-function analysis: local variable table and expression types.
+struct FunctionSema {
+    const ast::FunctionDecl* decl = nullptr;
+    std::vector<VarInfo> vars; ///< Params first, then hoisted locals.
+    std::unordered_map<std::string, int> varIndex;
+    std::unordered_map<const ast::Expr*, const Type*> exprType;
+    std::unordered_map<const ast::Expr*, RefKind> refKind;
+};
+
+FunctionSema analyzeFunction(const ast::FunctionDecl& fn,
+                             const ProgramSema& programSema,
+                             Diagnostics& diags);
+
+} // namespace ecl

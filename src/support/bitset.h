@@ -1,0 +1,141 @@
+// A small dynamic bitset used for EFSM control configurations
+// (sets of active pause points). Header-only for inlining in hot loops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ecl {
+
+/// Set of small non-negative integers, packed into 64-bit words.
+/// Word count grows on demand; trailing zero words are canonicalized away
+/// so that equality and hashing are well-defined across histories.
+class PauseSet {
+public:
+    PauseSet() = default;
+
+    void set(std::size_t bit)
+    {
+        std::size_t w = bit / 64;
+        if (w >= words_.size()) words_.resize(w + 1, 0);
+        words_[w] |= std::uint64_t{1} << (bit % 64);
+    }
+
+    void clear(std::size_t bit)
+    {
+        std::size_t w = bit / 64;
+        if (w < words_.size()) {
+            words_[w] &= ~(std::uint64_t{1} << (bit % 64));
+            shrink();
+        }
+    }
+
+    [[nodiscard]] bool test(std::size_t bit) const
+    {
+        std::size_t w = bit / 64;
+        return w < words_.size() &&
+               (words_[w] >> (bit % 64)) & std::uint64_t{1};
+    }
+
+    [[nodiscard]] bool empty() const { return words_.empty(); }
+
+    [[nodiscard]] std::size_t count() const
+    {
+        std::size_t n = 0;
+        for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    PauseSet& operator|=(const PauseSet& other)
+    {
+        if (other.words_.size() > words_.size())
+            words_.resize(other.words_.size(), 0);
+        for (std::size_t i = 0; i < other.words_.size(); ++i)
+            words_[i] |= other.words_[i];
+        return *this;
+    }
+
+    PauseSet& operator&=(const PauseSet& other)
+    {
+        if (words_.size() > other.words_.size())
+            words_.resize(other.words_.size());
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= other.words_[i];
+        shrink();
+        return *this;
+    }
+
+    /// Removes all bits present in `other`.
+    PauseSet& subtract(const PauseSet& other)
+    {
+        std::size_t n = std::min(words_.size(), other.words_.size());
+        for (std::size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+        shrink();
+        return *this;
+    }
+
+    [[nodiscard]] bool intersects(const PauseSet& other) const
+    {
+        std::size_t n = std::min(words_.size(), other.words_.size());
+        for (std::size_t i = 0; i < n; ++i)
+            if (words_[i] & other.words_[i]) return true;
+        return false;
+    }
+
+    /// Calls fn(bit) for every set bit, in increasing order.
+    template <typename Fn>
+    void forEach(Fn&& fn) const
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            std::uint64_t w = words_[i];
+            while (w) {
+                int b = __builtin_ctzll(w);
+                fn(i * 64 + static_cast<std::size_t>(b));
+                w &= w - 1;
+            }
+        }
+    }
+
+    [[nodiscard]] std::string toString() const
+    {
+        std::string s = "{";
+        bool first = true;
+        forEach([&](std::size_t b) {
+            if (!first) s += ',';
+            s += std::to_string(b);
+            first = false;
+        });
+        s += '}';
+        return s;
+    }
+
+    friend bool operator==(const PauseSet& a, const PauseSet& b)
+    {
+        return a.words_ == b.words_;
+    }
+
+    [[nodiscard]] std::size_t hash() const
+    {
+        std::size_t h = 0x9e3779b97f4a7c15ull;
+        for (std::uint64_t w : words_)
+            h = h * 0x100000001b3ull ^ static_cast<std::size_t>(w);
+        return h;
+    }
+
+private:
+    void shrink()
+    {
+        while (!words_.empty() && words_.back() == 0) words_.pop_back();
+    }
+
+    std::vector<std::uint64_t> words_;
+};
+
+struct PauseSetHash {
+    std::size_t operator()(const PauseSet& s) const { return s.hash(); }
+};
+
+} // namespace ecl

@@ -1,0 +1,55 @@
+#include "src/support/diagnostics.h"
+
+namespace ecl {
+
+namespace {
+
+const char* severityName(Severity s)
+{
+    switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void Diagnostics::error(SourceLoc loc, std::string message)
+{
+    diags_.push_back({Severity::Error, loc, std::move(message)});
+    ++errorCount_;
+}
+
+void Diagnostics::warning(SourceLoc loc, std::string message)
+{
+    diags_.push_back({Severity::Warning, loc, std::move(message)});
+}
+
+void Diagnostics::note(SourceLoc loc, std::string message)
+{
+    diags_.push_back({Severity::Note, loc, std::move(message)});
+}
+
+std::string Diagnostics::formatAll() const
+{
+    std::string out;
+    for (const Diagnostic& d : diags_) {
+        out += severityName(d.severity);
+        out += ' ';
+        out += to_string(d.loc);
+        out += ": ";
+        out += d.message;
+        out += '\n';
+    }
+    return out;
+}
+
+void Diagnostics::clear()
+{
+    diags_.clear();
+    errorCount_ = 0;
+}
+
+} // namespace ecl

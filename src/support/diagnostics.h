@@ -1,0 +1,54 @@
+// Diagnostic collection and the fatal-error exception used by all phases.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace ecl {
+
+enum class Severity { Note, Warning, Error };
+
+/// One diagnostic message, tagged with severity and source position.
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+};
+
+/// Accumulates diagnostics for a compilation. Phases append; the driver
+/// decides when accumulated errors abort the pipeline.
+class Diagnostics {
+public:
+    void error(SourceLoc loc, std::string message);
+    void warning(SourceLoc loc, std::string message);
+    void note(SourceLoc loc, std::string message);
+
+    [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+    [[nodiscard]] int errorCount() const { return errorCount_; }
+    [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+    /// All diagnostics, one per line, "<sev> <line:col>: <msg>".
+    [[nodiscard]] std::string formatAll() const;
+
+    void clear();
+
+private:
+    std::vector<Diagnostic> diags_;
+    int errorCount_ = 0;
+};
+
+/// Thrown for unrecoverable conditions (parser cannot resync, internal
+/// invariant broken, user program rejected). Carries the formatted message.
+class EclError : public std::runtime_error {
+public:
+    explicit EclError(const std::string& what) : std::runtime_error(what) {}
+    EclError(SourceLoc loc, const std::string& what)
+        : std::runtime_error(to_string(loc) + ": " + what)
+    {
+    }
+};
+
+} // namespace ecl

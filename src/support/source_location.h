@@ -1,0 +1,26 @@
+// Source locations for diagnostics across the ECL tool chain.
+#pragma once
+
+#include <string>
+
+namespace ecl {
+
+/// A position in an ECL source buffer. Lines and columns are 1-based;
+/// a default-constructed location (line 0) means "unknown".
+struct SourceLoc {
+    int line = 0;
+    int col = 0;
+
+    [[nodiscard]] bool valid() const { return line > 0; }
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// Renders "line:col" or "<unknown>".
+inline std::string to_string(const SourceLoc& loc)
+{
+    if (!loc.valid()) return "<unknown>";
+    return std::to_string(loc.line) + ":" + std::to_string(loc.col);
+}
+
+} // namespace ecl

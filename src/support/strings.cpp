@@ -1,0 +1,77 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+
+namespace ecl {
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string indent(std::string_view text, std::string_view prefix)
+{
+    std::string out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        std::string_view line = (end == std::string_view::npos)
+                                    ? text.substr(start)
+                                    : text.substr(start, end - start);
+        if (!line.empty()) out += std::string(prefix);
+        out += line;
+        if (end == std::string_view::npos) break;
+        out += '\n';
+        start = end + 1;
+    }
+    return out;
+}
+
+bool isIdentifier(std::string_view s)
+{
+    if (s.empty()) return false;
+    if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_'))
+        return false;
+    for (char c : s.substr(1))
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+            return false;
+    return true;
+}
+
+std::string cStringLiteral(std::string_view s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string padLeft(std::string_view s, std::size_t width)
+{
+    std::string out;
+    if (s.size() < width) out.assign(width - s.size(), ' ');
+    out += s;
+    return out;
+}
+
+std::string padRight(std::string_view s, std::size_t width)
+{
+    std::string out(s);
+    if (out.size() < width) out.append(width - out.size(), ' ');
+    return out;
+}
+
+} // namespace ecl

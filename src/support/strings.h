@@ -1,0 +1,28 @@
+// String helpers shared by printers and code generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecl {
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Prefixes every non-empty line of `text` with `prefix`.
+std::string indent(std::string_view text, std::string_view prefix);
+
+/// True if `s` is a valid C identifier.
+bool isIdentifier(std::string_view s);
+
+/// Escapes a string for inclusion in generated C source (quotes added).
+std::string cStringLiteral(std::string_view s);
+
+/// Left-pads `s` with spaces to at least `width` columns.
+std::string padLeft(std::string_view s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` columns.
+std::string padRight(std::string_view s, std::size_t width);
+
+} // namespace ecl

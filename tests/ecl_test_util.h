@@ -1,0 +1,42 @@
+// Shared helpers for the ECL test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+
+namespace ecl::test {
+
+/// Builds a protocol-stack packet. Header bytes are `addr`; data bytes
+/// 0..19 carry `seed`-derived values; data bytes 26.. and the CRC bytes are
+/// zero so the paper's CRC fold passes (bytes shifted below index 32 leave
+/// the 32-bit fold, making the all-zero tail self-consistent — see
+/// EXPERIMENTS.md). Set `corruptTail` to flip a tail byte and break the CRC.
+inline std::vector<std::uint8_t> makePacket(std::uint8_t addr, int seed,
+                                            bool corruptTail = false)
+{
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(paper::kPktSize),
+                                    0);
+    for (int i = 0; i < paper::kHdrSize; ++i)
+        bytes[static_cast<std::size_t>(i)] = addr;
+    for (int i = 0; i < 20; ++i)
+        bytes[static_cast<std::size_t>(paper::kHdrSize + i)] =
+            static_cast<std::uint8_t>((seed * 31 + i * 7) & 0xff);
+    if (corruptTail) bytes[40] = 0x5a;
+    return bytes;
+}
+
+/// Mirrors Figure 2's CRC fold with the evaluator's storage semantics
+/// (32-bit wraparound per assignment).
+inline bool paperCrcOk(const std::vector<std::uint8_t>& bytes)
+{
+    std::uint32_t crc = 0;
+    for (std::uint8_t b : bytes) crc = (crc ^ b) << 1;
+    std::uint64_t le16 = static_cast<std::uint64_t>(bytes[62]) |
+                         (static_cast<std::uint64_t>(bytes[63]) << 8);
+    return static_cast<std::uint64_t>(crc) == le16;
+}
+
+} // namespace ecl::test

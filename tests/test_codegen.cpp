@@ -1,0 +1,148 @@
+// Code generator tests: Esterel phase-1 artifacts, C software synthesis
+// (validated with `gcc -fsyntax-only`), and Verilog hardware synthesis.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/codegen/c_gen.h"
+#include "src/codegen/esterel_gen.h"
+#include "src/codegen/verilog_gen.h"
+#include "src/core/paper_sources.h"
+
+namespace {
+
+using namespace ecl;
+
+bool gccSyntaxCheck(const std::string& cSource, std::string tag)
+{
+    std::string path = "/tmp/ecl_codegen_" + tag + ".c";
+    {
+        std::ofstream out(path);
+        out << "void ecl_runtime_error(const char *msg) { (void)msg; }\n";
+        out << cSource;
+    }
+    std::string cmd = "gcc -std=c99 -fsyntax-only -Wall " + path + " 2>/tmp/ecl_gcc_" + tag + ".log";
+    return std::system(cmd.c_str()) == 0;
+}
+
+TEST(EsterelGenTest, StackModuleContainsKernelConstructs)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("assemble");
+    std::string strl = codegen::generateEsterel(
+        mod->reactiveProgram(), mod->moduleSema(), mod->name());
+
+    EXPECT_NE(strl.find("module assemble:"), std::string::npos);
+    EXPECT_NE(strl.find("input reset;"), std::string::npos);
+    EXPECT_NE(strl.find("input in_byte : integer;"), std::string::npos);
+    EXPECT_NE(strl.find("output outpkt"), std::string::npos);
+    EXPECT_NE(strl.find("pause;"), std::string::npos);
+    EXPECT_NE(strl.find("loop"), std::string::npos);
+    EXPECT_NE(strl.find("abort"), std::string::npos);
+    EXPECT_NE(strl.find("when reset"), std::string::npos);
+    EXPECT_NE(strl.find("trap"), std::string::npos);
+    EXPECT_NE(strl.find("emit outpkt"), std::string::npos);
+}
+
+TEST(EsterelGenTest, ProchdrShowsParAndLocalSignal)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("prochdr");
+    std::string strl = codegen::generateEsterel(
+        mod->reactiveProgram(), mod->moduleSema(), mod->name());
+    EXPECT_NE(strl.find("||"), std::string::npos);
+    EXPECT_NE(strl.find("signal kill_check"), std::string::npos);
+    EXPECT_NE(strl.find("when kill_check"), std::string::npos);
+}
+
+TEST(EsterelGenTest, DataFileCarriesExtractedLoop)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("checkcrc");
+    std::string c = codegen::generateEsterelDataFile(
+        mod->reactiveProgram(), mod->moduleSema(), mod->name());
+    EXPECT_NE(c.find("void ecl_data_"), std::string::npos);
+    EXPECT_NE(c.find("crc"), std::string::npos);
+}
+
+TEST(CGenTest, AssembleCompilesWithGcc)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("assemble");
+    std::string c = codegen::generateC(*mod);
+    EXPECT_TRUE(gccSyntaxCheck(c, "assemble")) << c.substr(0, 2000);
+}
+
+TEST(CGenTest, ToplevelCompilesWithGcc)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    std::string c = codegen::generateC(*mod);
+    EXPECT_TRUE(gccSyntaxCheck(c, "toplevel"));
+}
+
+TEST(CGenTest, BufferTopCompilesWithGcc)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("buffer_top");
+    std::string c = codegen::generateC(*mod);
+    EXPECT_TRUE(gccSyntaxCheck(c, "buffer_top"));
+}
+
+TEST(CGenTest, GeneratedCHasExpectedInterface)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    std::string c = codegen::generateC(*mod);
+    EXPECT_NE(c.find("void toplevel_react(void)"), std::string::npos);
+    EXPECT_NE(c.find("void toplevel_set_reset(void)"), std::string::npos);
+    EXPECT_NE(c.find("void toplevel_set_in_byte("), std::string::npos);
+    EXPECT_NE(c.find("switch (ecl_state)"), std::string::npos);
+    EXPECT_NE(c.find("typedef union"), std::string::npos);
+    // The extracted CRC loop became a function.
+    EXPECT_NE(c.find("static void ecl_data_"), std::string::npos);
+    // The paper's array cast uses the little-endian helper.
+    EXPECT_NE(c.find("ecl_le_bytes("), std::string::npos);
+}
+
+TEST(VerilogGenTest, PureControlModulesSynthesize)
+{
+    Compiler compiler(paper::audioBufferSource());
+    for (const char* name : {"producer", "playback", "blinker", "buffer_top"}) {
+        auto mod = compiler.compile(name);
+        codegen::HwReport report = codegen::generateVerilog(*mod);
+        EXPECT_TRUE(report.synthesizable) << name << ": " << report.reason;
+        EXPECT_GT(report.flipFlops, 0u) << name;
+        EXPECT_GT(report.gateEstimate, 0u) << name;
+        EXPECT_NE(report.verilog.find("module " + std::string(name)),
+                  std::string::npos);
+        EXPECT_NE(report.verilog.find("always @(posedge clk"),
+                  std::string::npos);
+        EXPECT_NE(report.verilog.find("endmodule"), std::string::npos);
+    }
+}
+
+TEST(VerilogGenTest, DataPartRejectedPerPaperRule)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("checkcrc");
+    codegen::HwReport report = codegen::generateVerilog(*mod);
+    EXPECT_FALSE(report.synthesizable);
+    EXPECT_NE(report.reason.find("data"), std::string::npos);
+}
+
+TEST(VerilogGenTest, BufferTopGateEstimateGrowsWithProduct)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto top = compiler.compile("buffer_top");
+    auto blink = compiler.compile("blinker");
+    codegen::HwReport rTop = codegen::generateVerilog(*top);
+    codegen::HwReport rBlink = codegen::generateVerilog(*blink);
+    ASSERT_TRUE(rTop.synthesizable);
+    ASSERT_TRUE(rBlink.synthesizable);
+    EXPECT_GT(rTop.gateEstimate, 3 * rBlink.gateEstimate);
+}
+
+} // namespace

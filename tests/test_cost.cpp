@@ -1,0 +1,139 @@
+// Cost model tests: AST sizing, cycle accounting, module size monotonicity.
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "src/cost/cost.h"
+#include "src/frontend/lexer.h"
+#include "src/frontend/parser.h"
+
+namespace {
+
+using namespace ecl;
+
+TEST(CostTest, ExprNodeCounting)
+{
+    Diagnostics diags;
+    Parser p(lex("a + b * c[2].f", diags), diags);
+    ast::ExprPtr e = p.parseExpressionOnly();
+    // a, b, c, 2, index, member, mul, add => 8
+    EXPECT_EQ(cost::countExprNodes(*e), 8u);
+}
+
+TEST(CostTest, StmtNodeCounting)
+{
+    Diagnostics diags;
+    ast::Program prog = parseEcl(
+        "void f(int n) { int i; for (i = 0; i < n; i++) { n += i; } }",
+        diags);
+    const auto& fn = static_cast<const ast::FunctionDecl&>(*prog.decls[0]);
+    EXPECT_GT(cost::countStmtNodes(*fn.body), 8u);
+}
+
+TEST(CostTest, ReactionCyclesGrowWithWork)
+{
+    Compiler compiler("module m (input int v, output int o) {"
+                      " int i; int s;"
+                      " while (1) { await (v);"
+                      "   for (i = 0, s = 0; i < 32; i++) { s += v; }"
+                      "   emit_v (o, s); } }");
+    auto mod = compiler.compile("m");
+    auto eng = mod->makeEngine();
+    cost::CostModel cm;
+    std::uint64_t idle = cm.reactionCycles(eng->react());
+    eng->setInputScalar("v", 2);
+    std::uint64_t busy = cm.reactionCycles(eng->react());
+    EXPECT_GT(busy, idle + 100); // the 32-iteration fold dominates
+}
+
+TEST(CostTest, ModuleSizeGrowsWithStates)
+{
+    Compiler small("module m (input pure t, output pure o) {"
+                   " while (1) { await (t); emit (o); } }");
+    Compiler large("module m (input pure t, output pure o) {"
+                   " while (1) { await (t); await (t); await (t);"
+                   " await (t); await (t); await (t); emit (o); } }");
+    cost::CostModel cm;
+    EXPECT_LT(cm.moduleSize(small.compile("m")->machine()).codeBytes,
+              cm.moduleSize(large.compile("m")->machine()).codeBytes);
+}
+
+TEST(CostTest, SharedSubtreesNotDoubleCharged)
+{
+    // Two states with identical reactions: the DAG counter should charge
+    // the decision structure once, so size grows sub-linearly.
+    Compiler one("module m (input pure t, output pure o) {"
+                 " while (1) { await (t); emit (o); } }");
+    Compiler two("module m (input pure t, output pure o) {"
+                 " while (1) { await (t); emit (o); await (t); emit (o); } }");
+    cost::CostModel cm;
+    std::size_t s1 = cm.moduleSize(one.compile("m")->machine()).codeBytes;
+    std::size_t s2 = cm.moduleSize(two.compile("m")->machine()).codeBytes;
+    // Far less than 2x: the two await-states have identical continuations.
+    EXPECT_LT(s2, s1 + s1 / 2);
+}
+
+TEST(CostTest, ExtractedLoopChargedOnce)
+{
+    // The same data loop reachable from two control paths must be charged
+    // one function body plus call sites.
+    Compiler compiler("module m (input int v, input pure alt, output int o) {"
+                      " int i; int s;"
+                      " while (1) { await (v | alt);"
+                      "   for (i = 0, s = 0; i < 64; i++) { s += i; }"
+                      "   emit_v (o, s); } }");
+    cost::CostModel cm;
+    auto mod = compiler.compile("m");
+    int extracted = 0;
+    for (const auto& a : mod->reactiveProgram().actions)
+        if (a.extractedLoop) ++extracted;
+    EXPECT_EQ(extracted, 1);
+    // Sanity: size stays modest even though the loop appears in many leaves.
+    EXPECT_LT(cm.moduleSize(mod->machine()).codeBytes, 2000u);
+}
+
+TEST(CostTest, DataBytesIncludeVarsAndSignals)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("assemble");
+    cost::CostModel cm;
+    cost::CodeSize sz = cm.moduleSize(mod->machine());
+    // buffer (64) + cnt (4) + state var + flags + value slots (in_byte 1,
+    // outpkt 64).
+    EXPECT_GE(sz.dataBytes, 64u + 4u + 4u + 3u + 65u);
+}
+
+TEST(CostTest, BaselineSizeSmallerCodeForBigMachines)
+{
+    // For the collapsed buffer_top, the interpreted baseline's code should
+    // be much smaller than the expanded automaton (its price is time).
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("buffer_top");
+    cost::CostModel cm;
+    std::size_t efsmCode = cm.moduleSize(mod->machine()).codeBytes;
+    std::size_t rcCode =
+        cm.baselineSize(mod->reactiveProgram(), mod->moduleSema()).codeBytes;
+    EXPECT_LT(rcCode, efsmCode);
+}
+
+TEST(CostTest, CyclesFasterForEfsmThanBaseline)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("buffer_top");
+    cost::CostModel cm;
+    auto efsm = mod->makeEngine();
+    auto rc = mod->makeBaselineEngine();
+    efsm->react();
+    rc->react();
+    std::uint64_t e = 0;
+    std::uint64_t r = 0;
+    for (int t = 0; t < 50; ++t) {
+        efsm->setInput("sample");
+        rc->setInput("sample");
+        e += cm.reactionCycles(efsm->react());
+        r += cm.reactionCycles(rc->react());
+    }
+    EXPECT_LT(e, r);
+}
+
+} // namespace

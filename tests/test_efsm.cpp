@@ -1,0 +1,363 @@
+// EFSM + reactive semantics tests: each Esterel-kernel construct's behavior
+// through the full compile-and-run path, loop classification, causality.
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/partition/classify.h"
+#include "src/frontend/parser.h"
+
+namespace {
+
+using namespace ecl;
+
+/// Compiles module `m` from `src`, boots it, and returns the engine.
+struct Machine {
+    explicit Machine(const std::string& src, const char* name = "m")
+        : compiler(src)
+    {
+        mod = compiler.compile(name);
+        eng = mod->makeEngine();
+        eng->react(); // boot instant
+    }
+
+    /// One instant: set the listed pure inputs, react, return whether each
+    /// of the listed outputs was present (joined as a string for EXPECT_EQ).
+    std::string step(std::initializer_list<const char*> inputs,
+                     std::initializer_list<const char*> outputs)
+    {
+        for (const char* i : inputs) eng->setInput(i);
+        eng->react();
+        std::string out;
+        for (const char* o : outputs) {
+            if (!out.empty()) out += ",";
+            out += eng->outputPresent(o) ? "1" : "0";
+        }
+        return out;
+    }
+
+    Compiler compiler;
+    std::shared_ptr<CompiledModule> mod;
+    std::unique_ptr<rt::SyncEngine> eng;
+};
+
+TEST(EfsmSemanticsTest, AwaitIsNotImmediate)
+{
+    Machine m("module m (input pure a, output pure o) {"
+              " while (1) { await (a); emit (o); } }");
+    // Boot already consumed; a present in the very first instant after boot
+    // is caught (await armed at boot).
+    EXPECT_EQ(m.step({"a"}, {"o"}), "1");
+    EXPECT_EQ(m.step({}, {"o"}), "0");
+    EXPECT_EQ(m.step({"a"}, {"o"}), "1");
+}
+
+TEST(EfsmSemanticsTest, AwaitExpression)
+{
+    Machine m("module m (input pure a, input pure b, output pure o) {"
+              " while (1) { await (a & ~b); emit (o); } }");
+    EXPECT_EQ(m.step({"a", "b"}, {"o"}), "0"); // a&~b false
+    EXPECT_EQ(m.step({"b"}, {"o"}), "0");
+    EXPECT_EQ(m.step({"a"}, {"o"}), "1");
+}
+
+TEST(EfsmSemanticsTest, StrongAbortSuppressesBody)
+{
+    Machine m("module m (input pure kill, input pure t, output pure o,"
+              " output pure done) {"
+              " do { while (1) { await (t); emit (o); } } abort (kill);"
+              " emit (done); halt (); }");
+    EXPECT_EQ(m.step({"t"}, {"o", "done"}), "1,0");
+    // kill and t together: strong abort wins, body emits nothing.
+    EXPECT_EQ(m.step({"t", "kill"}, {"o", "done"}), "0,1");
+    EXPECT_EQ(m.step({"t"}, {"o", "done"}), "0,0"); // halted
+}
+
+TEST(EfsmSemanticsTest, WeakAbortLetsBodyRunLastInstant)
+{
+    Machine m("module m (input pure kill, input pure t, output pure o,"
+              " output pure done) {"
+              " do { while (1) { await (t); emit (o); } } weak_abort (kill);"
+              " emit (done); halt (); }");
+    EXPECT_EQ(m.step({"t"}, {"o", "done"}), "1,0");
+    // weak abort: body's emission still happens in the killing instant.
+    EXPECT_EQ(m.step({"t", "kill"}, {"o", "done"}), "1,1");
+}
+
+TEST(EfsmSemanticsTest, AbortHandlerRuns)
+{
+    Machine m("module m (input pure kill, output pure h) {"
+              " do { halt (); } abort (kill) handle { emit (h); }"
+              " halt (); }");
+    EXPECT_EQ(m.step({}, {"h"}), "0");
+    EXPECT_EQ(m.step({"kill"}, {"h"}), "1");
+    EXPECT_EQ(m.step({"kill"}, {"h"}), "0"); // handler ran once
+}
+
+TEST(EfsmSemanticsTest, HandlerWithPausesResumable)
+{
+    Machine m("module m (input pure kill, input pure t, output pure h1,"
+              " output pure h2) {"
+              " do { halt (); } abort (kill) handle {"
+              "   emit (h1); await (t); emit (h2); }"
+              " halt (); }");
+    EXPECT_EQ(m.step({"kill"}, {"h1", "h2"}), "1,0");
+    EXPECT_EQ(m.step({}, {"h1", "h2"}), "0,0");
+    EXPECT_EQ(m.step({"t"}, {"h1", "h2"}), "0,1");
+}
+
+TEST(EfsmSemanticsTest, AbortNormalTerminationSkipsHandler)
+{
+    Machine m("module m (input pure kill, input pure t, output pure h,"
+              " output pure done) {"
+              " do { await (t); } abort (kill) handle { emit (h); }"
+              " emit (done); halt (); }");
+    EXPECT_EQ(m.step({"t"}, {"h", "done"}), "0,1");
+}
+
+TEST(EfsmSemanticsTest, SuspendFreezesBody)
+{
+    Machine m("module m (input pure hold, input pure t, output pure o) {"
+              " do { while (1) { await (t); emit (o); } } suspend (hold); }");
+    EXPECT_EQ(m.step({"t"}, {"o"}), "1");
+    EXPECT_EQ(m.step({"t", "hold"}, {"o"}), "0"); // frozen, event lost
+    EXPECT_EQ(m.step({"t"}, {"o"}), "1");         // resumes where it was
+}
+
+TEST(EfsmSemanticsTest, ParJoinWaitsForAllBranches)
+{
+    Machine m("module m (input pure a, input pure b, output pure done) {"
+              " par { { await (a); } { await (b); } }"
+              " emit (done); halt (); }");
+    EXPECT_EQ(m.step({"a"}, {"done"}), "0");
+    EXPECT_EQ(m.step({}, {"done"}), "0");
+    EXPECT_EQ(m.step({"b"}, {"done"}), "1");
+}
+
+TEST(EfsmSemanticsTest, ParSimultaneousJoin)
+{
+    Machine m("module m (input pure a, input pure b, output pure done) {"
+              " par { { await (a); } { await (b); } }"
+              " emit (done); halt (); }");
+    EXPECT_EQ(m.step({"a", "b"}, {"done"}), "1");
+}
+
+TEST(EfsmSemanticsTest, LocalSignalBroadcastSameInstant)
+{
+    // Emitter branch scheduled before tester (static causality).
+    Machine m("module m (input pure go, output pure caught) {"
+              " signal pure s;"
+              " par {"
+              "   { await (go); emit (s); }"
+              "   { do { halt (); } abort (s); emit (caught); }"
+              " } halt (); }");
+    EXPECT_EQ(m.step({}, {"caught"}), "0");
+    EXPECT_EQ(m.step({"go"}, {"caught"}), "1");
+}
+
+TEST(EfsmSemanticsTest, BreakExitsReactiveLoop)
+{
+    Machine m("module m (input pure t, input pure q, output pure o,"
+              " output pure done) {"
+              " while (1) { await (t); present (q) { break; }"
+              "   emit (o); }"
+              " emit (done); halt (); }");
+    EXPECT_EQ(m.step({"t"}, {"o", "done"}), "1,0");
+    EXPECT_EQ(m.step({"t", "q"}, {"o", "done"}), "0,1");
+}
+
+TEST(EfsmSemanticsTest, ContinueRestartsLoop)
+{
+    Machine m("module m (input pure t, input pure skip, output pure o) {"
+              " while (1) { await (t);"
+              "   present (skip) { continue; }"
+              "   emit (o); } }");
+    EXPECT_EQ(m.step({"t", "skip"}, {"o"}), "0");
+    EXPECT_EQ(m.step({"t"}, {"o"}), "1");
+}
+
+TEST(EfsmSemanticsTest, DeltaCycleKeepsModuleAlive)
+{
+    Machine m("module m (input pure go, output pure late) {"
+              " await (go); await (); await (); emit (late); halt (); }");
+    EXPECT_EQ(m.step({"go"}, {"late"}), "0");
+    EXPECT_TRUE(m.eng->needsAutoResume());
+    EXPECT_EQ(m.step({}, {"late"}), "0");
+    EXPECT_EQ(m.step({}, {"late"}), "1");
+    EXPECT_FALSE(m.eng->needsAutoResume());
+}
+
+TEST(EfsmSemanticsTest, ValuedSignalPersistsBetweenInstants)
+{
+    Machine m("module m (input int v, output int echo) {"
+              " while (1) { await (v); await (); emit_v (echo, v + 1); } }");
+    m.eng->setInputScalar("v", 41);
+    m.eng->react();
+    EXPECT_FALSE(m.eng->outputPresent("echo"));
+    m.eng->react(); // value read one instant after emission
+    EXPECT_TRUE(m.eng->outputPresent("echo"));
+    EXPECT_EQ(m.eng->outputValue("echo").toInt(), 42);
+}
+
+TEST(EfsmSemanticsTest, ModuleTerminationIsFinal)
+{
+    Machine m("module m (input pure a, output pure o) {"
+              " await (a); emit (o); }");
+    EXPECT_EQ(m.step({"a"}, {"o"}), "1");
+    EXPECT_TRUE(m.eng->terminated());
+    EXPECT_EQ(m.step({"a"}, {"o"}), "0");
+    EXPECT_TRUE(m.eng->terminated());
+}
+
+TEST(EfsmSemanticsTest, NestedAbortsOuterWins)
+{
+    Machine m("module m (input pure outer, input pure inner,"
+              " output pure oh, output pure ih) {"
+              " do {"
+              "   do { halt (); } abort (inner) handle { emit (ih); }"
+              "   halt ();"
+              " } abort (outer) handle { emit (oh); }"
+              " halt (); }");
+    // Both in the same instant: the outer abort pre-empts everything; the
+    // inner handler must not run.
+    EXPECT_EQ(m.step({"outer", "inner"}, {"oh", "ih"}), "1,0");
+}
+
+TEST(EfsmSemanticsTest, SuspendedAbortStillArmed)
+{
+    Machine m("module m (input pure hold, input pure kill, input pure t,"
+              " output pure o, output pure h) {"
+              " do {"
+              "   do { while (1) { await (t); emit (o); } } abort (kill)"
+              "     handle { emit (h); }"
+              " } suspend (hold); }");
+    EXPECT_EQ(m.step({"t"}, {"o", "h"}), "1,0");
+    // Suspended instant: even kill is ignored (outer suspend freezes all).
+    EXPECT_EQ(m.step({"kill", "hold"}, {"o", "h"}), "0,0");
+    EXPECT_EQ(m.step({"kill"}, {"o", "h"}), "0,1");
+}
+
+// --- classification ---------------------------------------------------------
+
+TEST(ClassifyTest, DataLoopExtracted)
+{
+    Compiler compiler("module m (input int v, output int o) {"
+                      " int i; int s;"
+                      " while (1) { await (v);"
+                      "   for (i = 0, s = 0; i < 8; i++) { s += v; }"
+                      "   emit_v (o, s); } }");
+    auto mod = compiler.compile("m");
+    int extracted = 0;
+    for (const auto& a : mod->reactiveProgram().actions)
+        if (a.extractedLoop) ++extracted;
+    EXPECT_EQ(extracted, 1);
+}
+
+TEST(ClassifyTest, ReactiveLoopNotExtracted)
+{
+    Compiler compiler("module m (input pure t, output pure o) {"
+                      " while (1) { await (t); emit (o); } }");
+    auto mod = compiler.compile("m");
+    for (const auto& a : mod->reactiveProgram().actions)
+        EXPECT_FALSE(a.extractedLoop);
+}
+
+TEST(ClassifyTest, MixedLoopRejected)
+{
+    Compiler compiler("module m (input pure t, output pure o) {"
+                      " int i; i = 0;"
+                      " while (1) { if (i > 2) { await (t); } i++; } }");
+    EXPECT_THROW(compiler.compile("m"), EclError);
+}
+
+TEST(ClassifyTest, EmittingNonHaltingLoopRejected)
+{
+    Compiler compiler("module m (input pure t, output pure o) {"
+                      " int i;"
+                      " for (i = 0; i < 4; i++) { emit (o); } halt(); }");
+    EXPECT_THROW(compiler.compile("m"), EclError);
+}
+
+TEST(ClassifyTest, HaltFlowAnalysis)
+{
+    Diagnostics diags;
+    ast::Program p = parseEcl(
+        "module m (input pure t) {"
+        " while (1) { if (1) { await (t); } else { halt (); } } }",
+        diags);
+    const ast::ModuleDecl* m = p.findModule("m");
+    ClassifyResult r = classifyLoops(*m, diags);
+    EXPECT_EQ(r.reactiveLoops, 1);
+    EXPECT_EQ(r.dataLoops, 0);
+}
+
+// --- causality ----------------------------------------------------------------
+
+TEST(CausalityTest, EmitterOrderedBeforeTester)
+{
+    // Textually the tester comes first; the scheduler must reorder.
+    Machine m("module m (input pure go, output pure caught) {"
+              " signal pure s;"
+              " par {"
+              "   { do { halt (); } abort (s); emit (caught); }"
+              "   { await (go); emit (s); }"
+              " } halt (); }");
+    EXPECT_EQ(m.step({"go"}, {"caught"}), "1");
+}
+
+TEST(CausalityTest, CycleRejected)
+{
+    Compiler compiler("module m (input pure go) {"
+                      " signal pure s1, s2;"
+                      " par {"
+                      "   { await (s1); emit (s2); }"
+                      "   { await (s2); emit (s1); }"
+                      " } }");
+    try {
+        compiler.compile("m");
+        FAIL() << "expected causality cycle error";
+    } catch (const EclError& e) {
+        EXPECT_NE(std::string(e.what()).find("causality cycle"),
+                  std::string::npos);
+    }
+}
+
+// --- machine shape -------------------------------------------------------------
+
+TEST(EfsmShapeTest, AwaitChainStateCount)
+{
+    Compiler compiler("module m (input pure t, output pure o) {"
+                      " while (1) { await (t); await (t); await (t);"
+                      " emit (o); } }");
+    auto mod = compiler.compile("m");
+    // boot + 3 awaits (termination unreachable: infinite loop).
+    EXPECT_EQ(mod->machine().stats().states, 4u);
+}
+
+TEST(EfsmShapeTest, DeterministicRebuild)
+{
+    const char* src = "module m (input pure a, input pure b, output pure o)"
+                      " { while (1) { await (a & b); emit (o); } }";
+    Compiler c1(src);
+    Compiler c2(src);
+    EXPECT_EQ(c1.compile("m")->machine().describe(),
+              c2.compile("m")->machine().describe());
+}
+
+TEST(EfsmShapeTest, StateLimitEnforced)
+{
+    // 12 independent 2-state machines => 2^12 product states > limit.
+    std::string src = "module m (input pure t0, input pure t1, input pure t2,"
+                      " input pure t3, input pure t4, input pure t5,"
+                      " input pure t6, input pure t7, input pure t8,"
+                      " input pure t9, input pure ta, input pure tb) { par {";
+    for (const char* n : {"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+                          "t8", "t9", "ta", "tb"})
+        src += std::string("{ while (1) { await (") + n + "); await (); } }";
+    src += "} }";
+    Compiler compiler(src);
+    CompileOptions opts;
+    opts.efsm.maxStates = 100;
+    EXPECT_THROW(compiler.compile("m", opts), EclError);
+}
+
+} // namespace

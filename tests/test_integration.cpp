@@ -1,0 +1,278 @@
+// End-to-end tests of the paper's designs (Figures 1-4 and the audio
+// buffer) through the complete pipeline: parse -> sema -> elaborate ->
+// partition -> EFSM -> synchronous execution, with the Reactive-C-style
+// baseline as a differential oracle.
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "tests/ecl_test_util.h"
+
+namespace {
+
+using namespace ecl;
+
+/// Feeds one packet byte-per-instant, then `drain` empty instants.
+/// Returns the number of instants at which addr_match was present.
+int runPacket(rt::ReactiveEngine& eng, const std::vector<std::uint8_t>& bytes,
+              int drain = 10)
+{
+    int matches = 0;
+    for (std::uint8_t b : bytes) {
+        eng.setInputScalar("in_byte", b);
+        eng.react();
+        if (eng.outputPresent("addr_match")) ++matches;
+    }
+    for (int i = 0; i < drain; ++i) {
+        eng.react();
+        if (eng.outputPresent("addr_match")) ++matches;
+    }
+    return matches;
+}
+
+class ProtocolStackTest : public ::testing::Test {
+protected:
+    void SetUp() override
+    {
+        compiler_ = std::make_unique<Compiler>(paper::protocolStackSource());
+        mod_ = compiler_->compile("toplevel");
+    }
+
+    std::unique_ptr<Compiler> compiler_;
+    std::shared_ptr<CompiledModule> mod_;
+};
+
+TEST_F(ProtocolStackTest, GoodPacketMatches)
+{
+    auto eng = mod_->makeEngine();
+    eng->react(); // boot
+    auto pkt = test::makePacket(paper::kAddrByte, 1);
+    ASSERT_TRUE(test::paperCrcOk(pkt));
+    EXPECT_EQ(runPacket(*eng, pkt), 1);
+}
+
+TEST_F(ProtocolStackTest, MatchArrivesSixInstantsAfterPacket)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    auto pkt = test::makePacket(paper::kAddrByte, 2);
+    for (std::uint8_t b : pkt) {
+        eng->setInputScalar("in_byte", b);
+        eng->react();
+    }
+    // The lengthy header check runs one header byte per delta instant.
+    for (int i = 1; i <= paper::kHdrSize - 1; ++i) {
+        eng->react();
+        EXPECT_FALSE(eng->outputPresent("addr_match")) << "instant +" << i;
+    }
+    eng->react();
+    EXPECT_TRUE(eng->outputPresent("addr_match"));
+}
+
+TEST_F(ProtocolStackTest, BadCrcRejected)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    auto pkt = test::makePacket(paper::kAddrByte, 3, /*corruptTail=*/true);
+    ASSERT_FALSE(test::paperCrcOk(pkt));
+    EXPECT_EQ(runPacket(*eng, pkt), 0);
+}
+
+TEST_F(ProtocolStackTest, WrongAddressRejected)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    auto pkt = test::makePacket(0x11, 4); // CRC fine, address wrong
+    ASSERT_TRUE(test::paperCrcOk(pkt));
+    EXPECT_EQ(runPacket(*eng, pkt), 0);
+}
+
+TEST_F(ProtocolStackTest, BackToBackPackets)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    int matches = 0;
+    for (int p = 0; p < 5; ++p) {
+        auto pkt = test::makePacket(paper::kAddrByte, p);
+        for (std::uint8_t b : pkt) {
+            eng->setInputScalar("in_byte", b);
+            eng->react();
+            if (eng->outputPresent("addr_match")) ++matches;
+        }
+    }
+    for (int i = 0; i < 10; ++i) {
+        eng->react();
+        if (eng->outputPresent("addr_match")) ++matches;
+    }
+    EXPECT_EQ(matches, 5);
+}
+
+TEST_F(ProtocolStackTest, ResetMidPacketRestartsAssembly)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    auto pkt = test::makePacket(paper::kAddrByte, 5);
+    // Feed half a packet, then reset.
+    for (int i = 0; i < 30; ++i) {
+        eng->setInputScalar("in_byte", pkt[static_cast<std::size_t>(i)]);
+        eng->react();
+    }
+    eng->setInput("reset");
+    eng->react();
+    EXPECT_FALSE(eng->outputPresent("addr_match"));
+    // A full packet afterwards must still match exactly once.
+    EXPECT_EQ(runPacket(*eng, pkt), 1);
+}
+
+TEST_F(ProtocolStackTest, ResetDuringHeaderCheckKillsMatch)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    auto pkt = test::makePacket(paper::kAddrByte, 6);
+    for (std::uint8_t b : pkt) {
+        eng->setInputScalar("in_byte", b);
+        eng->react();
+    }
+    // Two delta instants into the header check, reset.
+    eng->react();
+    eng->react();
+    eng->setInput("reset");
+    eng->react();
+    for (int i = 0; i < 10; ++i) {
+        eng->react();
+        EXPECT_FALSE(eng->outputPresent("addr_match"));
+    }
+}
+
+TEST_F(ProtocolStackTest, BaselineEngineAgreesWithEfsm)
+{
+    auto efsm = mod_->makeEngine();
+    auto base = mod_->makeBaselineEngine();
+    efsm->react();
+    base->react();
+
+    std::vector<std::vector<std::uint8_t>> packets = {
+        test::makePacket(paper::kAddrByte, 7),
+        test::makePacket(paper::kAddrByte, 8, true),
+        test::makePacket(0x22, 9),
+        test::makePacket(paper::kAddrByte, 10),
+    };
+    int instant = 0;
+    for (const auto& pkt : packets) {
+        for (std::uint8_t b : pkt) {
+            efsm->setInputScalar("in_byte", b);
+            base->setInputScalar("in_byte", b);
+            if (instant == 200) { // a reset somewhere in packet 4
+                efsm->setInput("reset");
+                base->setInput("reset");
+            }
+            efsm->react();
+            base->react();
+            ASSERT_EQ(efsm->outputPresent("addr_match"),
+                      base->outputPresent("addr_match"))
+                << "instant " << instant;
+            ++instant;
+        }
+    }
+    for (int i = 0; i < 10; ++i) {
+        efsm->react();
+        base->react();
+        ASSERT_EQ(efsm->outputPresent("addr_match"),
+                  base->outputPresent("addr_match"));
+    }
+}
+
+TEST_F(ProtocolStackTest, InternalSignalsObservable)
+{
+    auto eng = mod_->makeEngine();
+    eng->react();
+    auto pkt = test::makePacket(paper::kAddrByte, 11);
+    int packetEmissions = 0;
+    int crcVerdicts = 0;
+    for (std::uint8_t b : pkt) {
+        eng->setInputScalar("in_byte", b);
+        eng->react();
+        if (eng->outputPresent("packet")) ++packetEmissions;
+        if (eng->outputPresent("crc_ok")) ++crcVerdicts;
+    }
+    EXPECT_EQ(packetEmissions, 1);
+    EXPECT_EQ(crcVerdicts, 0); // verdict appears one delta instant later
+    eng->react();
+    EXPECT_TRUE(eng->outputPresent("crc_ok"));
+    EXPECT_EQ(eng->outputValue("crc_ok").toInt(), 1);
+}
+
+TEST(AudioBufferTest, CompilesAndProductStateSpaceIsLarge)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto top = compiler.compile("buffer_top");
+    auto producer = compiler.compile("producer");
+    auto playback = compiler.compile("playback");
+    auto blinker = compiler.compile("blinker");
+
+    std::size_t topStates = top->machine().stats().states;
+    std::size_t sumStates = producer->machine().stats().states +
+                            playback->machine().stats().states +
+                            blinker->machine().stats().states;
+    EXPECT_GT(topStates, 2 * sumStates)
+        << "collapsed automaton should show the product blowup "
+        << "(top=" << topStates << ", sum=" << sumStates << ")";
+}
+
+TEST(AudioBufferTest, PlaybackProtocol)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("buffer_top");
+    auto eng = mod->makeEngine();
+    eng->react(); // boot
+
+    // 4 samples produce one frame.
+    auto feedSamples = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            eng->setInput("sample");
+            eng->react();
+        }
+    };
+
+    eng->setInput("play");
+    eng->react();
+    EXPECT_FALSE(eng->outputPresent("speaker_on"));
+
+    feedSamples(4); // frame 1
+    EXPECT_FALSE(eng->outputPresent("speaker_on"));
+    feedSamples(3);
+    EXPECT_FALSE(eng->outputPresent("speaker_on"));
+    feedSamples(1); // frame 2 completes prefill
+    EXPECT_TRUE(eng->outputPresent("speaker_on"));
+
+    eng->setInput("stop");
+    eng->react();
+    EXPECT_TRUE(eng->outputPresent("speaker_off"));
+}
+
+TEST(AudioBufferTest, BlinkerPattern)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("blinker");
+    auto eng = mod->makeEngine();
+    eng->react();
+    // Pattern over ticks: on@1, off@3, wraps every 5.
+    std::vector<std::pair<bool, bool>> expected = {
+        {true, false},  // tick 1: led_on
+        {false, false}, // tick 2
+        {false, true},  // tick 3: led_off
+        {false, false}, // tick 4
+        {false, false}, // tick 5
+        {true, false},  // tick 6: wraps
+    };
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        eng->setInput("tick");
+        eng->react();
+        EXPECT_EQ(eng->outputPresent("led_on"), expected[i].first)
+            << "tick " << i + 1;
+        EXPECT_EQ(eng->outputPresent("led_off"), expected[i].second)
+            << "tick " << i + 1;
+    }
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+// Interpreter tests: byte-backed values (incl. union views), the C-subset
+// evaluator, function calls, and failure injection (bounds, budgets).
+#include <gtest/gtest.h>
+
+#include "src/frontend/parser.h"
+#include "src/interp/eval.h"
+#include "src/runtime/engine.h"
+#include "src/sema/elaborate.h"
+#include "src/sema/sema.h"
+
+namespace {
+
+using namespace ecl;
+
+// --- value model --------------------------------------------------------------
+
+TEST(ValueTest, ScalarEncodeDecode)
+{
+    TypeTable t;
+    Value v = Value::fromInt(t.intType(), -5);
+    EXPECT_EQ(v.toInt(), -5);
+    Value u = Value::fromInt(t.uintType(), 0xfffffff0u);
+    EXPECT_EQ(u.toInt(), 0xfffffff0); // zero-extended
+    Value c = Value::fromInt(t.charType(), 0x80);
+    EXPECT_EQ(c.toInt(), -128); // sign-extended
+    Value b = Value::fromInt(t.boolType(), 42);
+    EXPECT_EQ(b.toInt(), 1); // bool normalizes
+}
+
+TEST(ValueTest, LittleEndianLayout)
+{
+    TypeTable t;
+    Value v = Value::fromInt(t.intType(), 0x01020304);
+    EXPECT_EQ(v.data()[0], 0x04);
+    EXPECT_EQ(v.data()[3], 0x01);
+}
+
+TEST(ValueTest, TruncationOnWrite)
+{
+    TypeTable t;
+    Value v = Value::fromInt(t.ucharType(), 0x1ff);
+    EXPECT_EQ(v.toInt(), 0xff);
+}
+
+TEST(ValueTest, ReadBytesLE)
+{
+    std::uint8_t bytes[2] = {0x34, 0x12};
+    EXPECT_EQ(readBytesLE(bytes, 2), 0x1234);
+}
+
+// --- evaluator fixture ---------------------------------------------------------
+
+/// Compiles a module and evaluates statements of its body one by one
+/// against a store; gives tests a tiny "script host".
+class EvalFixture {
+public:
+    explicit EvalFixture(const std::string& src)
+    {
+        program_ = parseEcl(src, diags_);
+        sema_ = analyzeProgramDecls(program_, diags_);
+        sema_.program = &program_;
+        for (const ast::TopDeclPtr& d : program_.decls)
+            if (d->kind == ast::DeclKind::Function) {
+                const auto& fn = static_cast<const ast::FunctionDecl&>(*d);
+                functions_.emplace(fn.name,
+                                   analyzeFunction(fn, sema_, diags_));
+            }
+        flat_ = elaborate(program_, sema_, "m", diags_);
+        moduleSema_ = std::make_unique<ModuleSema>(
+            analyzeModule(*flat_, sema_, diags_));
+        store_ = std::make_unique<Store>(moduleSema_->vars);
+        env_ = std::make_unique<rt::SignalEnv>(*moduleSema_);
+        eval_ = std::make_unique<Evaluator>(sema_, functions_,
+                                            moduleSema_.get(), store_.get(),
+                                            env_.get());
+    }
+
+    /// Executes all statements of the module body (must be data-only).
+    void runBody()
+    {
+        for (const ast::StmtPtr& s : flat_->body->body) eval_->execStmt(*s);
+    }
+
+    std::int64_t var(const std::string& name)
+    {
+        return store_->at(moduleSema_->findVar(name)->index).toInt();
+    }
+
+    Value& rawVar(const std::string& name)
+    {
+        return store_->at(moduleSema_->findVar(name)->index);
+    }
+
+    Evaluator& eval() { return *eval_; }
+
+private:
+    Diagnostics diags_;
+    ast::Program program_;
+    ProgramSema sema_;
+    rt::FunctionSemaMap functions_;
+    std::unique_ptr<ast::ModuleDecl> flat_;
+    std::unique_ptr<ModuleSema> moduleSema_;
+    std::unique_ptr<Store> store_;
+    std::unique_ptr<rt::SignalEnv> env_;
+    std::unique_ptr<Evaluator> eval_;
+};
+
+TEST(EvalTest, ArithmeticAndPrecedence)
+{
+    EvalFixture f("module m (input pure x) { int a; int b;\n"
+                  "a = 2 + 3 * 4; b = (a - 4) / 5 + a % 7; }");
+    f.runBody();
+    EXPECT_EQ(f.var("a"), 14);
+    EXPECT_EQ(f.var("b"), 2 + 0);
+}
+
+TEST(EvalTest, CompoundAssignAndIncDec)
+{
+    EvalFixture f("module m (input pure x) { int a; int b;\n"
+                  "a = 10; a += 5; a <<= 1; b = a++; b = b + a--; }");
+    f.runBody();
+    EXPECT_EQ(f.var("a"), 30);
+    EXPECT_EQ(f.var("b"), 30 + 31);
+}
+
+TEST(EvalTest, ShortCircuit)
+{
+    EvalFixture f("module m (input pure x) { int a; int hits;\n"
+                  "hits = 0;\n"
+                  "a = (0 && (hits = 1)) ? 5 : 6;\n"
+                  "a = (1 || (hits = 1)) ? a : 0; }");
+    f.runBody();
+    EXPECT_EQ(f.var("hits"), 0); // right side never evaluated
+    EXPECT_EQ(f.var("a"), 6);
+}
+
+TEST(EvalTest, UnionViewsShareBytes)
+{
+    EvalFixture f(R"(
+typedef unsigned char byte;
+typedef struct { byte packet[8]; } v1_t;
+typedef struct { byte header[2]; byte data[6]; } v2_t;
+typedef union { v1_t raw; v2_t cooked; } pkt_t;
+module m (input pure x) {
+    pkt_t p; int h0; int d3;
+    p.raw.packet[0] = 17;
+    p.raw.packet[5] = 99;
+    h0 = p.cooked.header[0];
+    d3 = p.cooked.data[3];
+})");
+    f.runBody();
+    EXPECT_EQ(f.var("h0"), 17);
+    EXPECT_EQ(f.var("d3"), 99);
+}
+
+TEST(EvalTest, AggregateCopySemantics)
+{
+    EvalFixture f(R"(
+typedef struct { int v[2]; } box_t;
+module m (input pure x) {
+    box_t a; box_t b; int r;
+    a.v[0] = 7; a.v[1] = 8;
+    b = a;
+    a.v[0] = 0;
+    r = b.v[0] * 10 + b.v[1];
+})");
+    f.runBody();
+    EXPECT_EQ(f.var("r"), 78); // deep copy, not aliasing
+}
+
+TEST(EvalTest, ArrayCastLittleEndian)
+{
+    EvalFixture f(R"(
+typedef unsigned char byte;
+typedef struct { byte crc[2]; } t_t;
+module m (input pure x) {
+    t_t v; int r;
+    v.crc[0] = 0x34; v.crc[1] = 0x12;
+    r = (int) v.crc;
+})");
+    f.runBody();
+    EXPECT_EQ(f.var("r"), 0x1234);
+}
+
+TEST(EvalTest, PaperCrcFoldSemantics)
+{
+    // 32-bit wraparound on each store into `unsigned int crc`.
+    EvalFixture f("module m (input pure x) { unsigned int crc; int i;\n"
+                  "for (i = 0, crc = 1; i < 40; i++) {"
+                  " crc = (crc ^ 0) << 1; } }");
+    f.runBody();
+    EXPECT_EQ(f.var("crc"), 0); // 1 << 40 wraps out of 32 bits
+}
+
+TEST(EvalTest, LoopsAndControlFlow)
+{
+    EvalFixture f("module m (input pure x) { int i; int sum;\n"
+                  "sum = 0;\n"
+                  "for (i = 0; i < 10; i++) {"
+                  "  if (i == 3) continue;"
+                  "  if (i == 7) break;"
+                  "  sum += i; }\n"
+                  "while (i > 0) { i--; }\n"
+                  "do { i++; } while (i < 2); }");
+    f.runBody();
+    EXPECT_EQ(f.var("sum"), 0 + 1 + 2 + 4 + 5 + 6);
+    EXPECT_EQ(f.var("i"), 2);
+}
+
+TEST(EvalTest, FunctionCallByValue)
+{
+    EvalFixture f(R"(
+typedef struct { int v[2]; } box_t;
+int sum(box_t b, int scale)
+{
+    b.v[0] = b.v[0] * scale; /* by value: caller unaffected */
+    return b.v[0] + b.v[1];
+}
+module m (input pure x) {
+    box_t a; int r; int keep;
+    a.v[0] = 3; a.v[1] = 4;
+    r = sum(a, 10);
+    keep = a.v[0];
+})");
+    f.runBody();
+    EXPECT_EQ(f.var("r"), 34);
+    EXPECT_EQ(f.var("keep"), 3);
+}
+
+TEST(EvalTest, RecursionWithDepthLimit)
+{
+    EvalFixture f(R"(
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+module m (input pure x) { int r; r = fib(12); }
+)");
+    f.runBody();
+    EXPECT_EQ(f.var("r"), 144);
+}
+
+TEST(EvalTest, DeepRecursionRejected)
+{
+    EvalFixture f("int down(int n) { if (n == 0) return 0;"
+                  " return down(n - 1); }\n"
+                  "module m (input pure x) { int r; r = down(1000); }");
+    EXPECT_THROW(f.runBody(), EclError);
+}
+
+TEST(EvalTest, OutOfBoundsIndexRejected)
+{
+    EvalFixture f("typedef unsigned char byte;\n"
+                  "module m (input pure x) { byte a[4]; int i;\n"
+                  "i = 4; a[i] = 1; }");
+    EXPECT_THROW(f.runBody(), EclError);
+}
+
+TEST(EvalTest, NegativeIndexRejected)
+{
+    EvalFixture f("typedef unsigned char byte;\n"
+                  "module m (input pure x) { byte a[4]; int i;\n"
+                  "i = -1; a[i] = 1; }");
+    EXPECT_THROW(f.runBody(), EclError);
+}
+
+TEST(EvalTest, DivisionByZeroRejected)
+{
+    EvalFixture f("module m (input pure x) { int a; int b; b = 0;"
+                  " a = 1 / b; }");
+    EXPECT_THROW(f.runBody(), EclError);
+}
+
+TEST(EvalTest, OpBudgetStopsRunawayLoop)
+{
+    EvalFixture f("module m (input pure x) { int i; i = 0;\n"
+                  "while (1) { i = i + 1; } }");
+    f.eval().setOpBudget(10000);
+    EXPECT_THROW(f.runBody(), EclError);
+}
+
+TEST(EvalTest, CountersTrackWork)
+{
+    EvalFixture f("module m (input pure x) { int i; int s; s = 0;\n"
+                  "for (i = 0; i < 5; i++) { s += i; } }");
+    f.runBody();
+    const ExecCounters& c = f.eval().counters();
+    EXPECT_GT(c.stores, 5u);
+    EXPECT_GT(c.branches, 4u);
+    EXPECT_GT(c.total(), 20u);
+}
+
+TEST(EvalTest, SizeofExpr)
+{
+    EvalFixture f("typedef struct { int a; int b; } two_t;\n"
+                  "module m (input pure x) { two_t v; int r;\n"
+                  "r = sizeof(v) + sizeof(int); }");
+    f.runBody();
+    EXPECT_EQ(f.var("r"), 12);
+}
+
+TEST(EvalTest, BoolNormalization)
+{
+    EvalFixture f("module m (input pure x) { bool b; int r;\n"
+                  "b = 17; r = b + 1; }");
+    f.runBody();
+    EXPECT_EQ(f.var("r"), 2); // bool stores as 1
+}
+
+} // namespace

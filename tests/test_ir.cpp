@@ -1,0 +1,245 @@
+// IR lowering tests: kernel desugarings, data/reactive split placement,
+// trap depths, analysis sets, and the Esterel printer's phase-1 artifact.
+#include <gtest/gtest.h>
+
+#include "src/codegen/esterel_gen.h"
+#include "src/frontend/parser.h"
+#include "src/partition/lower.h"
+#include "src/sema/elaborate.h"
+
+namespace {
+
+using namespace ecl;
+using ir::Node;
+using ir::NodeKind;
+
+struct Lowered {
+    Diagnostics diags;
+    ast::Program program;
+    ProgramSema progSema;
+    std::unique_ptr<ast::ModuleDecl> flat;
+    std::unique_ptr<ModuleSema> sema;
+    ir::ReactiveProgram prog;
+    LowerStats stats;
+
+    explicit Lowered(const std::string& src, const char* name = "m")
+    {
+        program = parseEcl(src, diags);
+        progSema = analyzeProgramDecls(program, diags);
+        progSema.program = &program;
+        flat = elaborate(program, progSema, name, diags);
+        sema = std::make_unique<ModuleSema>(
+            analyzeModule(*flat, progSema, diags));
+        prog = lowerModule(*flat, *sema, diags, &stats);
+    }
+};
+
+int countKind(const Node& n, NodeKind k)
+{
+    int c = n.kind == k ? 1 : 0;
+    for (const ir::NodePtr& ch : n.children) c += countKind(*ch, k);
+    return c;
+}
+
+const Node* findKind(const Node& n, NodeKind k)
+{
+    if (n.kind == k) return &n;
+    for (const ir::NodePtr& ch : n.children)
+        if (const Node* f = findKind(*ch, k)) return f;
+    return nullptr;
+}
+
+TEST(LowerTest, AwaitDesugarsToTrapLoopPausePresent)
+{
+    Lowered l("module m (input pure a) { await (a); }");
+    EXPECT_EQ(countKind(*l.prog.root, NodeKind::Trap), 1);
+    EXPECT_EQ(countKind(*l.prog.root, NodeKind::Loop), 1);
+    EXPECT_EQ(countKind(*l.prog.root, NodeKind::Pause), 1);
+    EXPECT_EQ(countKind(*l.prog.root, NodeKind::Present), 1);
+    EXPECT_EQ(countKind(*l.prog.root, NodeKind::Exit), 1);
+    EXPECT_EQ(l.prog.pauseCount, 1);
+    EXPECT_FALSE(l.prog.pauseDelta[0]);
+}
+
+TEST(LowerTest, EmptyAwaitIsDeltaPause)
+{
+    Lowered l("module m (input pure a) { await (); halt (); }");
+    const Node* pause = findKind(*l.prog.root, NodeKind::Pause);
+    ASSERT_NE(pause, nullptr);
+    EXPECT_TRUE(pause->delta);
+    EXPECT_TRUE(l.prog.pauseDelta[static_cast<std::size_t>(pause->pauseId)]);
+}
+
+TEST(LowerTest, HaltIsLoopPause)
+{
+    Lowered l("module m (input pure a) { halt (); }");
+    ASSERT_EQ(l.prog.root->kind, NodeKind::Loop);
+    EXPECT_EQ(l.prog.root->children[0]->kind, NodeKind::Pause);
+}
+
+TEST(LowerTest, DataLoopBecomesOneAction)
+{
+    Lowered l("module m (input int v, output int o) { int i; int s;"
+              " while (1) { await (v);"
+              "  for (i = 0, s = 0; i < 8; i++) { s += v; }"
+              "  emit_v (o, s); } }");
+    EXPECT_EQ(l.stats.extractedLoops, 1);
+    int dataNodes = countKind(*l.prog.root, NodeKind::DataStmt);
+    // decls (2) + extracted loop (1) = 3
+    EXPECT_EQ(dataNodes, 3);
+}
+
+TEST(LowerTest, PureDataBlockCoalesced)
+{
+    Lowered l("module m (input int v) { int a; int b;"
+              " while (1) { await (v); { a = v; b = a + 1; a = b * 2; } } }");
+    // The inner block is one atomic action, not three.
+    int dataNodes = countKind(*l.prog.root, NodeKind::DataStmt);
+    EXPECT_EQ(dataNodes, 2 + 1); // two decls + one block
+}
+
+TEST(LowerTest, ReactiveIfKeepsBranches)
+{
+    Lowered l("module m (input int v, output pure o) {"
+              " while (1) { await (v);"
+              "  if (v > 0) { emit (o); } else { await (v); } } }");
+    const Node* iff = findKind(*l.prog.root, NodeKind::If);
+    ASSERT_NE(iff, nullptr);
+    ASSERT_EQ(iff->children.size(), 2u);
+    EXPECT_NE(iff->condExpr, nullptr);
+}
+
+TEST(LowerTest, BreakExitsOuterTrapContinueInner)
+{
+    Lowered l("module m (input pure t) {"
+              " while (1) { await (t); break; } halt (); }");
+    // break's Exit targets the while's break trap (depth 0 here);
+    const Node* exitNode = nullptr;
+    std::function<void(const Node&)> walk = [&](const Node& n) {
+        if (n.kind == NodeKind::Exit) exitNode = &n;
+        for (const ir::NodePtr& c : n.children) walk(*c);
+    };
+    walk(*l.prog.root);
+    ASSERT_NE(exitNode, nullptr);
+    EXPECT_EQ(l.prog.trapDepth[static_cast<std::size_t>(exitNode->trapId)], 0);
+}
+
+TEST(LowerTest, TrapDepthsNest)
+{
+    Lowered l("module m (input pure t) {"
+              " while (1) { while (1) { await (t); break; } await (t); } }");
+    // Two loops -> 4 traps; inner loop's traps deeper than outer's.
+    ASSERT_GE(l.prog.trapCount, 4);
+    int minDepth = 99;
+    int maxDepth = -1;
+    for (int d : l.prog.trapDepth) {
+        minDepth = std::min(minDepth, d);
+        maxDepth = std::max(maxDepth, d);
+    }
+    EXPECT_EQ(minDepth, 0);
+    EXPECT_GE(maxDepth, 2);
+}
+
+TEST(LowerTest, AnalysisSetsFilled)
+{
+    Lowered l("module m (input pure a, output pure o, output int v) {"
+              " int n;"
+              " while (1) { await (a); emit (o); emit_v (v, n); } }");
+    // Root sets: tests a; may emit o and v.
+    std::vector<int> tested = l.prog.root->testedSigs;
+    std::vector<int> emits = l.prog.root->mayEmit;
+    EXPECT_EQ(tested.size(), 1u);
+    EXPECT_EQ(emits.size(), 2u);
+}
+
+TEST(LowerTest, ValueReadsTracked)
+{
+    Lowered l("module m (input int v, output int o) { int n;"
+              " while (1) { await (v); n = v + 1; emit_v (o, n); } }");
+    // The data action reading `v` must be recorded for causality.
+    const SignalInfo* v = l.sema->findSignal("v");
+    bool found = false;
+    for (int s : l.prog.root->valueReads)
+        if (s == v->index) found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(LowerTest, SignalDeclVanishes)
+{
+    Lowered l("module m (input pure a) { signal pure s; await (a); }");
+    // The declaration leaves no node of its own: the only Nothing is the
+    // await desugar's empty else branch, and the root is the await's trap
+    // (a single-child Seq would have been collapsed).
+    EXPECT_EQ(countKind(*l.prog.root, NodeKind::Nothing), 1);
+    EXPECT_EQ(l.prog.root->kind, NodeKind::Trap);
+}
+
+TEST(LowerTest, IrPrinterShowsStructure)
+{
+    Lowered l("module m (input pure a, output pure o) {"
+              " do { await (a); emit (o); } abort (a); }");
+    std::string text = ir::printIr(*l.prog.root);
+    EXPECT_NE(text.find("abort"), std::string::npos);
+    EXPECT_NE(text.find("pause"), std::string::npos);
+    EXPECT_NE(text.find("emit"), std::string::npos);
+}
+
+TEST(LowerTest, GuardEvalTruthTable)
+{
+    // evalGuard over an explicit assignment vector.
+    Lowered l("module m (input pure a, input pure b) { await (a & ~b); }");
+    const Node* present = findKind(*l.prog.root, NodeKind::Present);
+    ASSERT_NE(present, nullptr);
+    const ir::SigGuard& g = *present->guard;
+    // signals: a=0, b=1
+    EXPECT_TRUE(ir::evalGuard(g, {true, false}));
+    EXPECT_FALSE(ir::evalGuard(g, {true, true}));
+    EXPECT_FALSE(ir::evalGuard(g, {false, false}));
+}
+
+TEST(LowerTest, CloneGuardIndependent)
+{
+    Lowered l("module m (input pure a, input pure b) { await (a | b); }");
+    const Node* present = findKind(*l.prog.root, NodeKind::Present);
+    ir::SigGuardPtr copy = ir::cloneGuard(*present->guard);
+    EXPECT_EQ(copy->kind, ir::SigGuard::Kind::Or);
+    EXPECT_TRUE(ir::evalGuard(*copy, {false, true}));
+}
+
+TEST(EsterelPrintTest, KernelSpellings)
+{
+    Lowered l("module m (input pure a, input pure b, output pure o) {"
+              " signal pure s;"
+              " while (1) {"
+              "  do {"
+              "   par { { await (a & ~b); emit (s); } { await (s); } }"
+              "   emit (o);"
+              "  } suspend (b);"
+              " } }");
+    std::string strl =
+        codegen::generateEsterel(l.prog, *l.sema, "m");
+    EXPECT_NE(strl.find("module m:"), std::string::npos);
+    EXPECT_NE(strl.find("(a and not b)"), std::string::npos);
+    EXPECT_NE(strl.find("||"), std::string::npos);
+    EXPECT_NE(strl.find("suspend"), std::string::npos);
+    EXPECT_NE(strl.find("when b"), std::string::npos);
+    EXPECT_NE(strl.find("signal s in"), std::string::npos);
+    EXPECT_NE(strl.find("end module"), std::string::npos);
+}
+
+TEST(EsterelPrintTest, DataActionsAsHostCalls)
+{
+    Lowered l("module m (input int v, output int o) { int i; int s;"
+              " while (1) { await (v);"
+              "  for (i = 0, s = 0; i < 4; i++) { s += v; }"
+              "  emit_v (o, s); } }");
+    std::string strl = codegen::generateEsterel(l.prog, *l.sema, "m");
+    EXPECT_NE(strl.find("call ecl_data_"), std::string::npos);
+    EXPECT_NE(strl.find("procedure ecl_data_"), std::string::npos);
+    std::string data =
+        codegen::generateEsterelDataFile(l.prog, *l.sema, "m");
+    EXPECT_NE(data.find("void ecl_data_"), std::string::npos);
+    EXPECT_NE(data.find("for ("), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,195 @@
+// Lexer unit tests: tokens, literals, comments, macro expansion, errors.
+#include <gtest/gtest.h>
+
+#include "src/frontend/lexer.h"
+
+namespace {
+
+using namespace ecl;
+
+std::vector<Token> lexOk(const std::string& src)
+{
+    Diagnostics diags;
+    std::vector<Token> toks = lex(src, diags);
+    EXPECT_FALSE(diags.hasErrors()) << diags.formatAll();
+    return toks;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks)
+{
+    std::vector<Tok> out;
+    for (const Token& t : toks) out.push_back(t.kind);
+    return out;
+}
+
+TEST(LexerTest, Keywords)
+{
+    auto toks = lexOk("module await emit emit_v halt present abort "
+                      "weak_abort suspend handle par signal input output "
+                      "pure");
+    std::vector<Tok> expect = {
+        Tok::KwModule, Tok::KwAwait,    Tok::KwEmit,    Tok::KwEmitV,
+        Tok::KwHalt,   Tok::KwPresent,  Tok::KwAbort,   Tok::KwWeakAbort,
+        Tok::KwSuspend, Tok::KwHandle,  Tok::KwPar,     Tok::KwSignal,
+        Tok::KwInput,  Tok::KwOutput,   Tok::KwPure,    Tok::End};
+    EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(LexerTest, OperatorsLongestMatch)
+{
+    auto toks = lexOk("<<= >>= << >> <= >= == != && || ++ -- += -= ^ ~");
+    std::vector<Tok> expect = {Tok::ShlAssign, Tok::ShrAssign, Tok::Shl,
+                               Tok::Shr,       Tok::Le,        Tok::Ge,
+                               Tok::EqEq,      Tok::BangEq,    Tok::AmpAmp,
+                               Tok::PipePipe,  Tok::PlusPlus,  Tok::MinusMinus,
+                               Tok::PlusAssign, Tok::MinusAssign, Tok::Caret,
+                               Tok::Tilde,     Tok::End};
+    EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(LexerTest, IntegerLiterals)
+{
+    auto toks = lexOk("0 42 0x1f 0xFF 10u 10UL");
+    EXPECT_EQ(toks[0].intValue, 0);
+    EXPECT_EQ(toks[1].intValue, 42);
+    EXPECT_EQ(toks[2].intValue, 31);
+    EXPECT_EQ(toks[3].intValue, 255);
+    EXPECT_EQ(toks[4].intValue, 10);
+    EXPECT_EQ(toks[5].intValue, 10);
+}
+
+TEST(LexerTest, CharLiterals)
+{
+    auto toks = lexOk("'a' '\\n' '\\0' '\\\\'");
+    EXPECT_EQ(toks[0].intValue, 'a');
+    EXPECT_EQ(toks[1].intValue, '\n');
+    EXPECT_EQ(toks[2].intValue, 0);
+    EXPECT_EQ(toks[3].intValue, '\\');
+}
+
+TEST(LexerTest, Comments)
+{
+    auto toks = lexOk("a // line comment\nb /* block\n comment */ c");
+    ASSERT_EQ(toks.size(), 4u); // a b c End
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(LexerTest, LineColumnTracking)
+{
+    auto toks = lexOk("a\n  b");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[0].loc.col, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.col, 3);
+}
+
+TEST(LexerTest, ObjectMacroExpansion)
+{
+    auto toks = lexOk("#define N 6\nint a[N];");
+    // int a [ 6 ] ;
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_EQ(toks[3].kind, Tok::IntLit);
+    EXPECT_EQ(toks[3].intValue, 6);
+}
+
+TEST(LexerTest, MacroReferencingMacros)
+{
+    auto toks = lexOk("#define A 1\n#define B 2\n#define SUM A+B\nSUM");
+    // 1 + 2 End
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].intValue, 1);
+    EXPECT_EQ(toks[1].kind, Tok::Plus);
+    EXPECT_EQ(toks[2].intValue, 2);
+}
+
+TEST(LexerTest, PaperPktsizeMacro)
+{
+    auto toks = lexOk("#define HDRSIZE 6\n#define DATASIZE 56\n"
+                      "#define CRCSIZE 2\n"
+                      "#define PKTSIZE HDRSIZE+DATASIZE+CRCSIZE\nPKTSIZE");
+    ASSERT_EQ(toks.size(), 6u); // 6 + 56 + 2 End
+    EXPECT_EQ(toks[0].intValue, 6);
+    EXPECT_EQ(toks[2].intValue, 56);
+    EXPECT_EQ(toks[4].intValue, 2);
+}
+
+TEST(LexerTest, RecursiveMacroReported)
+{
+    Diagnostics diags;
+    lex("#define X X\nX", diags);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_NE(diags.formatAll().find("macro expansion too deep"),
+              std::string::npos);
+}
+
+TEST(LexerTest, FunctionLikeMacroRejected)
+{
+    Diagnostics diags;
+    lex("#define F(x) x\n", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnknownDirectiveWarns)
+{
+    Diagnostics diags;
+    lex("#ifdef FOO\nint a;\n", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    bool warned = false;
+    for (const Diagnostic& d : diags.all())
+        if (d.severity == Severity::Warning) warned = true;
+    EXPECT_TRUE(warned);
+}
+
+TEST(LexerTest, IncludeSilentlySkipped)
+{
+    Diagnostics diags;
+    auto toks = lex("#include <stdio.h>\nint x;", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+}
+
+TEST(LexerTest, MacroRedefinitionWarns)
+{
+    Diagnostics diags;
+    lex("#define A 1\n#define A 2\n", diags);
+    EXPECT_FALSE(diags.hasErrors());
+    EXPECT_NE(diags.formatAll().find("redefinition"), std::string::npos);
+}
+
+TEST(LexerTest, UnterminatedCommentError)
+{
+    Diagnostics diags;
+    lex("/* never closed", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedStringError)
+{
+    Diagnostics diags;
+    lex("\"open", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, UnexpectedCharacterError)
+{
+    Diagnostics diags;
+    lex("int $x;", diags);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(LexerTest, StringEscapes)
+{
+    auto toks = lexOk(R"("a\n\"b")");
+    EXPECT_EQ(toks[0].kind, Tok::StringLit);
+    EXPECT_EQ(toks[0].text, "a\n\"b");
+}
+
+TEST(LexerTest, MacroUseSiteLocation)
+{
+    auto toks = lexOk("#define N 6\n\nN");
+    EXPECT_EQ(toks[0].loc.line, 3); // reported where used, not defined
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+// EFSM optimizer tests: size reduction + exact behavior preservation.
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "src/efsm/optimize.h"
+
+namespace {
+
+using namespace ecl;
+
+std::string trace(rt::ReactiveEngine& eng, unsigned seed, int instants,
+                  const std::vector<std::string>& inputs,
+                  const std::vector<std::string>& outputs)
+{
+    std::uint32_t rng = seed;
+    std::string out;
+    eng.react();
+    for (int t = 0; t < instants; ++t) {
+        for (const std::string& in : inputs) {
+            rng = rng * 1664525u + 1013904223u;
+            if ((rng >> 13) & 1) eng.setInput(in);
+        }
+        eng.react();
+        for (const std::string& o : outputs)
+            out += eng.outputPresent(o) ? '1' : '0';
+        out += '.';
+    }
+    return out;
+}
+
+TEST(OptimizeTest, RemovesTestsOnPaperToplevel)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto raw = compiler.compile("toplevel");
+    std::size_t before = raw->machine().stats().testNodes;
+
+    CompileOptions opts;
+    opts.optimizeEfsm = true;
+    auto opt = compiler.compile("toplevel", opts);
+    std::size_t after = opt->machine().stats().testNodes;
+    EXPECT_LT(after, before);
+}
+
+TEST(OptimizeTest, PreservesProtocolStackBehaviour)
+{
+    Compiler compiler(paper::protocolStackSource());
+    auto raw = compiler.compile("toplevel");
+    CompileOptions opts;
+    opts.optimizeEfsm = true;
+    auto opt = compiler.compile("toplevel", opts);
+
+    auto e1 = raw->makeEngine();
+    auto e2 = opt->makeEngine();
+    e1->react();
+    e2->react();
+    std::uint32_t rng = 99;
+    for (int t = 0; t < 300; ++t) {
+        rng = rng * 1664525u + 1013904223u;
+        std::uint8_t b = (t % 64 < 6) ? 0xA5 : ((rng >> 8) & 1 ? 0 : 3);
+        e1->setInputScalar("in_byte", b);
+        e2->setInputScalar("in_byte", b);
+        if (t == 150) {
+            e1->setInput("reset");
+            e2->setInput("reset");
+        }
+        e1->react();
+        e2->react();
+        ASSERT_EQ(e1->outputPresent("addr_match"),
+                  e2->outputPresent("addr_match"))
+            << "instant " << t;
+        ASSERT_EQ(e1->outputPresent("crc_ok"), e2->outputPresent("crc_ok"));
+    }
+}
+
+TEST(OptimizeTest, PreservesBufferBehaviour)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto raw = compiler.compile("buffer_top");
+    CompileOptions opts;
+    opts.optimizeEfsm = true;
+    auto opt = compiler.compile("buffer_top", opts);
+    for (unsigned seed = 1; seed <= 4; ++seed) {
+        auto e1 = raw->makeEngine();
+        auto e2 = opt->makeEngine();
+        EXPECT_EQ(trace(*e1, seed, 80,
+                        {"sample", "play", "stop", "tick", "reset"},
+                        {"speaker_on", "speaker_off", "led_on", "led_off"}),
+                  trace(*e2, seed, 80,
+                        {"sample", "play", "stop", "tick", "reset"},
+                        {"speaker_on", "speaker_off", "led_on", "led_off"}))
+            << "seed " << seed;
+    }
+}
+
+TEST(OptimizeTest, IdempotentSecondPass)
+{
+    Compiler compiler(paper::audioBufferSource());
+    CompileOptions opts;
+    opts.optimizeEfsm = true;
+    auto mod = compiler.compile("buffer_top", opts);
+    // A second optimize() over the already-optimized machine finds nothing.
+    auto& machine = const_cast<efsm::Efsm&>(mod->machine());
+    efsm::OptimizeStats stats = efsm::optimize(machine);
+    EXPECT_EQ(stats.testsRemoved, 0u);
+    EXPECT_EQ(stats.repeatedTestsResolved, 0u);
+}
+
+} // namespace

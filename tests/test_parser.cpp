@@ -1,0 +1,306 @@
+// Parser unit tests: expression precedence, declarations, reactive
+// statements, module syntax, error reporting.
+#include <gtest/gtest.h>
+
+#include "src/frontend/ast_printer.h"
+#include "src/frontend/lexer.h"
+#include "src/frontend/parser.h"
+
+namespace {
+
+using namespace ecl;
+using namespace ecl::ast;
+
+Program parseOk(const std::string& src)
+{
+    Diagnostics diags;
+    return parseEcl(src, diags);
+}
+
+std::string parseExprText(const std::string& src)
+{
+    Diagnostics diags;
+    Parser p(lex(src, diags), diags);
+    ExprPtr e = p.parseExpressionOnly();
+    return printExpr(*e);
+}
+
+void expectParseError(const std::string& src, const std::string& fragment)
+{
+    Diagnostics diags;
+    EXPECT_THROW(
+        {
+            try {
+                parseEcl(src, diags);
+            } catch (const EclError& e) {
+                EXPECT_NE(std::string(e.what()).find(fragment),
+                          std::string::npos)
+                    << e.what();
+                throw;
+            }
+        },
+        EclError);
+}
+
+// --- expressions ------------------------------------------------------------
+
+TEST(ParserExprTest, Precedence)
+{
+    EXPECT_EQ(parseExprText("1 + 2 * 3"), "(1 + (2 * 3))");
+    EXPECT_EQ(parseExprText("1 << 2 + 3"), "(1 << (2 + 3))");
+    EXPECT_EQ(parseExprText("a == b & c"), "((a == b) & c)");
+    EXPECT_EQ(parseExprText("a | b ^ c & d"), "(a | (b ^ (c & d)))");
+    EXPECT_EQ(parseExprText("a && b || c"), "((a && b) || c)");
+    EXPECT_EQ(parseExprText("!a && ~b"), "((!a) && (~b))");
+}
+
+TEST(ParserExprTest, AssignmentRightAssociative)
+{
+    EXPECT_EQ(parseExprText("a = b = c"), "a = b = c");
+    EXPECT_EQ(parseExprText("a += b * 2"), "a += (b * 2)");
+}
+
+TEST(ParserExprTest, Conditional)
+{
+    EXPECT_EQ(parseExprText("a ? b : c ? d : e"), "(a ? b : (c ? d : e))");
+}
+
+TEST(ParserExprTest, PostfixChains)
+{
+    EXPECT_EQ(parseExprText("a.b[1].c"), "a.b[1].c");
+    EXPECT_EQ(parseExprText("m[i][j]"), "m[i][j]");
+    EXPECT_EQ(parseExprText("x++"), "(x++)");
+    EXPECT_EQ(parseExprText("--x"), "(--x)");
+}
+
+TEST(ParserExprTest, Calls)
+{
+    EXPECT_EQ(parseExprText("f()"), "f()");
+    EXPECT_EQ(parseExprText("f(1, a + 2)"), "f(1, (a + 2))");
+}
+
+TEST(ParserExprTest, SizeofExpr)
+{
+    EXPECT_EQ(parseExprText("sizeof(x + 1)"), "__sizeof_expr((x + 1))");
+}
+
+TEST(ParserExprTest, ShiftFromPaperCrc)
+{
+    EXPECT_EQ(parseExprText("(crc ^ b) << 1"), "((crc ^ b) << 1)");
+}
+
+// --- declarations -----------------------------------------------------------
+
+TEST(ParserDeclTest, TypedefScalar)
+{
+    Program p = parseOk("typedef unsigned char byte;");
+    ASSERT_EQ(p.decls.size(), 1u);
+    const auto& td = static_cast<const TypedefDecl&>(*p.decls[0]);
+    EXPECT_EQ(td.name, "byte");
+    EXPECT_EQ(td.underlying.name, "unsigned char");
+}
+
+TEST(ParserDeclTest, TypedefStructWithArrays)
+{
+    Program p = parseOk("typedef struct { unsigned char h[6]; int n; } hdr_t;");
+    const auto& td = static_cast<const TypedefDecl&>(*p.decls[0]);
+    ASSERT_NE(td.aggregate, nullptr);
+    EXPECT_FALSE(td.aggregate->isUnion);
+    ASSERT_EQ(td.aggregate->fields.size(), 2u);
+    EXPECT_EQ(td.aggregate->fields[0].decl.name, "h");
+    EXPECT_EQ(td.aggregate->fields[0].decl.arrayDims.size(), 1u);
+}
+
+TEST(ParserDeclTest, TypedefUnion)
+{
+    Program p = parseOk("typedef struct { int a; } v1;\n"
+                        "typedef struct { int b; } v2;\n"
+                        "typedef union { v1 raw; v2 cooked; } u_t;");
+    const auto& td = static_cast<const TypedefDecl&>(*p.decls[2]);
+    ASSERT_NE(td.aggregate, nullptr);
+    EXPECT_TRUE(td.aggregate->isUnion);
+}
+
+TEST(ParserDeclTest, TaggedStruct)
+{
+    Program p = parseOk("struct point { int x; int y; };\n"
+                        "int dist(struct point p) { return p.x + p.y; }");
+    EXPECT_EQ(p.decls[0]->kind, DeclKind::Aggregate);
+    EXPECT_EQ(p.decls[1]->kind, DeclKind::Function);
+}
+
+TEST(ParserDeclTest, Function)
+{
+    Program p = parseOk("int add(int a, int b) { return a + b; }");
+    const auto& fn = static_cast<const FunctionDecl&>(*p.decls[0]);
+    EXPECT_EQ(fn.name, "add");
+    ASSERT_EQ(fn.params.size(), 2u);
+    EXPECT_EQ(fn.params[1].name, "b");
+}
+
+TEST(ParserDeclTest, FunctionVoidParams)
+{
+    Program p = parseOk("int f(void) { return 1; }");
+    const auto& fn = static_cast<const FunctionDecl&>(*p.decls[0]);
+    EXPECT_TRUE(fn.params.empty());
+}
+
+TEST(ParserDeclTest, ConstGlobal)
+{
+    Program p = parseOk("const int LIMIT = 4 * 8;");
+    const auto& gv = static_cast<const GlobalVarDecl&>(*p.decls[0]);
+    EXPECT_TRUE(gv.isConst);
+    EXPECT_EQ(gv.decls[0].name, "LIMIT");
+}
+
+// --- modules and reactive statements ---------------------------------------
+
+TEST(ParserModuleTest, SignatureForms)
+{
+    Program p = parseOk(
+        "typedef unsigned char byte;\n"
+        "module m (input pure reset, input byte b, output bool ok) { halt(); }");
+    const ModuleDecl* m = p.findModule("m");
+    ASSERT_NE(m, nullptr);
+    ASSERT_EQ(m->params.size(), 3u);
+    EXPECT_EQ(m->params[0].dir, ast::SignalDir::Input);
+    EXPECT_TRUE(m->params[0].pure);
+    EXPECT_EQ(m->params[1].type.name, "byte");
+    EXPECT_EQ(m->params[2].dir, ast::SignalDir::Output);
+    EXPECT_EQ(m->params[2].type.name, "bool");
+}
+
+TEST(ParserModuleTest, ReactiveStatements)
+{
+    Program p = parseOk(R"(
+module m (input pure a, input pure b, output pure o)
+{
+    signal pure s1, s2;
+    await (a & ~b);
+    await ();
+    emit (o);
+    present (a | b) { emit (s1); } else { emit (s2); }
+    do { halt(); } abort (a);
+    do { halt(); } weak_abort (a & b) handle { emit (o); }
+    do { halt(); } suspend (b);
+    par {
+        { await (a); }
+        { await (b); }
+    }
+})");
+    const ModuleDecl* m = p.findModule("m");
+    ASSERT_NE(m, nullptr);
+    const auto& body = m->body->body;
+    EXPECT_EQ(body[0]->kind, StmtKind::SignalDecl);
+    EXPECT_EQ(body[1]->kind, StmtKind::Await);
+    EXPECT_EQ(body[2]->kind, StmtKind::Await);
+    EXPECT_EQ(static_cast<const AwaitStmt&>(*body[2]).cond, nullptr);
+    EXPECT_EQ(body[3]->kind, StmtKind::Emit);
+    EXPECT_EQ(body[4]->kind, StmtKind::Present);
+    EXPECT_EQ(body[5]->kind, StmtKind::Abort);
+    EXPECT_FALSE(static_cast<const AbortStmt&>(*body[5]).weak);
+    const auto& weak = static_cast<const AbortStmt&>(*body[6]);
+    EXPECT_TRUE(weak.weak);
+    EXPECT_NE(weak.handler, nullptr);
+    EXPECT_EQ(body[7]->kind, StmtKind::Suspend);
+    EXPECT_EQ(body[8]->kind, StmtKind::Par);
+    EXPECT_EQ(static_cast<const ParStmt&>(*body[8]).branches.size(), 2u);
+}
+
+TEST(ParserModuleTest, DoWhileStillWorks)
+{
+    Program p = parseOk("module m (input pure a) { int i;\n"
+                        "do { i = i + 1; } while (i < 3); halt(); }");
+    const ModuleDecl* m = p.findModule("m");
+    EXPECT_EQ(m->body->body[1]->kind, StmtKind::DoWhile);
+}
+
+TEST(ParserModuleTest, EmitValued)
+{
+    Program p = parseOk("module m (output int o) { emit_v (o, 1 + 2); }");
+    const auto& e = static_cast<const EmitStmt&>(*p.findModule("m")->body->body[0]);
+    EXPECT_EQ(e.signal, "o");
+    ASSERT_NE(e.value, nullptr);
+}
+
+TEST(ParserModuleTest, ForCommaInitFromPaper)
+{
+    Program p = parseOk("module m (input pure a) { int i; int crc;\n"
+                        "while (1) { await (a);\n"
+                        "for (i = 0, crc = 0; i < 8; i++) { crc = crc + i; } } }");
+    SUCCEED();
+}
+
+TEST(ParserModuleTest, SigExprPrecedence)
+{
+    Program p = parseOk(
+        "module m (input pure a, input pure b, input pure c) {"
+        " await (a | b & ~c); }");
+    const auto& aw = static_cast<const AwaitStmt&>(*p.findModule("m")->body->body[0]);
+    // Or at top, And binds tighter.
+    EXPECT_EQ(aw.cond->kind, SigExprKind::Or);
+    EXPECT_EQ(aw.cond->rhs->kind, SigExprKind::And);
+}
+
+TEST(ParserModuleTest, PaperIfThenTolerated)
+{
+    // Figure 1 of the paper writes `if (A) then emit(OUT);`.
+    Program p = parseOk("module m (input bool A, output pure OUT) {"
+                        " present (A) { if (A) then emit(OUT); } halt(); }");
+    SUCCEED();
+}
+
+// --- errors -----------------------------------------------------------------
+
+TEST(ParserErrorTest, MissingSemicolon)
+{
+    expectParseError("module m (input pure a) { emit (a) }", "';'");
+}
+
+TEST(ParserErrorTest, DoWithoutTail)
+{
+    expectParseError("module m (input pure a) { do { halt(); } }",
+                     "expected 'while', 'abort'");
+}
+
+TEST(ParserErrorTest, BadModuleParam)
+{
+    expectParseError("module m (int x) { halt(); }", "input");
+}
+
+TEST(ParserErrorTest, UnclosedBlock)
+{
+    expectParseError("module m (input pure a) { halt();", "'}'");
+}
+
+TEST(ParserErrorTest, AwaitNeedsParens)
+{
+    expectParseError("module m (input pure a) { await a; }", "'('");
+}
+
+// --- printer round trip -----------------------------------------------------
+
+TEST(ParserPrintTest, RoundTripStable)
+{
+    const char* src = R"(typedef unsigned char byte;
+
+module m (input pure r, input byte b, output byte o)
+{
+    int n;
+    while (1) {
+        do {
+            await (b);
+            n = (n + b) * 2;
+            emit_v (o, n);
+        } abort (r);
+    }
+}
+)";
+    Program p1 = parseOk(src);
+    std::string printed1 = printProgram(p1);
+    Program p2 = parseOk(printed1);
+    std::string printed2 = printProgram(p2);
+    EXPECT_EQ(printed1, printed2); // print . parse . print is a fixpoint
+}
+
+} // namespace

@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+
+TEST(Smoke, ProtocolStackCompiles)
+{
+    ecl::Compiler compiler(ecl::paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    ASSERT_NE(mod, nullptr);
+    auto stats = mod->machine().stats();
+    EXPECT_GT(stats.states, 2u);
+    fprintf(stderr, "toplevel: states=%zu leaves=%zu tests=%zu actions=%zu\n",
+            stats.states, stats.leaves, stats.testNodes, stats.actionsTotal);
+}
+
+TEST(Smoke, AssembleRuns)
+{
+    ecl::Compiler compiler(ecl::paper::protocolStackSource());
+    auto mod = compiler.compile("assemble");
+    auto eng = mod->makeEngine();
+    eng->react(); // boot instant: control reaches the first await
+    for (int i = 0; i < ecl::paper::kPktSize - 1; ++i) {
+        eng->setInputScalar("in_byte", i & 0xff);
+        eng->react();
+        EXPECT_FALSE(eng->outputPresent("outpkt")) << "byte " << i;
+    }
+    eng->setInputScalar("in_byte", 7);
+    eng->react();
+    EXPECT_TRUE(eng->outputPresent("outpkt"));
+    ecl::Value pkt = eng->outputValue("outpkt");
+    EXPECT_EQ(pkt.size(), static_cast<size_t>(ecl::paper::kPktSize));
+    EXPECT_EQ(pkt.data()[0], 0);
+    EXPECT_EQ(pkt.data()[5], 5);
+    EXPECT_EQ(pkt.data()[63], 7);
+}

@@ -1,0 +1,158 @@
+// Unit tests for the support layer: PauseSet, diagnostics, string helpers.
+#include <gtest/gtest.h>
+
+#include "src/support/bitset.h"
+#include "src/support/diagnostics.h"
+#include "src/support/strings.h"
+
+namespace {
+
+using namespace ecl;
+
+TEST(PauseSetTest, SetTestClear)
+{
+    PauseSet s;
+    EXPECT_TRUE(s.empty());
+    s.set(3);
+    s.set(64);
+    s.set(130);
+    EXPECT_TRUE(s.test(3));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(130));
+    EXPECT_FALSE(s.test(2));
+    EXPECT_FALSE(s.test(63));
+    EXPECT_EQ(s.count(), 3u);
+    s.clear(64);
+    EXPECT_FALSE(s.test(64));
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(PauseSetTest, EqualityIsCanonical)
+{
+    // Setting and clearing a high bit must not change equality.
+    PauseSet a;
+    a.set(1);
+    PauseSet b;
+    b.set(200);
+    b.set(1);
+    b.clear(200);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(PauseSetTest, UnionIntersection)
+{
+    PauseSet a;
+    a.set(1);
+    a.set(70);
+    PauseSet b;
+    b.set(70);
+    b.set(5);
+    PauseSet u = a;
+    u |= b;
+    EXPECT_EQ(u.count(), 3u);
+    PauseSet i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(70));
+    EXPECT_TRUE(a.intersects(b));
+    PauseSet c;
+    c.set(2);
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(PauseSetTest, Subtract)
+{
+    PauseSet a;
+    a.set(1);
+    a.set(2);
+    a.set(3);
+    PauseSet b;
+    b.set(2);
+    a.subtract(b);
+    EXPECT_TRUE(a.test(1));
+    EXPECT_FALSE(a.test(2));
+    EXPECT_TRUE(a.test(3));
+}
+
+TEST(PauseSetTest, ForEachInOrder)
+{
+    PauseSet s;
+    s.set(100);
+    s.set(1);
+    s.set(65);
+    std::vector<std::size_t> seen;
+    s.forEach([&](std::size_t b) { seen.push_back(b); });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{1, 65, 100}));
+    EXPECT_EQ(s.toString(), "{1,65,100}");
+}
+
+TEST(PauseSetTest, EmptyAfterClearAll)
+{
+    PauseSet s;
+    s.set(40);
+    s.clear(40);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s, PauseSet{});
+}
+
+TEST(DiagnosticsTest, CountsAndFormats)
+{
+    Diagnostics d;
+    EXPECT_FALSE(d.hasErrors());
+    d.warning({1, 2}, "watch out");
+    EXPECT_FALSE(d.hasErrors());
+    d.error({3, 4}, "boom");
+    d.note({3, 5}, "context");
+    EXPECT_TRUE(d.hasErrors());
+    EXPECT_EQ(d.errorCount(), 1);
+    std::string all = d.formatAll();
+    EXPECT_NE(all.find("warning 1:2: watch out"), std::string::npos);
+    EXPECT_NE(all.find("error 3:4: boom"), std::string::npos);
+    EXPECT_NE(all.find("note 3:5: context"), std::string::npos);
+    d.clear();
+    EXPECT_FALSE(d.hasErrors());
+    EXPECT_TRUE(d.all().empty());
+}
+
+TEST(DiagnosticsTest, EclErrorCarriesLocation)
+{
+    EclError e({7, 9}, "bad thing");
+    EXPECT_NE(std::string(e.what()).find("7:9"), std::string::npos);
+}
+
+TEST(StringsTest, Join)
+{
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"a"}, ", "), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringsTest, Indent)
+{
+    EXPECT_EQ(indent("a\nb", "  "), "  a\n  b");
+    EXPECT_EQ(indent("a\n\nb", "  "), "  a\n\n  b"); // blank lines untouched
+}
+
+TEST(StringsTest, IsIdentifier)
+{
+    EXPECT_TRUE(isIdentifier("foo"));
+    EXPECT_TRUE(isIdentifier("_a1"));
+    EXPECT_FALSE(isIdentifier(""));
+    EXPECT_FALSE(isIdentifier("1a"));
+    EXPECT_FALSE(isIdentifier("a-b"));
+}
+
+TEST(StringsTest, CStringLiteral)
+{
+    EXPECT_EQ(cStringLiteral("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+TEST(StringsTest, Padding)
+{
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+// TraceRecorder tests: VCD structure and textual timelines.
+#include <gtest/gtest.h>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "src/runtime/trace.h"
+
+namespace {
+
+using namespace ecl;
+
+TEST(TraceTest, TimelineShowsBlinkerPattern)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("blinker");
+    auto eng = mod->makeEngine();
+    rt::TraceRecorder trace(mod->moduleSema(), {"tick", "led_on", "led_off"});
+    eng->react();
+    for (int t = 0; t < 10; ++t) {
+        eng->setInput("tick");
+        eng->react();
+        trace.sample(*eng);
+    }
+    EXPECT_EQ(trace.instants(), 10u);
+    std::string tl = trace.toTimeline();
+    EXPECT_NE(tl.find("tick    ##########"), std::string::npos);
+    EXPECT_NE(tl.find("led_on  #....#...."), std::string::npos);
+    EXPECT_NE(tl.find("led_off ..#....#.."), std::string::npos);
+}
+
+TEST(TraceTest, VcdWellFormed)
+{
+    Compiler compiler(paper::audioBufferSource());
+    auto mod = compiler.compile("blinker");
+    auto eng = mod->makeEngine();
+    rt::TraceRecorder trace(mod->moduleSema());
+    eng->react();
+    for (int t = 0; t < 6; ++t) {
+        eng->setInput("tick");
+        eng->react();
+        trace.sample(*eng);
+    }
+    std::string vcd = trace.toVcd("blinker");
+    EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+    EXPECT_NE(vcd.find("$scope module blinker $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$var wire 1 ! reset $end"), std::string::npos);
+    EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+    EXPECT_NE(vcd.find("#0"), std::string::npos);
+    EXPECT_NE(vcd.find("#6"), std::string::npos);
+    // Changes only on edges: led_on toggles at instants 0,1 then 5,6.
+    std::size_t ones = 0;
+    for (std::size_t pos = vcd.find("\n1"); pos != std::string::npos;
+         pos = vcd.find("\n1", pos + 1))
+        ++ones;
+    EXPECT_GE(ones, 2u);
+}
+
+TEST(TraceTest, ValuedSignalTracked)
+{
+    Compiler compiler("module m (input int v, output int o) {"
+                      " while (1) { await (v); emit_v (o, v * 2); } }");
+    auto mod = compiler.compile("m");
+    auto eng = mod->makeEngine();
+    rt::TraceRecorder trace(mod->moduleSema(), {"o"});
+    eng->react();
+    for (int t = 1; t <= 3; ++t) {
+        eng->setInputScalar("v", t);
+        eng->react();
+        trace.sample(*eng);
+    }
+    std::string vcd = trace.toVcd("m");
+    EXPECT_NE(vcd.find("o_val"), std::string::npos);
+    EXPECT_NE(vcd.find("b110 "), std::string::npos); // 3*2 = 6
+}
+
+TEST(TraceTest, RawSamplingForExternalEngines)
+{
+    Compiler compiler("module m (input pure a, output pure o) { halt(); }");
+    auto mod = compiler.compile("m");
+    rt::TraceRecorder trace(mod->moduleSema());
+    trace.sampleRaw({true, false}, {});
+    trace.sampleRaw({false, true}, {});
+    EXPECT_EQ(trace.instants(), 2u);
+    std::string tl = trace.toTimeline();
+    EXPECT_NE(tl.find("a #."), std::string::npos);
+    EXPECT_NE(tl.find("o .#"), std::string::npos);
+}
+
+} // namespace
