@@ -10,7 +10,8 @@
 // shares, and execution cycles split the same way. The stack runs the
 // paper's 500-packet testbench; the buffer runs a 60-message trace.
 //
-// Absolute numbers come from our R3000-style cost model (DESIGN.md), so
+// Absolute numbers come from our R3000-style cost model (src/cost/cost.h,
+// described in docs/ARCHITECTURE.md), so
 // only the qualitative shape is compared against the paper's values, which
 // are printed alongside.
 #include <cstdio>

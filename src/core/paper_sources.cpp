@@ -54,7 +54,7 @@ module assemble (input pure reset,
 /* Figure 2: an ECL module checking a Cyclic Redundancy Code.
    The CRC fold is a data loop (no halting statement): the compiler
    extracts it as a C function. The verdict is published after one delta
-   cycle so the synchronous composition can await it (DESIGN.md). */
+   cycle so the synchronous composition can await it (docs/LANGUAGE.md). */
 module checkcrc (input pure reset,
                  input packet_t inpkt, output bool crc_ok)
 {

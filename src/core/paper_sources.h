@@ -2,7 +2,7 @@
 // audio buffer controller of the Table 1 "Buffer" row.
 //
 // The protocol stack follows the paper's listings with two documented
-// adaptations (see DESIGN.md):
+// adaptations (see docs/LANGUAGE.md):
 //  * `checkcrc` publishes its verdict after one delta cycle (`await ();`)
 //    so that the *synchronous* composition can await crc_ok — Esterel's
 //    await is non-immediate, and in a single-EFSM composition crc_ok would

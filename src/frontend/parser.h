@@ -1,6 +1,6 @@
 // Recursive-descent parser for ECL.
 //
-// The grammar is the C subset described in DESIGN.md plus the reactive
+// The grammar is the C subset described in docs/LANGUAGE.md plus the reactive
 // statements of the paper. Typedef names are tracked during parsing to
 // disambiguate declarations from expressions (classic C lexer feedback,
 // kept inside the parser here since ECL forbids local typedefs).

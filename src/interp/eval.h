@@ -4,7 +4,7 @@
 // guards and emit-value expressions against a module variable store, with
 // read access to signal values through the SignalReader interface. C helper
 // functions are called with their own frames (arguments by value — ECL has
-// no pointers; DESIGN.md documents the deviation).
+// no pointers; docs/LANGUAGE.md documents the deviation).
 //
 // The evaluator counts abstract operations (ExecCounters) which the cost
 // model (src/cost) converts to MIPS-R3000-style cycles.

@@ -676,7 +676,7 @@ void schedulePar(ir::Node& n, const ModuleSema& sema, Diagnostics& diags)
                         "causality cycle between par branches (signals: " +
                             sigs +
                             "); ECL requires a static emitter-before-tester "
-                            "order (DESIGN.md: static causality)");
+                            "order (docs/LANGUAGE.md: static causality)");
             throw EclError(n.loc, "causality cycle");
         }
     }

@@ -1,6 +1,6 @@
 // Signal environment: per-instant presence flags plus persistent values.
 //
-// Esterel rules implemented here (DESIGN.md Section 3):
+// Esterel rules implemented here (docs/LANGUAGE.md, "Reactive statements"):
 //  * presence is per instant (cleared between reactions),
 //  * a valued signal keeps its value until the next emission,
 //  * a never-emitted valued signal reads as zero (defined for determinism).

@@ -2,7 +2,7 @@
 // byte layout. Types are canonicalized and owned by a TypeTable; all other
 // phases hold `const Type*`.
 //
-// Layout rules (documented in DESIGN.md): fields are packed with no padding,
+// Layout rules (documented in docs/LANGUAGE.md): fields are packed with no padding,
 // little-endian scalar encoding. sizeof: bool/char 1, short 2, int/long 4
 // (MIPS32 model). A union's fields all start at offset 0 — the packet
 // raw/cooked dual view of the paper's Figure 1 relies on this.
