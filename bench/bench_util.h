@@ -1,13 +1,127 @@
-// Shared workload generators for the benchmark suite.
+// Shared workload generators and reporting helpers for the benchmark
+// suite.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/compiler.h"
 #include "src/core/paper_sources.h"
 
 namespace ecl::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: BENCH_<name>.json
+//
+// CI runs the benches as smoke steps (no thresholds) and archives the JSON
+// so the ns/reaction trajectory is comparable across commits. Keep the
+// format flat and stable: numbers and strings only, nested objects for
+// per-mode breakdowns.
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value: number, string, or object with ordered keys.
+class JsonValue {
+public:
+    static JsonValue num(double v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::Num;
+        j.num_ = v;
+        return j;
+    }
+    static JsonValue str(std::string v)
+    {
+        JsonValue j;
+        j.kind_ = Kind::Str;
+        j.str_ = std::move(v);
+        return j;
+    }
+    static JsonValue obj()
+    {
+        JsonValue j;
+        j.kind_ = Kind::Obj;
+        return j;
+    }
+
+    JsonValue& set(const std::string& key, JsonValue v)
+    {
+        fields_.emplace_back(key, std::move(v));
+        return *this;
+    }
+    JsonValue& set(const std::string& key, double v)
+    {
+        return set(key, num(v));
+    }
+    JsonValue& set(const std::string& key, const std::string& v)
+    {
+        return set(key, str(v));
+    }
+
+    void write(std::ostream& os, int indent = 0) const
+    {
+        switch (kind_) {
+        case Kind::Num: {
+            std::ostringstream tmp;
+            tmp.precision(6);
+            tmp << std::fixed << num_;
+            std::string s = tmp.str();
+            // Trim trailing zeros but keep at least one decimal digit.
+            while (s.size() > 1 && s.back() == '0' &&
+                   s[s.size() - 2] != '.')
+                s.pop_back();
+            os << s;
+            return;
+        }
+        case Kind::Str:
+            os << '"';
+            for (char c : str_) {
+                if (c == '"' || c == '\\') os << '\\';
+                os << c;
+            }
+            os << '"';
+            return;
+        case Kind::Obj: {
+            os << "{\n";
+            std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+            for (std::size_t i = 0; i < fields_.size(); ++i) {
+                os << pad << '"' << fields_[i].first << "\": ";
+                fields_[i].second.write(os, indent + 2);
+                if (i + 1 < fields_.size()) os << ',';
+                os << '\n';
+            }
+            os << std::string(static_cast<std::size_t>(indent), ' ') << '}';
+            return;
+        }
+        }
+    }
+
+private:
+    enum class Kind { Num, Str, Obj };
+    Kind kind_ = Kind::Obj;
+    double num_ = 0;
+    std::string str_;
+    std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+/// Writes `BENCH_<name>.json` into the working directory and reports the
+/// path on stdout.
+inline void writeBenchJson(const std::string& name, const JsonValue& root)
+{
+    std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    root.write(out);
+    out << "\n";
+    out.flush();
+    if (out)
+        std::printf("wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+}
 
 /// The paper's testbench: a byte stream of `packets` packets. Every fifth
 /// packet carries a corrupted CRC and every seventh a foreign address, so

@@ -1,0 +1,177 @@
+// Reaction-throughput comparison: tree-walking vs flat-table/bytecode
+// execution of the same compiled EFSM, plus the Reactive-C-style baseline.
+//
+// Workload: the paper's protocol stack (Figure 4 toplevel) driven with the
+// standard corrupted-packet byte stream — the data-heaviest paper source
+// (per-byte assembly actions, the extracted CRC fold, multi-instant header
+// walk). Plain wall-clock, median of several repetitions; emits
+// BENCH_reaction_throughput.json for the CI trajectory (smoke step, no
+// thresholds).
+//
+// Usage: bench_reaction_throughput [--packets N] [--reps N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace ecl;
+
+namespace {
+
+struct RunStats {
+    double nsPerReaction = 0;
+    std::uint64_t reactions = 0;
+    std::uint64_t treeTests = 0;
+    std::uint64_t actionsRun = 0;
+    std::uint64_t matches = 0; ///< addr_match count (workload checksum).
+};
+
+RunStats driveStream(rt::ReactiveEngine& eng,
+                     const std::vector<std::uint8_t>& stream, int matchIdx,
+                     int inByteIdx)
+{
+    RunStats s;
+    eng.react(); // boot
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint8_t b : stream) {
+        eng.setInputScalar(inByteIdx, b);
+        rt::ReactionResult r = eng.react();
+        s.treeTests += r.treeTests;
+        s.actionsRun += r.actionsRun;
+        ++s.reactions;
+        if (eng.outputPresent(matchIdx)) ++s.matches;
+    }
+    for (int i = 0; i < 10; ++i) { // drain trailing delta instants
+        rt::ReactionResult r = eng.react();
+        s.treeTests += r.treeTests;
+        s.actionsRun += r.actionsRun;
+        ++s.reactions;
+        if (eng.outputPresent(matchIdx)) ++s.matches;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    s.nsPerReaction =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(s.reactions);
+    return s;
+}
+
+/// Median ns/reaction over `reps` runs (counters are identical per run).
+template <typename MakeEngine>
+RunStats medianRun(MakeEngine make, const std::vector<std::uint8_t>& stream,
+                   int matchIdx, int inByteIdx, int reps)
+{
+    std::vector<RunStats> runs;
+    runs.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        auto eng = make();
+        runs.push_back(driveStream(*eng, stream, matchIdx, inByteIdx));
+    }
+    std::sort(runs.begin(), runs.end(),
+              [](const RunStats& a, const RunStats& b) {
+                  return a.nsPerReaction < b.nsPerReaction;
+              });
+    return runs[runs.size() / 2];
+}
+
+bench::JsonValue modeJson(const RunStats& s)
+{
+    return bench::JsonValue::obj()
+        .set("ns_per_reaction", s.nsPerReaction)
+        .set("reactions", static_cast<double>(s.reactions))
+        .set("tree_tests", static_cast<double>(s.treeTests))
+        .set("actions_run", static_cast<double>(s.actionsRun))
+        .set("addr_matches", static_cast<double>(s.matches));
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    int packets = 500;
+    int reps = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc)
+            packets = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+            reps = std::atoi(argv[++i]);
+    }
+    if (packets < 1 || reps < 1) {
+        std::fprintf(stderr, "usage: %s [--packets N>=1] [--reps N>=1]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    if (!mod->hasFlatProgram()) {
+        std::fprintf(stderr,
+                     "flat program unavailable for toplevel — aborting\n");
+        return 1;
+    }
+    auto stream = bench::stackByteStream(packets);
+    int inByteIdx = mod->moduleSema().findSignal("in_byte")->index;
+    int matchIdx = mod->moduleSema().findSignal("addr_match")->index;
+
+    RunStats flat = medianRun(
+        [&] { return mod->makeEngine(EngineKind::Flat); }, stream, matchIdx,
+        inByteIdx, reps);
+    RunStats tree = medianRun(
+        [&] { return mod->makeEngine(EngineKind::TreeWalk); }, stream,
+        matchIdx, inByteIdx, reps);
+    RunStats rc = medianRun([&] { return mod->makeBaselineEngine(); },
+                            stream, matchIdx, inByteIdx, reps);
+
+    if (flat.matches != tree.matches || flat.matches != rc.matches ||
+        flat.treeTests != tree.treeTests ||
+        flat.actionsRun != tree.actionsRun) {
+        std::fprintf(stderr,
+                     "mode disagreement: flat/tree/rc matches %llu/%llu/%llu"
+                     " (tree_tests %llu/%llu)\n",
+                     static_cast<unsigned long long>(flat.matches),
+                     static_cast<unsigned long long>(tree.matches),
+                     static_cast<unsigned long long>(rc.matches),
+                     static_cast<unsigned long long>(flat.treeTests),
+                     static_cast<unsigned long long>(tree.treeTests));
+        return 1;
+    }
+
+    std::printf("reaction throughput — protocol stack, %d packets, "
+                "median of %d reps\n",
+                packets, reps);
+    std::printf("  %-22s %12s %12s %12s\n", "mode", "ns/reaction",
+                "tree tests", "actions");
+    auto row = [](const char* name, const RunStats& s) {
+        std::printf("  %-22s %12.1f %12llu %12llu\n", name, s.nsPerReaction,
+                    static_cast<unsigned long long>(s.treeTests),
+                    static_cast<unsigned long long>(s.actionsRun));
+    };
+    row("flat+bytecode", flat);
+    row("tree-walk", tree);
+    row("rc-baseline", rc);
+    std::printf("  speedup flat vs tree-walk: %.2fx\n",
+                tree.nsPerReaction / flat.nsPerReaction);
+    std::printf("  speedup flat vs rc-baseline: %.2fx\n",
+                rc.nsPerReaction / flat.nsPerReaction);
+
+    bench::JsonValue root = bench::JsonValue::obj();
+    root.set("bench", "reaction_throughput")
+        .set("workload", "protocol_stack_toplevel")
+        .set("packets", static_cast<double>(packets))
+        .set("reps", static_cast<double>(reps))
+        .set("modes", bench::JsonValue::obj()
+                          .set("flat_bytecode", modeJson(flat))
+                          .set("tree_walk", modeJson(tree))
+                          .set("rc_baseline", modeJson(rc)))
+        .set("speedup_flat_vs_tree",
+             tree.nsPerReaction / flat.nsPerReaction)
+        .set("speedup_flat_vs_rc", rc.nsPerReaction / flat.nsPerReaction);
+    bench::writeBenchJson("reaction_throughput", root);
+    return 0;
+}

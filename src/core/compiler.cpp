@@ -19,12 +19,48 @@ CompiledModule::CompiledModule(std::shared_ptr<const SharedProgram> shared,
     machine_ = std::make_unique<efsm::Efsm>(
         buildEfsm(*reactive_, *sema_, diags, options.efsm));
     if (options.optimizeEfsm) efsm::optimize(*machine_);
+
+    if (!options.flatten) return;
+    // Flatten the decision trees and compile every data predicate, data
+    // action and emit-value expression to bytecode. Any failure degrades
+    // to the tree-walking representation (recorded as a note) rather than
+    // failing the compile — the flat path is an optimization.
+    try {
+        auto fp = std::make_unique<efsm::FlatProgram>(
+            efsm::flatten(*machine_));
+        bc::ProgramBuilder builder(shared_->sema, shared_->functions,
+                                   *sema_);
+        for (efsm::FlatNode& n : fp->nodes)
+            if (n.dataCond) n.predChunk = builder.compileExpr(*n.dataCond);
+        for (efsm::FlatAction& a : fp->actions) {
+            if (a.kind == efsm::FlatAction::Kind::Emit) {
+                if (a.valueExpr) a.chunk = builder.compileExpr(*a.valueExpr);
+                continue;
+            }
+            const ir::DataAction& da =
+                reactive_->actions[static_cast<std::size_t>(a.dataActionId)];
+            if (da.stmt)
+                a.chunk = builder.compileStmt(*da.stmt);
+            else if (da.expr)
+                a.chunk = builder.compileExpr(*da.expr);
+        }
+        byteCode_ = builder.finish();
+        flatProgram_ = std::move(fp);
+    } catch (const EclError& e) {
+        diags.note({}, "flat execution disabled for module '" + flat_->name +
+                           "': " + e.what());
+        flatProgram_.reset();
+        byteCode_.reset();
+    }
 }
 
-std::unique_ptr<rt::SyncEngine> CompiledModule::makeEngine() const
+std::unique_ptr<rt::SyncEngine>
+CompiledModule::makeEngine(EngineKind kind) const
 {
+    bool flat = kind == EngineKind::Flat && hasFlatProgram();
     auto engine = std::make_unique<rt::SyncEngine>(
-        *machine_, *sema_, shared_->sema, shared_->functions);
+        *machine_, *sema_, shared_->sema, shared_->functions,
+        flat ? flatProgram_.get() : nullptr, flat ? byteCode_ : nullptr);
     // Keep this module alive while the engine exists (compile() hands out
     // shared_ptrs; stack-constructed modules simply skip the retain).
     if (auto self = weak_from_this().lock()) engine->retain(self);

@@ -22,7 +22,9 @@
 #include <string>
 
 #include "src/efsm/efsm.h"
+#include "src/efsm/flatten.h"
 #include "src/frontend/ast.h"
+#include "src/interp/bytecode.h"
 #include "src/ir/ir.h"
 #include "src/partition/lower.h"
 #include "src/runtime/engine.h"
@@ -37,6 +39,17 @@ struct CompileOptions {
     /// elimination) after the build. Off by default so size studies see
     /// the raw automaton; see src/efsm/optimize.h.
     bool optimizeEfsm = false;
+    /// Flatten the EFSM and compile data code to bytecode (the
+    /// SyncEngine fast path). On by default; the tree-walking
+    /// representation is always built and kept as the oracle.
+    bool flatten = true;
+};
+
+/// Which execution representation makeEngine() wires into the SyncEngine.
+enum class EngineKind {
+    Flat,     ///< Dense tables + bytecode VM (default fast path).
+    TreeWalk, ///< unique_ptr decision trees + tree-walking Evaluator
+              ///< (differential-testing oracle, perf baseline).
 };
 
 /// Parsed + program-analyzed source, shared by all modules compiled from it.
@@ -70,8 +83,25 @@ public:
     }
     [[nodiscard]] const LowerStats& lowerStats() const { return lowerStats_; }
 
-    /// Creates a synchronous EFSM engine. The CompiledModule must outlive it.
-    [[nodiscard]] std::unique_ptr<rt::SyncEngine> makeEngine() const;
+    /// True when the flattened tables + bytecode were built (the fast
+    /// path makeEngine() wires up by default).
+    [[nodiscard]] bool hasFlatProgram() const
+    {
+        return flatProgram_ != nullptr && byteCode_ != nullptr;
+    }
+    /// The flattened machine; requires hasFlatProgram().
+    [[nodiscard]] const efsm::FlatProgram& flatProgram() const
+    {
+        return *flatProgram_;
+    }
+    /// The compiled data bytecode; requires hasFlatProgram().
+    [[nodiscard]] const bc::Program& byteCode() const { return *byteCode_; }
+
+    /// Creates a synchronous EFSM engine. The CompiledModule must outlive
+    /// it. EngineKind::Flat silently degrades to the tree walk when the
+    /// flat representation was not built (flatten=false).
+    [[nodiscard]] std::unique_ptr<rt::SyncEngine>
+    makeEngine(EngineKind kind = EngineKind::Flat) const;
 
     /// Creates the Reactive-C-style baseline engine (related-work
     /// comparison and differential-testing oracle).
@@ -83,6 +113,8 @@ private:
     std::unique_ptr<ModuleSema> sema_;
     std::unique_ptr<ir::ReactiveProgram> reactive_;
     std::unique_ptr<efsm::Efsm> machine_;
+    std::unique_ptr<efsm::FlatProgram> flatProgram_;
+    std::shared_ptr<const bc::Program> byteCode_;
     LowerStats lowerStats_;
 };
 

@@ -1,0 +1,109 @@
+#include "src/efsm/flatten.h"
+
+#include <unordered_map>
+
+namespace ecl::efsm {
+
+namespace {
+
+class Flattener {
+public:
+    explicit Flattener(const Efsm& machine) : machine_(machine) {}
+
+    FlatProgram run()
+    {
+        FlatProgram out;
+        out.initialState = machine_.initialState;
+        out.deadState = machine_.deadState;
+        out.states.reserve(machine_.states.size());
+        for (const State& st : machine_.states) {
+            FlatState fs;
+            fs.boot = st.boot;
+            fs.dead = st.dead;
+            fs.autoResume = st.autoResume;
+            fs.config = internConfig(out, st.config);
+            if (!st.tree)
+                throw EclError("flatten: state " + std::to_string(st.id) +
+                               " has no transition tree");
+            fs.root = emitNode(out, *st.tree);
+            out.states.push_back(fs);
+        }
+        return out;
+    }
+
+private:
+    int internConfig(FlatProgram& out, const PauseSet& config)
+    {
+        auto it = configIndex_.find(config);
+        if (it != configIndex_.end()) return it->second;
+        int idx = static_cast<int>(out.configs.size());
+        out.configs.push_back(config);
+        configIndex_.emplace(config, idx);
+        return idx;
+    }
+
+    /// Pre-order emission: a node precedes its true subtree, which
+    /// precedes its false subtree — the common taken path stays
+    /// contiguous in memory.
+    std::int32_t emitNode(FlatProgram& out, const TransNode& n)
+    {
+        auto idx = static_cast<std::int32_t>(out.nodes.size());
+        out.nodes.emplace_back();
+        {
+            FlatNode& fn = out.nodes.back();
+            fn.actionsBegin = static_cast<std::int32_t>(out.actions.size());
+            for (const Action& a : n.prefixActions)
+                out.actions.push_back(flattenAction(a));
+            fn.actionsEnd = static_cast<std::int32_t>(out.actions.size());
+        }
+        if (n.isLeaf) {
+            FlatNode& fn = out.nodes[static_cast<std::size_t>(idx)];
+            fn.flags = FlatNode::kLeaf;
+            if (n.terminates) fn.flags |= FlatNode::kTerminates;
+            if (n.runtimeError) fn.flags |= FlatNode::kRuntimeError;
+            fn.nextState = n.nextState;
+            return idx;
+        }
+        if (!n.onTrue || !n.onFalse)
+            throw EclError("flatten: test node missing a successor");
+        if (n.testsSignal)
+            out.nodes[static_cast<std::size_t>(idx)].testSignal = n.signal;
+        else
+            out.nodes[static_cast<std::size_t>(idx)].dataCond = n.dataCond;
+        // emitNode reallocates out.nodes; re-index instead of holding refs.
+        std::int32_t t = emitNode(out, *n.onTrue);
+        std::int32_t f = emitNode(out, *n.onFalse);
+        out.nodes[static_cast<std::size_t>(idx)].onTrue = t;
+        out.nodes[static_cast<std::size_t>(idx)].onFalse = f;
+        return idx;
+    }
+
+    FlatAction flattenAction(const Action& a) const
+    {
+        FlatAction fa;
+        if (a.kind == Action::Kind::Emit) {
+            fa.kind = FlatAction::Kind::Emit;
+            fa.signal = a.signal;
+            fa.valueExpr = a.valueExpr;
+            fa.isOutput =
+                machine_.sema->signals[static_cast<std::size_t>(a.signal)]
+                    .dir == SignalDir::Output;
+        } else {
+            fa.kind = FlatAction::Kind::Data;
+            fa.dataActionId = a.dataActionId;
+        }
+        return fa;
+    }
+
+    const Efsm& machine_;
+    std::unordered_map<PauseSet, int, PauseSetHash> configIndex_;
+};
+
+} // namespace
+
+FlatProgram flatten(const Efsm& machine)
+{
+    return Flattener(machine).run();
+}
+
+} // namespace ecl::efsm

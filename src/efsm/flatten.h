@@ -1,0 +1,86 @@
+// Flattening pass: Efsm decision trees -> dense executable tables.
+//
+// buildEfsm produces per-state binary decision trees as unique_ptr-linked
+// TransNode chains: correct, but the runtime pays a pointer chase per test
+// and a vector<Action> indirection per edge. FlatProgram re-lays the whole
+// machine into three contiguous arrays — states, nodes (pre-order per
+// tree, integer successors), and actions — with PauseSet configurations
+// interned into a side pool. The SyncEngine hot path then walks integer
+// indices through cache-resident rows, and the data work (predicates,
+// actions, emit values) is referenced by bytecode chunk ids filled in by
+// the driver (src/core/compiler.cpp) after compilation with
+// bc::ProgramBuilder; this keeps src/efsm independent of src/interp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/efsm/efsm.h"
+
+namespace ecl::efsm {
+
+struct FlatAction {
+    enum class Kind : std::uint8_t { Data, Emit };
+    Kind kind = Kind::Data;
+    bool isOutput = false;   ///< Emit of an output signal (precomputed).
+    std::int32_t signal = -1;
+    std::int32_t dataActionId = -1;
+    /// Emit value or data action payload; consumed by the linker to
+    /// compile `chunk`, then unused at runtime.
+    const ast::Expr* valueExpr = nullptr;
+    /// Bytecode chunk id (-1 = none: pure emit, or an empty data action).
+    std::int32_t chunk = -1;
+};
+
+struct FlatNode {
+    static constexpr std::uint8_t kLeaf = 1;
+    static constexpr std::uint8_t kTerminates = 2;
+    static constexpr std::uint8_t kRuntimeError = 4;
+
+    std::int32_t actionsBegin = 0; ///< Prefix actions [begin, end).
+    std::int32_t actionsEnd = 0;
+    std::int32_t testSignal = -1;  ///< >= 0: input presence test.
+    std::int32_t predChunk = -1;   ///< Data predicate bytecode (else -1).
+    const ast::Expr* dataCond = nullptr; ///< Consumed by the linker.
+    std::int32_t onTrue = -1;      ///< Node indices (test nodes).
+    std::int32_t onFalse = -1;
+    std::int32_t nextState = -1;   ///< Leaves.
+    std::uint8_t flags = 0;
+
+    [[nodiscard]] bool isLeaf() const { return flags & kLeaf; }
+    [[nodiscard]] bool terminates() const { return flags & kTerminates; }
+    [[nodiscard]] bool runtimeError() const { return flags & kRuntimeError; }
+};
+
+struct FlatState {
+    std::int32_t root = -1;   ///< Root node index of the decision tree.
+    std::int32_t config = -1; ///< Index into FlatProgram::configs.
+    bool boot = false;
+    bool dead = false;
+    bool autoResume = false;
+};
+
+/// The whole machine in dense arrays. State ids equal the source Efsm's,
+/// so an engine can switch representations without translating state.
+struct FlatProgram {
+    std::vector<FlatState> states;
+    std::vector<FlatNode> nodes;
+    std::vector<FlatAction> actions;
+    std::vector<PauseSet> configs; ///< Interned; states reference by index.
+    int initialState = 0;
+    int deadState = -1;
+
+    [[nodiscard]] std::size_t byteSize() const
+    {
+        return states.size() * sizeof(FlatState) +
+               nodes.size() * sizeof(FlatNode) +
+               actions.size() * sizeof(FlatAction);
+    }
+};
+
+/// Flattens a built (and optionally optimized) Efsm. The Efsm's sema and
+/// referenced AST must outlive the result. Throws EclError on malformed
+/// trees (missing roots/children).
+FlatProgram flatten(const Efsm& machine);
+
+} // namespace ecl::efsm

@@ -1,0 +1,712 @@
+#include "src/interp/bytecode.h"
+
+namespace ecl::bc {
+
+using namespace ast;
+
+namespace {
+
+constexpr std::uint16_t kNoResult = 0xffff;
+constexpr std::uint16_t kMaxRegs = 60000;
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder::Impl
+// ---------------------------------------------------------------------------
+
+struct ProgramBuilder::Impl {
+    /// Name-resolution context of the chunk being compiled: the module
+    /// frame or one C helper function frame (mirrors Evaluator::Frame).
+    struct FrameCtx {
+        const std::unordered_map<const ast::Expr*, const Type*>* exprTypes;
+        const std::unordered_map<const ast::Expr*, RefKind>* refKinds;
+        const std::unordered_map<std::string, int>* varIndex;
+        bool isModule;
+    };
+
+    struct LoopCtx {
+        std::vector<std::size_t> breakJumps;
+        std::vector<std::size_t> continueJumps;
+        std::size_t continueTarget = 0; ///< Valid when continueResolved.
+        bool continueResolved = false;
+    };
+
+    const ProgramSema& prog;
+    const std::unordered_map<std::string, FunctionSema>& functionSemas;
+    const ModuleSema& module;
+
+    Program out;
+    std::unordered_map<const void*, int> chunkByNode; ///< Memoization.
+    std::unordered_map<std::string, int> functionIndex;
+    std::vector<std::string> pendingFunctions; ///< Bodies still to compile.
+    bool finished = false;
+
+    // --- per-chunk build state ---
+    std::vector<Instr> buf;
+    std::uint16_t regTop = 0;
+    std::uint16_t maxReg = 0;
+    FrameCtx frame{};
+    std::vector<LoopCtx> loops;
+    std::vector<std::size_t> endJumps; ///< Jumps to the chunk's End.
+    bool inFunction = false;
+
+    Impl(const ProgramSema& p,
+         const std::unordered_map<std::string, FunctionSema>& f,
+         const ModuleSema& m)
+        : prog(p), functionSemas(f), module(m)
+    {
+        out.intType = prog.types.intType();
+        out.boolType = prog.types.boolType();
+    }
+
+    [[noreturn]] void fail(SourceLoc loc, const std::string& msg) const
+    {
+        throw EclError(loc, "bytecode: " + msg);
+    }
+
+    // --- frame helpers (mirror Evaluator::typeOf/refKindOf) ---
+
+    const Type* typeOf(const Expr& e) const
+    {
+        auto it = frame.exprTypes->find(&e);
+        if (it == frame.exprTypes->end())
+            fail(e.loc, "expression was not typed by sema (internal error)");
+        return it->second;
+    }
+
+    RefKind refKindOf(const Expr& e) const
+    {
+        auto it = frame.refKinds->find(&e);
+        if (it == frame.refKinds->end())
+            fail(e.loc,
+                 "identifier was not resolved by sema (internal error)");
+        return it->second;
+    }
+
+    int varSlot(const std::string& name, SourceLoc loc) const
+    {
+        auto it = frame.varIndex->find(name);
+        if (it == frame.varIndex->end())
+            fail(loc, "unbound variable '" + name + "'");
+        return it->second;
+    }
+
+    // --- emission helpers ---
+
+    std::uint16_t alloc(SourceLoc loc)
+    {
+        if (regTop >= kMaxRegs) fail(loc, "register limit exceeded");
+        std::uint16_t r = regTop++;
+        if (regTop > maxReg) maxReg = regTop;
+        return r;
+    }
+
+    std::size_t emit(Instr i)
+    {
+        buf.push_back(i);
+        return buf.size() - 1;
+    }
+
+    std::size_t emitJmp(Op op, std::uint16_t a, SourceLoc loc)
+    {
+        return emit({op, a, 0, 0, -1, 0, nullptr, loc});
+    }
+
+    void patch(std::size_t at, std::size_t target)
+    {
+        buf[at].imm = static_cast<std::int32_t>(target);
+    }
+
+    std::size_t here() const { return buf.size(); }
+
+    static bool isJumpOp(Op op)
+    {
+        return op == Op::Jmp || op == Op::BranchFalse || op == Op::BranchTrue;
+    }
+
+    // -----------------------------------------------------------------------
+    // Expressions. Each genExpr deposits its result in a fresh register at
+    // the current regTop and returns that index; callers reset regTop to
+    // reclaim operand registers (values are dead once consumed).
+    // -----------------------------------------------------------------------
+
+    std::uint16_t genExpr(const Expr& e)
+    {
+        switch (e.kind) {
+        case ExprKind::IntLit:
+            return genConst(prog.types.intType(),
+                            static_cast<const IntLitExpr&>(e).value, e.loc);
+        case ExprKind::BoolLit:
+            return genConst(prog.types.boolType(),
+                            static_cast<const BoolLitExpr&>(e).value ? 1 : 0,
+                            e.loc);
+        case ExprKind::Ident: {
+            const auto& x = static_cast<const IdentExpr&>(e);
+            switch (refKindOf(e)) {
+            case RefKind::Var: {
+                const Type* t = typeOf(e);
+                std::uint16_t dst = alloc(e.loc);
+                emit({t->isScalar() ? Op::LoadVarSc : Op::LoadVarAg, dst, 0,
+                      0, varSlot(x.name, e.loc), 0, t, e.loc});
+                return dst;
+            }
+            case RefKind::SignalValue: {
+                if (!frame.isModule)
+                    fail(e.loc, "signal value read outside module context");
+                const SignalInfo* sig = module.findSignal(x.name);
+                if (!sig) fail(e.loc, "unknown signal '" + x.name + "'");
+                std::uint16_t dst = alloc(e.loc);
+                emit({Op::LoadSig, dst, 0, 0, sig->index, 0, nullptr, e.loc});
+                return dst;
+            }
+            case RefKind::Constant:
+                return genConst(prog.types.intType(),
+                                prog.constants.at(x.name), e.loc);
+            default: fail(e.loc, "bad identifier kind");
+            }
+        }
+        case ExprKind::Unary: return genUnary(static_cast<const UnaryExpr&>(e));
+        case ExprKind::Binary:
+            return genBinary(static_cast<const BinaryExpr&>(e));
+        case ExprKind::Assign:
+            return genAssign(static_cast<const AssignExpr&>(e));
+        case ExprKind::Cond: {
+            const auto& x = static_cast<const CondExpr&>(e);
+            std::uint16_t save = regTop;
+            std::uint16_t rc = genExpr(*x.cond);
+            std::size_t jElse = emitJmp(Op::BranchFalse, rc, e.loc);
+            regTop = save;
+            genExpr(*x.thenExpr); // lands in register `save`
+            std::size_t jEnd = emitJmp(Op::Jmp, 0, e.loc);
+            patch(jElse, here());
+            regTop = save;
+            genExpr(*x.elseExpr); // also lands in register `save`
+            patch(jEnd, here());
+            regTop = static_cast<std::uint16_t>(save + 1);
+            return save;
+        }
+        case ExprKind::Index:
+        case ExprKind::Member: {
+            // Rvalue path into a variable or signal value.
+            std::uint16_t save = regTop;
+            std::uint16_t ra = genAddr(e);
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::LoadInd, dst, ra, 0, 0, 0, nullptr, e.loc});
+            return dst;
+        }
+        case ExprKind::Call: return genCall(static_cast<const CallExpr&>(e));
+        case ExprKind::Cast: {
+            const auto& x = static_cast<const CastExpr&>(e);
+            const Type* target = typeOf(e);
+            std::uint16_t save = regTop;
+            std::uint16_t rv = genExpr(*x.operand);
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::Cast, dst, rv, 0, 0, 0, target, e.loc});
+            return dst;
+        }
+        case ExprKind::SizeofType: {
+            const auto& x = static_cast<const SizeofTypeExpr&>(e);
+            const Type* t = prog.types.lookup(x.typeName);
+            if (!t) fail(e.loc, "unknown type '" + x.typeName + "'");
+            return genConst(prog.types.intType(),
+                            static_cast<std::int64_t>(t->size()), e.loc);
+        }
+        }
+        fail(e.loc, "unknown expression kind");
+    }
+
+    std::uint16_t genConst(const Type* t, std::int64_t v, SourceLoc loc)
+    {
+        std::uint16_t dst = alloc(loc);
+        emit({Op::ConstInt, dst, 0, 0, 0, normalizeScalar(t, v), t, loc});
+        return dst;
+    }
+
+    /// Lvalue path: deposits {ptr, type} in a fresh register.
+    std::uint16_t genAddr(const Expr& e)
+    {
+        switch (e.kind) {
+        case ExprKind::Ident: {
+            const auto& x = static_cast<const IdentExpr&>(e);
+            RefKind rk = refKindOf(e);
+            if (rk == RefKind::Var) {
+                std::uint16_t dst = alloc(e.loc);
+                emit({Op::AddrVar, dst, 0, 0, varSlot(x.name, e.loc), 0,
+                      nullptr, e.loc});
+                return dst;
+            }
+            if (rk == RefKind::SignalValue) {
+                if (!frame.isModule)
+                    fail(e.loc, "signal access outside module context");
+                const SignalInfo* sig = module.findSignal(x.name);
+                if (!sig) fail(e.loc, "unknown signal '" + x.name + "'");
+                std::uint16_t dst = alloc(e.loc);
+                emit({Op::AddrSig, dst, 0, 0, sig->index, 0, nullptr, e.loc});
+                return dst;
+            }
+            fail(e.loc, "cannot take the address of '" + x.name + "'");
+        }
+        case ExprKind::Index: {
+            const auto& x = static_cast<const IndexExpr&>(e);
+            std::uint16_t save = regTop;
+            std::uint16_t rb = genAddr(*x.base);
+            std::uint16_t ri = genExpr(*x.index);
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::AddrIndex, dst, rb, ri, 0, 0, nullptr, e.loc});
+            return dst;
+        }
+        case ExprKind::Member: {
+            const auto& x = static_cast<const MemberExpr&>(e);
+            std::uint16_t save = regTop;
+            std::uint16_t rb = genAddr(*x.base);
+            // Resolve the field offset at compile time; the Evaluator does
+            // this linear search on every visit.
+            const Type* baseType = typeOf(*x.base);
+            const Type::Field* f = baseType->findField(x.field);
+            if (!f) fail(e.loc, "no field '" + x.field + "'");
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::AddrField, dst, rb, 0,
+                  static_cast<std::int32_t>(f->offset), 0, f->type, e.loc});
+            return dst;
+        }
+        default: fail(e.loc, "expression is not an lvalue");
+        }
+    }
+
+    std::uint16_t genUnary(const UnaryExpr& e)
+    {
+        switch (e.op) {
+        case UnaryOp::Plus:
+        case UnaryOp::Minus:
+        case UnaryOp::Not:
+        case UnaryOp::BitNot: {
+            std::uint16_t save = regTop;
+            std::uint16_t rv = genExpr(*e.operand);
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::Unary, dst, rv, 0, static_cast<std::int32_t>(e.op), 0,
+                  nullptr, e.loc});
+            return dst;
+        }
+        case UnaryOp::PreInc:
+        case UnaryOp::PreDec:
+        case UnaryOp::PostInc:
+        case UnaryOp::PostDec: {
+            std::uint16_t save = regTop;
+            std::uint16_t ra = genAddr(*e.operand);
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::IncDec, dst, ra, 0, static_cast<std::int32_t>(e.op), 0,
+                  nullptr, e.loc});
+            return dst;
+        }
+        }
+        fail(e.loc, "bad unary op");
+    }
+
+    std::uint16_t genBinary(const BinaryExpr& e)
+    {
+        if (e.op == BinaryOp::LogAnd || e.op == BinaryOp::LogOr) {
+            bool isAnd = e.op == BinaryOp::LogAnd;
+            std::uint16_t save = regTop;
+            std::uint16_t rl = genExpr(*e.lhs);
+            std::size_t jShort = emitJmp(
+                isAnd ? Op::BranchFalse : Op::BranchTrue, rl, e.loc);
+            regTop = save;
+            std::uint16_t rr = genExpr(*e.rhs);
+            regTop = save;
+            std::uint16_t dst = alloc(e.loc);
+            emit({Op::BoolVal, dst, rr, 0, 0, 0, prog.types.boolType(),
+                  e.loc});
+            std::size_t jEnd = emitJmp(Op::Jmp, 0, e.loc);
+            patch(jShort, here());
+            emit({Op::SetBool, dst, 0, 0, isAnd ? 0 : 1, 0,
+                  prog.types.boolType(), e.loc});
+            patch(jEnd, here());
+            return dst;
+        }
+        std::uint16_t save = regTop;
+        std::uint16_t ra = genExpr(*e.lhs);
+        std::uint16_t rb = genExpr(*e.rhs);
+        regTop = save;
+        std::uint16_t dst = alloc(e.loc);
+        emit({Op::Binary, dst, ra, rb, static_cast<std::int32_t>(e.op), 0,
+              nullptr, e.loc});
+        return dst;
+    }
+
+    std::uint16_t genAssign(const AssignExpr& e)
+    {
+        std::uint16_t save = regTop;
+        std::uint16_t ra = genAddr(*e.lhs);
+        std::uint16_t rv = genExpr(*e.rhs);
+        regTop = save;
+        std::uint16_t dst = alloc(e.loc);
+        if (e.op != AssignOp::Plain) {
+            emit({Op::StoreCompound, dst, ra, rv,
+                  static_cast<std::int32_t>(e.op), 0, nullptr, e.loc});
+        } else if (typeOf(*e.lhs)->isScalar()) {
+            emit({Op::StoreSc, dst, ra, rv, 0, 0, nullptr, e.loc});
+        } else {
+            emit({Op::StoreAg, dst, ra, rv, 0, 0, nullptr, e.loc});
+        }
+        return dst;
+    }
+
+    std::uint16_t genCall(const CallExpr& e)
+    {
+        if (e.callee == "__sizeof_expr") {
+            // sizeof(expr): static type, operand not evaluated.
+            auto it = frame.exprTypes->find(e.args[0].get());
+            if (it == frame.exprTypes->end())
+                fail(e.loc, "untyped sizeof operand");
+            return genConst(prog.types.intType(),
+                            static_cast<std::int64_t>(it->second->size()),
+                            e.loc);
+        }
+        std::uint16_t save = regTop;
+        for (const ExprPtr& a : e.args) genExpr(*a); // consecutive registers
+        int fnIdx = functionRef(e.callee, e.loc);
+        regTop = save;
+        std::uint16_t dst = alloc(e.loc);
+        emit({Op::Call, dst, save, static_cast<std::uint16_t>(e.args.size()),
+              fnIdx, 0, nullptr, e.loc});
+        return dst;
+    }
+
+    /// Assigns a function index, queueing the body for compilation.
+    int functionRef(const std::string& name, SourceLoc loc)
+    {
+        auto it = functionIndex.find(name);
+        if (it != functionIndex.end()) return it->second;
+        auto semaIt = functionSemas.find(name);
+        const FunctionInfo* info = prog.findFunction(name);
+        if (semaIt == functionSemas.end() || !info)
+            fail(loc, "call to unknown function '" + name + "'");
+        CompiledFunction f;
+        f.vars = &semaIt->second.vars;
+        f.paramCount = info->params.size();
+        f.returnType = info->returnType;
+        f.name = name;
+        int idx = static_cast<int>(out.functions.size());
+        out.functions.push_back(std::move(f));
+        functionIndex.emplace(name, idx);
+        pendingFunctions.push_back(name);
+        return idx;
+    }
+
+    // -----------------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------------
+
+    void genStmt(const Stmt& s)
+    {
+        switch (s.kind) {
+        case StmtKind::Block: {
+            const auto& x = static_cast<const BlockStmt&>(s);
+            for (const StmtPtr& st : x.body) genStmt(*st);
+            return;
+        }
+        case StmtKind::Decl: {
+            const auto& x = static_cast<const DeclStmt&>(s);
+            for (const Declarator& d : x.decls) {
+                auto it = frame.varIndex->find(d.name);
+                if (it == frame.varIndex->end()) continue;
+                emit({Op::ZeroVar, 0, 0, 0, it->second, 0, nullptr, d.loc});
+                if (d.init) {
+                    std::uint16_t save = regTop;
+                    std::uint16_t rv = genExpr(*d.init);
+                    regTop = save;
+                    emit({Op::InitVar, 0, rv, 0, it->second, 0, nullptr,
+                          d.loc});
+                }
+            }
+            return;
+        }
+        case StmtKind::ExprStmt: {
+            std::uint16_t save = regTop;
+            genExpr(*static_cast<const ExprStmt&>(s).expr);
+            regTop = save;
+            return;
+        }
+        case StmtKind::If: {
+            const auto& x = static_cast<const IfStmt&>(s);
+            std::uint16_t save = regTop;
+            std::uint16_t rc = genExpr(*x.cond);
+            regTop = save;
+            std::size_t jElse = emitJmp(Op::BranchFalse, rc, s.loc);
+            genStmt(*x.thenStmt);
+            if (x.elseStmt) {
+                std::size_t jEnd = emitJmp(Op::Jmp, 0, s.loc);
+                patch(jElse, here());
+                genStmt(*x.elseStmt);
+                patch(jEnd, here());
+            } else {
+                patch(jElse, here());
+            }
+            return;
+        }
+        case StmtKind::While: {
+            const auto& x = static_cast<const WhileStmt&>(s);
+            std::size_t top = here();
+            std::uint16_t save = regTop;
+            std::uint16_t rc = genExpr(*x.cond);
+            regTop = save;
+            std::size_t jExit = emitJmp(Op::BranchFalse, rc, s.loc);
+            loops.push_back({{}, {}, top, true});
+            genStmt(*x.body);
+            emit({Op::Jmp, 0, 0, 0, static_cast<std::int32_t>(top), 0,
+                  nullptr, s.loc});
+            patch(jExit, here());
+            closeLoop(here());
+            return;
+        }
+        case StmtKind::DoWhile: {
+            const auto& x = static_cast<const DoWhileStmt&>(s);
+            std::size_t top = here();
+            loops.push_back({}); // continue target patched below
+            genStmt(*x.body);
+            std::size_t condAt = here();
+            std::uint16_t save = regTop;
+            std::uint16_t rc = genExpr(*x.cond);
+            regTop = save;
+            emit({Op::BranchTrue, rc, 0, 0, static_cast<std::int32_t>(top), 0,
+                  nullptr, s.loc});
+            loops.back().continueTarget = condAt;
+            loops.back().continueResolved = true;
+            closeLoop(here());
+            return;
+        }
+        case StmtKind::For: {
+            const auto& x = static_cast<const ForStmt&>(s);
+            if (x.init) genStmt(*x.init);
+            std::size_t condAt = here();
+            std::size_t jExit = static_cast<std::size_t>(-1);
+            if (x.cond) {
+                std::uint16_t save = regTop;
+                std::uint16_t rc = genExpr(*x.cond);
+                regTop = save;
+                jExit = emitJmp(Op::BranchFalse, rc, s.loc);
+            }
+            loops.push_back({}); // continue target = step, patched below
+            genStmt(*x.body);
+            std::size_t stepAt = here();
+            if (x.step) {
+                std::uint16_t save = regTop;
+                genExpr(*x.step);
+                regTop = save;
+            }
+            emit({Op::Jmp, 0, 0, 0, static_cast<std::int32_t>(condAt), 0,
+                  nullptr, s.loc});
+            if (jExit != static_cast<std::size_t>(-1)) patch(jExit, here());
+            loops.back().continueTarget = stepAt;
+            loops.back().continueResolved = true;
+            closeLoop(here());
+            return;
+        }
+        case StmtKind::Break: {
+            std::size_t j = emitJmp(Op::Jmp, 0, s.loc);
+            if (loops.empty())
+                endJumps.push_back(j); // stray break ends the chunk
+            else
+                loops.back().breakJumps.push_back(j);
+            return;
+        }
+        case StmtKind::Continue: {
+            std::size_t j = emitJmp(Op::Jmp, 0, s.loc);
+            if (loops.empty())
+                endJumps.push_back(j);
+            else
+                loops.back().continueJumps.push_back(j);
+            return;
+        }
+        case StmtKind::Return: {
+            const auto& x = static_cast<const ReturnStmt&>(s);
+            if (inFunction) {
+                if (x.value) {
+                    std::uint16_t save = regTop;
+                    std::uint16_t rv = genExpr(*x.value);
+                    regTop = save;
+                    emit({Op::Ret, rv, 0, 0, 0, 0, nullptr, s.loc});
+                } else {
+                    emit({Op::RetVoid, 0, 0, 0, 0, 0, nullptr, s.loc});
+                }
+            } else {
+                // Module-level data action: a Return just ends the action
+                // (the engine discards the ExecResult), but the value's
+                // side effects still run.
+                if (x.value) {
+                    std::uint16_t save = regTop;
+                    genExpr(*x.value);
+                    regTop = save;
+                }
+                endJumps.push_back(emitJmp(Op::Jmp, 0, s.loc));
+            }
+            return;
+        }
+        case StmtKind::Empty: return;
+        default:
+            fail(s.loc, "reactive statement reached the data compiler "
+                        "(internal error: partitioner should have split it)");
+        }
+    }
+
+    void closeLoop(std::size_t exitTarget)
+    {
+        LoopCtx& l = loops.back();
+        for (std::size_t j : l.breakJumps) patch(j, exitTarget);
+        for (std::size_t j : l.continueJumps) patch(j, l.continueTarget);
+        loops.pop_back();
+    }
+
+    // -----------------------------------------------------------------------
+    // Chunk lifecycle
+    // -----------------------------------------------------------------------
+
+    void beginChunk(FrameCtx ctx, bool asFunction)
+    {
+        buf.clear();
+        regTop = 0;
+        maxReg = 0;
+        loops.clear();
+        endJumps.clear();
+        frame = ctx;
+        inFunction = asFunction;
+    }
+
+    int commitChunk(std::uint16_t resultReg, bool isExpr)
+    {
+        for (std::size_t j : endJumps) patch(j, here());
+        emit({Op::End, resultReg, 0, 0, 0, 0, nullptr, {}});
+
+        auto base = static_cast<std::uint32_t>(out.code.size());
+        Chunk c;
+        c.begin = base;
+        c.end = base + static_cast<std::uint32_t>(buf.size());
+        c.numRegs = maxReg;
+        c.isExpr = isExpr;
+        for (Instr& i : buf) {
+            if (isJumpOp(i.op)) i.imm += static_cast<std::int32_t>(base);
+            out.code.push_back(i);
+        }
+        if (maxReg > out.maxRegs) out.maxRegs = maxReg;
+        out.chunks.push_back(c);
+        return static_cast<int>(out.chunks.size() - 1);
+    }
+
+    FrameCtx moduleCtx() const
+    {
+        return {&module.exprType, &module.refKind, &module.varIndex, true};
+    }
+
+    int doCompileExpr(const Expr& e)
+    {
+        auto it = chunkByNode.find(&e);
+        if (it != chunkByNode.end()) return it->second;
+        beginChunk(moduleCtx(), false);
+        std::uint16_t r = genExpr(e);
+        int chunk = commitChunk(r, true);
+        chunkByNode.emplace(&e, chunk);
+        return chunk;
+    }
+
+    int doCompileStmt(const Stmt& s)
+    {
+        auto it = chunkByNode.find(&s);
+        if (it != chunkByNode.end()) return it->second;
+        beginChunk(moduleCtx(), false);
+        genStmt(s);
+        int chunk = commitChunk(kNoResult, false);
+        chunkByNode.emplace(&s, chunk);
+        return chunk;
+    }
+
+    /// Compiles every function body queued by Call sites (transitively).
+    void drainPending()
+    {
+        while (!pendingFunctions.empty()) {
+            std::string name = std::move(pendingFunctions.back());
+            pendingFunctions.pop_back();
+            const FunctionSema& fs = functionSemas.at(name);
+            beginChunk({&fs.exprType, &fs.refKind, &fs.varIndex, false},
+                       true);
+            genStmt(*fs.decl->body);
+            int chunk = commitChunk(kNoResult, false);
+            out.functions[static_cast<std::size_t>(functionIndex.at(name))]
+                .chunk = chunk;
+        }
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(
+    const ProgramSema& program,
+    const std::unordered_map<std::string, FunctionSema>& functionSemas,
+    const ModuleSema& module)
+    : impl_(std::make_unique<Impl>(program, functionSemas, module))
+{
+}
+
+ProgramBuilder::~ProgramBuilder() = default;
+
+int ProgramBuilder::compileExpr(const ast::Expr& e)
+{
+    if (impl_->finished)
+        impl_->fail(e.loc, "compileExpr after finish()");
+    int chunk = impl_->doCompileExpr(e);
+    impl_->drainPending();
+    return chunk;
+}
+
+int ProgramBuilder::compileStmt(const ast::Stmt& s)
+{
+    if (impl_->finished)
+        impl_->fail(s.loc, "compileStmt after finish()");
+    int chunk = impl_->doCompileStmt(s);
+    impl_->drainPending();
+    return chunk;
+}
+
+std::shared_ptr<const Program> ProgramBuilder::finish()
+{
+    impl_->drainPending();
+    impl_->finished = true;
+    auto prog = std::make_shared<Program>(std::move(impl_->out));
+    return prog;
+}
+
+// ---------------------------------------------------------------------------
+// Disassembler
+// ---------------------------------------------------------------------------
+
+std::string disassemble(const Program& prog, int chunk)
+{
+    static const char* names[] = {
+        "const",    "ldv",   "ldva",  "ldsig",  "adrv", "adrs", "adri",
+        "adrf",     "ldind", "unary", "incdec", "bin",  "cast", "bool",
+        "setb",     "stsc",  "stcmp", "stag",   "zero", "init", "jmp",
+        "brf",      "brt",   "call",  "ret",    "retv", "end"};
+    const Chunk& c = prog.chunks[static_cast<std::size_t>(chunk)];
+    std::string s;
+    for (std::uint32_t pc = c.begin; pc < c.end; ++pc) {
+        const Instr& i = prog.code[pc];
+        s += std::to_string(pc) + ": ";
+        s += names[static_cast<std::size_t>(i.op)];
+        s += " a=" + std::to_string(i.a) + " b=" + std::to_string(i.b) +
+             " c=" + std::to_string(i.c) + " imm=" + std::to_string(i.imm);
+        if (i.imm64) s += " imm64=" + std::to_string(i.imm64);
+        if (i.type) s += " type=" + i.type->name();
+        s += "\n";
+    }
+    return s;
+}
+
+} // namespace ecl::bc

@@ -1,0 +1,163 @@
+// Register-based bytecode for the data (C) part of ECL.
+//
+// The tree-walking Evaluator (src/interp/eval.h) resolves names, types and
+// field offsets through hash maps on every visit. This module compiles each
+// data action, data predicate and emit-value expression ONCE into a flat
+// instruction stream over slot-indexed variable/signal stores; the VM
+// (src/interp/vm.h) then executes reactions without any per-node lookups or
+// allocations. The instruction semantics mirror the Evaluator exactly —
+// including the ExecCounters bumps per operation — so the cost model
+// (src/cost) sees identical counter streams and the tree walker remains a
+// drop-in differential-testing oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/interp/eval.h"
+#include "src/sema/sema.h"
+#include "src/support/diagnostics.h"
+#include "src/support/source_location.h"
+
+namespace ecl::bc {
+
+enum class Op : std::uint8_t {
+    // Constants and loads (dst = a).
+    ConstInt,   ///< r[a] = imm64 (pre-normalized), type; exprOps++
+    LoadVarSc,  ///< r[a] = scalar store[imm]; loads++
+    LoadVarAg,  ///< r[a] = bytes of store[imm] (copy); loads++
+    LoadSig,    ///< r[a] = copy of signalValue(imm); loads++
+
+    // Address computation (lvalues; dst holds ptr+type, no counters
+    // except where the Evaluator counts them).
+    AddrVar,    ///< r[a] = address of store[imm]
+    AddrSig,    ///< r[a] = address of signalValue(imm) (read-only path)
+    AddrIndex,  ///< r[a] = r[b].ptr + r[c].i * elemsize; bounds; exprOps++
+    AddrField,  ///< r[a] = r[b].ptr + imm, type = field type
+    LoadInd,    ///< r[a] = rvalue at address r[b]; loads++
+
+    // Operators.
+    Unary,      ///< r[a] = unop<imm>(r[b]); exprOps++
+    IncDec,     ///< r[a] = ++/--/r[b]++/-- at address r[b]; exprOps,loads,stores
+    Binary,     ///< r[a] = binop<imm>(r[b], r[c]); exprOps++
+    Cast,       ///< r[a] = (type) r[b]; exprOps++
+    BoolVal,    ///< r[a] = r[b] != 0, bool type (short-circuit tail)
+    SetBool,    ///< r[a] = imm (0/1), bool type (short-circuit shortcut)
+
+    // Stores.
+    StoreSc,       ///< *r[b] = r[c] (scalar); stores++; r[a] = readback
+    StoreCompound, ///< *r[b] op<imm>= r[c]; loads,exprOps,stores; r[a] = readback
+    StoreAg,       ///< *r[b] = r[c] (aggregate); stores++, aggBytes; r[a] = r[c]
+    ZeroVar,       ///< store[imm].zero() (declaration reset)
+    InitVar,       ///< decl init: store[imm] = r[b]; stores++
+
+    // Control flow. Branch* count ExecCounters::branches; Jmp does not.
+    Jmp,         ///< pc = imm
+    BranchFalse, ///< branches++; if (!r[a].i) pc = imm
+    BranchTrue,  ///< branches++; if (r[a].i) pc = imm
+
+    // Calls.
+    Call,    ///< r[a] = functions[imm](r[b] .. r[b+c-1]); calls++
+    Ret,     ///< return r[a] from the current chunk
+    RetVoid, ///< return (no value)
+
+    End, ///< end of chunk; r[a] is the chunk result when the chunk is an
+         ///< expression (a == 0xffff for statement chunks)
+};
+
+/// One instruction. `a`, `b`, `c` are register indices; `imm` carries slot
+/// indices, signal indices, jump targets, operator codes or field offsets;
+/// `imm64` carries literal values; `type` is the statically-known result
+/// (or operand) type where the operation needs one.
+struct Instr {
+    Op op = Op::End;
+    std::uint16_t a = 0;
+    std::uint16_t b = 0;
+    std::uint16_t c = 0;
+    std::int32_t imm = 0;
+    std::int64_t imm64 = 0;
+    const Type* type = nullptr;
+    SourceLoc loc{};
+};
+
+/// Half-open instruction range plus the register count the chunk needs.
+struct Chunk {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint16_t numRegs = 0;
+    bool isExpr = false; ///< Chunk produces a result value at End.
+};
+
+/// A compiled C helper function: its body chunk plus the frame layout
+/// needed to build a call frame (the FunctionSemaMap must outlive this).
+struct CompiledFunction {
+    int chunk = -1;
+    const std::vector<VarInfo>* vars = nullptr; ///< Params first.
+    std::size_t paramCount = 0;
+    const Type* returnType = nullptr;
+    std::string name;
+};
+
+/// An immutable compiled bytecode module: every chunk shares one dense
+/// instruction array (cache-friendly; no pointer chasing).
+struct Program {
+    std::vector<Instr> code;
+    std::vector<Chunk> chunks;
+    std::vector<CompiledFunction> functions;
+    std::uint16_t maxRegs = 0; ///< Max numRegs over all chunks.
+    const Type* intType = nullptr;
+    const Type* boolType = nullptr;
+};
+
+/// Mirrors Value::fromInt's store/reload round trip without touching
+/// memory: truncate to the type's byte width, then sign-/zero-extend
+/// (bools normalize to 0/1).
+inline std::int64_t normalizeScalar(const Type* t, std::int64_t v)
+{
+    if (t->isBool()) return v != 0 ? 1 : 0;
+    std::size_t sz = t->size();
+    if (sz >= 8) return v;
+    std::uint64_t raw =
+        static_cast<std::uint64_t>(v) & ((std::uint64_t{1} << (8 * sz)) - 1);
+    if (t->isSigned()) {
+        std::uint64_t signBit = std::uint64_t{1} << (8 * sz - 1);
+        if (raw & signBit) raw |= ~((signBit << 1) - 1);
+    }
+    return static_cast<std::int64_t>(raw);
+}
+
+/// Compiles expressions and statements of one module (and, transitively,
+/// every C helper function they call) into a Program. Chunks are memoized
+/// by AST node, so the same extracted action shared by many EFSM edges
+/// compiles once.
+class ProgramBuilder {
+public:
+    ProgramBuilder(const ProgramSema& program,
+                   const std::unordered_map<std::string, FunctionSema>&
+                       functionSemas,
+                   const ModuleSema& module);
+    ~ProgramBuilder();
+
+    /// Compiles an rvalue expression in module context; returns a chunk id.
+    int compileExpr(const ast::Expr& e);
+
+    /// Compiles a data statement in module context; returns a chunk id.
+    int compileStmt(const ast::Stmt& s);
+
+    /// Finalizes and returns the program. The builder must not be used
+    /// afterwards.
+    std::shared_ptr<const Program> finish();
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Human-readable disassembly of one chunk (tests, debugging).
+std::string disassemble(const Program& prog, int chunk);
+
+} // namespace ecl::bc

@@ -128,7 +128,8 @@ void Network::reactTask(int taskId)
         rtosCycles_ += cost_.params().cycContextSwitch;
     lastRanTask_ = taskId;
 
-    // Latch pending events as this reaction's inputs.
+    // Latch pending events as this reaction's inputs (index-based fast
+    // path: no name lookups per instant).
     const ModuleSema& sema = t.module->moduleSema();
     for (std::size_t i = 0; i < t.pending.size(); ++i) {
         PendingEvent& ev = t.pending[i];
@@ -137,9 +138,10 @@ void Network::reactTask(int taskId)
         t.stats.eventsConsumed++;
         const SignalInfo& info = sema.signals[i];
         if (info.pure)
-            t.engine->setInput(info.name);
+            t.engine->setInput(static_cast<int>(i));
         else
-            t.engine->setInputValue(info.name, ev.value);
+            t.engine->setInputValue(static_cast<int>(i),
+                                    std::move(ev.value));
     }
 
     rt::ReactionResult r = t.engine->react();

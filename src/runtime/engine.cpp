@@ -3,58 +3,126 @@
 namespace ecl::rt {
 
 // ---------------------------------------------------------------------------
+// ReactiveEngine: name resolution + string wrappers
+// ---------------------------------------------------------------------------
+
+int ReactiveEngine::signalIndex(const std::string& name) const
+{
+    const SignalInfo* s = moduleSema().findSignal(name);
+    if (!s) throw EclError("no signal named '" + name + "'");
+    return s->index;
+}
+
+int ReactiveEngine::inputIndex(const std::string& name) const
+{
+    const SignalInfo* s = moduleSema().findSignal(name);
+    if (!s) throw EclError("no signal named '" + name + "'");
+    if (s->dir != SignalDir::Input)
+        throw EclError("'" + name + "' is not an input signal");
+    return s->index;
+}
+
+void ReactiveEngine::setInput(const std::string& name)
+{
+    setInput(inputIndex(name));
+}
+
+void ReactiveEngine::setInputScalar(const std::string& name, std::int64_t v)
+{
+    setInputScalar(inputIndex(name), v);
+}
+
+void ReactiveEngine::setInputValue(const std::string& name, Value v)
+{
+    setInputValue(inputIndex(name), std::move(v));
+}
+
+bool ReactiveEngine::outputPresent(const std::string& name) const
+{
+    return outputPresent(signalIndex(name));
+}
+
+Value ReactiveEngine::outputValue(const std::string& name) const
+{
+    return outputValue(signalIndex(name));
+}
+
+namespace {
+
+const SignalInfo& checkedSignal(const ModuleSema& sema, int sigIndex)
+{
+    if (sigIndex < 0 ||
+        static_cast<std::size_t>(sigIndex) >= sema.signals.size())
+        throw EclError("signal index " + std::to_string(sigIndex) +
+                       " out of range");
+    return sema.signals[static_cast<std::size_t>(sigIndex)];
+}
+
+const SignalInfo& checkedInput(const ModuleSema& sema, int sigIndex)
+{
+    const SignalInfo& s = checkedSignal(sema, sigIndex);
+    if (s.dir != SignalDir::Input)
+        throw EclError("'" + s.name + "' is not an input signal");
+    return s;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
 // SyncEngine
 // ---------------------------------------------------------------------------
 
 SyncEngine::SyncEngine(const efsm::Efsm& machine, const ModuleSema& sema,
                        const ProgramSema& program,
-                       const FunctionSemaMap& functions)
+                       const FunctionSemaMap& functions,
+                       const efsm::FlatProgram* flat,
+                       std::shared_ptr<const bc::Program> code)
     : machine_(machine), sema_(sema), env_(sema), store_(sema.vars),
       eval_(program, functions, &sema, &store_, &env_),
       state_(machine.initialState)
 {
     lastPresent_.assign(sema.signals.size(), false);
+    if (flat && code) {
+        flat_ = flat;
+        code_ = std::move(code);
+        vm_ = std::make_unique<bc::Vm>(code_, &store_, &env_);
+    }
 }
 
-int SyncEngine::signalIndex(const std::string& name, bool wantInput) const
+const SignalInfo& SyncEngine::checkInput(int sigIndex) const
 {
-    const SignalInfo* s = sema_.findSignal(name);
-    if (!s) throw EclError("no signal named '" + name + "'");
-    if (wantInput && s->dir != SignalDir::Input)
-        throw EclError("'" + name + "' is not an input signal");
-    return s->index;
+    return checkedInput(sema_, sigIndex);
 }
 
-void SyncEngine::setInput(const std::string& name)
+void SyncEngine::beginInput()
 {
     if (!instantOpen_) {
         env_.beginInstant();
         instantOpen_ = true;
     }
-    env_.setPresent(signalIndex(name, true));
 }
 
-void SyncEngine::setInputScalar(const std::string& name, std::int64_t v)
+void SyncEngine::setInput(int sigIndex)
 {
-    int idx = signalIndex(name, true);
-    const SignalInfo& info = sema_.signals[static_cast<std::size_t>(idx)];
+    checkInput(sigIndex);
+    beginInput();
+    env_.setPresent(sigIndex);
+}
+
+void SyncEngine::setInputScalar(int sigIndex, std::int64_t v)
+{
+    const SignalInfo& info = checkInput(sigIndex);
     if (info.pure)
-        throw EclError("'" + name + "' is pure; use setInput()");
-    if (!instantOpen_) {
-        env_.beginInstant();
-        instantOpen_ = true;
-    }
-    env_.setValue(idx, Value::fromInt(info.valueType, v));
+        throw EclError("'" + info.name + "' is pure; use setInput()");
+    beginInput();
+    env_.setValue(sigIndex, Value::fromInt(info.valueType, v));
 }
 
-void SyncEngine::setInputValue(const std::string& name, Value v)
+void SyncEngine::setInputValue(int sigIndex, Value v)
 {
-    int idx = signalIndex(name, true);
-    if (!instantOpen_) {
-        env_.beginInstant();
-        instantOpen_ = true;
-    }
-    env_.setValue(idx, std::move(v));
+    checkInput(sigIndex);
+    beginInput();
+    env_.setValue(sigIndex, std::move(v));
 }
 
 void SyncEngine::runActions(const std::vector<efsm::Action>& actions,
@@ -85,14 +153,54 @@ void SyncEngine::runActions(const std::vector<efsm::Action>& actions,
     }
 }
 
-ReactionResult SyncEngine::react()
+void SyncEngine::runFlatActions(const efsm::FlatNode& node,
+                                ReactionResult& result)
 {
-    if (!instantOpen_) env_.beginInstant();
-    instantOpen_ = false;
+    const efsm::FlatAction* actions = flat_->actions.data();
+    for (std::int32_t i = node.actionsBegin; i < node.actionsEnd; ++i) {
+        const efsm::FlatAction& a = actions[i];
+        ++result.actionsRun;
+        if (a.kind == efsm::FlatAction::Kind::Emit) {
+            ++result.emitsRun;
+            if (a.chunk >= 0)
+                env_.setValue(a.signal, vm_->runExpr(a.chunk));
+            else
+                env_.setPresent(a.signal);
+            if (a.isOutput) result.emittedOutputs.push_back(a.signal);
+        } else if (a.chunk >= 0) {
+            vm_->runAction(a.chunk);
+        }
+    }
+}
 
-    ReactionResult result;
+void SyncEngine::reactFlat(ReactionResult& result)
+{
+    vm_->resetCounters();
+    const efsm::FlatNode* nodes = flat_->nodes.data();
+    const efsm::FlatNode* node =
+        &nodes[flat_->states[static_cast<std::size_t>(state_)].root];
+    while (!node->isLeaf()) {
+        runFlatActions(*node, result);
+        ++result.treeTests;
+        bool taken = node->testSignal >= 0
+                         ? env_.isPresent(node->testSignal)
+                         : vm_->runPredicate(node->predChunk);
+        node = &nodes[taken ? node->onTrue : node->onFalse];
+    }
+    if (node->runtimeError())
+        throw EclError("instantaneous loop detected at runtime (a "
+                       "statically-unverifiable loop path was reached)");
+    runFlatActions(*node, result);
+    state_ = node->nextState;
+    result.terminated =
+        node->terminates() ||
+        flat_->states[static_cast<std::size_t>(state_)].dead;
+    result.dataCounters = vm_->counters();
+}
+
+void SyncEngine::reactTree(ReactionResult& result)
+{
     eval_.resetCounters();
-
     const efsm::State& st = machine_.states[static_cast<std::size_t>(state_)];
     const efsm::TransNode* node = st.tree.get();
     if (!node) throw EclError("state without transition tree");
@@ -114,6 +222,18 @@ ReactionResult SyncEngine::react()
     result.terminated = node->terminates ||
                         machine_.states[static_cast<std::size_t>(state_)].dead;
     result.dataCounters = eval_.counters();
+}
+
+ReactionResult SyncEngine::react()
+{
+    if (!instantOpen_) env_.beginInstant();
+    instantOpen_ = false;
+
+    ReactionResult result;
+    if (flat_)
+        reactFlat(result);
+    else
+        reactTree(result);
 
     // Snapshot presence for output queries, then close the instant.
     for (std::size_t i = 0; i < lastPresent_.size(); ++i)
@@ -121,18 +241,16 @@ ReactionResult SyncEngine::react()
     return result;
 }
 
-bool SyncEngine::outputPresent(const std::string& name) const
+bool SyncEngine::outputPresent(int sigIndex) const
 {
-    const SignalInfo* s = sema_.findSignal(name);
-    if (!s) throw EclError("no signal named '" + name + "'");
-    return lastPresent_[static_cast<std::size_t>(s->index)];
+    checkedSignal(sema_, sigIndex);
+    return lastPresent_[static_cast<std::size_t>(sigIndex)];
 }
 
-Value SyncEngine::outputValue(const std::string& name) const
+Value SyncEngine::outputValue(int sigIndex) const
 {
-    const SignalInfo* s = sema_.findSignal(name);
-    if (!s) throw EclError("no signal named '" + name + "'");
-    return env_.signalValue(s->index);
+    checkedSignal(sema_, sigIndex);
+    return env_.signalValue(sigIndex);
 }
 
 bool SyncEngine::terminated() const
@@ -163,31 +281,29 @@ RcEngine::RcEngine(const ir::ReactiveProgram& program, const ModuleSema& sema,
     lastPresent_.assign(sema.signals.size(), false);
 }
 
-int RcEngine::signalIndex(const std::string& name, bool wantInput) const
+const SignalInfo& RcEngine::checkInput(int sigIndex) const
 {
-    const SignalInfo* s = sema_.findSignal(name);
-    if (!s) throw EclError("no signal named '" + name + "'");
-    if (wantInput && s->dir != SignalDir::Input)
-        throw EclError("'" + name + "' is not an input signal");
-    return s->index;
+    return checkedInput(sema_, sigIndex);
 }
 
-void RcEngine::setInput(const std::string& name)
+void RcEngine::setInput(int sigIndex)
 {
-    env_.setPresent(signalIndex(name, true));
+    checkInput(sigIndex);
+    env_.setPresent(sigIndex);
 }
 
-void RcEngine::setInputScalar(const std::string& name, std::int64_t v)
+void RcEngine::setInputScalar(int sigIndex, std::int64_t v)
 {
-    int idx = signalIndex(name, true);
-    const SignalInfo& info = sema_.signals[static_cast<std::size_t>(idx)];
-    if (info.pure) throw EclError("'" + name + "' is pure; use setInput()");
-    env_.setValue(idx, Value::fromInt(info.valueType, v));
+    const SignalInfo& info = checkInput(sigIndex);
+    if (info.pure)
+        throw EclError("'" + info.name + "' is pure; use setInput()");
+    env_.setValue(sigIndex, Value::fromInt(info.valueType, v));
 }
 
-void RcEngine::setInputValue(const std::string& name, Value v)
+void RcEngine::setInputValue(int sigIndex, Value v)
 {
-    env_.setValue(signalIndex(name, true), std::move(v));
+    checkInput(sigIndex);
+    env_.setValue(sigIndex, std::move(v));
 }
 
 bool RcEngine::guardValue(const ir::SigGuard& g)
@@ -443,18 +559,16 @@ ReactionResult RcEngine::react()
     return result;
 }
 
-bool RcEngine::outputPresent(const std::string& name) const
+bool RcEngine::outputPresent(int sigIndex) const
 {
-    const SignalInfo* s = sema_.findSignal(name);
-    if (!s) throw EclError("no signal named '" + name + "'");
-    return lastPresent_[static_cast<std::size_t>(s->index)];
+    checkedSignal(sema_, sigIndex);
+    return lastPresent_[static_cast<std::size_t>(sigIndex)];
 }
 
-Value RcEngine::outputValue(const std::string& name) const
+Value RcEngine::outputValue(int sigIndex) const
 {
-    const SignalInfo* s = sema_.findSignal(name);
-    if (!s) throw EclError("no signal named '" + name + "'");
-    return env_.signalValue(s->index);
+    checkedSignal(sema_, sigIndex);
+    return env_.signalValue(sigIndex);
 }
 
 bool RcEngine::terminated() const { return dead_; }

@@ -2,13 +2,24 @@
 //
 // SyncEngine executes the compiled EFSM: one decision-tree walk per instant
 // — the paper's fast path ("the Esterel compiler does case analysis much
-// better than a human designer").
+// better than a human designer"). When the CompiledModule provides a
+// flattened machine (efsm::FlatProgram) and compiled data bytecode
+// (bc::Program), the walk runs over dense integer-indexed tables and a
+// register VM; otherwise it falls back to the original unique_ptr
+// decision-tree walk with the tree-walking Evaluator. Both paths produce
+// identical outputs and ExecCounters (the tree walk is kept as the
+// differential-testing oracle for the bytecode path).
 //
 // RcEngine is the Reactive-C-style baseline of the related-work section:
 // it re-walks the whole reactive program structure every instant, keeping
 // an explicit set of active pause points. Semantically equivalent (used as
 // a differential-testing oracle) but with interpretive overhead per
 // reaction, like RC's direct compilation to C.
+//
+// Input/output APIs come in two flavors: index-based (the fast path —
+// signal indices from ModuleSema, no hash lookups; used by the RTOS
+// simulator and benches) and string-based convenience wrappers that
+// resolve the name once and delegate.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +29,9 @@
 #include <vector>
 
 #include "src/efsm/efsm.h"
+#include "src/efsm/flatten.h"
 #include "src/interp/eval.h"
+#include "src/interp/vm.h"
 #include "src/ir/ir.h"
 #include "src/runtime/signal_env.h"
 #include "src/sema/sema.h"
@@ -47,17 +60,34 @@ public:
     /// structures.
     void retain(std::shared_ptr<const void> owner) { owner_ = std::move(owner); }
 
-    virtual void setInput(const std::string& name) = 0;
-    virtual void setInputScalar(const std::string& name, std::int64_t v) = 0;
-    virtual void setInputValue(const std::string& name, Value v) = 0;
+    // --- index-based fast path (indices are SignalInfo::index) ---
+    virtual void setInput(int sigIndex) = 0;
+    virtual void setInputScalar(int sigIndex, std::int64_t v) = 0;
+    virtual void setInputValue(int sigIndex, Value v) = 0;
     virtual ReactionResult react() = 0;
+    /// Presence of any signal in the last reaction (observability API —
+    /// internal signals included, not only outputs).
+    [[nodiscard]] virtual bool outputPresent(int sigIndex) const = 0;
+    [[nodiscard]] virtual Value outputValue(int sigIndex) const = 0;
 
-    [[nodiscard]] virtual bool outputPresent(const std::string& name) const = 0;
-    [[nodiscard]] virtual Value outputValue(const std::string& name) const = 0;
     [[nodiscard]] virtual bool terminated() const = 0;
     /// True when the engine must react next instant even with no inputs
     /// (an await() delta pause is pending).
     [[nodiscard]] virtual bool needsAutoResume() const = 0;
+    /// Signal table of the module this engine runs (name resolution).
+    [[nodiscard]] virtual const ModuleSema& moduleSema() const = 0;
+
+    // --- string convenience wrappers (resolve the name, then delegate) ---
+    void setInput(const std::string& name);
+    void setInputScalar(const std::string& name, std::int64_t v);
+    void setInputValue(const std::string& name, Value v);
+    [[nodiscard]] bool outputPresent(const std::string& name) const;
+    [[nodiscard]] Value outputValue(const std::string& name) const;
+
+    /// Index of any signal by name; throws EclError when unknown.
+    [[nodiscard]] int signalIndex(const std::string& name) const;
+    /// Index of an input signal by name; throws when unknown or not input.
+    [[nodiscard]] int inputIndex(const std::string& name) const;
 
 private:
     std::shared_ptr<const void> owner_;
@@ -65,38 +95,62 @@ private:
 
 class SyncEngine final : public ReactiveEngine {
 public:
+    /// When `flat` and `code` are provided (the CompiledModule's flattened
+    /// tables + bytecode) the engine executes them; otherwise it walks
+    /// `machine`'s decision trees with the tree-walking Evaluator.
     SyncEngine(const efsm::Efsm& machine, const ModuleSema& sema,
-               const ProgramSema& program, const FunctionSemaMap& functions);
+               const ProgramSema& program, const FunctionSemaMap& functions,
+               const efsm::FlatProgram* flat = nullptr,
+               std::shared_ptr<const bc::Program> code = nullptr);
 
-    void setInput(const std::string& name) override;
-    void setInputScalar(const std::string& name, std::int64_t v) override;
-    void setInputValue(const std::string& name, Value v) override;
+    using ReactiveEngine::outputPresent;
+    using ReactiveEngine::outputValue;
+    using ReactiveEngine::setInput;
+    using ReactiveEngine::setInputScalar;
+    using ReactiveEngine::setInputValue;
+
+    void setInput(int sigIndex) override;
+    void setInputScalar(int sigIndex, std::int64_t v) override;
+    void setInputValue(int sigIndex, Value v) override;
     ReactionResult react() override;
 
-    [[nodiscard]] bool outputPresent(const std::string& name) const override;
-    [[nodiscard]] Value outputValue(const std::string& name) const override;
+    [[nodiscard]] bool outputPresent(int sigIndex) const override;
+    [[nodiscard]] Value outputValue(int sigIndex) const override;
     [[nodiscard]] bool terminated() const override;
     [[nodiscard]] bool needsAutoResume() const override;
+    [[nodiscard]] const ModuleSema& moduleSema() const override
+    {
+        return sema_;
+    }
 
     [[nodiscard]] int currentState() const { return state_; }
     [[nodiscard]] Store& store() { return store_; }
     [[nodiscard]] SignalEnv& env() { return env_; }
     [[nodiscard]] const SignalEnv& env() const { return env_; }
     [[nodiscard]] const ModuleSema& sema() const { return sema_; }
+    /// True when reactions execute flat tables + bytecode (the fast path).
+    [[nodiscard]] bool usesFlatExecution() const { return flat_ != nullptr; }
 
     /// Data memory footprint: variables + signal values (memory model).
     [[nodiscard]] std::size_t dataBytes() const;
 
 private:
-    int signalIndex(const std::string& name, bool wantInput) const;
+    const SignalInfo& checkInput(int sigIndex) const;
+    void beginInput();
     void runActions(const std::vector<efsm::Action>& actions,
                     ReactionResult& result);
+    void runFlatActions(const efsm::FlatNode& node, ReactionResult& result);
+    void reactTree(ReactionResult& result);
+    void reactFlat(ReactionResult& result);
 
     const efsm::Efsm& machine_;
     const ModuleSema& sema_;
     SignalEnv env_;
     Store store_;
     Evaluator eval_;
+    const efsm::FlatProgram* flat_ = nullptr;
+    std::shared_ptr<const bc::Program> code_;
+    std::unique_ptr<bc::Vm> vm_;
     int state_ = 0;
     std::vector<bool> lastPresent_;
     bool instantOpen_ = false;
@@ -107,15 +161,25 @@ public:
     RcEngine(const ir::ReactiveProgram& program, const ModuleSema& sema,
              const ProgramSema& programSema, const FunctionSemaMap& functions);
 
-    void setInput(const std::string& name) override;
-    void setInputScalar(const std::string& name, std::int64_t v) override;
-    void setInputValue(const std::string& name, Value v) override;
+    using ReactiveEngine::outputPresent;
+    using ReactiveEngine::outputValue;
+    using ReactiveEngine::setInput;
+    using ReactiveEngine::setInputScalar;
+    using ReactiveEngine::setInputValue;
+
+    void setInput(int sigIndex) override;
+    void setInputScalar(int sigIndex, std::int64_t v) override;
+    void setInputValue(int sigIndex, Value v) override;
     ReactionResult react() override;
 
-    [[nodiscard]] bool outputPresent(const std::string& name) const override;
-    [[nodiscard]] Value outputValue(const std::string& name) const override;
+    [[nodiscard]] bool outputPresent(int sigIndex) const override;
+    [[nodiscard]] Value outputValue(int sigIndex) const override;
     [[nodiscard]] bool terminated() const override;
     [[nodiscard]] bool needsAutoResume() const override;
+    [[nodiscard]] const ModuleSema& moduleSema() const override
+    {
+        return sema_;
+    }
 
     [[nodiscard]] Store& store() { return store_; }
 
@@ -129,7 +193,7 @@ private:
     };
     enum class Mode { Start, Resume };
 
-    int signalIndex(const std::string& name, bool wantInput) const;
+    const SignalInfo& checkInput(int sigIndex) const;
     WalkResult walk(const ir::Node& n, Mode mode, ReactionResult& result);
     bool guardValue(const ir::SigGuard& g);
     void doEmit(const ir::Node& n, ReactionResult& result);

@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
 
 namespace {
 
@@ -173,6 +174,30 @@ TEST_P(RandomProgramTest, DeterministicReplay)
     EXPECT_EQ(runTrace(*e1, 7, 50), runTrace(*e2, 7, 50));
 }
 
+TEST_P(RandomProgramTest, FlatExecutionMatchesTreeWalk)
+{
+    // The flat-table/bytecode engine and the original unique_ptr tree walk
+    // must produce identical traces from the same compiled machine.
+    unsigned seed = GetParam();
+    ProgramGen gen(seed);
+    std::string src = gen.generate();
+    SCOPED_TRACE(src);
+
+    std::shared_ptr<CompiledModule> mod;
+    try {
+        Compiler compiler(src);
+        mod = compiler.compile("m");
+    } catch (const EclError&) {
+        GTEST_SKIP();
+    }
+    ASSERT_TRUE(mod->hasFlatProgram());
+    auto flat = mod->makeEngine(EngineKind::Flat);
+    auto tree = mod->makeEngine(EngineKind::TreeWalk);
+    ASSERT_TRUE(flat->usesFlatExecution());
+    ASSERT_FALSE(tree->usesFlatExecution());
+    EXPECT_EQ(runTrace(*flat, 11, 50), runTrace(*tree, 11, 50));
+}
+
 TEST_P(RandomProgramTest, BuildIsReproducible)
 {
     unsigned seed = GetParam();
@@ -233,5 +258,136 @@ TEST_P(InputSweepTest, EveryInputValuationHasExactlyOneReaction)
 
 INSTANTIATE_TEST_SUITE_P(AllValuations, InputSweepTest,
                          ::testing::Range(0, 8));
+
+// --- paper-source differential sweeps (flat/bytecode vs oracles) -------------
+//
+// Seeded-random input sequences over every module of both paper sources,
+// checking three engines instant by instant: the flat-table/bytecode
+// SyncEngine against the tree-walking SyncEngine (same EFSM, different
+// execution representation — outputs, termination, auto-resume AND exact
+// ExecCounters must agree) and against the structural RcEngine (independent
+// semantics — outputs, termination, auto-resume must agree).
+
+struct PaperCase {
+    const char* source; ///< "stack" or "buffer".
+    const char* module;
+};
+
+void PrintTo(const PaperCase& c, std::ostream* os)
+{
+    *os << c.source << "/" << c.module;
+}
+
+class PaperSourceDifferentialTest
+    : public ::testing::TestWithParam<PaperCase> {};
+
+void expectCountersEqual(const ExecCounters& a, const ExecCounters& b,
+                         int instant)
+{
+    EXPECT_EQ(a.exprOps, b.exprOps) << "instant " << instant;
+    EXPECT_EQ(a.loads, b.loads) << "instant " << instant;
+    EXPECT_EQ(a.stores, b.stores) << "instant " << instant;
+    EXPECT_EQ(a.branches, b.branches) << "instant " << instant;
+    EXPECT_EQ(a.calls, b.calls) << "instant " << instant;
+    EXPECT_EQ(a.aggBytes, b.aggBytes) << "instant " << instant;
+}
+
+TEST_P(PaperSourceDifferentialTest, FlatMatchesTreeWalkAndStructuralOracle)
+{
+    const PaperCase& pc = GetParam();
+    Compiler compiler(std::string(pc.source) == std::string("stack")
+                          ? paper::protocolStackSource()
+                          : paper::audioBufferSource());
+    auto mod = compiler.compile(pc.module);
+    ASSERT_TRUE(mod->hasFlatProgram()) << pc.module;
+    const ModuleSema& sema = mod->moduleSema();
+
+    for (unsigned seed = 1; seed <= 3; ++seed) {
+        auto flat = mod->makeEngine(EngineKind::Flat);
+        auto tree = mod->makeEngine(EngineKind::TreeWalk);
+        auto rc = mod->makeBaselineEngine();
+        ASSERT_TRUE(flat->usesFlatExecution());
+
+        std::mt19937 rng(seed * 7919u + 17u);
+        flat->react();
+        tree->react();
+        rc->react();
+        for (int t = 0; t < 150; ++t) {
+            // Random stimulus: each input present with probability 1/4;
+            // valued inputs carry random bytes (small scalars, random
+            // aggregate contents — exercises the union packet views).
+            for (const SignalInfo& s : sema.signals) {
+                if (s.dir != SignalDir::Input) continue;
+                if ((rng() & 3u) != 0) continue; // present 1/4 of instants
+                if (s.pure) {
+                    flat->setInput(s.index);
+                    tree->setInput(s.index);
+                    rc->setInput(s.index);
+                } else {
+                    Value v(s.valueType);
+                    for (std::size_t i = 0; i < v.size(); ++i)
+                        v.data()[i] = static_cast<std::uint8_t>(rng());
+                    flat->setInputValue(s.index, v);
+                    tree->setInputValue(s.index, v);
+                    rc->setInputValue(s.index, std::move(v));
+                }
+            }
+            rt::ReactionResult rf = flat->react();
+            rt::ReactionResult rt2 = tree->react();
+            rt::ReactionResult rr = rc->react();
+
+            for (const SignalInfo& s : sema.signals) {
+                if (s.dir != SignalDir::Output) continue;
+                ASSERT_EQ(flat->outputPresent(s.index),
+                          rc->outputPresent(s.index))
+                    << pc.module << " seed " << seed << " instant " << t
+                    << " output " << s.name;
+                ASSERT_EQ(flat->outputPresent(s.index),
+                          tree->outputPresent(s.index))
+                    << pc.module << " seed " << seed << " instant " << t
+                    << " output " << s.name;
+                if (!s.pure && flat->outputPresent(s.index)) {
+                    ASSERT_TRUE(flat->outputValue(s.index) ==
+                                rc->outputValue(s.index))
+                        << pc.module << " seed " << seed << " instant " << t
+                        << " value of " << s.name;
+                    ASSERT_TRUE(flat->outputValue(s.index) ==
+                                tree->outputValue(s.index))
+                        << pc.module << " seed " << seed << " instant " << t
+                        << " value of " << s.name;
+                }
+            }
+            ASSERT_EQ(rf.terminated, rr.terminated)
+                << pc.module << " seed " << seed << " instant " << t;
+            ASSERT_EQ(flat->terminated(), rc->terminated())
+                << pc.module << " seed " << seed << " instant " << t;
+            ASSERT_EQ(flat->needsAutoResume(), rc->needsAutoResume())
+                << pc.module << " seed " << seed << " instant " << t;
+            ASSERT_EQ(flat->needsAutoResume(), tree->needsAutoResume())
+                << pc.module << " seed " << seed << " instant " << t;
+
+            // Flat vs tree walk share the EFSM: the engine-level counters
+            // and the data-evaluator counters must match exactly (the
+            // cost model consumes them).
+            ASSERT_EQ(rf.treeTests, rt2.treeTests) << "instant " << t;
+            ASSERT_EQ(rf.actionsRun, rt2.actionsRun) << "instant " << t;
+            ASSERT_EQ(rf.emitsRun, rt2.emitsRun) << "instant " << t;
+            ASSERT_EQ(rf.emittedOutputs, rt2.emittedOutputs)
+                << "instant " << t;
+            expectCountersEqual(rf.dataCounters, rt2.dataCounters, t);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperModules, PaperSourceDifferentialTest,
+    ::testing::Values(PaperCase{"stack", "assemble"},
+                      PaperCase{"stack", "checkcrc"},
+                      PaperCase{"stack", "prochdr"},
+                      PaperCase{"stack", "toplevel"},
+                      PaperCase{"buffer", "producer"},
+                      PaperCase{"buffer", "playback"},
+                      PaperCase{"buffer", "blinker"},
+                      PaperCase{"buffer", "buffer_top"}));
 
 } // namespace
