@@ -1,0 +1,297 @@
+// Batch multi-instance throughput: N concurrent protocol-stack sessions.
+//
+// Compares three ways of serving N instances of the compiled toplevel:
+//  * sync_loop  — N independent SyncEngines stepped in a loop (the
+//                 pre-batch architecture: one engine + VM per session);
+//  * batch_tT   — one BatchEngine over shared flat tables, SoA arenas and
+//                 T worker threads, for each requested thread count.
+// Every instance receives one byte per instant (phase-shifted through the
+// standard corrupted-packet stream), so the dense section reacts all N
+// instances per step in every mode — the speedup isolates the shared-table
+// SoA execution and the sharded workers. A sparse section then drives only
+// ~1% of instances per step: the dirty-list scheduler reacts just those,
+// while the naive engine loop must still step everyone.
+//
+// Emits BENCH_batch_throughput.json with the standard `instances` and
+// `threads` scaling fields (CI smoke step at 1k instances, no thresholds).
+//
+// Usage: bench_batch_throughput [--instances N] [--packets N] [--threads T]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace ecl;
+
+namespace {
+
+struct RunStats {
+    double seconds = 0;
+    std::uint64_t reactions = 0;
+    std::uint64_t matches = 0; ///< addr_match count (workload checksum).
+
+    [[nodiscard]] double reactionsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(reactions) / seconds : 0;
+    }
+    [[nodiscard]] double nsPerReaction() const
+    {
+        return reactions ? seconds * 1e9 / static_cast<double>(reactions)
+                         : 0;
+    }
+};
+
+struct Workload {
+    std::vector<std::uint8_t> stream;
+    int steps = 0;       ///< Byte instants per instance.
+    int drainSteps = 10; ///< Trailing empty instants (delta resumes).
+
+    std::uint8_t byteFor(std::size_t inst, int t) const
+    {
+        return stream[(static_cast<std::size_t>(t) + 7 * inst) %
+                      stream.size()];
+    }
+};
+
+RunStats runSyncLoop(const CompiledModule& mod, const Workload& w,
+                     std::size_t instances, int inByteIdx, int matchIdx)
+{
+    std::vector<std::unique_ptr<rt::SyncEngine>> engines;
+    engines.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i)
+        engines.push_back(mod.makeEngine(EngineKind::Flat));
+
+    RunStats s;
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& e : engines) {
+        e->react(); // boot
+        ++s.reactions;
+    }
+    for (int t = 0; t < w.steps + w.drainSteps; ++t) {
+        for (std::size_t i = 0; i < instances; ++i) {
+            if (t < w.steps)
+                engines[i]->setInputScalar(inByteIdx, w.byteFor(i, t));
+            rt::ReactionResult r = engines[i]->react();
+            ++s.reactions;
+            for (int sig : r.emittedOutputs)
+                if (sig == matchIdx) ++s.matches;
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return s;
+}
+
+RunStats runBatch(const CompiledModule& mod, const Workload& w,
+                  std::size_t instances, int threads, int inByteIdx,
+                  int matchIdx)
+{
+    auto batch = mod.makeBatchEngine(instances, {.threads = threads});
+    RunStats s;
+    auto t0 = std::chrono::steady_clock::now();
+    s.reactions += batch->step(); // boot (all instances start dirty)
+    for (int t = 0; t < w.steps + w.drainSteps; ++t) {
+        if (t < w.steps)
+            for (std::size_t i = 0; i < instances; ++i)
+                batch->setInputScalar(i, inByteIdx, w.byteFor(i, t));
+        s.reactions += batch->step();
+        for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
+            if (ev.signal == matchIdx) ++s.matches;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return s;
+}
+
+/// Sparse traffic: only every `period`-th instance gets a byte per step.
+/// The naive engine loop still reacts everyone; the batch reacts only the
+/// driven instances (plus auto-resumes).
+RunStats runSyncLoopSparse(const CompiledModule& mod, const Workload& w,
+                           std::size_t instances, std::size_t period,
+                           int inByteIdx, int matchIdx)
+{
+    std::vector<std::unique_ptr<rt::SyncEngine>> engines;
+    engines.reserve(instances);
+    for (std::size_t i = 0; i < instances; ++i)
+        engines.push_back(mod.makeEngine(EngineKind::Flat));
+    RunStats s;
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& e : engines) {
+        e->react();
+        ++s.reactions;
+    }
+    for (int t = 0; t < w.steps; ++t) {
+        for (std::size_t i = 0; i < instances; ++i) {
+            if (i % period == static_cast<std::size_t>(t) % period)
+                engines[i]->setInputScalar(inByteIdx, w.byteFor(i, t));
+            rt::ReactionResult r = engines[i]->react();
+            ++s.reactions;
+            for (int sig : r.emittedOutputs)
+                if (sig == matchIdx) ++s.matches;
+        }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return s;
+}
+
+RunStats runBatchSparse(const CompiledModule& mod, const Workload& w,
+                        std::size_t instances, std::size_t period,
+                        int threads, int inByteIdx, int matchIdx)
+{
+    auto batch = mod.makeBatchEngine(instances, {.threads = threads});
+    RunStats s;
+    auto t0 = std::chrono::steady_clock::now();
+    s.reactions += batch->step(); // boot
+    for (int t = 0; t < w.steps; ++t) {
+        for (std::size_t i = 0; i < instances; ++i)
+            if (i % period == static_cast<std::size_t>(t) % period)
+                batch->setInputScalar(i, inByteIdx, w.byteFor(i, t));
+        s.reactions += batch->step();
+        for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
+            if (ev.signal == matchIdx) ++s.matches;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return s;
+}
+
+bench::JsonValue modeJson(const RunStats& s, int instances, int threads)
+{
+    bench::JsonValue m = bench::JsonValue::obj();
+    m.set("reactions_per_sec", s.reactionsPerSec())
+        .set("ns_per_reaction", s.nsPerReaction())
+        .set("reactions", static_cast<double>(s.reactions))
+        .set("addr_matches", static_cast<double>(s.matches))
+        .set("seconds", s.seconds);
+    bench::setScale(m, instances, threads);
+    return m;
+}
+
+void printRow(const char* name, const RunStats& s)
+{
+    std::printf("  %-16s %14.0f r/s %10.1f ns/r %12llu reactions %8llu "
+                "matches\n",
+                name, s.reactionsPerSec(), s.nsPerReaction(),
+                static_cast<unsigned long long>(s.reactions),
+                static_cast<unsigned long long>(s.matches));
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    int instances = 10000;
+    int packets = 3;
+    int maxThreads = std::min(
+        4u, std::max(1u, std::thread::hardware_concurrency()));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc)
+            instances = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--packets") == 0 && i + 1 < argc)
+            packets = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            maxThreads = std::atoi(argv[++i]);
+    }
+    if (instances < 1 || packets < 1 || maxThreads < 1) {
+        std::fprintf(stderr,
+                     "usage: %s [--instances N>=1] [--packets N>=1] "
+                     "[--threads N>=1]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    if (!mod->hasFlatProgram()) {
+        std::fprintf(stderr,
+                     "flat program unavailable for toplevel — aborting\n");
+        return 1;
+    }
+    const auto n = static_cast<std::size_t>(instances);
+    Workload w;
+    w.stream = bench::stackByteStream(packets);
+    w.steps = static_cast<int>(w.stream.size());
+    int inByteIdx = mod->moduleSema().findSignal("in_byte")->index;
+    int matchIdx = mod->moduleSema().findSignal("addr_match")->index;
+
+    std::vector<int> threadCounts;
+    for (int t = 1; t <= maxThreads; t *= 2) threadCounts.push_back(t);
+    if (threadCounts.back() != maxThreads)
+        threadCounts.push_back(maxThreads);
+
+    std::printf("batch throughput — %d protocol-stack sessions, %d packets "
+                "each (%d byte instants)\n",
+                instances, packets, w.steps);
+
+    RunStats sync = runSyncLoop(*mod, w, n, inByteIdx, matchIdx);
+    printRow("sync_loop", sync);
+    std::vector<std::pair<int, RunStats>> batchRuns;
+    for (int t : threadCounts) {
+        RunStats b = runBatch(*mod, w, n, t, inByteIdx, matchIdx);
+        char name[32];
+        std::snprintf(name, sizeof name, "batch_t%d", t);
+        printRow(name, b);
+        if (b.matches != sync.matches) {
+            std::fprintf(stderr,
+                         "checksum mismatch: batch_t%d %llu vs sync %llu\n",
+                         t, static_cast<unsigned long long>(b.matches),
+                         static_cast<unsigned long long>(sync.matches));
+            return 1;
+        }
+        batchRuns.emplace_back(t, b);
+    }
+    const RunStats& best = batchRuns.back().second;
+    double speedup = best.seconds > 0 ? sync.seconds / best.seconds : 0;
+    std::printf("  speedup batch_t%d vs sync_loop (wall clock): %.2fx\n",
+                batchRuns.back().first, speedup);
+
+    // Sparse section: ~1% of instances driven per step.
+    const std::size_t period = 100;
+    std::printf("sparse traffic — 1 instance in %zu driven per instant\n",
+                period);
+    RunStats syncSparse =
+        runSyncLoopSparse(*mod, w, n, period, inByteIdx, matchIdx);
+    RunStats batchSparse = runBatchSparse(*mod, w, n, period, maxThreads,
+                                          inByteIdx, matchIdx);
+    printRow("sync_loop", syncSparse);
+    printRow("batch", batchSparse);
+    double sparseSpeedup = batchSparse.seconds > 0
+                               ? syncSparse.seconds / batchSparse.seconds
+                               : 0;
+    std::printf("  sparse speedup (dirty list + threads): %.2fx\n",
+                sparseSpeedup);
+    if (batchSparse.matches != syncSparse.matches) {
+        std::fprintf(stderr, "sparse checksum mismatch: %llu vs %llu\n",
+                     static_cast<unsigned long long>(batchSparse.matches),
+                     static_cast<unsigned long long>(syncSparse.matches));
+        return 1;
+    }
+
+    bench::JsonValue modes = bench::JsonValue::obj();
+    modes.set("sync_loop", modeJson(sync, instances, 1));
+    for (const auto& [t, b] : batchRuns) {
+        char name[32];
+        std::snprintf(name, sizeof name, "batch_t%d", t);
+        modes.set(name, modeJson(b, instances, t));
+    }
+    modes.set("sync_loop_sparse", modeJson(syncSparse, instances, 1));
+    modes.set("batch_sparse", modeJson(batchSparse, instances, maxThreads));
+
+    bench::JsonValue root = bench::JsonValue::obj();
+    root.set("bench", "batch_throughput")
+        .set("workload", "protocol_stack_toplevel")
+        .set("packets", static_cast<double>(packets));
+    bench::setScale(root, instances, maxThreads);
+    root.set("modes", std::move(modes))
+        .set("speedup_batch_vs_sync_loop", speedup)
+        .set("speedup_sparse_batch_vs_sync_loop", sparseSpeedup);
+    bench::writeBenchJson("batch_throughput", root);
+    return 0;
+}

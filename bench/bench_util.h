@@ -21,7 +21,10 @@ namespace ecl::bench {
 // CI runs the benches as smoke steps (no thresholds) and archives the JSON
 // so the ns/reaction trajectory is comparable across commits. Keep the
 // format flat and stable: numbers and strings only, nested objects for
-// per-mode breakdowns.
+// per-mode breakdowns. Benches that sweep scale set the standard
+// `instances` and `threads` fields (top-level for the headline
+// configuration, per-mode inside each breakdown object — see setScale), so
+// BENCH_*.json tracks scaling, not just single-engine latency.
 // ---------------------------------------------------------------------------
 
 /// A minimal JSON value: number, string, or object with ordered keys.
@@ -107,6 +110,14 @@ private:
     std::string str_;
     std::vector<std::pair<std::string, JsonValue>> fields_;
 };
+
+/// Sets the standard scaling fields on a bench JSON object (schema above).
+inline JsonValue& setScale(JsonValue& obj, int instances, int threads)
+{
+    obj.set("instances", static_cast<double>(instances));
+    obj.set("threads", static_cast<double>(threads));
+    return obj;
+}
 
 /// Writes `BENCH_<name>.json` into the working directory and reports the
 /// path on stdout.

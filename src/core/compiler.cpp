@@ -67,6 +67,20 @@ CompiledModule::makeEngine(EngineKind kind) const
     return engine;
 }
 
+std::unique_ptr<rt::BatchEngine>
+CompiledModule::makeBatchEngine(std::size_t instances,
+                                rt::BatchOptions options) const
+{
+    if (!hasFlatProgram())
+        throw EclError("makeBatchEngine: module '" + flat_->name +
+                       "' has no flat program (compiled with flatten=false "
+                       "or flattening was disabled by a note)");
+    auto engine = std::make_unique<rt::BatchEngine>(
+        *flatProgram_, byteCode_, *sema_, instances, options);
+    if (auto self = weak_from_this().lock()) engine->retain(self);
+    return engine;
+}
+
 std::unique_ptr<rt::RcEngine> CompiledModule::makeBaselineEngine() const
 {
     auto engine = std::make_unique<rt::RcEngine>(

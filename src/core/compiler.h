@@ -27,6 +27,7 @@
 #include "src/interp/bytecode.h"
 #include "src/ir/ir.h"
 #include "src/partition/lower.h"
+#include "src/runtime/batch_engine.h"
 #include "src/runtime/engine.h"
 #include "src/sema/sema.h"
 #include "src/support/diagnostics.h"
@@ -106,6 +107,14 @@ public:
     /// Creates the Reactive-C-style baseline engine (related-work
     /// comparison and differential-testing oracle).
     [[nodiscard]] std::unique_ptr<rt::RcEngine> makeBaselineEngine() const;
+
+    /// Creates a batch engine running `instances` independent instances of
+    /// this module over the shared flat tables + bytecode (see
+    /// src/runtime/batch_engine.h). Requires hasFlatProgram(); throws
+    /// EclError when the flat representation was not built.
+    [[nodiscard]] std::unique_ptr<rt::BatchEngine>
+    makeBatchEngine(std::size_t instances,
+                    rt::BatchOptions options = {}) const;
 
 private:
     std::shared_ptr<const SharedProgram> shared_;

@@ -5,11 +5,15 @@
 // and a vector<Action> indirection per edge. FlatProgram re-lays the whole
 // machine into three contiguous arrays — states, nodes (pre-order per
 // tree, integer successors), and actions — with PauseSet configurations
-// interned into a side pool. The SyncEngine hot path then walks integer
-// indices through cache-resident rows, and the data work (predicates,
-// actions, emit values) is referenced by bytecode chunk ids filled in by
-// the driver (src/core/compiler.cpp) after compilation with
-// bc::ProgramBuilder; this keeps src/efsm independent of src/interp.
+// interned into a side pool. The engine hot paths then walk integer
+// indices through cache-resident rows — one instance at a time in
+// SyncEngine, N instances over the same shared tables in the batch
+// runtime (src/runtime/batch_engine.h), which reads FlatProgram strictly
+// read-only and so shares one copy across every instance and worker
+// thread. Data work (predicates, actions, emit values) is referenced by
+// bytecode chunk ids filled in by the driver (src/core/compiler.cpp)
+// after compilation with bc::ProgramBuilder; this keeps src/efsm
+// independent of src/interp.
 #pragma once
 
 #include <cstdint>

@@ -60,7 +60,10 @@ struct ExecCounters {
     }
 };
 
-/// Variable storage: one Value per VarInfo index.
+/// Variable storage: one Value per VarInfo index. The owning form holds
+/// each variable's bytes itself; the view form (arena constructor) aliases
+/// caller-managed storage at fixed offsets and can be rebased cheaply per
+/// batch instance with rebindAll().
 class Store {
 public:
     Store() = default;
@@ -68,6 +71,25 @@ public:
     {
         values_.reserve(vars.size());
         for (const VarInfo& v : vars) values_.emplace_back(v.type);
+    }
+
+    /// View store over an external arena: variable i lives at
+    /// `base + offsets[i]`. The arena must outlive every use.
+    Store(const std::vector<VarInfo>& vars, std::uint8_t* base,
+          const std::vector<std::uint32_t>& offsets)
+    {
+        values_.reserve(vars.size());
+        for (std::size_t i = 0; i < vars.size(); ++i)
+            values_.push_back(
+                Value::view(vars[i].type, base + offsets[i]));
+    }
+
+    /// Rebases every view onto a new arena slice (same layout).
+    void rebindAll(std::uint8_t* base,
+                   const std::vector<std::uint32_t>& offsets)
+    {
+        for (std::size_t i = 0; i < values_.size(); ++i)
+            values_[i].rebind(base + offsets[i]);
     }
 
     [[nodiscard]] Value& at(int index) { return values_[static_cast<std::size_t>(index)]; }

@@ -40,10 +40,11 @@ std::string Value::toString() const
     if (type_->isScalar()) return std::to_string(toInt());
     static const char* hex = "0123456789abcdef";
     std::string out = type_->name() + "{";
-    for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    const std::uint8_t* p = data();
+    for (std::size_t i = 0; i < size(); ++i) {
         if (i) out += ' ';
-        out += hex[bytes_[i] >> 4];
-        out += hex[bytes_[i] & 15];
+        out += hex[p[i] >> 4];
+        out += hex[p[i] & 15];
     }
     out += '}';
     return out;

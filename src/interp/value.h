@@ -28,11 +28,48 @@ void writeScalar(std::uint8_t* p, const Type* t, std::int64_t v);
 /// paper's `(int) pkt.cooked.crc` array reinterpretation cast.
 std::int64_t readBytesLE(const std::uint8_t* p, std::size_t n);
 
-/// A self-contained typed value.
+/// A typed value. Normally self-contained (owns its bytes); `view()`
+/// builds a non-owning alias into caller-managed storage — the batch
+/// runtime keeps per-instance variable/signal bytes in contiguous arenas
+/// and rebinds a small set of view Values per instance, so the VM and the
+/// SignalReader interface stay unchanged. Views alias on copy: never let
+/// one escape the scope that owns the storage (materialize with
+/// fromBytes() instead).
 class Value {
 public:
     Value() = default;
     explicit Value(const Type* t) : type_(t), bytes_(t ? t->size() : 0, 0) {}
+
+    /// Non-owning view of `t->size()` bytes at `p` (see class comment).
+    static Value view(const Type* t, std::uint8_t* p)
+    {
+        Value out;
+        out.type_ = t;
+        out.ptr_ = p;
+        return out;
+    }
+
+    // Moves leave the source empty (type_ cleared): size() derives from
+    // the type, so a moved-from value must not keep claiming its old
+    // extent over the emptied byte storage.
+    Value(const Value&) = default;
+    Value& operator=(const Value&) = default;
+    Value(Value&& o) noexcept
+        : type_(o.type_), ptr_(o.ptr_), bytes_(std::move(o.bytes_))
+    {
+        o.type_ = nullptr;
+        o.ptr_ = nullptr;
+    }
+    Value& operator=(Value&& o) noexcept
+    {
+        if (this == &o) return *this;
+        type_ = o.type_;
+        ptr_ = o.ptr_;
+        bytes_ = std::move(o.bytes_);
+        o.type_ = nullptr;
+        o.ptr_ = nullptr;
+        return *this;
+    }
 
     static Value fromInt(const Type* t, std::int64_t v)
     {
@@ -51,10 +88,27 @@ public:
     }
 
     [[nodiscard]] const Type* type() const { return type_; }
-    [[nodiscard]] std::size_t size() const { return bytes_.size(); }
-    [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
-    [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+    [[nodiscard]] std::size_t size() const
+    {
+        return type_ ? type_->size() : 0;
+    }
+    [[nodiscard]] std::uint8_t* data()
+    {
+        return ptr_ ? ptr_ : bytes_.data();
+    }
+    [[nodiscard]] const std::uint8_t* data() const
+    {
+        return ptr_ ? ptr_ : bytes_.data();
+    }
     [[nodiscard]] bool empty() const { return type_ == nullptr; }
+    [[nodiscard]] bool isView() const { return ptr_ != nullptr; }
+
+    /// Repoints a view at new storage (batch-engine instance rebasing).
+    void rebind(std::uint8_t* p)
+    {
+        if (!ptr_) throw EclError("Value::rebind on an owning value");
+        ptr_ = p;
+    }
 
     [[nodiscard]] std::int64_t toInt() const
     {
@@ -65,11 +119,16 @@ public:
 
     [[nodiscard]] bool toBool() const { return toInt() != 0; }
 
-    void zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+    void zero()
+    {
+        if (std::size_t n = size()) std::memset(data(), 0, n);
+    }
 
     friend bool operator==(const Value& a, const Value& b)
     {
-        return a.type_ == b.type_ && a.bytes_ == b.bytes_;
+        if (a.type_ != b.type_) return false;
+        std::size_t n = a.size();
+        return n == 0 || std::memcmp(a.data(), b.data(), n) == 0;
     }
 
     /// Debug rendering: scalars as numbers, aggregates as hex bytes.
@@ -77,6 +136,7 @@ public:
 
 private:
     const Type* type_ = nullptr;
+    std::uint8_t* ptr_ = nullptr; ///< View storage; null for owning values.
     std::vector<std::uint8_t> bytes_;
 };
 

@@ -29,6 +29,11 @@ Vm::Vm(std::shared_ptr<const Program> prog, Store* moduleStore,
 {
 }
 
+Vm::Vm(std::shared_ptr<const Program> prog)
+    : prog_(std::move(prog)), moduleStore_(nullptr), signals_(nullptr)
+{
+}
+
 Vm::RegFile& Vm::fileForDepth(int depth)
 {
     auto d = static_cast<std::size_t>(depth);
@@ -60,23 +65,38 @@ void Vm::releaseStore(int fnIndex, std::unique_ptr<Store> store)
 
 Value Vm::runExpr(int chunk)
 {
+    return runExpr(chunk, *moduleStore_, *signals_);
+}
+
+bool Vm::runPredicate(int chunk)
+{
+    return runPredicate(chunk, *moduleStore_, *signals_);
+}
+
+void Vm::runAction(int chunk) { runAction(chunk, *moduleStore_, *signals_); }
+
+Value Vm::runExpr(int chunk, Store& store, const SignalReader& signals)
+{
+    activeSignals_ = &signals;
     RegFile& regs = fileForDepth(1);
-    ChunkResult r = execChunk(chunk, *moduleStore_, regs, 1);
+    ChunkResult r = execChunk(chunk, store, regs, 1);
     const Reg& v = regs[r.reg];
     if (v.type->isScalar()) return Value::fromInt(v.type, v.i);
     return Value::fromBytes(v.type, v.ptr);
 }
 
-bool Vm::runPredicate(int chunk)
+bool Vm::runPredicate(int chunk, Store& store, const SignalReader& signals)
 {
+    activeSignals_ = &signals;
     RegFile& regs = fileForDepth(1);
-    ChunkResult r = execChunk(chunk, *moduleStore_, regs, 1);
+    ChunkResult r = execChunk(chunk, store, regs, 1);
     return regs[r.reg].i != 0;
 }
 
-void Vm::runAction(int chunk)
+void Vm::runAction(int chunk, Store& store, const SignalReader& signals)
 {
-    execChunk(chunk, *moduleStore_, fileForDepth(1), 1);
+    activeSignals_ = &signals;
+    execChunk(chunk, store, fileForDepth(1), 1);
 }
 
 Vm::ChunkResult Vm::execChunk(int chunk, Store& store, RegFile& regs,
@@ -112,7 +132,7 @@ Vm::ChunkResult Vm::execChunk(int chunk, Store& store, RegFile& regs,
         }
         case Op::LoadSig: {
             counters_.loads++;
-            const Value& v = signals_->signalValue(I.imm);
+            const Value& v = activeSignals_->signalValue(I.imm);
             Reg& r = regs[I.a];
             if (v.type()->isScalar()) {
                 r.i = readScalar(v.data(), v.type());
@@ -133,7 +153,7 @@ Vm::ChunkResult Vm::execChunk(int chunk, Store& store, RegFile& regs,
             Reg& r = regs[I.a];
             // Read-only path; sema rejects writes through signal values
             // (same const_cast contract as Evaluator::evalLValue).
-            const Value& v = signals_->signalValue(I.imm);
+            const Value& v = activeSignals_->signalValue(I.imm);
             r.ptr = const_cast<std::uint8_t*>(v.data());
             r.type = v.type();
             break;

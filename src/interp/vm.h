@@ -27,6 +27,14 @@ public:
     Vm(std::shared_ptr<const Program> prog, Store* moduleStore,
        const SignalReader* signals);
 
+    /// Unbound Vm: no default store/signals. Only the explicit-context
+    /// entry points below may be used. The batch runtime creates one such
+    /// Vm per worker thread and lends it a different instance's
+    /// store/signal slice on every call, so the allocation-free scratch
+    /// (register files, function frames) is shared across all instances a
+    /// worker serves.
+    explicit Vm(std::shared_ptr<const Program> prog);
+
     /// Runs an expression chunk and materializes the result as a Value
     /// (emit-value path).
     Value runExpr(int chunk);
@@ -37,12 +45,26 @@ public:
     /// Runs a statement chunk (data-action path).
     void runAction(int chunk);
 
+    // --- reentrant entry points: execute against caller-provided state ---
+    // `store` and `signals` are borrowed for this call only; the Vm itself
+    // is still single-threaded (per-worker scratch), but holds no pointer
+    // to them afterwards.
+    Value runExpr(int chunk, Store& store, const SignalReader& signals);
+    bool runPredicate(int chunk, Store& store, const SignalReader& signals);
+    void runAction(int chunk, Store& store, const SignalReader& signals);
+
     [[nodiscard]] const ExecCounters& counters() const { return counters_; }
     void resetCounters() { counters_.reset(); }
 
     /// Mirrors Evaluator::setOpBudget (runaway-loop guard over the Vm's
     /// lifetime).
     void setOpBudget(std::uint64_t budget) { opBudget_ = budget; }
+
+    /// Restarts the op-budget window. The budget is a per-engine runaway
+    /// guard; a batch worker Vm outlives thousands of instances, so the
+    /// batch engine opens a fresh window per instance reaction to keep the
+    /// guard's scope equivalent to one SyncEngine's.
+    void resetOpWindow() { opsUsed_ = 0; }
 
 private:
     struct Reg {
@@ -66,7 +88,8 @@ private:
 
     std::shared_ptr<const Program> prog_;
     Store* moduleStore_;
-    const SignalReader* signals_;
+    const SignalReader* signals_;       ///< Bound default (may be null).
+    const SignalReader* activeSignals_ = nullptr; ///< This call's reader.
     ExecCounters counters_;
     std::uint64_t opBudget_ = 500'000'000;
     std::uint64_t opsUsed_ = 0;

@@ -1,0 +1,480 @@
+#include "src/runtime/batch_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ecl::rt {
+
+namespace {
+
+constexpr std::size_t kInstanceAlign = 64; ///< Anti-false-sharing stride.
+constexpr std::size_t kSlotAlign = 8;
+
+std::size_t alignUp(std::size_t n, std::size_t a) { return (n + a - 1) / a * a; }
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// SigView: one instance's signal values as views over its arena slice
+// ---------------------------------------------------------------------------
+
+BatchEngine::SigView::SigView(const ModuleSema& sema,
+                              const std::vector<std::uint32_t>& offsets,
+                              std::uint8_t* base)
+    : sema_(&sema), offsets_(&offsets)
+{
+    views_.reserve(sema.signals.size());
+    for (const SignalInfo& s : sema.signals) {
+        if (s.pure) {
+            views_.emplace_back(); // empty, like SignalEnv's pure slots
+        } else {
+            valued_.push_back(s.index);
+            views_.push_back(Value::view(
+                s.valueType, base + offsets[static_cast<std::size_t>(s.index)]));
+        }
+    }
+}
+
+void BatchEngine::SigView::bind(std::uint8_t* base)
+{
+    for (int idx : valued_)
+        views_[static_cast<std::size_t>(idx)].rebind(
+            base + (*offsets_)[static_cast<std::size_t>(idx)]);
+}
+
+const Value& BatchEngine::SigView::signalValue(int idx) const
+{
+    const Value& v = views_[static_cast<std::size_t>(idx)];
+    if (v.empty())
+        throw EclError("value read on pure signal '" +
+                       sema_->signals[static_cast<std::size_t>(idx)].name +
+                       "'");
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Shard: per-worker scratch context
+// ---------------------------------------------------------------------------
+
+BatchEngine::Shard::Shard(std::shared_ptr<const bc::Program> code,
+                          const ModuleSema& sema,
+                          const std::vector<std::uint32_t>& varOffsets,
+                          const std::vector<std::uint32_t>& sigOffsets,
+                          std::uint8_t* scratchBase)
+    : vm(std::move(code)), store(sema.vars, scratchBase, varOffsets),
+      sigs(sema, sigOffsets, scratchBase)
+{
+}
+
+// ---------------------------------------------------------------------------
+// BatchEngine
+// ---------------------------------------------------------------------------
+
+BatchEngine::BatchEngine(const efsm::FlatProgram& flat,
+                         std::shared_ptr<const bc::Program> code,
+                         const ModuleSema& sema, std::size_t instances,
+                         BatchOptions options)
+    : flat_(flat), code_(std::move(code)), sema_(sema)
+{
+    if (!code_)
+        throw EclError("BatchEngine requires the compiled bytecode program");
+
+    // Fixed per-instance arena layout: variables first, then valued-signal
+    // slots, each 8-byte aligned; the whole slice padded to 64 bytes.
+    std::size_t cursor = 0;
+    varOffsets_.reserve(sema_.vars.size());
+    for (const VarInfo& v : sema_.vars) {
+        cursor = alignUp(cursor, kSlotAlign);
+        varOffsets_.push_back(static_cast<std::uint32_t>(cursor));
+        cursor += v.type->size();
+    }
+    sigOffsets_.assign(sema_.signals.size(), 0);
+    for (const SignalInfo& s : sema_.signals) {
+        if (s.pure) continue;
+        cursor = alignUp(cursor, kSlotAlign);
+        sigOffsets_[static_cast<std::size_t>(s.index)] =
+            static_cast<std::uint32_t>(cursor);
+        cursor += s.valueType->size();
+    }
+    stride_ = alignUp(std::max<std::size_t>(cursor, 1), kInstanceAlign);
+    scratchSlice_.assign(stride_, 0);
+
+    const int t = std::max(1, options.threads);
+    shards_.reserve(static_cast<std::size_t>(t));
+    for (int w = 0; w < t; ++w)
+        shards_.push_back(std::make_unique<Shard>(
+            code_, sema_, varOffsets_, sigOffsets_, scratchSlice_.data()));
+    ranges_.resize(static_cast<std::size_t>(t));
+    for (int w = 1; w < t; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+
+    for (std::size_t i = 0; i < instances; ++i) addInstance();
+}
+
+BatchEngine::~BatchEngine()
+{
+    {
+        std::lock_guard<std::mutex> lk(mx_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+}
+
+std::size_t BatchEngine::addInstance()
+{
+    const std::size_t id = state_.size();
+    const std::size_t S = sema_.signals.size();
+    state_.push_back(flat_.initialState);
+    instantOpen_.push_back(0);
+    dirty_.push_back(0);
+    reacted_.push_back(0);
+    present_.resize(present_.size() + S, 0);
+    lastPresent_.resize(lastPresent_.size() + S, 0);
+    dataArena_.resize(dataArena_.size() + stride_, 0);
+    last_.emplace_back();
+    markDirty(id); // boot reaction pending
+    return id;
+}
+
+const SignalInfo& BatchEngine::checkSignal(std::size_t inst,
+                                           int sigIndex) const
+{
+    if (inst >= state_.size())
+        throw EclError("batch instance " + std::to_string(inst) +
+                       " out of range");
+    if (sigIndex < 0 ||
+        static_cast<std::size_t>(sigIndex) >= sema_.signals.size())
+        throw EclError("signal index " + std::to_string(sigIndex) +
+                       " out of range");
+    return sema_.signals[static_cast<std::size_t>(sigIndex)];
+}
+
+const SignalInfo& BatchEngine::checkInput(std::size_t inst,
+                                          int sigIndex) const
+{
+    const SignalInfo& s = checkSignal(inst, sigIndex);
+    if (s.dir != SignalDir::Input)
+        throw EclError("'" + s.name + "' is not an input signal");
+    return s;
+}
+
+void BatchEngine::markDirty(std::size_t inst)
+{
+    if (dirty_[inst]) return;
+    dirty_[inst] = 1;
+    dirtyList_.push_back(static_cast<std::uint32_t>(inst));
+}
+
+void BatchEngine::openInstant(std::size_t inst)
+{
+    if (instantOpen_[inst]) return;
+    instantOpen_[inst] = 1;
+    if (const std::size_t S = sema_.signals.size())
+        std::memset(presentRow(inst), 0, S);
+}
+
+void BatchEngine::storeSignalValue(std::size_t inst, const SignalInfo& info,
+                                   const Value& v)
+{
+    // Normalization identical to SignalEnv::setValue: scalars convert to
+    // the signal's value type, aggregates must match it exactly.
+    if (info.pure)
+        throw EclError("cannot set a value on pure signal '" + info.name +
+                       "'");
+    std::uint8_t* slot =
+        slice(inst) + sigOffsets_[static_cast<std::size_t>(info.index)];
+    if (info.valueType->isScalar())
+        writeScalar(slot, info.valueType, v.toInt());
+    else if (v.type() == info.valueType)
+        std::memcpy(slot, v.data(), info.valueType->size());
+    else
+        throw EclError("signal value type mismatch for '" + info.name + "'");
+    presentRow(inst)[static_cast<std::size_t>(info.index)] = 1;
+}
+
+void BatchEngine::setInput(std::size_t inst, int sigIndex)
+{
+    checkInput(inst, sigIndex);
+    openInstant(inst);
+    presentRow(inst)[static_cast<std::size_t>(sigIndex)] = 1;
+    markDirty(inst);
+}
+
+void BatchEngine::setInputScalar(std::size_t inst, int sigIndex,
+                                 std::int64_t v)
+{
+    const SignalInfo& info = checkInput(inst, sigIndex);
+    if (info.pure)
+        throw EclError("'" + info.name + "' is pure; use setInput()");
+    openInstant(inst);
+    writeScalar(slice(inst) +
+                    sigOffsets_[static_cast<std::size_t>(info.index)],
+                info.valueType, v);
+    presentRow(inst)[static_cast<std::size_t>(sigIndex)] = 1;
+    markDirty(inst);
+}
+
+void BatchEngine::setInputValue(std::size_t inst, int sigIndex,
+                                const Value& v)
+{
+    const SignalInfo& info = checkInput(inst, sigIndex);
+    openInstant(inst);
+    storeSignalValue(inst, info, v);
+    markDirty(inst);
+}
+
+void BatchEngine::reactOne(Shard& shard, std::size_t inst)
+{
+    const std::size_t S = sema_.signals.size();
+    std::uint8_t* base = slice(inst);
+    std::uint8_t* present = presentRow(inst);
+    shard.store.rebindAll(base, varOffsets_);
+    shard.sigs.bind(base);
+
+    if (!instantOpen_[inst] && S != 0) std::memset(present, 0, S);
+    instantOpen_[inst] = 0;
+
+    // Reset in place: emittedOutputs keeps its capacity, so steady-state
+    // reactions run allocation-free (the header's contract).
+    ReactionResult& result = last_[inst];
+    result.emittedOutputs.clear();
+    result.terminated = false;
+    result.treeTests = 0;
+    result.actionsRun = 0;
+    result.emitsRun = 0;
+    result.dataCounters.reset();
+    shard.vm.resetCounters();
+    shard.vm.resetOpWindow();
+
+    // The walk mirrors SyncEngine::reactFlat exactly (outputs, state
+    // update, termination, counters) so the differential tests can demand
+    // bit-equality.
+    const efsm::FlatNode* nodes = flat_.nodes.data();
+    const efsm::FlatAction* actions = flat_.actions.data();
+    auto runActions = [&](const efsm::FlatNode& node) {
+        for (std::int32_t i = node.actionsBegin; i < node.actionsEnd; ++i) {
+            const efsm::FlatAction& a = actions[i];
+            ++result.actionsRun;
+            if (a.kind == efsm::FlatAction::Kind::Emit) {
+                ++result.emitsRun;
+                if (a.chunk >= 0) {
+                    Value v =
+                        shard.vm.runExpr(a.chunk, shard.store, shard.sigs);
+                    storeSignalValue(
+                        inst,
+                        sema_.signals[static_cast<std::size_t>(a.signal)],
+                        v);
+                } else {
+                    present[a.signal] = 1;
+                }
+                if (a.isOutput) result.emittedOutputs.push_back(a.signal);
+            } else if (a.chunk >= 0) {
+                shard.vm.runAction(a.chunk, shard.store, shard.sigs);
+            }
+        }
+    };
+
+    const efsm::FlatNode* node =
+        &nodes[flat_.states[static_cast<std::size_t>(state_[inst])].root];
+    while (!node->isLeaf()) {
+        runActions(*node);
+        ++result.treeTests;
+        bool taken = node->testSignal >= 0
+                         ? present[node->testSignal] != 0
+                         : shard.vm.runPredicate(node->predChunk,
+                                                 shard.store, shard.sigs);
+        node = &nodes[taken ? node->onTrue : node->onFalse];
+    }
+    if (node->runtimeError())
+        throw EclError("instantaneous loop detected at runtime (a "
+                       "statically-unverifiable loop path was reached)");
+    runActions(*node);
+    state_[inst] = node->nextState;
+    result.terminated =
+        node->terminates() ||
+        flat_.states[static_cast<std::size_t>(node->nextState)].dead;
+    result.dataCounters = shard.vm.counters();
+
+    if (S != 0)
+        std::memcpy(lastPresent_.data() + inst * S, present, S);
+    reacted_[inst] = 1;
+    for (int sig : result.emittedOutputs)
+        shard.events.push_back({static_cast<std::uint32_t>(inst), sig});
+}
+
+void BatchEngine::runShard(int w)
+{
+    Shard& s = *shards_[static_cast<std::size_t>(w)];
+    const auto [begin, end] = ranges_[static_cast<std::size_t>(w)];
+    try {
+        for (std::size_t i = begin; i < end; ++i) reactOne(s, work_[i]);
+    } catch (...) {
+        s.error = std::current_exception();
+    }
+}
+
+void BatchEngine::workerLoop(int w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(mx_);
+            cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+            if (stop_) return;
+            seen = epoch_;
+        }
+        runShard(w);
+        {
+            std::lock_guard<std::mutex> lk(mx_);
+            --running_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+std::size_t BatchEngine::runStep(bool all)
+{
+    work_.clear();
+    if (all) {
+        work_.reserve(state_.size());
+        for (std::size_t i = 0; i < state_.size(); ++i)
+            work_.push_back(static_cast<std::uint32_t>(i));
+        std::fill(dirty_.begin(), dirty_.end(), 0);
+        dirtyList_.clear();
+    } else {
+        for (std::uint32_t inst : dirtyList_) {
+            if (!dirty_[inst]) continue; // stale (consumed by reactInstance)
+            dirty_[inst] = 0;
+            work_.push_back(inst);
+        }
+        dirtyList_.clear();
+        std::sort(work_.begin(), work_.end());
+    }
+    std::fill(reacted_.begin(), reacted_.end(), 0);
+    stepEvents_.clear();
+    if (work_.empty()) return 0;
+
+    const std::size_t T = shards_.size();
+    for (const std::unique_ptr<Shard>& s : shards_) {
+        s->events.clear();
+        s->error = nullptr;
+    }
+    const std::size_t chunk = (work_.size() + T - 1) / T;
+    for (std::size_t w = 0; w < T; ++w) {
+        const std::size_t b = std::min(work_.size(), w * chunk);
+        ranges_[w] = {b, std::min(work_.size(), b + chunk)};
+    }
+
+    if (T == 1) {
+        runShard(0);
+    } else {
+        {
+            std::lock_guard<std::mutex> lk(mx_);
+            ++epoch_;
+            running_ = static_cast<int>(T) - 1;
+        }
+        cv_.notify_all();
+        runShard(0);
+        std::unique_lock<std::mutex> lk(mx_);
+        doneCv_.wait(lk, [&] { return running_ == 0; });
+    }
+
+    for (const std::unique_ptr<Shard>& s : shards_)
+        if (s->error) std::rethrow_exception(s->error);
+    for (const std::unique_ptr<Shard>& s : shards_)
+        stepEvents_.insert(stepEvents_.end(), s->events.begin(),
+                           s->events.end());
+
+    // Delta pauses keep instances scheduled without new events (the same
+    // rule rtos::Network applies to its tasks).
+    for (std::uint32_t inst : work_)
+        if (flat_.states[static_cast<std::size_t>(state_[inst])].autoResume)
+            markDirty(inst);
+    return work_.size();
+}
+
+std::size_t BatchEngine::step() { return runStep(/*all=*/false); }
+
+std::size_t BatchEngine::stepAll() { return runStep(/*all=*/true); }
+
+const ReactionResult& BatchEngine::reactInstance(std::size_t inst)
+{
+    checkInstance(inst);
+    // Consume any queued mark, list entry included — a long-lived
+    // reactInstance-only driver (the batch-backed rtos::Network) must not
+    // accumulate stale entries across auto-resume reactions.
+    if (dirty_[inst]) {
+        dirty_[inst] = 0;
+        auto it = std::find(dirtyList_.begin(), dirtyList_.end(),
+                            static_cast<std::uint32_t>(inst));
+        if (it != dirtyList_.end()) {
+            *it = dirtyList_.back();
+            dirtyList_.pop_back();
+        }
+    }
+    // Step-scoped event accumulation is meaningless here; clear so the
+    // shard buffer stays bounded by one reaction's emissions.
+    shards_[0]->events.clear();
+    reactOne(*shards_[0], inst);
+    if (flat_.states[static_cast<std::size_t>(state_[inst])].autoResume)
+        markDirty(inst);
+    return last_[inst];
+}
+
+void BatchEngine::checkInstance(std::size_t inst) const
+{
+    if (inst >= state_.size())
+        throw EclError("batch instance " + std::to_string(inst) +
+                       " out of range");
+}
+
+bool BatchEngine::reactedLastStep(std::size_t inst) const
+{
+    checkInstance(inst);
+    return reacted_[inst] != 0;
+}
+
+const ReactionResult& BatchEngine::lastResult(std::size_t inst) const
+{
+    checkInstance(inst);
+    return last_[inst];
+}
+
+bool BatchEngine::outputPresent(std::size_t inst, int sigIndex) const
+{
+    checkSignal(inst, sigIndex);
+    return lastPresent_[inst * sema_.signals.size() +
+                        static_cast<std::size_t>(sigIndex)] != 0;
+}
+
+Value BatchEngine::outputValue(std::size_t inst, int sigIndex) const
+{
+    const SignalInfo& info = checkSignal(inst, sigIndex);
+    if (info.pure)
+        throw EclError("value read on pure signal '" + info.name + "'");
+    return Value::fromBytes(
+        info.valueType,
+        dataArena_.data() + inst * stride_ +
+            sigOffsets_[static_cast<std::size_t>(info.index)]);
+}
+
+bool BatchEngine::terminated(std::size_t inst) const
+{
+    checkInstance(inst);
+    return flat_.states[static_cast<std::size_t>(state_[inst])].dead;
+}
+
+bool BatchEngine::needsAutoResume(std::size_t inst) const
+{
+    checkInstance(inst);
+    return flat_.states[static_cast<std::size_t>(state_[inst])].autoResume;
+}
+
+bool BatchEngine::pendingDirty(std::size_t inst) const
+{
+    checkInstance(inst);
+    return dirty_[inst] != 0;
+}
+
+} // namespace ecl::rt

@@ -1,0 +1,226 @@
+// Batch multi-instance runtime: N instances of one compiled module over
+// shared flat tables.
+//
+// A SyncEngine owns one instance's whole execution stack (signal env,
+// store, VM). Serving thousands of concurrent sessions of the *same*
+// compiled module that way costs one heap-allocated engine + VM per
+// session. BatchEngine instead keeps ONE shared efsm::FlatProgram +
+// bc::Program and stores all per-instance state structure-of-arrays in
+// contiguous arenas:
+//  * control state ids, instant-open flags, dirty flags: one byte/int row
+//    per instance in plain vectors,
+//  * signal presence and last-reaction presence: N x S byte matrices,
+//  * variables and valued-signal bytes: one fixed-layout slice per
+//    instance in a single arena (offsets computed once from ModuleSema),
+//    64-byte instance stride to keep worker threads off shared lines.
+// Execution state that is scratch rather than per-instance — VM register
+// files and function-call frames — lives in per-WORKER contexts shared by
+// every instance the worker serves, so a reaction still runs without heap
+// allocation no matter how many instances exist.
+//
+// Scheduling is dirty-list driven: step() reacts only instances that have
+// pending inputs or auto-resume (an await() delta pause), the same
+// event-driven contract as rtos::Network tasks. stepAll() reacts every
+// instance — exact lockstep with N independent SyncEngines, including
+// empty-instant reactions. Both are bit-exact with SyncEngine per reacted
+// instance: outputs, termination, auto-resume and ExecCounters
+// (tests/test_properties.cpp proves it differentially).
+//
+// With BatchOptions::threads > 1 the reacting instances are partitioned
+// into contiguous shards over a persistent worker pool. Instances are
+// independent (no instant-level communication), every worker writes only
+// its instances' rows, and the merged per-step output events are
+// concatenated in shard order — so results and event order are identical
+// for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/efsm/flatten.h"
+#include "src/interp/eval.h"
+#include "src/interp/vm.h"
+#include "src/runtime/engine.h"
+#include "src/sema/sema.h"
+
+namespace ecl::rt {
+
+struct BatchOptions {
+    /// Worker threads for step()/stepAll(). 1 = run on the caller.
+    int threads = 1;
+};
+
+class BatchEngine {
+public:
+    /// `flat`, `sema` and the structures behind `code` must outlive the
+    /// engine (retain() the CompiledModule). Starts with `instances`
+    /// slots, all marked dirty so the first step() boots them.
+    BatchEngine(const efsm::FlatProgram& flat,
+                std::shared_ptr<const bc::Program> code,
+                const ModuleSema& sema, std::size_t instances,
+                BatchOptions options = {});
+    ~BatchEngine();
+
+    BatchEngine(const BatchEngine&) = delete;
+    BatchEngine& operator=(const BatchEngine&) = delete;
+
+    /// Keeps the owning CompiledModule alive (same contract as
+    /// ReactiveEngine::retain).
+    void retain(std::shared_ptr<const void> owner) { owner_ = std::move(owner); }
+
+    [[nodiscard]] std::size_t instanceCount() const { return state_.size(); }
+    /// Appends one fresh (dirty, unbooted) instance; returns its id. Only
+    /// between steps.
+    std::size_t addInstance();
+
+    // --- input phase (between steps; single-threaded) ---
+    void setInput(std::size_t inst, int sigIndex);
+    void setInputScalar(std::size_t inst, int sigIndex, std::int64_t v);
+    void setInputValue(std::size_t inst, int sigIndex, const Value& v);
+
+    // --- stepping ---
+    /// Reacts every instance with pending inputs or auto-resume; returns
+    /// the number of reactions run.
+    std::size_t step();
+    /// Reacts every instance (lockstep with N independent SyncEngines).
+    std::size_t stepAll();
+    /// Immediate single-instance reaction on the calling thread (the
+    /// rtos::Network batch backing); clears the instance's dirty mark.
+    const ReactionResult& reactInstance(std::size_t inst);
+
+    // --- per-instance queries (post-step) ---
+    [[nodiscard]] bool reactedLastStep(std::size_t inst) const;
+    /// Full last reaction record, ExecCounters included; instance must
+    /// have reacted at least once.
+    [[nodiscard]] const ReactionResult& lastResult(std::size_t inst) const;
+    [[nodiscard]] bool outputPresent(std::size_t inst, int sigIndex) const;
+    /// Materialized (owning) copy of a valued signal's current value.
+    [[nodiscard]] Value outputValue(std::size_t inst, int sigIndex) const;
+    [[nodiscard]] bool terminated(std::size_t inst) const;
+    [[nodiscard]] bool needsAutoResume(std::size_t inst) const;
+    /// True when the instance is queued for the next step() (pending
+    /// inputs, auto-resume, or not yet booted).
+    [[nodiscard]] bool pendingDirty(std::size_t inst) const;
+
+    /// One output emission of the last step()/stepAll().
+    struct StepEvent {
+        std::uint32_t instance;
+        std::int32_t signal;
+    };
+    /// Merged outputs of the last step, ascending instance id, per-instance
+    /// emission order preserved; identical for any thread count.
+    [[nodiscard]] const std::vector<StepEvent>& lastStepEvents() const
+    {
+        return stepEvents_;
+    }
+
+    [[nodiscard]] const ModuleSema& moduleSema() const { return sema_; }
+    [[nodiscard]] int threads() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+    /// Arena stride: variables + valued-signal bytes per instance, padded
+    /// to a 64-byte boundary (memory model / capacity planning).
+    [[nodiscard]] std::size_t bytesPerInstance() const { return stride_; }
+
+private:
+    /// Per-instant signal values of one instance, exposed to the VM as
+    /// view Values over the instance's arena slice.
+    class SigView final : public SignalReader {
+    public:
+        SigView(const ModuleSema& sema,
+                const std::vector<std::uint32_t>& offsets,
+                std::uint8_t* base);
+        void bind(std::uint8_t* base);
+        const Value& signalValue(int idx) const override;
+
+    private:
+        const ModuleSema* sema_;
+        const std::vector<std::uint32_t>* offsets_;
+        std::vector<int> valued_; ///< Indices of valued signals.
+        std::vector<Value> views_; ///< Empty Value for pure signals.
+    };
+
+    /// Per-worker execution context: scratch shared by all instances the
+    /// worker reacts (never by two workers at once).
+    struct Shard {
+        bc::Vm vm;
+        Store store;   ///< View store, rebased per instance.
+        SigView sigs;  ///< View signal reader, rebased per instance.
+        std::vector<StepEvent> events; ///< This step, processing order.
+        std::exception_ptr error;
+
+        Shard(std::shared_ptr<const bc::Program> code,
+              const ModuleSema& sema,
+              const std::vector<std::uint32_t>& varOffsets,
+              const std::vector<std::uint32_t>& sigOffsets,
+              std::uint8_t* scratchBase);
+    };
+
+    void checkInstance(std::size_t inst) const;
+    const SignalInfo& checkSignal(std::size_t inst, int sigIndex) const;
+    const SignalInfo& checkInput(std::size_t inst, int sigIndex) const;
+    std::uint8_t* slice(std::size_t inst)
+    {
+        return dataArena_.data() + inst * stride_;
+    }
+    std::uint8_t* presentRow(std::size_t inst)
+    {
+        return present_.data() + inst * sema_.signals.size();
+    }
+    void markDirty(std::size_t inst);
+    void openInstant(std::size_t inst);
+    void storeSignalValue(std::size_t inst, const SignalInfo& info,
+                          const Value& v);
+    void reactOne(Shard& shard, std::size_t inst);
+    std::size_t runStep(bool all);
+    void runShard(int w);
+    void workerLoop(int w);
+
+    const efsm::FlatProgram& flat_;
+    std::shared_ptr<const bc::Program> code_;
+    const ModuleSema& sema_;
+    std::shared_ptr<const void> owner_;
+
+    // Shared fixed layout of one instance's arena slice.
+    std::vector<std::uint32_t> varOffsets_; ///< Per VarInfo index.
+    std::vector<std::uint32_t> sigOffsets_; ///< Per signal (valued only).
+    std::size_t stride_ = 0;
+    /// One zeroed slice views point at before their first bind (keeps all
+    /// pointer arithmetic inside a live object, even with 0 instances).
+    std::vector<std::uint8_t> scratchSlice_;
+
+    // Structure-of-arrays per-instance state.
+    std::vector<std::int32_t> state_;        ///< Current EFSM state id.
+    std::vector<std::uint8_t> instantOpen_;  ///< Inputs staged this instant.
+    std::vector<std::uint8_t> dirty_;        ///< Queued for next step.
+    std::vector<std::uint8_t> reacted_;      ///< Reacted in the last step.
+    std::vector<std::uint8_t> present_;      ///< N x S, current instant.
+    std::vector<std::uint8_t> lastPresent_;  ///< N x S, post-reaction.
+    std::vector<std::uint8_t> dataArena_;    ///< N x stride_ value bytes.
+    std::vector<ReactionResult> last_;       ///< Last reaction per instance.
+
+    std::vector<std::uint32_t> dirtyList_; ///< Marked instances (may hold
+                                           ///< stale entries; dirty_ rules).
+    std::vector<std::uint32_t> work_;      ///< This step, sorted ascending.
+    std::vector<StepEvent> stepEvents_;
+
+    // Worker pool (threads > 1): epoch handshake, contiguous ranges over
+    // work_ per shard. All per-instance rows a worker touches are disjoint
+    // byte ranges, so the only synchronization is the step handshake.
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> workers_; ///< shards_.size() - 1 helpers.
+    std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+    std::mutex mx_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    std::uint64_t epoch_ = 0;
+    int running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace ecl::rt

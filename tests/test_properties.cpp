@@ -390,4 +390,245 @@ INSTANTIATE_TEST_SUITE_P(
                       PaperCase{"buffer", "blinker"},
                       PaperCase{"buffer", "buffer_top"}));
 
+// --- batch multi-instance differential sweeps --------------------------------
+//
+// A BatchEngine running N instances of one compiled module over shared flat
+// tables must be bit-exact with N independent SyncEngines: outputs,
+// persistent signal values, termination, auto-resume AND exact ExecCounters
+// per reacted instance, for every (instances, threads) combination. Two
+// stepping contracts are proven separately:
+//  * stepAll(): strict lockstep — every instance reacts every instant,
+//    including empty instants (absence-triggered transitions included);
+//  * step(): dirty-list scheduling — an instance reacts iff it has pending
+//    inputs or auto-resume, and the schedule decision itself is pinned
+//    against the oracle's auto-resume state.
+
+struct BatchCase {
+    const char* source; ///< "stack" or "buffer".
+    const char* module;
+    int instances;
+    int threads;
+};
+
+void PrintTo(const BatchCase& c, std::ostream* os)
+{
+    *os << c.source << "/" << c.module << "/n" << c.instances << "/t"
+        << c.threads;
+}
+
+class BatchDifferentialTest : public ::testing::TestWithParam<BatchCase> {
+protected:
+    std::shared_ptr<CompiledModule> compileCase()
+    {
+        const BatchCase& bc = GetParam();
+        Compiler compiler(std::string(bc.source) == std::string("stack")
+                              ? paper::protocolStackSource()
+                              : paper::audioBufferSource());
+        auto mod = compiler.compile(bc.module);
+        if (!mod->hasFlatProgram())
+            ADD_FAILURE() << "no flat program for " << bc.module;
+        return mod;
+    }
+
+    /// Instants scaled down as N grows so the sweep stays fast.
+    int instantsFor(int instances) const
+    {
+        return instances >= 256 ? 10 : instances >= 7 ? 30 : 60;
+    }
+
+    /// Draws one instant's random inputs and applies them to the batch
+    /// slot and/or the oracle engine (either may be null; the draw
+    /// sequence is identical, so replaying from an rng copy reproduces the
+    /// exact inputs). Returns true when any input was set.
+    bool applyInputs(std::mt19937& rng, const ModuleSema& sema,
+                     rt::BatchEngine* batch, std::size_t inst,
+                     rt::SyncEngine* oracle)
+    {
+        bool any = false;
+        for (const SignalInfo& s : sema.signals) {
+            if (s.dir != SignalDir::Input) continue;
+            if ((rng() & 3u) != 0) continue; // present 1/4 of instants
+            any = true;
+            if (s.pure) {
+                if (batch) batch->setInput(inst, s.index);
+                if (oracle) oracle->setInput(s.index);
+            } else {
+                Value v(s.valueType);
+                for (std::size_t i = 0; i < v.size(); ++i)
+                    v.data()[i] = static_cast<std::uint8_t>(rng());
+                if (batch) batch->setInputValue(inst, s.index, v);
+                if (oracle) oracle->setInputValue(s.index, std::move(v));
+            }
+        }
+        return any;
+    }
+
+    /// Full per-instance equality after a reaction of both sides.
+    void expectInstanceEqual(const ModuleSema& sema,
+                             const rt::BatchEngine& batch, std::size_t inst,
+                             const rt::SyncEngine& oracle,
+                             const rt::ReactionResult& rb,
+                             const rt::ReactionResult& ro, int instant)
+    {
+        for (const SignalInfo& s : sema.signals) {
+            ASSERT_EQ(batch.outputPresent(inst, s.index),
+                      oracle.outputPresent(s.index))
+                << "inst " << inst << " instant " << instant << " signal "
+                << s.name;
+            if (!s.pure)
+                ASSERT_TRUE(batch.outputValue(inst, s.index) ==
+                            oracle.outputValue(s.index))
+                    << "inst " << inst << " instant " << instant
+                    << " value of " << s.name;
+        }
+        ASSERT_EQ(batch.terminated(inst), oracle.terminated())
+            << "inst " << inst << " instant " << instant;
+        ASSERT_EQ(batch.needsAutoResume(inst), oracle.needsAutoResume())
+            << "inst " << inst << " instant " << instant;
+        ASSERT_EQ(rb.terminated, ro.terminated)
+            << "inst " << inst << " instant " << instant;
+        ASSERT_EQ(rb.treeTests, ro.treeTests)
+            << "inst " << inst << " instant " << instant;
+        ASSERT_EQ(rb.actionsRun, ro.actionsRun)
+            << "inst " << inst << " instant " << instant;
+        ASSERT_EQ(rb.emitsRun, ro.emitsRun)
+            << "inst " << inst << " instant " << instant;
+        ASSERT_EQ(rb.emittedOutputs, ro.emittedOutputs)
+            << "inst " << inst << " instant " << instant;
+        expectCountersEqual(rb.dataCounters, ro.dataCounters, instant);
+    }
+};
+
+TEST_P(BatchDifferentialTest, LockstepMatchesIndependentSyncEngines)
+{
+    const BatchCase& bc = GetParam();
+    auto mod = compileCase();
+    ASSERT_TRUE(mod->hasFlatProgram());
+    const ModuleSema& sema = mod->moduleSema();
+    const auto n = static_cast<std::size_t>(bc.instances);
+
+    auto batch = mod->makeBatchEngine(n, {.threads = bc.threads});
+    ASSERT_EQ(batch->threads(), bc.threads);
+    std::vector<std::unique_ptr<rt::SyncEngine>> oracles;
+    std::vector<std::mt19937> rngs;
+    for (std::size_t i = 0; i < n; ++i) {
+        oracles.push_back(mod->makeEngine(EngineKind::Flat));
+        rngs.emplace_back(static_cast<unsigned>(1000003 * i + 17));
+    }
+
+    // Boot instant: everyone reacts with no inputs.
+    ASSERT_EQ(batch->stepAll(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rt::ReactionResult ro = oracles[i]->react();
+        expectInstanceEqual(sema, *batch, i, *oracles[i],
+                            batch->lastResult(i), ro, -1);
+    }
+
+    const int instants = instantsFor(bc.instances);
+    std::vector<rt::ReactionResult> oracleResults(n);
+    for (int t = 0; t < instants; ++t) {
+        for (std::size_t i = 0; i < n; ++i)
+            applyInputs(rngs[i], sema, batch.get(), i, oracles[i].get());
+        ASSERT_EQ(batch->stepAll(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            oracleResults[i] = oracles[i]->react();
+        for (std::size_t i = 0; i < n; ++i)
+            expectInstanceEqual(sema, *batch, i, *oracles[i],
+                                batch->lastResult(i), oracleResults[i], t);
+
+        // The merged event stream is the oracle outputs in ascending
+        // instance order — identical for every thread count.
+        std::size_t cursor = 0;
+        const auto& events = batch->lastStepEvents();
+        for (std::size_t i = 0; i < n; ++i)
+            for (int sig : oracleResults[i].emittedOutputs) {
+                ASSERT_LT(cursor, events.size()) << "instant " << t;
+                ASSERT_EQ(events[cursor].instance, i) << "instant " << t;
+                ASSERT_EQ(events[cursor].signal, sig) << "instant " << t;
+                ++cursor;
+            }
+        ASSERT_EQ(cursor, events.size()) << "instant " << t;
+    }
+}
+
+TEST_P(BatchDifferentialTest, DirtySchedulingMatchesEventDrivenOracle)
+{
+    const BatchCase& bc = GetParam();
+    auto mod = compileCase();
+    ASSERT_TRUE(mod->hasFlatProgram());
+    const ModuleSema& sema = mod->moduleSema();
+    const auto n = static_cast<std::size_t>(bc.instances);
+
+    auto batch = mod->makeBatchEngine(n, {.threads = bc.threads});
+    std::vector<std::unique_ptr<rt::SyncEngine>> oracles;
+    std::vector<std::mt19937> rngs;
+    for (std::size_t i = 0; i < n; ++i) {
+        oracles.push_back(mod->makeEngine(EngineKind::Flat));
+        rngs.emplace_back(static_cast<unsigned>(2000003 * i + 29));
+    }
+
+    // Fresh instances are dirty: the first step() boots all of them.
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_TRUE(batch->pendingDirty(i));
+    ASSERT_EQ(batch->step(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rt::ReactionResult ro = oracles[i]->react();
+        expectInstanceEqual(sema, *batch, i, *oracles[i],
+                            batch->lastResult(i), ro, -1);
+    }
+
+    const int instants = instantsFor(bc.instances);
+    std::vector<bool> expectReact(n);
+    for (int t = 0; t < instants; ++t) {
+        std::size_t expected = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            // Before inputs, the only reason to be queued is auto-resume —
+            // pinned against the oracle's own state.
+            bool preDirty = batch->pendingDirty(i);
+            ASSERT_EQ(preDirty, oracles[i]->needsAutoResume())
+                << "inst " << i << " instant " << t;
+            std::mt19937 replay = rngs[i]; // same draws for the oracle
+            bool any = applyInputs(rngs[i], sema, batch.get(), i, nullptr);
+            expectReact[i] = any || preDirty;
+            if (!expectReact[i]) continue;
+            ++expected;
+            applyInputs(replay, sema, nullptr, i, oracles[i].get());
+        }
+        ASSERT_EQ(batch->step(), expected) << "instant " << t;
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(batch->reactedLastStep(i), expectReact[i])
+                << "inst " << i << " instant " << t;
+            if (!expectReact[i]) continue;
+            rt::ReactionResult ro = oracles[i]->react();
+            expectInstanceEqual(sema, *batch, i, *oracles[i],
+                                batch->lastResult(i), ro, t);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperModules, BatchDifferentialTest,
+    ::testing::Values(BatchCase{"stack", "assemble", 1, 1},
+                      BatchCase{"stack", "assemble", 7, 1},
+                      BatchCase{"stack", "assemble", 7, 4},
+                      BatchCase{"stack", "assemble", 256, 4},
+                      BatchCase{"stack", "checkcrc", 7, 1},
+                      BatchCase{"stack", "checkcrc", 7, 4},
+                      BatchCase{"stack", "prochdr", 7, 1},
+                      BatchCase{"stack", "prochdr", 7, 4},
+                      BatchCase{"stack", "toplevel", 1, 1},
+                      BatchCase{"stack", "toplevel", 7, 1},
+                      BatchCase{"stack", "toplevel", 7, 4},
+                      BatchCase{"stack", "toplevel", 256, 1},
+                      BatchCase{"stack", "toplevel", 256, 4},
+                      BatchCase{"buffer", "producer", 7, 1},
+                      BatchCase{"buffer", "producer", 7, 4},
+                      BatchCase{"buffer", "playback", 7, 1},
+                      BatchCase{"buffer", "playback", 7, 4},
+                      BatchCase{"buffer", "blinker", 1, 1},
+                      BatchCase{"buffer", "blinker", 256, 4},
+                      BatchCase{"buffer", "buffer_top", 7, 1},
+                      BatchCase{"buffer", "buffer_top", 7, 4},
+                      BatchCase{"buffer", "buffer_top", 256, 4}));
+
 } // namespace
