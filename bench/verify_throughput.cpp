@@ -1,0 +1,107 @@
+// Verification throughput: explicit-state exploration over the shared
+// flat tables (src/verify), reported as states/sec.
+//
+// Workload: depth-bounded BFS over a paper module (default
+// stack/assemble — its packet-byte accumulation grows the reachable set
+// combinatorially with depth, so the frontier stays wide and the worker
+// shards stay busy). Each requested thread count runs a fresh explorer
+// over the same space; determinism means every mode interns the exact
+// same states, so states/sec isolates expansion throughput.
+//
+// Emits BENCH_verify_throughput.json with the standard `instances`
+// (= states explored) and `threads` scaling fields plus per-mode
+// breakdowns (CI smoke step, no thresholds).
+//
+// Usage: bench_verify_throughput [--paper stack|buffer] [--module NAME]
+//                                [--depth N] [--threads T] [--reps N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/verify/explorer.h"
+
+using namespace ecl;
+
+namespace {
+
+verify::ExploreStats runOnce(const CompiledModule& mod, int depth,
+                             int threads)
+{
+    verify::ExplorerOptions opts;
+    opts.maxDepth = depth;
+    opts.threads = threads;
+    opts.maxStates = 2'000'000;
+    auto ex = mod.makeExplorer(opts);
+    verify::ExploreResult res = ex->run();
+    if (res.violated) {
+        std::fprintf(stderr, "unexpected violation in bench workload\n");
+        std::exit(1);
+    }
+    return res.stats;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string paper = "stack";
+    std::string module = "assemble";
+    int depth = 12;
+    int threads = 4;
+    int reps = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--paper" && i + 1 < argc) paper = argv[++i];
+        else if (arg == "--module" && i + 1 < argc) module = argv[++i];
+        else if (arg == "--depth" && i + 1 < argc) depth = std::atoi(argv[++i]);
+        else if (arg == "--threads" && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_verify_throughput [--paper "
+                         "stack|buffer] [--module NAME] [--depth N] "
+                         "[--threads T] [--reps N]\n");
+            return 2;
+        }
+    }
+
+    Compiler compiler(paper == "buffer" ? paper::audioBufferSource()
+                                        : paper::protocolStackSource());
+    auto mod = compiler.compile(module);
+
+    bench::JsonValue root = bench::JsonValue::obj();
+    root.set("bench", "verify_throughput");
+    root.set("module", paper + "/" + module);
+    root.set("depth", static_cast<double>(depth));
+
+    std::uint64_t headlineStates = 0;
+    for (int t : {1, threads}) {
+        verify::ExploreStats best{};
+        for (int r = 0; r < reps; ++r) {
+            verify::ExploreStats s = runOnce(*mod, depth, t);
+            if (r == 0 || s.statesPerSec > best.statesPerSec) best = s;
+        }
+        headlineStates = best.states;
+        bench::JsonValue m = bench::JsonValue::obj();
+        bench::setScale(m, static_cast<int>(best.states), t);
+        m.set("states", static_cast<double>(best.states));
+        m.set("transitions", static_cast<double>(best.transitions));
+        m.set("peak_frontier", static_cast<double>(best.peakFrontier));
+        m.set("depth_reached", static_cast<double>(best.depthReached));
+        m.set("seconds", best.seconds);
+        m.set("states_per_sec", best.statesPerSec);
+        root.set("explore_t" + std::to_string(t), std::move(m));
+        std::printf("explore_t%-2d %8llu states  %10.0f states/s  "
+                    "peak frontier %llu\n",
+                    t, static_cast<unsigned long long>(best.states),
+                    best.statesPerSec,
+                    static_cast<unsigned long long>(best.peakFrontier));
+        if (t == threads) break; // threads == 1: single mode
+    }
+    bench::setScale(root, static_cast<int>(headlineStates), threads);
+    bench::writeBenchJson("verify_throughput", root);
+    return 0;
+}

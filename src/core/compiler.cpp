@@ -81,6 +81,28 @@ CompiledModule::makeBatchEngine(std::size_t instances,
     return engine;
 }
 
+std::unique_ptr<verify::Explorer>
+CompiledModule::makeExplorer(verify::ExplorerOptions options) const
+{
+    if (!hasFlatProgram())
+        throw EclError("makeExplorer: module '" + flat_->name +
+                       "' has no flat program (compiled with flatten=false "
+                       "or flattening was disabled by a note)");
+    auto explorer = std::make_unique<verify::Explorer>(
+        *flatProgram_, byteCode_, *sema_, std::move(options));
+    if (auto self = weak_from_this().lock()) explorer->retain(self);
+    return explorer;
+}
+
+void CompiledModule::attachAsMonitor(verify::Explorer& explorer) const
+{
+    if (!hasFlatProgram())
+        throw EclError("attachAsMonitor: module '" + flat_->name +
+                       "' has no flat program");
+    explorer.attachMonitor(*flatProgram_, byteCode_, *sema_,
+                           weak_from_this().lock());
+}
+
 std::unique_ptr<rt::RcEngine> CompiledModule::makeBaselineEngine() const
 {
     auto engine = std::make_unique<rt::RcEngine>(

@@ -31,6 +31,7 @@
 #include "src/runtime/engine.h"
 #include "src/sema/sema.h"
 #include "src/support/diagnostics.h"
+#include "src/verify/explorer.h"
 
 namespace ecl {
 
@@ -97,6 +98,12 @@ public:
     }
     /// The compiled data bytecode; requires hasFlatProgram().
     [[nodiscard]] const bc::Program& byteCode() const { return *byteCode_; }
+    /// Shared ownership of the bytecode (engines/explorers built by
+    /// hand); null when the flat representation was not built.
+    [[nodiscard]] std::shared_ptr<const bc::Program> byteCodePtr() const
+    {
+        return byteCode_;
+    }
 
     /// Creates a synchronous EFSM engine. The CompiledModule must outlive
     /// it. EngineKind::Flat silently degrades to the tree walk when the
@@ -115,6 +122,18 @@ public:
     [[nodiscard]] std::unique_ptr<rt::BatchEngine>
     makeBatchEngine(std::size_t instances,
                     rt::BatchOptions options = {}) const;
+
+    /// Creates an explicit-state verification explorer over this module's
+    /// shared flat tables + bytecode (see src/verify/explorer.h).
+    /// Requires hasFlatProgram(); throws EclError otherwise.
+    [[nodiscard]] std::unique_ptr<verify::Explorer>
+    makeExplorer(verify::ExplorerOptions options = {}) const;
+
+    /// Attaches this module to `explorer` as an observer/assertion
+    /// monitor: its inputs are wired by name to the explored design's
+    /// signals and any violation signal it emits flags a counterexample.
+    /// Requires hasFlatProgram().
+    void attachAsMonitor(verify::Explorer& explorer) const;
 
 private:
     std::shared_ptr<const SharedProgram> shared_;

@@ -1,7 +1,8 @@
-// eclc — the ECL command-line compiler.
+// eclc — the ECL command-line compiler and verifier.
 //
 // Usage:
 //   eclc [options] file.ecl
+//   eclc [options] --paper stack|buffer
 //
 // Options:
 //   --module NAME      top module to compile (default: last module in file)
@@ -10,9 +11,33 @@
 //   --async            compile every module separately and report per-task
 //                      sizes instead of collapsing into one EFSM
 //   -o PREFIX          write artifacts to PREFIX.<ext> instead of stdout
+//   --paper NAME       use an embedded paper source (stack | buffer)
+//                      instead of a file
+//
+// Verification (src/verify — explicit-state reachability + monitors):
+//   --verify           explore the top module's state space instead of
+//                      emitting artifacts
+//   --monitor FILE     attach FILE's last module as an assertion monitor
+//                      (inputs wired by name; emitting a *violation*
+//                      signal flags a counterexample)
+//   --depth N          exploration depth bound in instants (default
+//                      unbounded)
+//   --max-states N     interned-state cap (default 1M)
+//   --threads N        worker threads for the BFS frontier (default 1)
+//   --dfs              depth-first exploration (lower memory, traces not
+//                      minimal)
+//
+// Exit codes (asserted by tests/test_eclc_cli.cpp):
+//   0  success; with --verify: state space exhausted, no violation
+//   1  file / parse / semantic errors
+//   2  usage errors
+//   3  --verify found a violation (counterexample printed + replayed)
+//   4  --verify hit an exploration bound (depth/states/alphabet) without
+//      finding a violation — the result is inconclusive
 //
 // Mirrors the paper's flow: one ECL file in; Esterel + C (+ glue) out; the
-// EFSM and synthesis artifacts derived from them.
+// EFSM and synthesis artifacts derived from them — plus the verification
+// workload the synchronous semantics was chosen for.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,27 +49,46 @@
 #include "src/codegen/esterel_gen.h"
 #include "src/codegen/verilog_gen.h"
 #include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
 #include "src/cost/cost.h"
 #include "src/ir/ir.h"
+#include "src/verify/replay.h"
 
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitViolation = 3;
+constexpr int kExitBoundReached = 4;
+
 struct Options {
     std::string file;
+    std::string paper;
     std::string module;
     std::vector<std::string> emits;
     std::string outPrefix;
     bool asyncMode = false;
     bool optimize = false;
+    bool verify = false;
+    std::string monitorFile;
+    int depth = -1;
+    long long maxStates = -1;
+    int threads = 1;
+    bool dfs = false;
 };
 
 int usage()
 {
     std::fprintf(stderr,
                  "usage: eclc [--module NAME] [--emit c|esterel|verilog|"
-                 "efsm|ir|stats]... [--async] [--optimize] [-o PREFIX] "
-                 "file.ecl\n");
-    return 2;
+                 "efsm|ir|stats]... [--async] [--optimize] [-o PREFIX]\n"
+                 "            [--verify [--monitor FILE] [--depth N] "
+                 "[--max-states N] [--threads N] [--dfs]]\n"
+                 "            file.ecl | --paper stack|buffer\n"
+                 "exit codes: 0 ok/verified, 1 compile error, 2 usage, "
+                 "3 violation found, 4 verify bound reached\n");
+    return kExitUsage;
 }
 
 void writeArtifact(const Options& opt, const std::string& ext,
@@ -78,6 +122,117 @@ std::string statsText(const ecl::CompiledModule& mod)
         << "  est. code size:     " << sz.codeBytes << " B (R3000 model)\n"
         << "  est. data size:     " << sz.dataBytes << " B\n";
     return out.str();
+}
+
+bool readFile(const std::string& path, std::string& out)
+{
+    std::ifstream in(path);
+    if (!in) return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+const char* violationKindName(ecl::verify::Violation::Kind k)
+{
+    switch (k) {
+    case ecl::verify::Violation::Kind::MonitorSignal:
+        return "monitor signal";
+    case ecl::verify::Violation::Kind::DesignSignal: return "design signal";
+    case ecl::verify::Violation::Kind::Predicate: return "predicate";
+    case ecl::verify::Violation::Kind::RuntimeError: return "runtime error";
+    }
+    return "?";
+}
+
+int runVerify(const Options& opt, ecl::Compiler& compiler,
+              const std::string& top)
+{
+    ecl::CompileOptions copts;
+    copts.optimizeEfsm = opt.optimize;
+    auto mod = compiler.compile(top, copts);
+    if (!mod->hasFlatProgram()) {
+        std::fprintf(stderr,
+                     "eclc: module '%s' has no flat program; cannot verify\n",
+                     top.c_str());
+        return kExitError;
+    }
+
+    ecl::verify::ExplorerOptions vopts;
+    vopts.threads = opt.threads;
+    if (opt.depth > 0) vopts.maxDepth = opt.depth;
+    if (opt.maxStates > 0)
+        vopts.maxStates = static_cast<std::uint32_t>(opt.maxStates);
+    if (opt.dfs) vopts.strategy = ecl::verify::Strategy::Dfs;
+    auto explorer = mod->makeExplorer(vopts);
+
+    std::shared_ptr<ecl::CompiledModule> monMod;
+    std::unique_ptr<ecl::Compiler> monCompiler;
+    if (!opt.monitorFile.empty()) {
+        std::string src;
+        if (!readFile(opt.monitorFile, src)) {
+            std::fprintf(stderr, "eclc: cannot open monitor file %s\n",
+                         opt.monitorFile.c_str());
+            return kExitError;
+        }
+        monCompiler = std::make_unique<ecl::Compiler>(src);
+        std::vector<std::string> names = monCompiler->moduleNames();
+        if (names.empty()) {
+            std::fprintf(stderr, "eclc: no modules in monitor file %s\n",
+                         opt.monitorFile.c_str());
+            return kExitError;
+        }
+        monMod = monCompiler->compile(names.back());
+        if (!monMod->hasFlatProgram()) {
+            std::fprintf(stderr,
+                         "eclc: monitor module '%s' has no flat program\n",
+                         names.back().c_str());
+            return kExitError;
+        }
+        monMod->attachAsMonitor(*explorer);
+        std::fprintf(stderr, "eclc: monitor '%s' attached to '%s'\n",
+                     names.back().c_str(), top.c_str());
+    }
+
+    ecl::verify::ExploreResult res = explorer->run();
+    const ecl::verify::ExploreStats& st = res.stats;
+    std::printf("verify %s: %llu states, %llu transitions, depth %d, "
+                "peak frontier %llu, %.0f states/s, %s\n",
+                top.c_str(), static_cast<unsigned long long>(st.states),
+                static_cast<unsigned long long>(st.transitions),
+                st.depthReached,
+                static_cast<unsigned long long>(st.peakFrontier),
+                st.statesPerSec,
+                st.complete
+                    ? "complete"
+                    : (res.violated
+                           ? "stopped at violation"
+                           : (st.alphabetTruncated
+                                  ? "incomplete (alphabet truncated)"
+                                  : "incomplete (bound reached)")));
+
+    if (!res.violated) return st.complete ? kExitOk : kExitBoundReached;
+
+    const ecl::verify::Violation& v = res.violation;
+    std::printf("VIOLATION (%s) '%s' at depth %d\n",
+                violationKindName(v.kind), v.what.c_str(), v.depth);
+    std::printf("counterexample (%zu instants):\n%s", res.trace.size(),
+                ecl::verify::formatTrace(mod->moduleSema(), res.trace)
+                    .c_str());
+
+    // Confirm on the production engine before claiming the bug is real.
+    auto designEngine = mod->makeEngine();
+    std::unique_ptr<ecl::rt::SyncEngine> monitorEngine;
+    if (monMod) monitorEngine = monMod->makeEngine();
+    ecl::verify::ReplayOutcome rp = ecl::verify::replayCounterexample(
+        *designEngine, monitorEngine.get(), res);
+    std::printf("replay: %s\n", rp.detail.c_str());
+    if (!rp.reproduced)
+        std::fprintf(stderr,
+                     "eclc: WARNING: counterexample did not replay on "
+                     "SyncEngine\n");
+    return kExitViolation;
 }
 
 int emitAll(const Options& opt, const ecl::CompiledModule& mod)
@@ -134,6 +289,25 @@ int main(int argc, char** argv)
             opt.asyncMode = true;
         } else if (arg == "--optimize") {
             opt.optimize = true;
+        } else if (arg == "--paper" && i + 1 < argc) {
+            opt.paper = argv[++i];
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--monitor" && i + 1 < argc) {
+            opt.monitorFile = argv[++i];
+        } else if (arg == "--depth" && i + 1 < argc) {
+            opt.depth = std::atoi(argv[++i]);
+            if (opt.depth <= 0) return usage();
+        } else if (arg == "--max-states" && i + 1 < argc) {
+            opt.maxStates = std::atoll(argv[++i]);
+            if (opt.maxStates <= 0 ||
+                opt.maxStates > 0xffffffffll)
+                return usage();
+        } else if (arg == "--threads" && i + 1 < argc) {
+            opt.threads = std::atoi(argv[++i]);
+            if (opt.threads <= 0) return usage();
+        } else if (arg == "--dfs") {
+            opt.dfs = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -144,25 +318,38 @@ int main(int argc, char** argv)
             opt.file = arg;
         }
     }
-    if (opt.file.empty()) return usage();
+    if (opt.file.empty() == opt.paper.empty()) return usage();
+    if (!opt.paper.empty() && opt.paper != "stack" && opt.paper != "buffer")
+        return usage();
+    if (opt.verify && opt.asyncMode) return usage();
+    // Verify-only flags without --verify would be silently ignored —
+    // reject them so exit 0 can never be mistaken for "verified".
+    if (!opt.verify && (!opt.monitorFile.empty() || opt.depth > 0 ||
+                        opt.maxStates > 0 || opt.threads != 1 || opt.dfs))
+        return usage();
     if (opt.emits.empty()) opt.emits.push_back("c");
 
-    std::ifstream in(opt.file);
-    if (!in) {
+    std::string source;
+    if (!opt.paper.empty()) {
+        source = opt.paper == "stack" ? ecl::paper::protocolStackSource()
+                                      : ecl::paper::audioBufferSource();
+    } else if (!readFile(opt.file, source)) {
         std::fprintf(stderr, "eclc: cannot open %s\n", opt.file.c_str());
-        return 1;
+        return kExitError;
     }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
 
     try {
-        ecl::Compiler compiler(buffer.str());
+        ecl::Compiler compiler(source);
         std::vector<std::string> modules = compiler.moduleNames();
         if (modules.empty()) {
             std::fprintf(stderr, "eclc: no modules in %s\n",
-                         opt.file.c_str());
-            return 1;
+                         opt.file.empty() ? opt.paper.c_str()
+                                          : opt.file.c_str());
+            return kExitError;
         }
+
+        std::string top = opt.module.empty() ? modules.back() : opt.module;
+        if (opt.verify) return runVerify(opt, compiler, top);
 
         ecl::CompileOptions copts;
         copts.optimizeEfsm = opt.optimize;
@@ -178,11 +365,10 @@ int main(int argc, char** argv)
             return rc;
         }
 
-        std::string top = opt.module.empty() ? modules.back() : opt.module;
         auto mod = compiler.compile(top, copts);
         return emitAll(opt, *mod);
     } catch (const ecl::EclError& e) {
         std::fprintf(stderr, "eclc: %s\n", e.what());
-        return 1;
+        return kExitError;
     }
 }

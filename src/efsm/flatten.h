@@ -80,6 +80,21 @@ struct FlatProgram {
                nodes.size() * sizeof(FlatNode) +
                actions.size() * sizeof(FlatAction);
     }
+
+    /// Index into `configs` of a state's interned pause-set configuration
+    /// (every state id maps to exactly one interned config; -1 only for
+    /// malformed programs). The verification layer uses these to label
+    /// explored states with their control configuration.
+    [[nodiscard]] std::int32_t configIndexOf(int state) const
+    {
+        return states[static_cast<std::size_t>(state)].config;
+    }
+
+    /// The interned pause-set configuration a state id stands for.
+    [[nodiscard]] const PauseSet& configOf(int state) const
+    {
+        return configs[static_cast<std::size_t>(configIndexOf(state))];
+    }
 };
 
 /// Flattens a built (and optionally optimized) Efsm. The Efsm's sema and

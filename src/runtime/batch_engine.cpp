@@ -5,64 +5,16 @@
 
 namespace ecl::rt {
 
-namespace {
-
-constexpr std::size_t kInstanceAlign = 64; ///< Anti-false-sharing stride.
-constexpr std::size_t kSlotAlign = 8;
-
-std::size_t alignUp(std::size_t n, std::size_t a) { return (n + a - 1) / a * a; }
-
-} // namespace
-
-// ---------------------------------------------------------------------------
-// SigView: one instance's signal values as views over its arena slice
-// ---------------------------------------------------------------------------
-
-BatchEngine::SigView::SigView(const ModuleSema& sema,
-                              const std::vector<std::uint32_t>& offsets,
-                              std::uint8_t* base)
-    : sema_(&sema), offsets_(&offsets)
-{
-    views_.reserve(sema.signals.size());
-    for (const SignalInfo& s : sema.signals) {
-        if (s.pure) {
-            views_.emplace_back(); // empty, like SignalEnv's pure slots
-        } else {
-            valued_.push_back(s.index);
-            views_.push_back(Value::view(
-                s.valueType, base + offsets[static_cast<std::size_t>(s.index)]));
-        }
-    }
-}
-
-void BatchEngine::SigView::bind(std::uint8_t* base)
-{
-    for (int idx : valued_)
-        views_[static_cast<std::size_t>(idx)].rebind(
-            base + (*offsets_)[static_cast<std::size_t>(idx)]);
-}
-
-const Value& BatchEngine::SigView::signalValue(int idx) const
-{
-    const Value& v = views_[static_cast<std::size_t>(idx)];
-    if (v.empty())
-        throw EclError("value read on pure signal '" +
-                       sema_->signals[static_cast<std::size_t>(idx)].name +
-                       "'");
-    return v;
-}
-
 // ---------------------------------------------------------------------------
 // Shard: per-worker scratch context
 // ---------------------------------------------------------------------------
 
 BatchEngine::Shard::Shard(std::shared_ptr<const bc::Program> code,
                           const ModuleSema& sema,
-                          const std::vector<std::uint32_t>& varOffsets,
-                          const std::vector<std::uint32_t>& sigOffsets,
+                          const InstanceLayout& layout,
                           std::uint8_t* scratchBase)
-    : vm(std::move(code)), store(sema.vars, scratchBase, varOffsets),
-      sigs(sema, sigOffsets, scratchBase)
+    : vm(std::move(code)), store(sema.vars, scratchBase, layout.varOffsets),
+      sigs(sema, layout, scratchBase)
 {
 }
 
@@ -79,46 +31,21 @@ BatchEngine::BatchEngine(const efsm::FlatProgram& flat,
     if (!code_)
         throw EclError("BatchEngine requires the compiled bytecode program");
 
-    // Fixed per-instance arena layout: variables first, then valued-signal
+    // Fixed per-instance arena layout (shared with the verification
+    // explorer's packed states): variables first, then valued-signal
     // slots, each 8-byte aligned; the whole slice padded to 64 bytes.
-    std::size_t cursor = 0;
-    varOffsets_.reserve(sema_.vars.size());
-    for (const VarInfo& v : sema_.vars) {
-        cursor = alignUp(cursor, kSlotAlign);
-        varOffsets_.push_back(static_cast<std::uint32_t>(cursor));
-        cursor += v.type->size();
-    }
-    sigOffsets_.assign(sema_.signals.size(), 0);
-    for (const SignalInfo& s : sema_.signals) {
-        if (s.pure) continue;
-        cursor = alignUp(cursor, kSlotAlign);
-        sigOffsets_[static_cast<std::size_t>(s.index)] =
-            static_cast<std::uint32_t>(cursor);
-        cursor += s.valueType->size();
-    }
-    stride_ = alignUp(std::max<std::size_t>(cursor, 1), kInstanceAlign);
-    scratchSlice_.assign(stride_, 0);
+    layout_ = computeInstanceLayout(sema_);
+    scratchSlice_.assign(layout_.stride, 0);
 
     const int t = std::max(1, options.threads);
     shards_.reserve(static_cast<std::size_t>(t));
     for (int w = 0; w < t; ++w)
-        shards_.push_back(std::make_unique<Shard>(
-            code_, sema_, varOffsets_, sigOffsets_, scratchSlice_.data()));
+        shards_.push_back(std::make_unique<Shard>(code_, sema_, layout_,
+                                                  scratchSlice_.data()));
     ranges_.resize(static_cast<std::size_t>(t));
-    for (int w = 1; w < t; ++w)
-        workers_.emplace_back([this, w] { workerLoop(w); });
+    pool_ = std::make_unique<WorkerPool>(t, [this](int w) { runShard(w); });
 
     for (std::size_t i = 0; i < instances; ++i) addInstance();
-}
-
-BatchEngine::~BatchEngine()
-{
-    {
-        std::lock_guard<std::mutex> lk(mx_);
-        stop_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
 }
 
 std::size_t BatchEngine::addInstance()
@@ -131,7 +58,7 @@ std::size_t BatchEngine::addInstance()
     reacted_.push_back(0);
     present_.resize(present_.size() + S, 0);
     lastPresent_.resize(lastPresent_.size() + S, 0);
-    dataArena_.resize(dataArena_.size() + stride_, 0);
+    dataArena_.resize(dataArena_.size() + layout_.stride, 0);
     last_.emplace_back();
     markDirty(id); // boot reaction pending
     return id;
@@ -183,7 +110,7 @@ void BatchEngine::storeSignalValue(std::size_t inst, const SignalInfo& info,
         throw EclError("cannot set a value on pure signal '" + info.name +
                        "'");
     std::uint8_t* slot =
-        slice(inst) + sigOffsets_[static_cast<std::size_t>(info.index)];
+        slice(inst) + layout_.sigOffsets[static_cast<std::size_t>(info.index)];
     if (info.valueType->isScalar())
         writeScalar(slot, info.valueType, v.toInt());
     else if (v.type() == info.valueType)
@@ -209,7 +136,7 @@ void BatchEngine::setInputScalar(std::size_t inst, int sigIndex,
         throw EclError("'" + info.name + "' is pure; use setInput()");
     openInstant(inst);
     writeScalar(slice(inst) +
-                    sigOffsets_[static_cast<std::size_t>(info.index)],
+                    layout_.sigOffsets[static_cast<std::size_t>(info.index)],
                 info.valueType, v);
     presentRow(inst)[static_cast<std::size_t>(sigIndex)] = 1;
     markDirty(inst);
@@ -229,7 +156,7 @@ void BatchEngine::reactOne(Shard& shard, std::size_t inst)
     const std::size_t S = sema_.signals.size();
     std::uint8_t* base = slice(inst);
     std::uint8_t* present = presentRow(inst);
-    shard.store.rebindAll(base, varOffsets_);
+    shard.store.rebindAll(base, layout_.varOffsets);
     shard.sigs.bind(base);
 
     if (!instantOpen_[inst] && S != 0) std::memset(present, 0, S);
@@ -314,25 +241,6 @@ void BatchEngine::runShard(int w)
     }
 }
 
-void BatchEngine::workerLoop(int w)
-{
-    std::uint64_t seen = 0;
-    for (;;) {
-        {
-            std::unique_lock<std::mutex> lk(mx_);
-            cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-            if (stop_) return;
-            seen = epoch_;
-        }
-        runShard(w);
-        {
-            std::lock_guard<std::mutex> lk(mx_);
-            --running_;
-        }
-        doneCv_.notify_one();
-    }
-}
-
 std::size_t BatchEngine::runStep(bool all)
 {
     work_.clear();
@@ -366,19 +274,7 @@ std::size_t BatchEngine::runStep(bool all)
         ranges_[w] = {b, std::min(work_.size(), b + chunk)};
     }
 
-    if (T == 1) {
-        runShard(0);
-    } else {
-        {
-            std::lock_guard<std::mutex> lk(mx_);
-            ++epoch_;
-            running_ = static_cast<int>(T) - 1;
-        }
-        cv_.notify_all();
-        runShard(0);
-        std::unique_lock<std::mutex> lk(mx_);
-        doneCv_.wait(lk, [&] { return running_ == 0; });
-    }
+    pool_->run();
 
     for (const std::unique_ptr<Shard>& s : shards_)
         if (s->error) std::rethrow_exception(s->error);
@@ -455,8 +351,8 @@ Value BatchEngine::outputValue(std::size_t inst, int sigIndex) const
         throw EclError("value read on pure signal '" + info.name + "'");
     return Value::fromBytes(
         info.valueType,
-        dataArena_.data() + inst * stride_ +
-            sigOffsets_[static_cast<std::size_t>(info.index)]);
+        dataArena_.data() + inst * layout_.stride +
+            layout_.sigOffsets[static_cast<std::size_t>(info.index)]);
 }
 
 bool BatchEngine::terminated(std::size_t inst) const

@@ -34,17 +34,16 @@
 // for any thread count.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "src/efsm/flatten.h"
 #include "src/interp/eval.h"
 #include "src/interp/vm.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/instance_layout.h"
+#include "src/runtime/worker_pool.h"
 #include "src/sema/sema.h"
 
 namespace ecl::rt {
@@ -63,7 +62,6 @@ public:
                 std::shared_ptr<const bc::Program> code,
                 const ModuleSema& sema, std::size_t instances,
                 BatchOptions options = {});
-    ~BatchEngine();
 
     BatchEngine(const BatchEngine&) = delete;
     BatchEngine& operator=(const BatchEngine&) = delete;
@@ -125,39 +123,23 @@ public:
     }
     /// Arena stride: variables + valued-signal bytes per instance, padded
     /// to a 64-byte boundary (memory model / capacity planning).
-    [[nodiscard]] std::size_t bytesPerInstance() const { return stride_; }
+    [[nodiscard]] std::size_t bytesPerInstance() const
+    {
+        return layout_.stride;
+    }
 
 private:
-    /// Per-instant signal values of one instance, exposed to the VM as
-    /// view Values over the instance's arena slice.
-    class SigView final : public SignalReader {
-    public:
-        SigView(const ModuleSema& sema,
-                const std::vector<std::uint32_t>& offsets,
-                std::uint8_t* base);
-        void bind(std::uint8_t* base);
-        const Value& signalValue(int idx) const override;
-
-    private:
-        const ModuleSema* sema_;
-        const std::vector<std::uint32_t>* offsets_;
-        std::vector<int> valued_; ///< Indices of valued signals.
-        std::vector<Value> views_; ///< Empty Value for pure signals.
-    };
-
     /// Per-worker execution context: scratch shared by all instances the
     /// worker reacts (never by two workers at once).
     struct Shard {
         bc::Vm vm;
-        Store store;   ///< View store, rebased per instance.
-        SigView sigs;  ///< View signal reader, rebased per instance.
+        Store store;        ///< View store, rebased per instance.
+        ArenaSigView sigs;  ///< View signal reader, rebased per instance.
         std::vector<StepEvent> events; ///< This step, processing order.
         std::exception_ptr error;
 
         Shard(std::shared_ptr<const bc::Program> code,
-              const ModuleSema& sema,
-              const std::vector<std::uint32_t>& varOffsets,
-              const std::vector<std::uint32_t>& sigOffsets,
+              const ModuleSema& sema, const InstanceLayout& layout,
               std::uint8_t* scratchBase);
     };
 
@@ -166,7 +148,7 @@ private:
     const SignalInfo& checkInput(std::size_t inst, int sigIndex) const;
     std::uint8_t* slice(std::size_t inst)
     {
-        return dataArena_.data() + inst * stride_;
+        return dataArena_.data() + inst * layout_.stride;
     }
     std::uint8_t* presentRow(std::size_t inst)
     {
@@ -179,17 +161,16 @@ private:
     void reactOne(Shard& shard, std::size_t inst);
     std::size_t runStep(bool all);
     void runShard(int w);
-    void workerLoop(int w);
 
     const efsm::FlatProgram& flat_;
     std::shared_ptr<const bc::Program> code_;
     const ModuleSema& sema_;
     std::shared_ptr<const void> owner_;
 
-    // Shared fixed layout of one instance's arena slice.
-    std::vector<std::uint32_t> varOffsets_; ///< Per VarInfo index.
-    std::vector<std::uint32_t> sigOffsets_; ///< Per signal (valued only).
-    std::size_t stride_ = 0;
+    /// Shared fixed layout of one instance's arena slice (the same layout
+    /// the verification explorer packs states with — see
+    /// src/runtime/instance_layout.h).
+    InstanceLayout layout_;
     /// One zeroed slice views point at before their first bind (keeps all
     /// pointer arithmetic inside a live object, even with 0 instances).
     std::vector<std::uint8_t> scratchSlice_;
@@ -209,18 +190,13 @@ private:
     std::vector<std::uint32_t> work_;      ///< This step, sorted ascending.
     std::vector<StepEvent> stepEvents_;
 
-    // Worker pool (threads > 1): epoch handshake, contiguous ranges over
-    // work_ per shard. All per-instance rows a worker touches are disjoint
-    // byte ranges, so the only synchronization is the step handshake.
+    // Worker pool (threads > 1): one epoch per step, contiguous ranges
+    // over work_ per shard. All per-instance rows a worker touches are
+    // disjoint byte ranges, so the only synchronization is the pool's
+    // step handshake.
     std::vector<std::unique_ptr<Shard>> shards_;
-    std::vector<std::thread> workers_; ///< shards_.size() - 1 helpers.
     std::vector<std::pair<std::size_t, std::size_t>> ranges_;
-    std::mutex mx_;
-    std::condition_variable cv_;
-    std::condition_variable doneCv_;
-    std::uint64_t epoch_ = 0;
-    int running_ = 0;
-    bool stop_ = false;
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 } // namespace ecl::rt

@@ -125,6 +125,7 @@ public:
 
     [[nodiscard]] int currentState() const { return state_; }
     [[nodiscard]] Store& store() { return store_; }
+    [[nodiscard]] const Store& store() const { return store_; }
     [[nodiscard]] SignalEnv& env() { return env_; }
     [[nodiscard]] const SignalEnv& env() const { return env_; }
     [[nodiscard]] const ModuleSema& sema() const { return sema_; }

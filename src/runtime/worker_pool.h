@@ -1,0 +1,101 @@
+// Persistent epoch-handshake worker pool, shared by the batch runtime
+// (src/runtime/batch_engine.cpp) and the verification explorer
+// (src/verify/explorer.cpp).
+//
+// `threads - 1` helper threads park on a condition variable; run() bumps
+// an epoch, wakes them, executes worker 0's share on the caller and
+// returns once every helper has finished — one synchronization round
+// trip per epoch, no work queue. Callers pre-stage each worker's input
+// (e.g. a contiguous range) in their own state before run() and harvest
+// results after; the callback must not throw (capture failures into an
+// exception_ptr and rethrow after run(), as both users do).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecl::rt {
+
+class WorkerPool {
+public:
+    /// Spawns `threads - 1` helpers. work(w) runs with w in
+    /// [1, threads) on helpers and w == 0 on the caller inside run().
+    WorkerPool(int threads, std::function<void(int)> work)
+        : work_(std::move(work))
+    {
+        for (int w = 1; w < threads; ++w)
+            helpers_.emplace_back([this, w] { loop(w); });
+    }
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mx_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& t : helpers_) t.join();
+    }
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    [[nodiscard]] int threads() const
+    {
+        return static_cast<int>(helpers_.size()) + 1;
+    }
+
+    /// Runs one epoch: work(0) on the caller, work(w) on every helper;
+    /// returns when all are done.
+    void run()
+    {
+        if (helpers_.empty()) {
+            work_(0);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mx_);
+            ++epoch_;
+            running_ = static_cast<int>(helpers_.size());
+        }
+        cv_.notify_all();
+        work_(0);
+        std::unique_lock<std::mutex> lk(mx_);
+        doneCv_.wait(lk, [&] { return running_ == 0; });
+    }
+
+private:
+    void loop(int w)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lk(mx_);
+                cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+                if (stop_) return;
+                seen = epoch_;
+            }
+            work_(w);
+            {
+                std::lock_guard<std::mutex> lk(mx_);
+                --running_;
+            }
+            doneCv_.notify_one();
+        }
+    }
+
+    std::function<void(int)> work_;
+    std::vector<std::thread> helpers_;
+    std::mutex mx_;
+    std::condition_variable cv_;
+    std::condition_variable doneCv_;
+    std::uint64_t epoch_ = 0;
+    int running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace ecl::rt

@@ -1,0 +1,790 @@
+#include "src/verify/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+namespace ecl::verify {
+
+namespace {
+
+void writeI32(std::uint8_t* p, std::int32_t v) { std::memcpy(p, &v, 4); }
+
+std::int32_t readI32(const std::uint8_t* p)
+{
+    std::int32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+/// Writes an emitted/injected value into a signal's arena slot with the
+/// same normalization as SignalEnv::setValue and the batch engine.
+void storeSigValue(std::uint8_t* slice, const rt::InstanceLayout& layout,
+                   const SignalInfo& info, const Value& v)
+{
+    std::uint8_t* slot =
+        slice + layout.sigOffsets[static_cast<std::size_t>(info.index)];
+    if (info.valueType->isScalar())
+        writeScalar(slot, info.valueType, v.toInt());
+    else if (v.type() == info.valueType)
+        std::memcpy(slot, v.data(), info.valueType->size());
+    else
+        throw EclError("signal value type mismatch for '" + info.name + "'");
+}
+
+std::string lowercase(const std::string& s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// StateView
+// ---------------------------------------------------------------------------
+
+std::int64_t StateView::var(const std::string& name) const
+{
+    const VarInfo* v = sema_->findVar(name);
+    if (!v) throw EclError("StateView: no variable named '" + name + "'");
+    return var(v->index);
+}
+
+std::int64_t StateView::signal(int idx) const
+{
+    return signalValue(idx).toInt();
+}
+
+Value StateView::signalValue(int idx) const
+{
+    const SignalInfo& s = sema_->signals[static_cast<std::size_t>(idx)];
+    if (s.pure)
+        throw EclError("StateView: value read on pure signal '" + s.name +
+                       "'");
+    return Value::fromBytes(
+        s.valueType,
+        data_ + layout_->sigOffsets[static_cast<std::size_t>(idx)]);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor wiring
+// ---------------------------------------------------------------------------
+
+std::vector<MonitorWire> wireMonitor(const ModuleSema& design,
+                                     const ModuleSema& monitor)
+{
+    std::vector<MonitorWire> wires;
+    for (const SignalInfo& m : monitor.signals) {
+        if (m.dir != SignalDir::Input) continue;
+        const SignalInfo* d = design.findSignal(m.name);
+        if (!d)
+            throw EclError("monitor input '" + m.name +
+                           "' matches no design signal");
+        MonitorWire w;
+        w.monitorSig = m.index;
+        w.designSig = d->index;
+        if (!m.pure) {
+            if (d->pure)
+                throw EclError("monitor input '" + m.name +
+                               "' is valued but design signal '" + d->name +
+                               "' is pure");
+            // Cross-compiler types: scalars normalize through int64,
+            // aggregates transfer raw bytes — sizes must agree.
+            if (!m.valueType->isScalar() &&
+                m.valueType->size() != d->valueType->size())
+                throw EclError(
+                    "monitor input '" + m.name + "' value size (" +
+                    std::to_string(m.valueType->size()) +
+                    ") differs from design signal's (" +
+                    std::to_string(d->valueType->size()) + ")");
+            w.valued = true;
+        }
+        wires.push_back(w);
+    }
+    if (wires.empty())
+        throw EclError("monitor module has no input signals to wire");
+    return wires;
+}
+
+// ---------------------------------------------------------------------------
+// Worker scratch
+// ---------------------------------------------------------------------------
+
+Explorer::ModuleCtx::ModuleCtx(const ModuleSema& sema,
+                               const rt::InstanceLayout& layout,
+                               std::shared_ptr<const bc::Program> code)
+    : slice(layout.stride, 0), present(sema.signals.size(), 0),
+      store(sema.vars, slice.data(), layout.varOffsets),
+      sigs(sema, layout, slice.data()), vm(std::move(code))
+{
+}
+
+Explorer::Worker::Worker(const Explorer& ex)
+    : design(ex.sema_, ex.layout_, ex.code_)
+{
+    if (ex.monSema_)
+        monitor.emplace(*ex.monSema_, ex.monLayout_, ex.monCode_);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: setup
+// ---------------------------------------------------------------------------
+
+Explorer::Explorer(const efsm::FlatProgram& flat,
+                   std::shared_ptr<const bc::Program> code,
+                   const ModuleSema& sema, ExplorerOptions options)
+    : flat_(flat), code_(std::move(code)), sema_(sema),
+      layout_(rt::computeInstanceLayout(sema)), options_(std::move(options))
+{
+    if (!code_)
+        throw EclError("Explorer requires the compiled bytecode program");
+    if (options_.maxStates == 0 || options_.maxLettersPerState == 0)
+        throw EclError("Explorer: maxStates and maxLettersPerState must be "
+                       "non-zero");
+}
+
+void Explorer::attachMonitor(const efsm::FlatProgram& flat,
+                             std::shared_ptr<const bc::Program> code,
+                             const ModuleSema& sema,
+                             std::shared_ptr<const void> owner)
+{
+    if (ran_) throw EclError("attachMonitor after run()");
+    if (monSema_) throw EclError("only one monitor is supported");
+    if (!code)
+        throw EclError("monitor module has no compiled bytecode program");
+    wires_ = wireMonitor(sema_, sema);
+    monFlat_ = &flat;
+    monCode_ = std::move(code);
+    monSema_ = &sema;
+    monLayout_ = rt::computeInstanceLayout(sema);
+    if (owner) owners_.push_back(std::move(owner));
+}
+
+void Explorer::addPredicate(std::string name, Predicate fn)
+{
+    if (ran_) throw EclError("addPredicate after run()");
+    if (!fn) throw EclError("addPredicate: empty predicate");
+    predicates_.emplace_back(std::move(name), std::move(fn));
+}
+
+void Explorer::buildAlphabet()
+{
+    // Value domains per valued input: configured scalars, the zero value
+    // for aggregates (finite-alphabet requirement).
+    domains_.assign(sema_.signals.size(), {});
+    for (const SignalInfo& sig : sema_.signals) {
+        if (sig.dir != SignalDir::Input || sig.pure) continue;
+        std::vector<Value>& dom =
+            domains_[static_cast<std::size_t>(sig.index)];
+        if (!sig.valueType->isScalar()) {
+            dom.emplace_back(sig.valueType); // zeroed aggregate
+            continue;
+        }
+        auto it = options_.scalarDomains.find(sig.name);
+        const std::vector<std::int64_t>& vals =
+            it != options_.scalarDomains.end() ? it->second
+                                               : options_.scalarDomain;
+        if (vals.empty())
+            throw EclError("empty value domain for input '" + sig.name + "'");
+        dom.reserve(vals.size());
+        for (std::int64_t v : vals)
+            dom.push_back(Value::fromInt(sig.valueType, v));
+    }
+
+    // Pure design inputs the monitor observes must never be pruned: the
+    // design's decision tree may ignore them, but the monitor's awaits
+    // do not.
+    std::vector<std::uint8_t> monitorWired(sema_.signals.size(), 0);
+    for (const MonitorWire& w : wires_)
+        monitorWired[static_cast<std::size_t>(w.designSig)] = 1;
+
+    // Canonical letter list per design control state: mixed-radix
+    // enumeration over the state's relevant inputs, lowest signal index
+    // least significant, digit 0 = absent. Letter 0 is always the empty
+    // instant.
+    alphabet_.assign(flat_.states.size(), {});
+    std::vector<std::uint8_t> tested(sema_.signals.size(), 0);
+    std::vector<std::int32_t> stack;
+    for (std::size_t st = 0; st < flat_.states.size(); ++st) {
+        std::fill(tested.begin(), tested.end(), 0);
+        if (options_.pruneInputs) {
+            stack.clear();
+            if (flat_.states[st].root >= 0)
+                stack.push_back(flat_.states[st].root);
+            while (!stack.empty()) {
+                const efsm::FlatNode& n =
+                    flat_.nodes[static_cast<std::size_t>(stack.back())];
+                stack.pop_back();
+                if (n.isLeaf()) continue;
+                if (n.testSignal >= 0)
+                    tested[static_cast<std::size_t>(n.testSignal)] = 1;
+                stack.push_back(n.onTrue);
+                stack.push_back(n.onFalse);
+            }
+        }
+
+        std::vector<int> rel;
+        std::vector<std::uint64_t> radix;
+        std::uint64_t total = 1;
+        bool overflow = false;
+        for (const SignalInfo& sig : sema_.signals) {
+            if (sig.dir != SignalDir::Input) continue;
+            // Dirty-set pruning: an untested pure input cannot influence
+            // this state's reaction — unless the monitor observes it.
+            // Valued inputs always can (their value write persists in
+            // the state bytes).
+            if (options_.pruneInputs && sig.pure &&
+                !tested[static_cast<std::size_t>(sig.index)] &&
+                !monitorWired[static_cast<std::size_t>(sig.index)])
+                continue;
+            rel.push_back(sig.index);
+            std::uint64_t r =
+                sig.pure
+                    ? 2
+                    : 1 + domains_[static_cast<std::size_t>(sig.index)].size();
+            radix.push_back(r);
+            if (total > std::numeric_limits<std::uint64_t>::max() / r)
+                overflow = true;
+            else
+                total *= r;
+        }
+
+        std::uint64_t count = total;
+        StateAlphabet& sa = alphabet_[st];
+        if (overflow || count > options_.maxLettersPerState) {
+            count = options_.maxLettersPerState;
+            sa.truncated = true;
+        }
+        sa.letters.reserve(static_cast<std::size_t>(count));
+        std::vector<std::uint32_t> digits(rel.size(), 0);
+        for (std::uint64_t code = 0; code < count; ++code) {
+            Letter letter;
+            for (std::size_t k = 0; k < rel.size(); ++k) {
+                if (digits[k] == 0) continue;
+                const SignalInfo& sig =
+                    sema_.signals[static_cast<std::size_t>(rel[k])];
+                letter.sets.emplace_back(
+                    rel[k],
+                    sig.pure ? -1 : static_cast<std::int32_t>(digits[k] - 1));
+            }
+            sa.letters.push_back(std::move(letter));
+            for (std::size_t k = 0; k < rel.size(); ++k) {
+                if (++digits[k] < radix[k]) break;
+                digits[k] = 0;
+            }
+        }
+    }
+}
+
+void Explorer::resolveChecks()
+{
+    checks_.clear();
+    const ModuleSema& checked = monSema_ ? *monSema_ : sema_;
+    const Violation::Kind kind = monSema_ ? Violation::Kind::MonitorSignal
+                                          : Violation::Kind::DesignSignal;
+    if (!options_.violationSignals.empty()) {
+        for (const std::string& name : options_.violationSignals) {
+            const SignalInfo* s = checked.findSignal(name);
+            if (!s)
+                throw EclError("violation signal '" + name +
+                               "' not found in the " +
+                               (monSema_ ? "monitor" : "design") +
+                               std::string(" module"));
+            checks_.push_back({kind, s->index, 0, s->name});
+        }
+    } else {
+        for (const SignalInfo& s : checked.signals) {
+            if (s.dir == SignalDir::Input) continue;
+            if (lowercase(s.name).find("violation") == std::string::npos)
+                continue;
+            checks_.push_back({kind, s.index, 0, s.name});
+        }
+    }
+    if (monSema_ && checks_.empty() && predicates_.empty())
+        throw EclError(
+            "monitor flags nothing: no signal named *violation* and no "
+            "registered predicate (name one in "
+            "ExplorerOptions::violationSignals)");
+    for (std::size_t i = 0; i < predicates_.size(); ++i)
+        checks_.push_back(
+            {Violation::Kind::Predicate, -1, i, predicates_[i].first});
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: successor computation
+// ---------------------------------------------------------------------------
+
+int Explorer::reactModule(ModuleCtx& ctx, const efsm::FlatProgram& flat,
+                          const ModuleSema& sema,
+                          const rt::InstanceLayout& layout, int state) const
+{
+    // The lean twin of SyncEngine::reactFlat / BatchEngine::reactOne:
+    // same successor state, emissions and value writes, no counter or
+    // event bookkeeping (throughput is states/sec here).
+    ctx.vm.resetOpWindow();
+    const efsm::FlatNode* nodes = flat.nodes.data();
+    const efsm::FlatAction* actions = flat.actions.data();
+    std::uint8_t* present = ctx.present.data();
+    auto runActs = [&](const efsm::FlatNode& node) {
+        for (std::int32_t i = node.actionsBegin; i < node.actionsEnd; ++i) {
+            const efsm::FlatAction& a = actions[i];
+            if (a.kind == efsm::FlatAction::Kind::Emit) {
+                if (a.chunk >= 0) {
+                    Value v = ctx.vm.runExpr(a.chunk, ctx.store, ctx.sigs);
+                    storeSigValue(
+                        ctx.slice.data(), layout,
+                        sema.signals[static_cast<std::size_t>(a.signal)], v);
+                }
+                present[a.signal] = 1;
+            } else if (a.chunk >= 0) {
+                ctx.vm.runAction(a.chunk, ctx.store, ctx.sigs);
+            }
+        }
+    };
+
+    const efsm::FlatNode* node =
+        &nodes[flat.states[static_cast<std::size_t>(state)].root];
+    while (!node->isLeaf()) {
+        runActs(*node);
+        bool taken = node->testSignal >= 0
+                         ? present[node->testSignal] != 0
+                         : ctx.vm.runPredicate(node->predChunk, ctx.store,
+                                               ctx.sigs);
+        node = &nodes[taken ? node->onTrue : node->onFalse];
+    }
+    if (node->runtimeError())
+        throw EclError("instantaneous loop detected at runtime (a "
+                       "statically-unverifiable loop path was reached)");
+    runActs(*node);
+    return node->nextState;
+}
+
+std::int32_t Explorer::designStateOf(const std::uint8_t* rec) const
+{
+    return readI32(rec);
+}
+
+void Explorer::expandOne(Worker& w, std::uint32_t id, std::uint32_t letterIdx)
+{
+    const std::uint8_t* rec = store_->at(id);
+    const int ds = designStateOf(rec);
+    const Letter& letter =
+        alphabet_[static_cast<std::size_t>(ds)].letters[letterIdx];
+
+    Succ s;
+    s.parent = id;
+    s.letter = letterIdx;
+
+    // Load the design instance and apply the letter (presence + values).
+    std::memcpy(w.design.slice.data(), rec + headerBytes_, layout_.dataBytes);
+    std::memset(w.design.present.data(), 0, w.design.present.size());
+    for (const auto& [sig, dom] : letter.sets) {
+        w.design.present[static_cast<std::size_t>(sig)] = 1;
+        if (dom >= 0)
+            storeSigValue(
+                w.design.slice.data(), layout_,
+                sema_.signals[static_cast<std::size_t>(sig)],
+                domains_[static_cast<std::size_t>(sig)]
+                        [static_cast<std::size_t>(dom)]);
+    }
+
+    int newDs = ds;
+    int newMs = -1;
+    try {
+        newDs = reactModule(w.design, flat_, sema_, layout_, ds);
+        if (monSema_) {
+            const int ms = readI32(rec + 4);
+            std::memcpy(w.monitor->slice.data(),
+                        rec + headerBytes_ + layout_.dataBytes,
+                        monLayout_.dataBytes);
+            std::memset(w.monitor->present.data(), 0,
+                        w.monitor->present.size());
+            newMs = ms;
+            if (!monFlat_->states[static_cast<std::size_t>(ms)].dead) {
+                // Feed the monitor the design's instant: presence (and
+                // value) of every wired signal, inputs and emissions
+                // alike.
+                for (const MonitorWire& wire : wires_) {
+                    if (!w.design.present[static_cast<std::size_t>(
+                            wire.designSig)])
+                        continue;
+                    w.monitor
+                        ->present[static_cast<std::size_t>(wire.monitorSig)] =
+                        1;
+                    if (wire.valued) {
+                        const SignalInfo& dsig =
+                            sema_.signals[static_cast<std::size_t>(
+                                wire.designSig)];
+                        const SignalInfo& msig =
+                            monSema_->signals[static_cast<std::size_t>(
+                                wire.monitorSig)];
+                        const std::uint8_t* src =
+                            w.design.slice.data() +
+                            layout_.sigOffsets[static_cast<std::size_t>(
+                                wire.designSig)];
+                        std::uint8_t* dst =
+                            w.monitor->slice.data() +
+                            monLayout_.sigOffsets[static_cast<std::size_t>(
+                                wire.monitorSig)];
+                        if (msig.valueType->isScalar())
+                            writeScalar(dst, msig.valueType,
+                                        readScalar(src, dsig.valueType));
+                        else
+                            std::memcpy(dst, src, msig.valueType->size());
+                    }
+                }
+                newMs = reactModule(*w.monitor, *monFlat_, *monSema_,
+                                    monLayout_, ms);
+            }
+        }
+    } catch (const EclError& e) {
+        // A trapped reaction is itself a verification result: the trace
+        // to it demonstrates a runtime error (instantaneous-loop leaf,
+        // data runtime failure) is reachable.
+        s.runtimeError = true;
+        s.errorText = e.what();
+        w.packed.resize(w.packed.size() + packedSize_); // placeholder
+        w.succs.push_back(std::move(s));
+        return;
+    }
+
+    // Violation checks run per transition: emissions are per-instant and
+    // deliberately not part of the packed state.
+    for (std::size_t c = 0; c < checks_.size(); ++c) {
+        const Check& ck = checks_[c];
+        if (ck.kind == Violation::Kind::Predicate) {
+            StateView view(sema_, layout_, newDs, w.design.slice.data());
+            if (predicates_[ck.predicate].second(view)) {
+                s.check = static_cast<std::int32_t>(c);
+                break;
+            }
+        } else {
+            const ModuleCtx& ctx = ck.kind == Violation::Kind::MonitorSignal
+                                       ? *w.monitor
+                                       : w.design;
+            if (ctx.present[static_cast<std::size_t>(ck.signal)]) {
+                s.check = static_cast<std::int32_t>(c);
+                break;
+            }
+        }
+    }
+
+    const std::size_t off = w.packed.size();
+    w.packed.resize(off + packedSize_);
+    std::uint8_t* out = w.packed.data() + off;
+    writeI32(out, newDs);
+    if (monSema_) writeI32(out + 4, newMs);
+    std::memcpy(out + headerBytes_, w.design.slice.data(), layout_.dataBytes);
+    if (monSema_)
+        std::memcpy(out + headerBytes_ + layout_.dataBytes,
+                    w.monitor->slice.data(), monLayout_.dataBytes);
+    w.succs.push_back(std::move(s));
+}
+
+void Explorer::expandRange(Worker& w, std::uint32_t begin, std::uint32_t end)
+{
+    try {
+        for (std::uint32_t id = begin; id < end; ++id) {
+            const int ds = designStateOf(store_->at(id));
+            if (flat_.states[static_cast<std::size_t>(ds)].dead)
+                continue; // terminated: no future instants
+            const StateAlphabet& sa =
+                alphabet_[static_cast<std::size_t>(ds)];
+            if (sa.truncated) w.sawTruncation = true;
+            for (std::uint32_t L = 0;
+                 L < static_cast<std::uint32_t>(sa.letters.size()); ++L)
+                expandOne(w, id, L);
+        }
+    } catch (...) {
+        w.fatal = std::current_exception();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: merge, violations, traces
+// ---------------------------------------------------------------------------
+
+bool Explorer::mergeWorker(Worker& w, ExploreResult& out)
+{
+    const std::uint8_t* bytes = w.packed.data();
+    for (std::size_t i = 0; i < w.succs.size();
+         ++i, bytes += packedSize_) {
+        const Succ& s = w.succs[i];
+        ++out.stats.transitions;
+        if (s.runtimeError || s.check >= 0) {
+            recordViolation(s, bytes, out);
+            return true;
+        }
+        // The state cap stops interning (deterministically: merge order
+        // is canonical) but the remaining transitions of the level are
+        // still scanned for violations.
+        if (store_->size() >= options_.maxStates) continue;
+        auto [newId, isNew] = store_->intern(bytes);
+        if (isNew) {
+            parents_.push_back({s.parent, s.letter});
+            depths_.push_back(depths_[s.parent] + 1);
+        }
+    }
+    return false;
+}
+
+void Explorer::recordViolation(const Succ& s, const std::uint8_t* packed,
+                               ExploreResult& out)
+{
+    out.violated = true;
+    Violation v;
+    if (s.runtimeError) {
+        v.kind = Violation::Kind::RuntimeError;
+        v.what = s.errorText;
+    } else {
+        const Check& ck = checks_[static_cast<std::size_t>(s.check)];
+        v.kind = ck.kind;
+        v.what = ck.name;
+        v.signal = ck.signal;
+        v.state.assign(packed, packed + packedSize_);
+        if (ck.kind != Violation::Kind::Predicate) {
+            const bool onMonitor = ck.kind == Violation::Kind::MonitorSignal;
+            const ModuleSema& sema = onMonitor ? *monSema_ : sema_;
+            const rt::InstanceLayout& layout =
+                onMonitor ? monLayout_ : layout_;
+            const SignalInfo& sig =
+                sema.signals[static_cast<std::size_t>(ck.signal)];
+            if (!sig.pure) {
+                const std::uint8_t* data =
+                    packed + headerBytes_ +
+                    (onMonitor ? layout_.dataBytes : 0);
+                v.value = Value::fromBytes(
+                    sig.valueType,
+                    data +
+                        layout.sigOffsets[static_cast<std::size_t>(
+                            ck.signal)]);
+            }
+        }
+    }
+    out.trace = buildTrace(s.parent, s.letter);
+    v.depth = static_cast<int>(out.trace.size());
+    out.violation = std::move(v);
+}
+
+TraceStep Explorer::letterToStep(std::uint32_t stateId,
+                                 std::uint32_t letterIdx) const
+{
+    const int ds = designStateOf(store_->at(stateId));
+    const Letter& letter =
+        alphabet_[static_cast<std::size_t>(ds)].letters[letterIdx];
+    TraceStep step;
+    step.inputs.reserve(letter.sets.size());
+    for (const auto& [sig, dom] : letter.sets) {
+        InputEvent ev;
+        ev.signal = sig;
+        if (dom >= 0)
+            ev.value = domains_[static_cast<std::size_t>(sig)]
+                               [static_cast<std::size_t>(dom)];
+        step.inputs.push_back(std::move(ev));
+    }
+    return step;
+}
+
+std::vector<TraceStep> Explorer::buildTrace(std::uint32_t parent,
+                                            std::uint32_t letterIdx) const
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> chain;
+    chain.emplace_back(parent, letterIdx);
+    std::uint32_t cur = parent;
+    while (cur != 0) {
+        const ParentLink& pl = parents_[cur];
+        chain.emplace_back(pl.parent, pl.letter);
+        cur = pl.parent;
+    }
+    std::reverse(chain.begin(), chain.end());
+    std::vector<TraceStep> steps;
+    steps.reserve(chain.size());
+    for (const auto& [stateId, letter] : chain)
+        steps.push_back(letterToStep(stateId, letter));
+    return steps;
+}
+
+// ---------------------------------------------------------------------------
+// Explorer: worker pool + main loops
+// ---------------------------------------------------------------------------
+
+ExploreResult Explorer::run()
+{
+    if (ran_)
+        throw EclError("Explorer::run is single-shot; build a fresh "
+                       "explorer per run");
+    ran_ = true;
+
+    headerBytes_ = monSema_ ? 8 : 4;
+    packedSize_ = headerBytes_ + layout_.dataBytes +
+                  (monSema_ ? monLayout_.dataBytes : 0);
+    store_ = std::make_unique<StateStore>(packedSize_);
+    buildAlphabet();
+    resolveChecks();
+
+    // Root: pre-boot — initial control states, all data zero. The first
+    // explored instant is the boot reaction (which may consume inputs).
+    std::vector<std::uint8_t> root(packedSize_, 0);
+    writeI32(root.data(), flat_.initialState);
+    if (monSema_) writeI32(root.data() + 4, monFlat_->initialState);
+    store_->intern(root.data());
+    parents_.push_back({std::numeric_limits<std::uint32_t>::max(), 0});
+    depths_.push_back(0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ExploreResult out = options_.strategy == Strategy::Dfs ? runDfs()
+                                                           : runBfs();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    out.stats.states = store_->size();
+    out.stats.seconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    out.stats.statesPerSec =
+        out.stats.seconds > 0
+            ? static_cast<double>(out.stats.states) / out.stats.seconds
+            : 0;
+    return out;
+}
+
+ExploreResult Explorer::runBfs()
+{
+    const int T = std::max(1, options_.threads);
+    workers_.clear();
+    for (int i = 0; i < T; ++i)
+        workers_.push_back(std::make_unique<Worker>(*this));
+    ranges_.assign(static_cast<std::size_t>(T), {0, 0});
+    // Expansion is the callback's only job; failures land in the
+    // worker's exception_ptr, rethrown after each epoch.
+    rt::WorkerPool pool(T, [this](int w) {
+        const std::size_t i = static_cast<std::size_t>(w);
+        expandRange(*workers_[i], ranges_[i].first, ranges_[i].second);
+    });
+
+    ExploreResult out;
+    std::uint32_t levelBegin = 0;
+    std::uint32_t levelEnd = 1;
+    int depth = 0;
+    bool capped = false;
+    bool stopped = false;
+
+    out.stats.peakFrontier = 1;
+    while (levelBegin < levelEnd && depth < options_.maxDepth && !stopped &&
+           !capped) {
+        for (const auto& w : workers_) {
+            w->packed.clear();
+            w->succs.clear();
+            w->fatal = nullptr;
+        }
+        const std::uint32_t n = levelEnd - levelBegin;
+        const std::uint32_t chunk = (n + static_cast<std::uint32_t>(T) - 1) /
+                                    static_cast<std::uint32_t>(T);
+        for (std::size_t w = 0; w < static_cast<std::size_t>(T); ++w) {
+            const std::uint32_t b =
+                std::min(n, static_cast<std::uint32_t>(w) * chunk);
+            ranges_[w] = {levelBegin + b, levelBegin + std::min(n, b + chunk)};
+        }
+
+        pool.run();
+        for (const auto& w : workers_)
+            if (w->fatal) std::rethrow_exception(w->fatal);
+
+        ++depth;
+        // Canonical merge: worker chunks are contiguous ascending
+        // frontier ranges, so concatenation in worker order IS
+        // frontier x letter order — ids and the first violation are
+        // thread-count independent.
+        for (const auto& w : workers_) {
+            if (mergeWorker(*w, out)) {
+                stopped = true;
+                break;
+            }
+        }
+        levelBegin = levelEnd;
+        levelEnd = store_->size();
+        out.stats.peakFrontier =
+            std::max(out.stats.peakFrontier,
+                     static_cast<std::uint64_t>(levelEnd - levelBegin));
+        out.stats.depthReached = depth;
+        if (store_->size() >= options_.maxStates) capped = true;
+    }
+
+    for (const auto& w : workers_)
+        if (w->sawTruncation) out.stats.alphabetTruncated = true;
+    out.stats.complete = !stopped && !capped &&
+                         !out.stats.alphabetTruncated &&
+                         levelBegin == levelEnd;
+    return out;
+}
+
+ExploreResult Explorer::runDfs()
+{
+    workers_.clear();
+    workers_.push_back(std::make_unique<Worker>(*this));
+    Worker& w = *workers_[0];
+
+    ExploreResult out;
+    std::vector<std::uint32_t> stack{0};
+    out.stats.peakFrontier = 1;
+    bool capped = false;
+    bool depthBounded = false;
+    bool stopped = false;
+
+    while (!stack.empty() && !stopped && !capped) {
+        const std::uint32_t id = stack.back();
+        stack.pop_back();
+        const int ds = designStateOf(store_->at(id));
+        if (flat_.states[static_cast<std::size_t>(ds)].dead) continue;
+        if (depths_[id] >=
+            static_cast<std::uint32_t>(options_.maxDepth)) {
+            depthBounded = true;
+            continue;
+        }
+        out.stats.depthReached =
+            std::max(out.stats.depthReached,
+                     static_cast<int>(depths_[id]) + 1);
+
+        w.packed.clear();
+        w.succs.clear();
+        const StateAlphabet& sa = alphabet_[static_cast<std::size_t>(ds)];
+        if (sa.truncated) w.sawTruncation = true;
+        for (std::uint32_t L = 0;
+             L < static_cast<std::uint32_t>(sa.letters.size()); ++L)
+            expandOne(w, id, L);
+
+        const std::uint32_t before = store_->size();
+        if (mergeWorker(w, out)) {
+            stopped = true;
+            break;
+        }
+        // Push in reverse so the letter-0 successor is explored first.
+        for (std::uint32_t newId = store_->size(); newId > before;)
+            stack.push_back(--newId);
+        out.stats.peakFrontier = std::max(
+            out.stats.peakFrontier,
+            static_cast<std::uint64_t>(stack.size()));
+        if (store_->size() >= options_.maxStates) capped = true;
+    }
+
+    if (w.sawTruncation) out.stats.alphabetTruncated = true;
+    out.stats.complete = !stopped && !capped && !depthBounded &&
+                         !out.stats.alphabetTruncated && stack.empty();
+    return out;
+}
+
+std::uint64_t Explorer::stateDigest() const
+{
+    if (!store_) throw EclError("stateDigest before run()");
+    return store_->digest();
+}
+
+const StateStore& Explorer::stateStore() const
+{
+    if (!store_) throw EclError("stateStore before run()");
+    return *store_;
+}
+
+} // namespace ecl::verify

@@ -1,0 +1,378 @@
+// Explicit-state verification: parallel reachability + safety checking
+// over the shared flat tables.
+//
+// The ECL paper's pitch is that the Esterel-derived reactive part has a
+// formal synchronous semantics, so system-level specs can be *verified*,
+// not just executed. This layer exploits that: a compiled module's
+// reaction function (efsm::FlatProgram + bc::Program, the same read-only
+// tables the SyncEngine and the batch runtime execute) is a total
+// function  (control state, data bytes, inputs) -> (control state, data
+// bytes, emissions),  so the reachable state space can be enumerated
+// exactly.
+//
+// State encoding — one packed fixed-size record per reached state:
+//   [design control state : i32][monitor control state : i32, if any]
+//   [design data bytes][monitor data bytes]
+// where "data bytes" is the module's rt::InstanceLayout slice (variables
+// + valued-signal slots) — byte-compatible with a batch-engine arena
+// slice, and with rt::SyncEngine state via verify::encodeEngineState
+// (src/verify/replay.h). Records are hash-interned in a StateStore; the
+// interned pause-set configuration behind a control state id is
+// available through FlatProgram::configOf.
+//
+// Input alphabet — per instant the environment may set any subset of the
+// input signals, valued inputs carrying one value from a finite domain
+// (ExplorerOptions: {0,1} for scalars by default, the zero value for
+// aggregates). Letters are enumerated in a canonical mixed-radix order
+// (lowest signal index = least significant digit, absent < domain
+// values), capped by maxLettersPerState. Dirty-set pruning: a *pure*
+// input whose presence is never tested by the current control state's
+// decision tree cannot affect the reaction, so it is held absent —
+// valued inputs always stay in the alphabet because their value write
+// persists in the state bytes. Pruning is sound for reachability and
+// for minimal counterexamples (the minimal trace never sets an
+// untested pure input).
+//
+// Frontier expansion — BFS by default: each depth level is a contiguous
+// id range; worker threads expand disjoint contiguous chunks of it
+// through per-worker scratch (view Store + ArenaSigView + reentrant
+// bc::Vm, exactly the batch runtime's shard discipline), then a
+// sequential merge interns successors in canonical frontier x letter
+// order. State numbering, state count, and the reported counterexample
+// are therefore identical for any thread count, and BFS parent links
+// give shortest traces. Strategy::Dfs explores depth-first on the
+// calling thread instead (lower memory for deep narrow spaces; traces
+// not minimal).
+//
+// Violations — three sources, checked per *transition* (emissions are
+// per-instant and not part of the packed state):
+//  * a monitor module attached with attachMonitor(): its inputs are
+//    wired by name to design signals, it reacts synchronously on the
+//    design's every instant, and emitting any violation signal
+//    (ExplorerOptions::violationSignals, default any signal whose name
+//    contains "violation") flags the transition;
+//  * the same signal check on the design itself when no monitor is
+//    attached;
+//  * registered predicates over the post-reaction design state bytes.
+// A reaction that traps at runtime (instantaneous-loop leaf, data
+// runtime error) is reported as Violation::Kind::RuntimeError with the
+// trace that reaches it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/efsm/flatten.h"
+#include "src/interp/vm.h"
+#include "src/runtime/instance_layout.h"
+#include "src/runtime/worker_pool.h"
+#include "src/sema/sema.h"
+#include "src/verify/state_store.h"
+
+namespace ecl::verify {
+
+/// One present input in one instant of a counterexample trace.
+struct InputEvent {
+    int signal = -1; ///< SignalInfo::index in the design module.
+    Value value;     ///< Empty for pure signals.
+};
+
+/// One instant of a counterexample: inputs to apply, then react().
+struct TraceStep {
+    std::vector<InputEvent> inputs;
+};
+
+struct Violation {
+    enum class Kind {
+        MonitorSignal, ///< Violation signal emitted by the monitor.
+        DesignSignal,  ///< Violation signal emitted by the design.
+        Predicate,     ///< A registered predicate returned true.
+        RuntimeError,  ///< The reaction trapped (instantaneous loop, ...).
+    };
+    Kind kind = Kind::DesignSignal;
+    std::string what; ///< Signal name, predicate name, or error text.
+    int signal = -1;  ///< Signal kinds: index in the monitored module.
+    Value value;      ///< Emitted value when the signal is valued.
+    int depth = 0;    ///< Instants from boot up to the violating reaction.
+    /// Packed post-reaction record (design [+ monitor]); empty for
+    /// RuntimeError (the reaction never completed).
+    std::vector<std::uint8_t> state;
+};
+
+struct ExploreStats {
+    std::uint64_t states = 0;      ///< Distinct states interned (root incl.).
+    std::uint64_t transitions = 0; ///< (state, letter) expansions executed.
+    std::uint64_t peakFrontier = 0;
+    int depthReached = 0; ///< Deepest instant expanded into.
+    bool complete = false; ///< Frontier exhausted within every bound.
+    bool alphabetTruncated = false; ///< maxLettersPerState hit somewhere.
+    double seconds = 0;
+    double statesPerSec = 0;
+};
+
+struct ExploreResult {
+    ExploreStats stats;
+    bool violated = false;
+    Violation violation;          ///< Valid when violated.
+    std::vector<TraceStep> trace; ///< Counterexample inputs, instant 0 first.
+};
+
+enum class Strategy {
+    Bfs, ///< Level-parallel, deterministic ids, shortest counterexamples.
+    Dfs, ///< Sequential depth-first; lower frontier memory, traces not
+         ///< minimal.
+};
+
+struct ExplorerOptions {
+    int threads = 1; ///< Worker threads for BFS level expansion.
+    Strategy strategy = Strategy::Bfs;
+    /// Maximum instants from boot (exploration depth). States beyond the
+    /// bound stay unexpanded and the result is marked incomplete.
+    int maxDepth = 1 << 20;
+    /// Hard cap on interned states; hitting it marks the result
+    /// incomplete (deterministically — interning order is canonical).
+    std::uint32_t maxStates = 1u << 20;
+    /// Input-alphabet cap per state (letters beyond it are dropped and
+    /// stats.alphabetTruncated is set).
+    std::size_t maxLettersPerState = 4096;
+    /// Hold pure inputs absent in states whose decision tree never tests
+    /// them (sound; see the header comment). Off = full alphabet.
+    bool pruneInputs = true;
+    /// Candidate values for scalar-valued inputs, smallest set that can
+    /// drive both branches of most predicates by default.
+    std::vector<std::int64_t> scalarDomain = {0, 1};
+    /// Per-signal overrides of scalarDomain, keyed by input-signal name.
+    std::map<std::string, std::vector<std::int64_t>> scalarDomains;
+    /// Names of violation signals in the monitored module (monitor when
+    /// attached, else the design). Empty = any signal whose lowercase
+    /// name contains "violation".
+    std::vector<std::string> violationSignals;
+};
+
+/// Read-only view of one packed design state (predicate interface).
+class StateView {
+public:
+    StateView(const ModuleSema& sema, const rt::InstanceLayout& layout,
+              int controlState, const std::uint8_t* data)
+        : sema_(&sema), layout_(&layout), control_(controlState), data_(data)
+    {
+    }
+
+    [[nodiscard]] int controlState() const { return control_; }
+
+    /// Scalar variable by VarInfo index / by name.
+    [[nodiscard]] std::int64_t var(int idx) const
+    {
+        const VarInfo& v = sema_->vars[static_cast<std::size_t>(idx)];
+        return readScalar(
+            data_ + layout_->varOffsets[static_cast<std::size_t>(idx)],
+            v.type);
+    }
+    [[nodiscard]] std::int64_t var(const std::string& name) const;
+
+    /// Materialized copy of any variable (aggregates included).
+    [[nodiscard]] Value varValue(int idx) const
+    {
+        const VarInfo& v = sema_->vars[static_cast<std::size_t>(idx)];
+        return Value::fromBytes(
+            v.type, data_ + layout_->varOffsets[static_cast<std::size_t>(idx)]);
+    }
+
+    /// Persistent value slot of a valued signal.
+    [[nodiscard]] std::int64_t signal(int idx) const;
+    [[nodiscard]] Value signalValue(int idx) const;
+
+private:
+    const ModuleSema* sema_;
+    const rt::InstanceLayout* layout_;
+    int control_;
+    const std::uint8_t* data_;
+};
+
+using Predicate = std::function<bool(const StateView&)>;
+
+/// One name-wire between a monitor input and a design signal.
+struct MonitorWire {
+    int monitorSig = -1;
+    int designSig = -1;
+    bool valued = false; ///< Value transferred along with presence.
+};
+
+/// Resolves every monitor input against the design's signal table by
+/// name (any direction — inputs, outputs and locals are observable).
+/// Throws EclError on unknown names or value-type size mismatches.
+std::vector<MonitorWire> wireMonitor(const ModuleSema& design,
+                                     const ModuleSema& monitor);
+
+class Explorer {
+public:
+    /// `flat`, `sema` and the structures behind `code` must outlive the
+    /// explorer (retain() the CompiledModule, or use
+    /// CompiledModule::makeExplorer which does).
+    Explorer(const efsm::FlatProgram& flat,
+             std::shared_ptr<const bc::Program> code, const ModuleSema& sema,
+             ExplorerOptions options = {});
+
+    Explorer(const Explorer&) = delete;
+    Explorer& operator=(const Explorer&) = delete;
+
+    /// Keeps an owner (typically a CompiledModule) alive.
+    void retain(std::shared_ptr<const void> owner)
+    {
+        owners_.push_back(std::move(owner));
+    }
+
+    /// Attaches an observer module: inputs wired by name to design
+    /// signals (wireMonitor rules), reacting on every explored instant.
+    /// Must be called before run(); only one monitor is supported.
+    void attachMonitor(const efsm::FlatProgram& flat,
+                       std::shared_ptr<const bc::Program> code,
+                       const ModuleSema& sema,
+                       std::shared_ptr<const void> owner = nullptr);
+
+    /// Registers a safety predicate over post-reaction design states;
+    /// returning true flags the transition as a violation.
+    void addPredicate(std::string name, Predicate fn);
+
+    /// Explores the reachable state space. Single-shot: a second call
+    /// throws (build a fresh Explorer per run).
+    ExploreResult run();
+
+    [[nodiscard]] const ModuleSema& designSema() const { return sema_; }
+    [[nodiscard]] const rt::InstanceLayout& designLayout() const
+    {
+        return layout_;
+    }
+    /// Order-sensitive digest over all interned states (determinism
+    /// fingerprint for tests). Valid after run().
+    [[nodiscard]] std::uint64_t stateDigest() const;
+    /// The interned packed records (reachable-set introspection; tests
+    /// cross-check it against brute-force enumeration). Valid after
+    /// run().
+    [[nodiscard]] const StateStore& stateStore() const;
+    [[nodiscard]] std::size_t packedSize() const { return packedSize_; }
+
+private:
+    /// One input letter: the present inputs of an instant.
+    struct Letter {
+        /// (design signal index, domain index) — domain index -1 for
+        /// pure signals.
+        std::vector<std::pair<std::int32_t, std::int32_t>> sets;
+    };
+    struct StateAlphabet {
+        std::vector<Letter> letters;
+        bool truncated = false;
+    };
+
+    /// Per-module execution scratch of one worker (design or monitor).
+    struct ModuleCtx {
+        std::vector<std::uint8_t> slice;   ///< stride bytes, zeroed.
+        std::vector<std::uint8_t> present; ///< One byte per signal.
+        Store store;
+        rt::ArenaSigView sigs;
+        bc::Vm vm;
+
+        ModuleCtx(const ModuleSema& sema, const rt::InstanceLayout& layout,
+                  std::shared_ptr<const bc::Program> code);
+    };
+
+    /// One expanded successor, recorded by a worker for the merge phase.
+    struct Succ {
+        std::uint32_t parent = 0;
+        std::uint32_t letter = 0;
+        std::int32_t check = -1; ///< Violation-check index, -1 = none.
+        bool runtimeError = false;
+        std::string errorText; ///< Set when runtimeError.
+    };
+
+    struct Worker {
+        ModuleCtx design;
+        std::optional<ModuleCtx> monitor;
+        std::vector<std::uint8_t> packed; ///< Successors, packedSize each.
+        std::vector<Succ> succs;
+        bool sawTruncation = false; ///< Expanded a truncated-alphabet state.
+        std::exception_ptr fatal;
+
+        Worker(const Explorer& ex);
+    };
+
+    struct ParentLink {
+        std::uint32_t parent = 0;
+        std::uint32_t letter = 0;
+    };
+
+    /// Resolved violation check (signal checks first, then predicates).
+    struct Check {
+        Violation::Kind kind = Violation::Kind::DesignSignal;
+        int signal = -1; ///< Signal checks.
+        std::size_t predicate = 0; ///< Index into predicates_.
+        std::string name;
+    };
+
+    void buildAlphabet();
+    void resolveChecks();
+    int reactModule(ModuleCtx& ctx, const efsm::FlatProgram& flat,
+                    const ModuleSema& sema, const rt::InstanceLayout& layout,
+                    int state) const;
+    /// Expands one (state, letter); returns false on runtime error (succ
+    /// recorded with the error, packed bytes undefined).
+    void expandOne(Worker& w, std::uint32_t id, std::uint32_t letterIdx);
+    void expandRange(Worker& w, std::uint32_t begin, std::uint32_t end);
+    ExploreResult runBfs();
+    ExploreResult runDfs();
+    /// Merges one worker buffer in canonical order; returns true when a
+    /// violation or the state cap stops exploration.
+    bool mergeWorker(Worker& w, ExploreResult& out);
+    void recordViolation(const Succ& s, const std::uint8_t* packed,
+                         ExploreResult& out);
+    std::vector<TraceStep> buildTrace(std::uint32_t parent,
+                                      std::uint32_t letterIdx) const;
+    TraceStep letterToStep(std::uint32_t stateId,
+                           std::uint32_t letterIdx) const;
+    [[nodiscard]] std::int32_t designStateOf(const std::uint8_t* rec) const;
+
+    const efsm::FlatProgram& flat_;
+    std::shared_ptr<const bc::Program> code_;
+    const ModuleSema& sema_;
+    rt::InstanceLayout layout_;
+    ExplorerOptions options_;
+    std::vector<std::shared_ptr<const void>> owners_;
+
+    // Monitor (optional).
+    const efsm::FlatProgram* monFlat_ = nullptr;
+    std::shared_ptr<const bc::Program> monCode_;
+    const ModuleSema* monSema_ = nullptr;
+    rt::InstanceLayout monLayout_;
+    std::vector<MonitorWire> wires_;
+
+    // Packed-record geometry.
+    std::size_t headerBytes_ = 4;
+    std::size_t packedSize_ = 0;
+
+    // Canonical per-design-state input alphabet.
+    std::vector<std::vector<Value>> domains_; ///< Per design signal index.
+    std::vector<StateAlphabet> alphabet_;     ///< Per design flat state.
+
+    // Violation checks.
+    std::vector<Check> checks_;
+    std::vector<std::pair<std::string, Predicate>> predicates_;
+
+    // Exploration state.
+    std::unique_ptr<StateStore> store_;
+    std::vector<ParentLink> parents_; ///< Per interned id.
+    std::vector<std::uint32_t> depths_;
+    bool ran_ = false;
+
+    // BFS worker pool (threads > 1): one rt::WorkerPool epoch per level
+    // over contiguous frontier chunks — the batch runtime's discipline,
+    // now literally the same code.
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges_;
+};
+
+} // namespace ecl::verify

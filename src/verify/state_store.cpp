@@ -1,0 +1,76 @@
+#include "src/verify/state_store.h"
+
+#include <cstring>
+
+#include "src/support/diagnostics.h"
+
+namespace ecl::verify {
+
+namespace {
+constexpr std::size_t kInitialCapacity = 1u << 12;
+} // namespace
+
+StateStore::StateStore(std::size_t packedSize) : packedSize_(packedSize)
+{
+    if (packedSize_ == 0)
+        throw EclError("StateStore: packed state size must be non-zero");
+    table_.assign(kInitialCapacity, 0);
+    mask_ = kInitialCapacity - 1;
+}
+
+std::uint64_t StateStore::hashBytes(const std::uint8_t* p, std::size_t n)
+{
+    // FNV-1a with a 64-bit fold; fast enough for packed records of tens
+    // to hundreds of bytes and stable across platforms (determinism
+    // fingerprints land in test expectations and bench JSON).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+}
+
+std::pair<std::uint32_t, bool> StateStore::intern(const std::uint8_t* bytes)
+{
+    // Load factor 3/4 (size_t arithmetic: count_ * 4 would wrap uint32).
+    if ((static_cast<std::size_t>(count_) + 1) * 4 > table_.size() * 3)
+        grow();
+    std::size_t slot = hashBytes(bytes, packedSize_) & mask_;
+    for (;; slot = (slot + 1) & mask_) {
+        std::uint32_t entry = table_[slot];
+        if (entry == 0) {
+            arena_.insert(arena_.end(), bytes, bytes + packedSize_);
+            table_[slot] = ++count_;
+            return {count_ - 1, true};
+        }
+        if (std::memcmp(at(entry - 1), bytes, packedSize_) == 0)
+            return {entry - 1, false};
+    }
+}
+
+void StateStore::grow()
+{
+    std::vector<std::uint32_t> old = std::move(table_);
+    table_.assign(old.size() * 2, 0);
+    mask_ = table_.size() - 1;
+    for (std::uint32_t entry : old) {
+        if (entry == 0) continue;
+        std::size_t slot = hashBytes(at(entry - 1), packedSize_) & mask_;
+        while (table_[slot] != 0) slot = (slot + 1) & mask_;
+        table_[slot] = entry;
+    }
+}
+
+std::uint64_t StateStore::digest() const
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (std::uint32_t id = 0; id < count_; ++id)
+        h = h * 0x100000001b3ull ^ hashBytes(at(id), packedSize_);
+    return h;
+}
+
+} // namespace ecl::verify

@@ -1,0 +1,58 @@
+// Hash-interned store of packed exploration states.
+//
+// Every state the explorer reaches is one fixed-size byte record (the
+// packed encoding built in src/verify/explorer.h: control state ids
+// followed by the instance-layout data bytes of the design and, when a
+// monitor is attached, the monitor). The store deduplicates records and
+// assigns dense ids in interning order — the explorer interns strictly
+// in canonical frontier x letter order, so ids are deterministic for
+// any worker-thread count, and BFS parent links over these ids yield
+// shortest counterexample traces.
+//
+// Records live back-to-back in one arena (no per-state allocation); the
+// index is open-addressing with power-of-two capacity, storing id + 1
+// (0 = empty slot). Interning is single-threaded by design: workers
+// expand in parallel, the merge phase interns sequentially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecl::verify {
+
+class StateStore {
+public:
+    /// All records have exactly `packedSize` bytes (> 0).
+    explicit StateStore(std::size_t packedSize);
+
+    /// Interns one record. Returns (id, isNew); the bytes are copied into
+    /// the arena only when new.
+    std::pair<std::uint32_t, bool> intern(const std::uint8_t* bytes);
+
+    /// Stable pointer valid until the next intern().
+    [[nodiscard]] const std::uint8_t* at(std::uint32_t id) const
+    {
+        return arena_.data() + static_cast<std::size_t>(id) * packedSize_;
+    }
+
+    [[nodiscard]] std::uint32_t size() const { return count_; }
+    [[nodiscard]] std::size_t packedSize() const { return packedSize_; }
+    [[nodiscard]] std::size_t arenaBytes() const { return arena_.size(); }
+
+    /// Order-sensitive digest over all interned records (determinism
+    /// fingerprint: equal iff same records in the same order).
+    [[nodiscard]] std::uint64_t digest() const;
+
+    static std::uint64_t hashBytes(const std::uint8_t* p, std::size_t n);
+
+private:
+    void grow();
+
+    std::size_t packedSize_;
+    std::vector<std::uint8_t> arena_;
+    std::vector<std::uint32_t> table_; ///< id + 1; 0 = empty.
+    std::size_t mask_ = 0;
+    std::uint32_t count_ = 0;
+};
+
+} // namespace ecl::verify

@@ -1,0 +1,12 @@
+/* Known-violating monitor for the audio buffer's buffer_top: asserts the
+   speaker never turns on. speaker_on IS reachable (press play, feed a
+   frame), so eclc --verify with this monitor must exit 3 with a
+   counterexample — the CI fixture proving the violation path end to end. */
+module mon_speaker_never_on (input pure speaker_on,
+                             output pure violation)
+{
+    while (1) {
+        await (speaker_on);
+        emit (violation);
+    }
+}

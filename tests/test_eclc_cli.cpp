@@ -1,0 +1,123 @@
+// Integration tests for the eclc CLI, asserting the documented exit-code
+// contract (src/core/eclc_main.cpp):
+//   0 success / verified complete, 1 compile errors, 2 usage errors,
+//   3 verification violation, 4 verification bound reached.
+// The binary path comes from CMake (ECL_ECLC_PATH = $<TARGET_FILE:eclc>).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+std::string eclcPath() { return ECL_ECLC_PATH; }
+
+int runEclc(const std::string& args)
+{
+    const std::string cmd =
+        eclcPath() + " " + args + " > /dev/null 2> /dev/null";
+    const int status = std::system(cmd.c_str());
+    if (status == -1) return -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    return -2;
+}
+
+std::string writeTemp(const std::string& name, const std::string& content)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+const char* kSpeakerMonitor =
+    "module mon (input pure speaker_on, output pure violation) {\n"
+    "  while (1) { await (speaker_on); emit (violation); }\n"
+    "}\n";
+
+TEST(EclcCli, UsageErrorsExit2)
+{
+    EXPECT_EQ(runEclc(""), 2);
+    EXPECT_EQ(runEclc("--bogus-flag whatever.ecl"), 2);
+    EXPECT_EQ(runEclc("--paper nosuch"), 2);
+    // --verify conflicts with --async.
+    EXPECT_EQ(runEclc("--paper stack --verify --async"), 2);
+    // A file AND --paper is ambiguous.
+    EXPECT_EQ(runEclc("--paper stack somefile.ecl"), 2);
+    // Verify-only flags without --verify would be silently ignored;
+    // exit 0 must never be mistakable for "verified".
+    EXPECT_EQ(runEclc("--paper buffer --depth 5"), 2);
+    EXPECT_EQ(runEclc("--paper buffer --monitor nope.ecl"), 2);
+    EXPECT_EQ(runEclc("--paper buffer --dfs"), 2);
+    // --max-states must fit the explorer's 32-bit id space.
+    EXPECT_EQ(runEclc("--paper buffer --verify --max-states 4294967296"),
+              2);
+}
+
+TEST(EclcCli, CompileErrorsExit1)
+{
+    EXPECT_EQ(runEclc("/nonexistent/path.ecl"), 1);
+    const std::string parseErr =
+        writeTemp("eclc_parse_err.ecl", "module m ( {");
+    EXPECT_EQ(runEclc(parseErr), 1);
+    const std::string semaErr = writeTemp(
+        "eclc_sema_err.ecl",
+        "module m (input pure a, output pure b) {"
+        " while (1) { await (a); emit (no_such_signal); } }");
+    EXPECT_EQ(runEclc(semaErr), 1);
+    // Compile errors rank the same under --verify.
+    EXPECT_EQ(runEclc(parseErr + " --verify"), 1);
+}
+
+TEST(EclcCli, EmitSucceedsExit0)
+{
+    EXPECT_EQ(runEclc("--paper stack --emit stats"), 0);
+    EXPECT_EQ(runEclc("--paper buffer --module blinker --emit c"), 0);
+}
+
+TEST(EclcCli, VerifyCompleteExit0)
+{
+    EXPECT_EQ(runEclc("--paper buffer --module blinker --verify"), 0);
+    EXPECT_EQ(runEclc("--paper buffer --verify --threads 2"), 0);
+}
+
+TEST(EclcCli, VerifyBoundReachedExit4)
+{
+    // assemble accumulates packet bytes: the state space outgrows any
+    // small depth bound, so the run is inconclusive.
+    EXPECT_EQ(runEclc("--paper stack --module assemble --verify --depth 3"),
+              4);
+    // Same for a tight state cap.
+    EXPECT_EQ(
+        runEclc("--paper stack --module toplevel --verify --max-states 5"),
+        4);
+}
+
+TEST(EclcCli, VerifyViolationExit3)
+{
+    const std::string monitor =
+        writeTemp("eclc_monitor.ecl", kSpeakerMonitor);
+    EXPECT_EQ(runEclc("--paper buffer --verify --monitor " + monitor), 3);
+    // Identically with 4 worker threads and with DFS.
+    EXPECT_EQ(runEclc("--paper buffer --verify --threads 4 --monitor " +
+                      monitor),
+              3);
+    EXPECT_EQ(runEclc("--paper buffer --verify --dfs --monitor " + monitor),
+              3);
+}
+
+TEST(EclcCli, MonitorFileErrorsExit1)
+{
+    EXPECT_EQ(runEclc("--paper buffer --verify --monitor /nonexistent.ecl"),
+              1);
+    // Monitor that wires nothing: attach fails.
+    const std::string unwirable = writeTemp(
+        "eclc_unwirable_monitor.ecl",
+        "module mon (input pure nosuch, output pure violation) {"
+        " while (1) { await (nosuch); emit (violation); } }");
+    EXPECT_EQ(runEclc("--paper buffer --verify --monitor " + unwirable), 1);
+}
+
+} // namespace
