@@ -1,12 +1,15 @@
 // Reaction-throughput comparison: tree-walking vs flat-table/bytecode
-// execution of the same compiled EFSM, plus the Reactive-C-style baseline.
+// execution of the same compiled EFSM — at both -O0 (verbatim tables)
+// and -O2 (post-flatten optimizer) — plus the Reactive-C-style baseline.
 //
 // Workload: the paper's protocol stack (Figure 4 toplevel) driven with the
 // standard corrupted-packet byte stream — the data-heaviest paper source
 // (per-byte assembly actions, the extracted CRC fold, multi-instant header
 // walk). Plain wall-clock, median of several repetitions; emits
-// BENCH_reaction_throughput.json for the CI trajectory (smoke step, no
-// thresholds).
+// BENCH_reaction_throughput.json (modes flat_bytecode / flat_bytecode_O0 /
+// tree_walk / rc_baseline + speedup_o2_vs_o0) for the CI trajectory
+// (smoke step, no thresholds), so the optimizer delta lands in the bench
+// trajectory alongside the flat-vs-tree one.
 //
 // Usage: bench_reaction_throughput [--packets N] [--reps N]
 #include <algorithm>
@@ -62,17 +65,12 @@ RunStats driveStream(rt::ReactiveEngine& eng,
     return s;
 }
 
-/// Median ns/reaction over `reps` runs (counters are identical per run).
-template <typename MakeEngine>
-RunStats medianRun(MakeEngine make, const std::vector<std::uint8_t>& stream,
-                   int matchIdx, int inByteIdx, int reps)
+/// Median of each mode's per-rep timings (counters are identical per
+/// run). Reps are interleaved round-robin across ALL modes by the
+/// caller, so transient machine noise lands on every mode instead of
+/// biasing whichever mode happened to own that time slice.
+RunStats median(std::vector<RunStats> runs)
 {
-    std::vector<RunStats> runs;
-    runs.reserve(static_cast<std::size_t>(reps));
-    for (int i = 0; i < reps; ++i) {
-        auto eng = make();
-        runs.push_back(driveStream(*eng, stream, matchIdx, inByteIdx));
-    }
     std::sort(runs.begin(), runs.end(),
               [](const RunStats& a, const RunStats& b) {
                   return a.nsPerReaction < b.nsPerReaction;
@@ -109,8 +107,11 @@ int main(int argc, char** argv)
     }
 
     Compiler compiler(paper::protocolStackSource());
-    auto mod = compiler.compile("toplevel");
-    if (!mod->hasFlatProgram()) {
+    auto mod = compiler.compile("toplevel"); // default -O2 fast path
+    CompileOptions o0opts;
+    o0opts.optLevel = 0;
+    auto modO0 = compiler.compile("toplevel", o0opts);
+    if (!mod->hasFlatProgram() || !modO0->hasFlatProgram()) {
         std::fprintf(stderr,
                      "flat program unavailable for toplevel — aborting\n");
         return 1;
@@ -119,17 +120,39 @@ int main(int argc, char** argv)
     int inByteIdx = mod->moduleSema().findSignal("in_byte")->index;
     int matchIdx = mod->moduleSema().findSignal("addr_match")->index;
 
-    RunStats flat = medianRun(
-        [&] { return mod->makeEngine(EngineKind::Flat); }, stream, matchIdx,
-        inByteIdx, reps);
-    RunStats tree = medianRun(
-        [&] { return mod->makeEngine(EngineKind::TreeWalk); }, stream,
-        matchIdx, inByteIdx, reps);
-    RunStats rc = medianRun([&] { return mod->makeBaselineEngine(); },
-                            stream, matchIdx, inByteIdx, reps);
+    std::vector<RunStats> flatRuns, flatO0Runs, treeRuns, rcRuns;
+    for (int i = 0; i < reps; ++i) {
+        {
+            auto e = mod->makeEngine(EngineKind::Flat);
+            flatRuns.push_back(driveStream(*e, stream, matchIdx, inByteIdx));
+        }
+        {
+            auto e = modO0->makeEngine(EngineKind::Flat);
+            flatO0Runs.push_back(
+                driveStream(*e, stream, matchIdx, inByteIdx));
+        }
+        {
+            auto e = mod->makeEngine(EngineKind::TreeWalk);
+            treeRuns.push_back(driveStream(*e, stream, matchIdx, inByteIdx));
+        }
+        {
+            auto e = mod->makeBaselineEngine();
+            rcRuns.push_back(driveStream(*e, stream, matchIdx, inByteIdx));
+        }
+    }
+    RunStats flat = median(std::move(flatRuns));
+    RunStats flatO0 = median(std::move(flatO0Runs));
+    RunStats tree = median(std::move(treeRuns));
+    RunStats rc = median(std::move(rcRuns));
 
+    // State minimization and the bytecode optimizer preserve the
+    // engine-level counters exactly (identical trees walked, identical
+    // actions run) — only data-instruction counts may shrink at -O2.
     if (flat.matches != tree.matches || flat.matches != rc.matches ||
+        flat.matches != flatO0.matches ||
         flat.treeTests != tree.treeTests ||
+        flat.treeTests != flatO0.treeTests ||
+        flat.actionsRun != flatO0.actionsRun ||
         flat.actionsRun != tree.actionsRun) {
         std::fprintf(stderr,
                      "mode disagreement: flat/tree/rc matches %llu/%llu/%llu"
@@ -152,13 +175,16 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(s.treeTests),
                     static_cast<unsigned long long>(s.actionsRun));
     };
-    row("flat+bytecode", flat);
+    row("flat+bytecode (-O2)", flat);
+    row("flat+bytecode (-O0)", flatO0);
     row("tree-walk", tree);
     row("rc-baseline", rc);
     std::printf("  speedup flat vs tree-walk: %.2fx\n",
                 tree.nsPerReaction / flat.nsPerReaction);
     std::printf("  speedup flat vs rc-baseline: %.2fx\n",
                 rc.nsPerReaction / flat.nsPerReaction);
+    std::printf("  speedup -O2 vs -O0: %.2fx\n",
+                flatO0.nsPerReaction / flat.nsPerReaction);
 
     bench::JsonValue root = bench::JsonValue::obj();
     root.set("bench", "reaction_throughput")
@@ -167,11 +193,13 @@ int main(int argc, char** argv)
         .set("reps", static_cast<double>(reps))
         .set("modes", bench::JsonValue::obj()
                           .set("flat_bytecode", modeJson(flat))
+                          .set("flat_bytecode_O0", modeJson(flatO0))
                           .set("tree_walk", modeJson(tree))
                           .set("rc_baseline", modeJson(rc)))
         .set("speedup_flat_vs_tree",
              tree.nsPerReaction / flat.nsPerReaction)
-        .set("speedup_flat_vs_rc", rc.nsPerReaction / flat.nsPerReaction);
+        .set("speedup_flat_vs_rc", rc.nsPerReaction / flat.nsPerReaction)
+        .set("speedup_o2_vs_o0", flatO0.nsPerReaction / flat.nsPerReaction);
     bench::writeBenchJson("reaction_throughput", root);
     return 0;
 }

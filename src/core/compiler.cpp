@@ -22,9 +22,11 @@ CompiledModule::CompiledModule(std::shared_ptr<const SharedProgram> shared,
 
     if (!options.flatten) return;
     // Flatten the decision trees and compile every data predicate, data
-    // action and emit-value expression to bytecode. Any failure degrades
-    // to the tree-walking representation (recorded as a note) rather than
-    // failing the compile — the flat path is an optimization.
+    // action and emit-value expression to bytecode, then run the
+    // post-flatten optimization pipeline (src/opt) at options.optLevel.
+    // Any failure degrades to the tree-walking representation (recorded
+    // as a note) rather than failing the compile — the flat path is an
+    // optimization.
     try {
         auto fp = std::make_unique<efsm::FlatProgram>(
             efsm::flatten(*machine_));
@@ -44,13 +46,16 @@ CompiledModule::CompiledModule(std::shared_ptr<const SharedProgram> shared,
             else if (da.expr)
                 a.chunk = builder.compileExpr(*da.expr);
         }
-        byteCode_ = builder.finish();
+        std::shared_ptr<bc::Program> code = builder.finish();
+        optStats_ = opt::optimize(*fp, *code, options.optLevel);
+        byteCode_ = std::move(code);
         flatProgram_ = std::move(fp);
     } catch (const EclError& e) {
         diags.note({}, "flat execution disabled for module '" + flat_->name +
                            "': " + e.what());
         flatProgram_.reset();
         byteCode_.reset();
+        optStats_ = {};
     }
 }
 

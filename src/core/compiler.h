@@ -26,6 +26,7 @@
 #include "src/frontend/ast.h"
 #include "src/interp/bytecode.h"
 #include "src/ir/ir.h"
+#include "src/opt/opt.h"
 #include "src/partition/lower.h"
 #include "src/runtime/batch_engine.h"
 #include "src/runtime/engine.h"
@@ -45,6 +46,17 @@ struct CompileOptions {
     /// SyncEngine fast path). On by default; the tree-walking
     /// representation is always built and kept as the oracle.
     bool flatten = true;
+    /// Post-flatten optimization level (eclc -O{0,1,2}; see
+    /// src/opt/opt.h). 0 = tables and bytecode verbatim; 1 = chunk dedup
+    /// + flat-state minimization + config dedup (behavior AND
+    /// instruction-level ExecCounters bit-exact); 2 = + the bytecode
+    /// optimizer (constant folding, copy propagation, DCE, peephole
+    /// fusion) — behavior bit-exact, but eliminated instructions no
+    /// longer bump ExecCounters, so exact counter equality with the
+    /// tree-walking oracle is only defined at levels 0 and 1.
+    /// After minimization (>= 1), flat state ids no longer equal the
+    /// source Efsm's.
+    int optLevel = 2;
 };
 
 /// Which execution representation makeEngine() wires into the SyncEngine.
@@ -84,6 +96,13 @@ public:
         return shared_->functions;
     }
     [[nodiscard]] const LowerStats& lowerStats() const { return lowerStats_; }
+    /// What the post-flatten pipeline did at CompileOptions::optLevel
+    /// (all-zero when optLevel = 0 or the flat representation was not
+    /// built); surfaced by `eclc --opt-stats`.
+    [[nodiscard]] const opt::PipelineStats& optStats() const
+    {
+        return optStats_;
+    }
 
     /// True when the flattened tables + bytecode were built (the fast
     /// path makeEngine() wires up by default).
@@ -144,6 +163,7 @@ private:
     std::unique_ptr<efsm::FlatProgram> flatProgram_;
     std::shared_ptr<const bc::Program> byteCode_;
     LowerStats lowerStats_;
+    opt::PipelineStats optStats_;
 };
 
 class Compiler {

@@ -8,6 +8,11 @@
 //   --module NAME      top module to compile (default: last module in file)
 //   --emit KIND        artifact: c | esterel | verilog | efsm | ir | stats
 //                      (default: c). May be repeated.
+//   -O0 | -O1 | -O2    post-flatten optimization level (default -O2):
+//                      0 = flat tables/bytecode verbatim, 1 = chunk dedup
+//                      + state minimization (counter-exact), 2 = + the
+//                      bytecode optimizer (see src/opt/opt.h)
+//   --opt-stats        print the optimization pipeline report
 //   --async            compile every module separately and report per-task
 //                      sizes instead of collapsing into one EFSM
 //   -o PREFIX          write artifacts to PREFIX.<ext> instead of stdout
@@ -70,6 +75,8 @@ struct Options {
     std::string outPrefix;
     bool asyncMode = false;
     bool optimize = false;
+    int optLevel = 2;
+    bool optStats = false;
     bool verify = false;
     std::string monitorFile;
     int depth = -1;
@@ -82,7 +89,8 @@ int usage()
 {
     std::fprintf(stderr,
                  "usage: eclc [--module NAME] [--emit c|esterel|verilog|"
-                 "efsm|ir|stats]... [--async] [--optimize] [-o PREFIX]\n"
+                 "efsm|ir|stats]... [-O0|-O1|-O2] [--opt-stats]\n"
+                 "            [--async] [--optimize] [-o PREFIX]\n"
                  "            [--verify [--monitor FILE] [--depth N] "
                  "[--max-states N] [--threads N] [--dfs]]\n"
                  "            file.ecl | --paper stack|buffer\n"
@@ -151,6 +159,7 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
 {
     ecl::CompileOptions copts;
     copts.optimizeEfsm = opt.optimize;
+    copts.optLevel = opt.optLevel;
     auto mod = compiler.compile(top, copts);
     if (!mod->hasFlatProgram()) {
         std::fprintf(stderr,
@@ -158,6 +167,7 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
                      top.c_str());
         return kExitError;
     }
+    if (opt.optStats) std::printf("%s", mod->optStats().report().c_str());
 
     ecl::verify::ExplorerOptions vopts;
     vopts.threads = opt.threads;
@@ -197,9 +207,10 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
 
     ecl::verify::ExploreResult res = explorer->run();
     const ecl::verify::ExploreStats& st = res.stats;
-    std::printf("verify %s: %llu states, %llu transitions, depth %d, "
-                "peak frontier %llu, %.0f states/s, %s\n",
+    std::printf("verify %s: %llu states (%llu control), %llu transitions, "
+                "depth %d, peak frontier %llu, %.0f states/s, %s\n",
                 top.c_str(), static_cast<unsigned long long>(st.states),
+                static_cast<unsigned long long>(st.controlStates),
                 static_cast<unsigned long long>(st.transitions),
                 st.depthReached,
                 static_cast<unsigned long long>(st.peakFrontier),
@@ -289,6 +300,11 @@ int main(int argc, char** argv)
             opt.asyncMode = true;
         } else if (arg == "--optimize") {
             opt.optimize = true;
+        } else if (arg.size() == 3 && arg[0] == '-' && arg[1] == 'O') {
+            if (arg[2] < '0' || arg[2] > '2') return usage();
+            opt.optLevel = arg[2] - '0';
+        } else if (arg == "--opt-stats") {
+            opt.optStats = true;
         } else if (arg == "--paper" && i + 1 < argc) {
             opt.paper = argv[++i];
         } else if (arg == "--verify") {
@@ -353,6 +369,7 @@ int main(int argc, char** argv)
 
         ecl::CompileOptions copts;
         copts.optimizeEfsm = opt.optimize;
+        copts.optLevel = opt.optLevel;
 
         if (opt.asyncMode) {
             // Per-module compilation (the RTOS/task path).
@@ -360,12 +377,16 @@ int main(int argc, char** argv)
             for (const std::string& name : modules) {
                 auto mod = compiler.compile(name, copts);
                 std::printf("--- task %s ---\n", name.c_str());
+                if (opt.optStats)
+                    std::printf("%s", mod->optStats().report().c_str());
                 rc |= emitAll(opt, *mod);
             }
             return rc;
         }
 
         auto mod = compiler.compile(top, copts);
+        if (opt.optStats)
+            std::printf("%s", mod->optStats().report().c_str());
         return emitAll(opt, *mod);
     } catch (const ecl::EclError& e) {
         std::fprintf(stderr, "eclc: %s\n", e.what());

@@ -1,5 +1,6 @@
 #include "src/efsm/flatten.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace ecl::efsm {
@@ -104,6 +105,92 @@ private:
 FlatProgram flatten(const Efsm& machine)
 {
     return Flattener(machine).run();
+}
+
+void FlatProgram::remapStates(const std::vector<std::int32_t>& old2new)
+{
+    if (old2new.size() != states.size())
+        throw EclError("remapStates: map size does not match state count");
+    std::int32_t newCount = 0;
+    for (std::int32_t n : old2new) newCount = std::max(newCount, n + 1);
+    if (initialState < 0 ||
+        old2new[static_cast<std::size_t>(initialState)] < 0)
+        throw EclError("remapStates: initial state was dropped");
+
+    // Surviving rows: lowest old id per new id wins.
+    std::vector<std::int32_t> reps(static_cast<std::size_t>(newCount), -1);
+    for (std::size_t s = 0; s < old2new.size(); ++s) {
+        std::int32_t n = old2new[s];
+        if (n < 0) continue;
+        if (reps[static_cast<std::size_t>(n)] < 0)
+            reps[static_cast<std::size_t>(n)] = static_cast<std::int32_t>(s);
+    }
+    for (std::size_t n = 0; n < reps.size(); ++n)
+        if (reps[n] < 0)
+            throw EclError("remapStates: new id " + std::to_string(n) +
+                           " has no representative (map not dense)");
+
+    std::vector<FlatNode> newNodes;
+    std::vector<FlatAction> newActions;
+    newNodes.reserve(nodes.size());
+    newActions.reserve(actions.size());
+
+    // Pre-order copy of one surviving tree with successor rewriting.
+    auto copyTree = [&](auto&& self, std::int32_t oldIdx) -> std::int32_t {
+        const FlatNode src = nodes[static_cast<std::size_t>(oldIdx)];
+        auto idx = static_cast<std::int32_t>(newNodes.size());
+        newNodes.push_back(src);
+        {
+            FlatNode& dst = newNodes.back();
+            dst.actionsBegin = static_cast<std::int32_t>(newActions.size());
+            for (std::int32_t a = src.actionsBegin; a < src.actionsEnd; ++a)
+                newActions.push_back(actions[static_cast<std::size_t>(a)]);
+            dst.actionsEnd = static_cast<std::int32_t>(newActions.size());
+        }
+        if (src.isLeaf()) {
+            if (src.nextState >= 0) {
+                std::int32_t n =
+                    old2new[static_cast<std::size_t>(src.nextState)];
+                if (n < 0 && !src.runtimeError())
+                    throw EclError("remapStates: live successor dropped");
+                newNodes[static_cast<std::size_t>(idx)].nextState = n;
+            }
+            return idx;
+        }
+        std::int32_t t = self(self, src.onTrue);
+        std::int32_t f = self(self, src.onFalse);
+        newNodes[static_cast<std::size_t>(idx)].onTrue = t;
+        newNodes[static_cast<std::size_t>(idx)].onFalse = f;
+        return idx;
+    };
+
+    std::vector<FlatState> newStates(static_cast<std::size_t>(newCount));
+    std::vector<PauseSet> newConfigs;
+    std::unordered_map<PauseSet, std::int32_t, PauseSetHash> configIndex;
+    for (std::size_t n = 0; n < reps.size(); ++n) {
+        const FlatState& src = states[static_cast<std::size_t>(reps[n])];
+        FlatState& dst = newStates[n];
+        dst = src;
+        dst.root = copyTree(copyTree, src.root);
+        const PauseSet& cfg = configs[static_cast<std::size_t>(src.config)];
+        auto it = configIndex.find(cfg);
+        if (it == configIndex.end()) {
+            it = configIndex
+                     .emplace(cfg,
+                              static_cast<std::int32_t>(newConfigs.size()))
+                     .first;
+            newConfigs.push_back(cfg);
+        }
+        dst.config = it->second;
+    }
+
+    states = std::move(newStates);
+    nodes = std::move(newNodes);
+    actions = std::move(newActions);
+    configs = std::move(newConfigs);
+    initialState = old2new[static_cast<std::size_t>(initialState)];
+    deadState =
+        deadState >= 0 ? old2new[static_cast<std::size_t>(deadState)] : -1;
 }
 
 } // namespace ecl::efsm

@@ -64,8 +64,10 @@ struct FlatState {
     bool autoResume = false;
 };
 
-/// The whole machine in dense arrays. State ids equal the source Efsm's,
-/// so an engine can switch representations without translating state.
+/// The whole machine in dense arrays. State ids equal the source Efsm's
+/// as flattened; the post-flatten minimizer (src/opt) may renumber them
+/// through remapStates(), so flat-mode engines read initial state and
+/// per-state attributes from these tables, never from the Efsm.
 struct FlatProgram {
     std::vector<FlatState> states;
     std::vector<FlatNode> nodes;
@@ -95,6 +97,19 @@ struct FlatProgram {
     {
         return configs[static_cast<std::size_t>(configIndexOf(state))];
     }
+
+    /// Renumbers the machine in place: old state id s becomes old2new[s]
+    /// (-1 = state dropped; must not be the initial state). Several old
+    /// ids may map to one new id — the lowest old id supplies the
+    /// surviving row (the remap hook the post-flatten state minimizer in
+    /// src/opt drives; after this, state ids no longer equal the source
+    /// Efsm's). Leaf successors, initialState and deadState are
+    /// rewritten; nodes and actions of dropped rows are compacted away;
+    /// and the config pool is re-interned over the surviving states, so
+    /// configs that became identical (or unreferenced) after the remap
+    /// are deduplicated. New ids must be dense: every id in
+    /// [0, max(old2new)+1) must be hit.
+    void remapStates(const std::vector<std::int32_t>& old2new);
 };
 
 /// Flattens a built (and optionally optimized) Efsm. The Efsm's sema and

@@ -1,8 +1,13 @@
-// EFSM optimization passes.
+// EFSM optimization passes — the PRE-FLATTEN stage of the two-stage
+// optimization pipeline.
 //
 // The paper (Section 3, Key Features): "logic synthesis and optimization
 // can be applied to reduce size or improve speed". This module implements
-// the decision-tree cleanups that matter for automaton code:
+// the decision-tree cleanups that run on the unique_ptr tree
+// representation, before flattening; the post-flatten stage (src/opt —
+// flat-state minimization, bytecode optimization, chunk dedup) runs on
+// the shared executable tables behind CompileOptions::optLevel.
+// Decision-tree cleanups implemented here:
 //  * redundant-test elimination: a test whose branches are structurally
 //    identical is removed (the outcome does not matter);
 //  * repeated-test elimination: a test dominated by an identical ancestor

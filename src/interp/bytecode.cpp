@@ -675,7 +675,7 @@ int ProgramBuilder::compileStmt(const ast::Stmt& s)
     return chunk;
 }
 
-std::shared_ptr<const Program> ProgramBuilder::finish()
+std::shared_ptr<Program> ProgramBuilder::finish()
 {
     impl_->drainPending();
     impl_->finished = true;
@@ -690,10 +690,11 @@ std::shared_ptr<const Program> ProgramBuilder::finish()
 std::string disassemble(const Program& prog, int chunk)
 {
     static const char* names[] = {
-        "const",    "ldv",   "ldva",  "ldsig",  "adrv", "adrs", "adri",
-        "adrf",     "ldind", "unary", "incdec", "bin",  "cast", "bool",
-        "setb",     "stsc",  "stcmp", "stag",   "zero", "init", "jmp",
-        "brf",      "brt",   "call",  "ret",    "retv", "end"};
+        "const",    "ldv",   "ldva",  "ldsig",  "adrv",  "adrs", "adri",
+        "adrf",     "ldind", "unary", "incdec", "bin",   "cast", "bool",
+        "setb",     "stsc",  "stcmp", "stag",   "zero",  "init", "jmp",
+        "brf",      "brt",   "call",  "ret",    "retv",  "binimm",
+        "stvsc",    "incdv", "adrvo", "adrso",  "adriv", "stvimm", "end"};
     const Chunk& c = prog.chunks[static_cast<std::size_t>(chunk)];
     std::string s;
     for (std::uint32_t pc = c.begin; pc < c.end; ++pc) {

@@ -65,6 +65,26 @@ enum class Op : std::uint8_t {
     Ret,     ///< return r[a] from the current chunk
     RetVoid, ///< return (no value)
 
+    // Fused superinstructions emitted by the -O2 peephole pass
+    // (src/opt/bytecode_opt.cpp); the ProgramBuilder never produces
+    // them. Each bumps the EXACT counter sums of the pair it replaces,
+    // so fusion alone keeps ExecCounters bit-identical.
+    BinaryImm,  ///< r[a] = binop<imm>(r[b], imm64); exprOps += 2
+                ///< (ConstInt + Binary fusion)
+    StoreVarSc, ///< store[imm] = r[c] (scalar); stores++; r[a] = readback
+                ///< (AddrVar + StoreSc fusion)
+    IncDecVar,  ///< r[a] = op<imm> on scalar store[imm64];
+                ///< exprOps,loads,stores (AddrVar + IncDec fusion)
+    AddrVarOff, ///< r[a] = address of store[imm] + imm64, type; no
+                ///< counters (AddrVar + AddrField-chain fusion)
+    AddrSigOff, ///< r[a] = address of signalValue(imm) + imm64, type; no
+                ///< counters (AddrSig + AddrField-chain fusion)
+    AddrIndexVar, ///< r[a] = r[b].ptr + store[imm] * elemsize; bounds;
+                  ///< loads++, exprOps++ (LoadVarSc + AddrIndex fusion;
+                  ///< `type` is the index variable's type)
+    StoreVarImm,  ///< store[imm] = imm64 (scalar); exprOps++, stores++;
+                  ///< r[a] = readback (ConstInt + StoreVarSc fusion)
+
     End, ///< end of chunk; r[a] is the chunk result when the chunk is an
          ///< expression (a == 0xffff for statement chunks)
 };
@@ -148,9 +168,10 @@ public:
     /// Compiles a data statement in module context; returns a chunk id.
     int compileStmt(const ast::Stmt& s);
 
-    /// Finalizes and returns the program. The builder must not be used
-    /// afterwards.
-    std::shared_ptr<const Program> finish();
+    /// Finalizes and returns the program (mutable so the post-flatten
+    /// optimizer in src/opt can rewrite it before it is shared as
+    /// const). The builder must not be used afterwards.
+    std::shared_ptr<Program> finish();
 
 private:
     struct Impl;

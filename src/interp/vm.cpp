@@ -228,63 +228,20 @@ Vm::ChunkResult Vm::execChunk(int chunk, Store& store, RegFile& regs,
             break;
         }
         case Op::IncDec: {
-            std::uint8_t* p = regs[I.b].ptr;
-            const Type* t = regs[I.b].type;
             counters_.exprOps++;
             counters_.loads++;
             counters_.stores++;
-            std::int64_t old = readScalar(p, t);
-            auto op = static_cast<ast::UnaryOp>(I.imm);
-            std::int64_t delta = (op == ast::UnaryOp::PreInc ||
-                                  op == ast::UnaryOp::PostInc)
-                                     ? 1
-                                     : -1;
-            writeScalar(p, t, old + delta);
-            bool post = op == ast::UnaryOp::PostInc ||
-                        op == ast::UnaryOp::PostDec;
-            Reg& r = regs[I.a];
-            r.i = post ? old : normalizeScalar(t, old + delta);
-            r.type = t;
+            applyIncDec(regs[I.a], I.imm, regs[I.b].ptr, regs[I.b].type);
             break;
         }
         case Op::Binary: {
-            std::int64_t a = regs[I.b].i;
-            std::int64_t b = regs[I.c].i;
             counters_.exprOps++;
-            Reg& r = regs[I.a];
-            const Type* it = prog_->intType;
-            const Type* bt = prog_->boolType;
-            switch (static_cast<ast::BinaryOp>(I.imm)) {
-            case ast::BinaryOp::Add:
-                r.i = normalizeScalar(it, a + b); r.type = it; break;
-            case ast::BinaryOp::Sub:
-                r.i = normalizeScalar(it, a - b); r.type = it; break;
-            case ast::BinaryOp::Mul:
-                r.i = normalizeScalar(it, a * b); r.type = it; break;
-            case ast::BinaryOp::Div:
-                if (b == 0) fail(I.loc, "division by zero");
-                r.i = normalizeScalar(it, a / b); r.type = it; break;
-            case ast::BinaryOp::Rem:
-                if (b == 0) fail(I.loc, "remainder by zero");
-                r.i = normalizeScalar(it, a % b); r.type = it; break;
-            case ast::BinaryOp::Shl:
-                r.i = normalizeScalar(it, a << (b & 63)); r.type = it; break;
-            case ast::BinaryOp::Shr:
-                r.i = normalizeScalar(it, a >> (b & 63)); r.type = it; break;
-            case ast::BinaryOp::Lt: r.i = a < b; r.type = bt; break;
-            case ast::BinaryOp::Gt: r.i = a > b; r.type = bt; break;
-            case ast::BinaryOp::Le: r.i = a <= b; r.type = bt; break;
-            case ast::BinaryOp::Ge: r.i = a >= b; r.type = bt; break;
-            case ast::BinaryOp::Eq: r.i = a == b; r.type = bt; break;
-            case ast::BinaryOp::Ne: r.i = a != b; r.type = bt; break;
-            case ast::BinaryOp::BitAnd:
-                r.i = normalizeScalar(it, a & b); r.type = it; break;
-            case ast::BinaryOp::BitOr:
-                r.i = normalizeScalar(it, a | b); r.type = it; break;
-            case ast::BinaryOp::BitXor:
-                r.i = normalizeScalar(it, a ^ b); r.type = it; break;
-            default: fail(I.loc, "bad binary op");
-            }
+            applyBinary(regs[I.a], I.imm, regs[I.b].i, regs[I.c].i, I.loc);
+            break;
+        }
+        case Op::BinaryImm: {
+            counters_.exprOps += 2; // the fused ConstInt + the binop
+            applyBinary(regs[I.a], I.imm, regs[I.b].i, I.imm64, I.loc);
             break;
         }
         case Op::Cast: {
@@ -322,6 +279,68 @@ Vm::ChunkResult Vm::execChunk(int chunk, Store& store, RegFile& regs,
             Reg& r = regs[I.a];
             r.i = normalizeScalar(t, v);
             r.type = t;
+            break;
+        }
+        case Op::StoreVarSc: {
+            Value& slot = store.at(I.imm);
+            std::int64_t v = regs[I.c].i;
+            counters_.stores++;
+            writeScalar(slot.data(), slot.type(), v);
+            Reg& r = regs[I.a];
+            r.i = normalizeScalar(slot.type(), v);
+            r.type = slot.type();
+            break;
+        }
+        case Op::IncDecVar: {
+            Value& slot = store.at(static_cast<int>(I.imm64));
+            counters_.exprOps++;
+            counters_.loads++;
+            counters_.stores++;
+            applyIncDec(regs[I.a], I.imm, slot.data(), slot.type());
+            break;
+        }
+        case Op::AddrVarOff: {
+            Reg& r = regs[I.a];
+            Value& v = store.at(I.imm);
+            r.ptr = v.data() + I.imm64;
+            r.type = I.type;
+            break;
+        }
+        case Op::AddrSigOff: {
+            Reg& r = regs[I.a];
+            const Value& v = activeSignals_->signalValue(I.imm);
+            // Read-only path, same const_cast contract as AddrSig.
+            r.ptr = const_cast<std::uint8_t*>(v.data()) + I.imm64;
+            r.type = I.type;
+            break;
+        }
+        case Op::AddrIndexVar: {
+            counters_.loads++; // the fused index LoadVarSc
+            std::int64_t idx = readScalar(store.at(I.imm).data(), I.type);
+            std::uint8_t* basePtr = regs[I.b].ptr;
+            const Type* baseType = regs[I.b].type;
+            counters_.exprOps++;
+            if (baseType->kind() != TypeKind::Array)
+                fail(I.loc, "indexing non-array");
+            if (idx < 0 ||
+                static_cast<std::size_t>(idx) >= baseType->count())
+                fail(I.loc, "array index " + std::to_string(idx) +
+                                " out of bounds [0," +
+                                std::to_string(baseType->count()) + ")");
+            const Type* elem = baseType->element();
+            Reg& r = regs[I.a];
+            r.ptr = basePtr + static_cast<std::size_t>(idx) * elem->size();
+            r.type = elem;
+            break;
+        }
+        case Op::StoreVarImm: {
+            Value& slot = store.at(I.imm);
+            counters_.exprOps++; // the fused ConstInt
+            counters_.stores++;
+            writeScalar(slot.data(), slot.type(), I.imm64);
+            Reg& r = regs[I.a];
+            r.i = normalizeScalar(slot.type(), I.imm64);
+            r.type = slot.type();
             break;
         }
         case Op::StoreCompound: {
@@ -449,6 +468,57 @@ Vm::ChunkResult Vm::execChunk(int chunk, Store& store, RegFile& regs,
         }
         ++pc;
     }
+}
+
+void Vm::applyBinary(Reg& r, std::int32_t op, std::int64_t a, std::int64_t b,
+                     SourceLoc loc)
+{
+    const Type* it = prog_->intType;
+    const Type* bt = prog_->boolType;
+    switch (static_cast<ast::BinaryOp>(op)) {
+    case ast::BinaryOp::Add:
+        r.i = normalizeScalar(it, a + b); r.type = it; break;
+    case ast::BinaryOp::Sub:
+        r.i = normalizeScalar(it, a - b); r.type = it; break;
+    case ast::BinaryOp::Mul:
+        r.i = normalizeScalar(it, a * b); r.type = it; break;
+    case ast::BinaryOp::Div:
+        if (b == 0) fail(loc, "division by zero");
+        r.i = normalizeScalar(it, a / b); r.type = it; break;
+    case ast::BinaryOp::Rem:
+        if (b == 0) fail(loc, "remainder by zero");
+        r.i = normalizeScalar(it, a % b); r.type = it; break;
+    case ast::BinaryOp::Shl:
+        r.i = normalizeScalar(it, a << (b & 63)); r.type = it; break;
+    case ast::BinaryOp::Shr:
+        r.i = normalizeScalar(it, a >> (b & 63)); r.type = it; break;
+    case ast::BinaryOp::Lt: r.i = a < b; r.type = bt; break;
+    case ast::BinaryOp::Gt: r.i = a > b; r.type = bt; break;
+    case ast::BinaryOp::Le: r.i = a <= b; r.type = bt; break;
+    case ast::BinaryOp::Ge: r.i = a >= b; r.type = bt; break;
+    case ast::BinaryOp::Eq: r.i = a == b; r.type = bt; break;
+    case ast::BinaryOp::Ne: r.i = a != b; r.type = bt; break;
+    case ast::BinaryOp::BitAnd:
+        r.i = normalizeScalar(it, a & b); r.type = it; break;
+    case ast::BinaryOp::BitOr:
+        r.i = normalizeScalar(it, a | b); r.type = it; break;
+    case ast::BinaryOp::BitXor:
+        r.i = normalizeScalar(it, a ^ b); r.type = it; break;
+    default: fail(loc, "bad binary op");
+    }
+}
+
+void Vm::applyIncDec(Reg& r, std::int32_t op, std::uint8_t* p, const Type* t)
+{
+    std::int64_t old = readScalar(p, t);
+    auto uop = static_cast<ast::UnaryOp>(op);
+    std::int64_t delta =
+        (uop == ast::UnaryOp::PreInc || uop == ast::UnaryOp::PostInc) ? 1
+                                                                      : -1;
+    writeScalar(p, t, old + delta);
+    bool post = uop == ast::UnaryOp::PostInc || uop == ast::UnaryOp::PostDec;
+    r.i = post ? old : normalizeScalar(t, old + delta);
+    r.type = t;
 }
 
 } // namespace ecl::bc

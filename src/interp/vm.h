@@ -82,6 +82,11 @@ private:
     };
 
     ChunkResult execChunk(int chunk, Store& store, RegFile& regs, int depth);
+    /// Shared Binary/BinaryImm arithmetic (operands already fetched).
+    void applyBinary(Reg& r, std::int32_t op, std::int64_t a, std::int64_t b,
+                     SourceLoc loc);
+    /// Shared IncDec/IncDecVar read-modify-write on a scalar location.
+    void applyIncDec(Reg& r, std::int32_t op, std::uint8_t* p, const Type* t);
     RegFile& fileForDepth(int depth);
     std::unique_ptr<Store> acquireStore(int fnIndex);
     void releaseStore(int fnIndex, std::unique_ptr<Store> store);

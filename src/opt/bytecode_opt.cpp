@@ -1,0 +1,1072 @@
+// Bytecode optimizer over bc::Program chunks.
+//
+// Intra-chunk transforms (-O2): constant folding and copy propagation
+// (forward scan with state reset at join points), constant-condition
+// branch simplification, jump threading, unreachable-code removal,
+// dead-register elimination (iterative liveness; memory writes, calls
+// and possibly-trapping instructions are never removed), dead-store
+// elision (a ZeroVar fully overwritten by an InitVar before any read),
+// and peephole superinstruction fusion:
+//   ConstInt  + Binary         -> BinaryImm
+//   AddrVar   + StoreSc        -> StoreVarSc
+//   ConstInt  + StoreVarSc     -> StoreVarImm
+//   AddrVar   + IncDec         -> IncDecVar
+//   AddrVar/Sig + AddrField... -> AddrVarOff / AddrSigOff
+//   LoadVarSc + AddrIndex      -> AddrIndexVar
+// Fused ops bump the exact counter sums of the pairs they replace
+// (fusions absorbing a COUNTED instruction are guarded on single-use
+// registers so the absorbed instruction is guaranteed dead);
+// folding/DCE/branch simplification remove counted instructions, which
+// is why instruction-level ExecCounters are only pinned at -O0/-O1.
+// Trap behavior is preserved exactly: Div/Rem (division by zero) and
+// AddrIndex (bounds check) are never folded away or eliminated.
+//
+// Chunk deduplication (-O1 and -O2): identical instruction sequences
+// (compared with chunk-relative jump targets, ignoring source
+// locations) share one chunk; every reference — FlatNode::predChunk,
+// FlatAction::chunk, CompiledFunction::chunk — is rewritten.
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/opt/opt.h"
+
+namespace ecl::opt {
+
+namespace {
+
+using bc::Chunk;
+using bc::Instr;
+using bc::Op;
+using bc::Program;
+using bc::normalizeScalar;
+
+constexpr std::uint16_t kNoResult = 0xffff;
+
+bool isJump(Op op)
+{
+    return op == Op::Jmp || op == Op::BranchFalse || op == Op::BranchTrue;
+}
+
+bool isTerminal(Op op)
+{
+    return op == Op::End || op == Op::Ret || op == Op::RetVoid;
+}
+
+/// Register reads of one instruction (Call handled by the caller).
+void readRegs(const Instr& i, std::vector<std::uint16_t>& out)
+{
+    out.clear();
+    switch (i.op) {
+    case Op::AddrIndex: out = {i.b, i.c}; break;
+    case Op::AddrField:
+    case Op::AddrIndexVar:
+    case Op::LoadInd:
+    case Op::Unary:
+    case Op::IncDec:
+    case Op::Cast:
+    case Op::BoolVal:
+    case Op::BinaryImm:
+    case Op::InitVar: out = {i.b}; break;
+    case Op::Binary:
+    case Op::StoreSc:
+    case Op::StoreCompound:
+    case Op::StoreAg: out = {i.b, i.c}; break;
+    case Op::StoreVarSc: out = {i.c}; break;
+    case Op::BranchFalse:
+    case Op::BranchTrue:
+    case Op::Ret: out = {i.a}; break;
+    case Op::Call:
+        for (std::uint16_t k = 0; k < i.c; ++k)
+            out.push_back(static_cast<std::uint16_t>(i.b + k));
+        break;
+    case Op::End:
+        if (i.a != kNoResult) out = {i.a};
+        break;
+    default: break; // ConstInt, loads, AddrVar/Sig, SetBool, ZeroVar, ...
+    }
+}
+
+/// Does the instruction write register `a`?
+bool writesA(Op op)
+{
+    switch (op) {
+    case Op::ZeroVar:
+    case Op::InitVar:
+    case Op::Jmp:
+    case Op::BranchFalse:
+    case Op::BranchTrue:
+    case Op::Ret:
+    case Op::RetVoid:
+    case Op::End: return false;
+    default: return true;
+    }
+}
+
+/// May the instruction trap or touch memory/counters in a way that makes
+/// it non-removable even when its result register is dead?
+bool hasSideEffect(const Instr& i)
+{
+    switch (i.op) {
+    case Op::IncDec:
+    case Op::IncDecVar:
+    case Op::StoreSc:
+    case Op::StoreVarSc:
+    case Op::StoreVarImm:
+    case Op::StoreCompound:
+    case Op::StoreAg:
+    case Op::ZeroVar:
+    case Op::InitVar:
+    case Op::Call:
+    case Op::AddrIndex:    // bounds-check trap
+    case Op::AddrIndexVar: // bounds-check trap
+    case Op::Jmp:
+    case Op::BranchFalse:
+    case Op::BranchTrue:
+    case Op::Ret:
+    case Op::RetVoid:
+    case Op::End: return true;
+    case Op::Binary: {
+        auto op = static_cast<ast::BinaryOp>(i.imm);
+        return op == ast::BinaryOp::Div || op == ast::BinaryOp::Rem;
+    }
+    case Op::BinaryImm: {
+        auto op = static_cast<ast::BinaryOp>(i.imm);
+        return (op == ast::BinaryOp::Div || op == ast::BinaryOp::Rem) &&
+               i.imm64 == 0;
+    }
+    default: return false;
+    }
+}
+
+/// One chunk extracted for transformation; jump targets are
+/// chunk-relative instruction indices.
+struct Local {
+    std::vector<Instr> code;
+    bool isExpr = false;
+    std::uint16_t numRegs = 0;
+};
+
+Local extractChunk(const Program& prog, std::size_t chunkId)
+{
+    const Chunk& c = prog.chunks[chunkId];
+    Local out;
+    out.isExpr = c.isExpr;
+    out.numRegs = c.numRegs;
+    out.code.assign(prog.code.begin() + c.begin, prog.code.begin() + c.end);
+    for (Instr& i : out.code)
+        if (isJump(i.op)) i.imm -= static_cast<std::int32_t>(c.begin);
+    return out;
+}
+
+/// Rebuilds `code` keeping only instructions with keep[i] != 0,
+/// retargeting jumps to the first kept instruction at or after the old
+/// target. Returns the number removed.
+std::size_t compact(std::vector<Instr>& code, std::vector<std::uint8_t>& keep)
+{
+    const std::size_t n = code.size();
+    std::int32_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (keep[i]) ++kept;
+    // newIndex[t] = position among kept of the first kept instr >= t.
+    std::vector<std::int32_t> newIndex(n + 1, kept);
+    std::int32_t next = kept;
+    for (std::size_t i = n; i-- > 0;) {
+        if (keep[i]) --next;
+        newIndex[i] = next;
+    }
+    std::vector<Instr> out;
+    out.reserve(static_cast<std::size_t>(kept));
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!keep[i]) continue;
+        Instr ins = code[i];
+        if (isJump(ins.op)) {
+            auto t = static_cast<std::size_t>(ins.imm);
+            std::int32_t nt = t <= n ? newIndex[t] : kept;
+            // A jump past every kept instruction can only itself be
+            // unreachable; park it on the last kept slot.
+            if (nt >= kept) nt = kept - 1;
+            ins.imm = nt;
+        }
+        out.push_back(ins);
+    }
+    std::size_t removed = n - out.size();
+    code = std::move(out);
+    return removed;
+}
+
+class ChunkOptimizer {
+public:
+    ChunkOptimizer(Local& chunk, const Program& prog, BytecodeStats& stats)
+        : c_(chunk), prog_(prog), stats_(stats)
+    {
+    }
+
+    void run()
+    {
+        for (int round = 0; round < 4; ++round) {
+            bool changed = foldAndFuse();
+            changed |= threadJumps();
+            changed |= removeUnreachable();
+            changed |= elideZeroVars();
+            changed |= eliminateDead();
+            if (!changed) break;
+        }
+        recomputeNumRegs();
+    }
+
+private:
+    // --- forward constant/copy/address tracking + fusion ------------------
+
+    /// What a register is statically known to hold at the current scan
+    /// point (valid within one extended basic block; reset at leaders).
+    struct RegFact {
+        bool isConst = false;
+        std::int64_t value = 0;
+        const Type* type = nullptr; // Constant's / chain's static type.
+        /// Address pedigree, for store/address-chain fusion. VarBase is
+        /// a bare AddrVar (full slot, fusable into StoreVarSc /
+        /// IncDecVar); VarOff/SigOff are AddrField chains rooted at a
+        /// variable/signal, with `value` holding the accumulated byte
+        /// offset and `type` the chain's final field type.
+        enum class Addr : std::uint8_t { None, VarBase, SigBase, VarOff,
+                                         SigOff };
+        Addr addr = Addr::None;
+        std::int32_t slot = -1; // Variable slot or signal index.
+        /// Register holds the value of scalar variable `loadSlot`, read
+        /// by a LoadVarSc whose typed load is still current (killed by
+        /// any instruction that can write memory).
+        std::int32_t loadSlot = -1;
+        const Type* loadType = nullptr;
+        bool isCopy = false;
+        std::uint16_t copyOf = 0;
+        std::uint32_t copyVersion = 0;
+    };
+
+    void markLeaders(std::vector<std::uint8_t>& leader) const
+    {
+        leader.assign(c_.code.size(), 0);
+        if (!leader.empty()) leader[0] = 1;
+        for (const Instr& i : c_.code)
+            if (isJump(i.op) &&
+                static_cast<std::size_t>(i.imm) < leader.size())
+                leader[static_cast<std::size_t>(i.imm)] = 1;
+    }
+
+    void clearFacts()
+    {
+        facts_.assign(c_.numRegs, RegFact{});
+    }
+
+    void killReg(std::uint16_t r)
+    {
+        if (r < facts_.size()) facts_[r] = RegFact{};
+        if (r < versions_.size()) ++versions_[r];
+    }
+
+    /// Redirects a read operand through a still-valid copy.
+    void propagate(std::uint16_t& field)
+    {
+        if (field >= facts_.size()) return;
+        const RegFact& f = facts_[field];
+        if (f.isCopy && f.copyOf < versions_.size() &&
+            versions_[f.copyOf] == f.copyVersion) {
+            // Move the read between the two definitions' span counts so
+            // singleUse() stays exact under retargeting.
+            if (field < curDef_.size() && curDef_[field] >= 0)
+                --spanReads_[static_cast<std::size_t>(curDef_[field])];
+            field = f.copyOf;
+            if (field < curDef_.size() && curDef_[field] >= 0)
+                ++spanReads_[static_cast<std::size_t>(curDef_[field])];
+            ++stats_.copiesPropagated;
+        }
+    }
+
+    bool constOf(std::uint16_t r, std::int64_t& v, const Type*& t) const
+    {
+        if (r >= facts_.size() || !facts_[r].isConst) return false;
+        v = facts_[r].value;
+        t = facts_[r].type;
+        return true;
+    }
+
+    void setConst(std::uint16_t r, std::int64_t v, const Type* t)
+    {
+        killReg(r);
+        if (r >= facts_.size()) return;
+        facts_[r].isConst = true;
+        facts_[r].value = v;
+        facts_[r].type = t;
+    }
+
+    /// Mirrors Vm::applyBinary for compile-time evaluation; returns false
+    /// when the fold must not happen (trapping Div/Rem by zero — the trap
+    /// is observable behavior).
+    bool evalBinary(std::int32_t op, std::int64_t a, std::int64_t b,
+                    std::int64_t& out, const Type*& type) const
+    {
+        const Type* it = prog_.intType;
+        const Type* bt = prog_.boolType;
+        type = it;
+        switch (static_cast<ast::BinaryOp>(op)) {
+        case ast::BinaryOp::Add: out = normalizeScalar(it, a + b); return true;
+        case ast::BinaryOp::Sub: out = normalizeScalar(it, a - b); return true;
+        case ast::BinaryOp::Mul: out = normalizeScalar(it, a * b); return true;
+        case ast::BinaryOp::Div:
+            if (b == 0) return false;
+            out = normalizeScalar(it, a / b);
+            return true;
+        case ast::BinaryOp::Rem:
+            if (b == 0) return false;
+            out = normalizeScalar(it, a % b);
+            return true;
+        case ast::BinaryOp::Shl:
+            out = normalizeScalar(it, a << (b & 63));
+            return true;
+        case ast::BinaryOp::Shr:
+            out = normalizeScalar(it, a >> (b & 63));
+            return true;
+        case ast::BinaryOp::Lt: out = a < b; type = bt; return true;
+        case ast::BinaryOp::Gt: out = a > b; type = bt; return true;
+        case ast::BinaryOp::Le: out = a <= b; type = bt; return true;
+        case ast::BinaryOp::Ge: out = a >= b; type = bt; return true;
+        case ast::BinaryOp::Eq: out = a == b; type = bt; return true;
+        case ast::BinaryOp::Ne: out = a != b; type = bt; return true;
+        case ast::BinaryOp::BitAnd:
+            out = normalizeScalar(it, a & b);
+            return true;
+        case ast::BinaryOp::BitOr:
+            out = normalizeScalar(it, a | b);
+            return true;
+        case ast::BinaryOp::BitXor:
+            out = normalizeScalar(it, a ^ b);
+            return true;
+        default: return false;
+        }
+    }
+
+    /// The mirrored operator for const-on-the-left fusion (k op x ->
+    /// x op' k); returns false for non-commutable operators.
+    static bool mirrorOp(ast::BinaryOp op, ast::BinaryOp& out)
+    {
+        switch (op) {
+        case ast::BinaryOp::Add:
+        case ast::BinaryOp::Mul:
+        case ast::BinaryOp::BitAnd:
+        case ast::BinaryOp::BitOr:
+        case ast::BinaryOp::BitXor:
+        case ast::BinaryOp::Eq:
+        case ast::BinaryOp::Ne: out = op; return true;
+        case ast::BinaryOp::Lt: out = ast::BinaryOp::Gt; return true;
+        case ast::BinaryOp::Gt: out = ast::BinaryOp::Lt; return true;
+        case ast::BinaryOp::Le: out = ast::BinaryOp::Ge; return true;
+        case ast::BinaryOp::Ge: out = ast::BinaryOp::Le; return true;
+        default: return false;
+        }
+    }
+
+    /// Counter-exactness guard for fusions that absorb a COUNTED source
+    /// instruction (ConstInt/LoadVarSc): the absorbed definition must
+    /// have exactly one read, so DCE removes the source and the fused
+    /// op's counter sum replaces it one-for-one — ExecCounters can only
+    /// shrink, never grow, at -O2. The builder reuses low register
+    /// numbers across statements, so the check is per DEFINITION, not
+    /// per register: a definition is absorbed only when its linear span
+    /// (def .. next write of the same register) contains exactly one
+    /// read and crosses no leader — jumps only target leaders, so no
+    /// other control path can observe it and the rewrite provably kills
+    /// it.
+    bool singleUse(std::uint16_t r) const
+    {
+        std::int32_t d = r < curDef_.size() ? curDef_[r] : -1;
+        return d >= 0 && !spanLeader_[static_cast<std::size_t>(d)] &&
+               spanReads_[static_cast<std::size_t>(d)] == 1;
+    }
+
+    /// Any instruction that can write memory invalidates every
+    /// "register holds variable X" load fact (stores may alias the
+    /// loaded slot through pointers).
+    void killLoadFacts()
+    {
+        for (RegFact& f : facts_) {
+            f.loadSlot = -1;
+            f.loadType = nullptr;
+        }
+    }
+
+    bool foldAndFuse()
+    {
+        bool changed = false;
+        std::vector<std::uint8_t> leader;
+        markLeaders(leader);
+        versions_.assign(c_.numRegs, 0);
+        clearFacts();
+
+        // Per-definition span analysis for singleUse(): reads landing in
+        // each definition's linear span, and whether the span crosses a
+        // leader (see singleUse's comment).
+        const std::size_t n = c_.code.size();
+        spanReads_.assign(n, 0);
+        spanLeader_.assign(n, 0);
+        curDef_.assign(c_.numRegs, -1);
+        {
+            std::vector<std::uint16_t> reads;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (leader[i])
+                    for (std::int32_t d : curDef_)
+                        if (d >= 0)
+                            spanLeader_[static_cast<std::size_t>(d)] = 1;
+                readRegs(c_.code[i], reads);
+                for (std::uint16_t r : reads)
+                    if (r < curDef_.size() && curDef_[r] >= 0)
+                        ++spanReads_[static_cast<std::size_t>(curDef_[r])];
+                if (writesA(c_.code[i].op) && c_.code[i].a < curDef_.size())
+                    curDef_[c_.code[i].a] = static_cast<std::int32_t>(i);
+            }
+        }
+        curDef_.assign(c_.numRegs, -1);
+
+        for (std::size_t idx = 0; idx < c_.code.size(); ++idx) {
+            // Track the governing definition of every register at the
+            // current scan point (the previous instruction's write;
+            // rewrites never change the destination register).
+            if (idx > 0 && writesA(c_.code[idx - 1].op) &&
+                c_.code[idx - 1].a < curDef_.size())
+                curDef_[c_.code[idx - 1].a] =
+                    static_cast<std::int32_t>(idx - 1);
+            if (leader[idx]) {
+                clearFacts();
+            }
+            if (hasSideEffect(c_.code[idx]) &&
+                c_.code[idx].op != Op::AddrIndex &&
+                c_.code[idx].op != Op::AddrIndexVar &&
+                !isJump(c_.code[idx].op) && !isTerminal(c_.code[idx].op))
+                killLoadFacts();
+            Instr& I = c_.code[idx];
+            std::int64_t va = 0, vb = 0;
+            const Type *ta = nullptr, *tb = nullptr;
+
+            switch (I.op) {
+            case Op::ConstInt:
+                setConst(I.a, I.imm64, I.type);
+                continue;
+            case Op::SetBool:
+                setConst(I.a, I.imm, I.type);
+                continue;
+            case Op::AddrVar:
+                killReg(I.a);
+                facts_[I.a].addr = RegFact::Addr::VarBase;
+                facts_[I.a].slot = I.imm;
+                continue;
+            case Op::AddrSig:
+                killReg(I.a);
+                facts_[I.a].addr = RegFact::Addr::SigBase;
+                facts_[I.a].slot = I.imm;
+                continue;
+            case Op::AddrVarOff:
+                killReg(I.a);
+                facts_[I.a].addr = RegFact::Addr::VarOff;
+                facts_[I.a].slot = I.imm;
+                facts_[I.a].value = I.imm64;
+                facts_[I.a].type = I.type;
+                continue;
+            case Op::AddrSigOff:
+                killReg(I.a);
+                facts_[I.a].addr = RegFact::Addr::SigOff;
+                facts_[I.a].slot = I.imm;
+                facts_[I.a].value = I.imm64;
+                facts_[I.a].type = I.type;
+                continue;
+            case Op::AddrField: {
+                // Collapse an address chain rooted at a variable or
+                // signal into one offset op (counter-free: neither
+                // AddrVar/AddrSig nor AddrField count anything).
+                const RegFact base =
+                    I.b < facts_.size() ? facts_[I.b] : RegFact{};
+                if (base.addr == RegFact::Addr::VarBase ||
+                    base.addr == RegFact::Addr::VarOff ||
+                    base.addr == RegFact::Addr::SigBase ||
+                    base.addr == RegFact::Addr::SigOff) {
+                    bool isVar = base.addr == RegFact::Addr::VarBase ||
+                                 base.addr == RegFact::Addr::VarOff;
+                    std::int64_t off =
+                        (base.addr == RegFact::Addr::VarOff ||
+                         base.addr == RegFact::Addr::SigOff)
+                            ? base.value + I.imm
+                            : I.imm;
+                    I = Instr{isVar ? Op::AddrVarOff : Op::AddrSigOff, I.a,
+                              0, 0, base.slot, off, I.type, I.loc};
+                    ++stats_.instrsFused;
+                    changed = true;
+                    killReg(I.a);
+                    facts_[I.a].addr = isVar ? RegFact::Addr::VarOff
+                                             : RegFact::Addr::SigOff;
+                    facts_[I.a].slot = I.imm;
+                    facts_[I.a].value = off;
+                    facts_[I.a].type = I.type;
+                    continue;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::LoadVarSc:
+                killReg(I.a);
+                facts_[I.a].loadSlot = I.imm;
+                facts_[I.a].loadType = I.type;
+                continue;
+            case Op::AddrIndex: {
+                propagate(I.c);
+                // Fold a freshly-loaded scalar index into the bounds-
+                // checked address computation; singleUse keeps the
+                // counter sum exact (the load's loads++ moves into the
+                // fused op and DCE removes the load).
+                const RegFact idxf =
+                    I.c < facts_.size() ? facts_[I.c] : RegFact{};
+                if (idxf.loadSlot >= 0 && singleUse(I.c)) {
+                    I = Instr{Op::AddrIndexVar, I.a, I.b, 0, idxf.loadSlot,
+                              0, idxf.loadType, I.loc};
+                    ++stats_.instrsFused;
+                    changed = true;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::Unary: {
+                propagate(I.b);
+                if (constOf(I.b, va, ta)) {
+                    std::int64_t out = 0;
+                    const Type* type = nullptr;
+                    switch (static_cast<ast::UnaryOp>(I.imm)) {
+                    case ast::UnaryOp::Plus:
+                        out = va;
+                        type = ta;
+                        break;
+                    case ast::UnaryOp::Minus:
+                        out = normalizeScalar(prog_.intType, -va);
+                        type = prog_.intType;
+                        break;
+                    case ast::UnaryOp::Not:
+                        out = va != 0 ? 0 : 1;
+                        type = prog_.boolType;
+                        break;
+                    case ast::UnaryOp::BitNot:
+                        if (ta->isBool()) {
+                            out = va != 0 ? 0 : 1;
+                            type = prog_.boolType;
+                        } else {
+                            out = normalizeScalar(prog_.intType, ~va);
+                            type = prog_.intType;
+                        }
+                        break;
+                    default: type = nullptr; break;
+                    }
+                    if (type) {
+                        I = Instr{Op::ConstInt, I.a, 0, 0, 0, out, type,
+                                  I.loc};
+                        ++stats_.constantsFolded;
+                        changed = true;
+                        setConst(I.a, out, type);
+                        continue;
+                    }
+                }
+                if (static_cast<ast::UnaryOp>(I.imm) == ast::UnaryOp::Plus &&
+                    I.a != I.b) {
+                    // Unary plus is a pure copy: later reads of a may use
+                    // b directly while b is unchanged.
+                    killReg(I.a);
+                    facts_[I.a].isCopy = true;
+                    facts_[I.a].copyOf = I.b;
+                    facts_[I.a].copyVersion = versions_[I.b];
+                    continue;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::Binary: {
+                propagate(I.b);
+                propagate(I.c);
+                bool kb = constOf(I.b, va, ta);
+                bool kc = constOf(I.c, vb, tb);
+                if (kb && kc) {
+                    std::int64_t out = 0;
+                    const Type* type = nullptr;
+                    if (evalBinary(I.imm, va, vb, out, type)) {
+                        I = Instr{Op::ConstInt, I.a, 0, 0, 0, out, type,
+                                  I.loc};
+                        ++stats_.constantsFolded;
+                        changed = true;
+                        setConst(I.a, out, type);
+                        continue;
+                    }
+                } else if (kc && singleUse(I.c)) {
+                    I = Instr{Op::BinaryImm, I.a, I.b, 0, I.imm, vb, nullptr,
+                              I.loc};
+                    ++stats_.instrsFused;
+                    changed = true;
+                    killReg(I.a);
+                    continue;
+                } else if (kb && singleUse(I.b)) {
+                    ast::BinaryOp mirrored;
+                    if (mirrorOp(static_cast<ast::BinaryOp>(I.imm),
+                                 mirrored)) {
+                        I = Instr{Op::BinaryImm, I.a, I.c, 0,
+                                  static_cast<std::int32_t>(mirrored), va,
+                                  nullptr, I.loc};
+                        ++stats_.instrsFused;
+                        changed = true;
+                        killReg(I.a);
+                        continue;
+                    }
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::BinaryImm: {
+                propagate(I.b);
+                if (constOf(I.b, va, ta)) {
+                    std::int64_t out = 0;
+                    const Type* type = nullptr;
+                    if (evalBinary(I.imm, va, I.imm64, out, type)) {
+                        I = Instr{Op::ConstInt, I.a, 0, 0, 0, out, type,
+                                  I.loc};
+                        ++stats_.constantsFolded;
+                        changed = true;
+                        setConst(I.a, out, type);
+                        continue;
+                    }
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::Cast: {
+                propagate(I.b);
+                if (constOf(I.b, va, ta)) {
+                    std::int64_t out = normalizeScalar(I.type, va);
+                    I = Instr{Op::ConstInt, I.a, 0, 0, 0, out, I.type, I.loc};
+                    ++stats_.constantsFolded;
+                    changed = true;
+                    setConst(I.a, out, I.type);
+                    continue;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::BoolVal: {
+                propagate(I.b);
+                if (constOf(I.b, va, ta)) {
+                    std::int64_t out = va != 0 ? 1 : 0;
+                    I = Instr{Op::ConstInt, I.a, 0, 0, 0, out, I.type, I.loc};
+                    ++stats_.constantsFolded;
+                    changed = true;
+                    setConst(I.a, out, I.type);
+                    continue;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::BranchFalse:
+            case Op::BranchTrue: {
+                propagate(I.a);
+                if (constOf(I.a, va, ta)) {
+                    bool taken = (I.op == Op::BranchTrue) == (va != 0);
+                    if (taken) {
+                        I = Instr{Op::Jmp, 0, 0, 0, I.imm, 0, nullptr, I.loc};
+                    } else {
+                        I = Instr{Op::Jmp, 0, 0, 0,
+                                  static_cast<std::int32_t>(idx + 1), 0,
+                                  nullptr, I.loc};
+                    }
+                    ++stats_.branchesSimplified;
+                    changed = true;
+                }
+                continue;
+            }
+            case Op::StoreSc: {
+                propagate(I.c);
+                if (I.b < facts_.size() &&
+                    facts_[I.b].addr == RegFact::Addr::VarBase) {
+                    I = Instr{Op::StoreVarSc, I.a, 0, I.c, facts_[I.b].slot,
+                              0, nullptr, I.loc};
+                    ++stats_.instrsFused;
+                    changed = true;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::StoreVarSc: {
+                propagate(I.c);
+                std::int64_t vc = 0;
+                const Type* tc = nullptr;
+                if (constOf(I.c, vc, tc) && singleUse(I.c)) {
+                    I = Instr{Op::StoreVarImm, I.a, 0, 0, I.imm, vc,
+                              nullptr, I.loc};
+                    ++stats_.instrsFused;
+                    changed = true;
+                }
+                killReg(I.a);
+                continue;
+            }
+            case Op::IncDec: {
+                if (I.b < facts_.size() &&
+                    facts_[I.b].addr == RegFact::Addr::VarBase) {
+                    I = Instr{Op::IncDecVar, I.a, 0, 0, I.imm,
+                              facts_[I.b].slot, nullptr, I.loc};
+                    ++stats_.instrsFused;
+                    changed = true;
+                }
+                killLoadFacts();
+                killReg(I.a);
+                continue;
+            }
+            case Op::StoreCompound:
+            case Op::StoreAg:
+                propagate(I.c);
+                killReg(I.a);
+                continue;
+            case Op::InitVar:
+                propagate(I.b);
+                continue;
+            case Op::Ret:
+                propagate(I.a);
+                continue;
+            case Op::End:
+                if (I.a != kNoResult) propagate(I.a);
+                continue;
+            default:
+                // Loads, AddrSig/Index/Field, LoadInd, Call, ZeroVar,
+                // Jmp, RetVoid: kill the written register, keep operands
+                // as-is (Call argument blocks must stay consecutive).
+                if (writesA(I.op)) killReg(I.a);
+                continue;
+            }
+        }
+        return changed;
+    }
+
+    // --- jump threading ---------------------------------------------------
+
+    bool threadJumps()
+    {
+        bool changed = false;
+        const std::size_t n = c_.code.size();
+        std::vector<std::uint8_t> onPath(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            Instr& I = c_.code[i];
+            if (!isJump(I.op)) continue;
+            std::fill(onPath.begin(), onPath.end(), 0);
+            auto t = static_cast<std::size_t>(I.imm);
+            while (t < n && c_.code[t].op == Op::Jmp && !onPath[t]) {
+                onPath[t] = 1;
+                t = static_cast<std::size_t>(c_.code[t].imm);
+            }
+            if (t != static_cast<std::size_t>(I.imm)) {
+                I.imm = static_cast<std::int32_t>(t);
+                ++stats_.jumpsThreaded;
+                changed = true;
+            }
+        }
+        // Jumps and branches to the immediately following instruction do
+        // nothing; drop them.
+        std::vector<std::uint8_t> keep(n, 1);
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Instr& I = c_.code[i];
+            if (!isJump(I.op) ||
+                static_cast<std::size_t>(I.imm) != i + 1)
+                continue;
+            keep[i] = 0;
+            any = true;
+            if (I.op == Op::Jmp)
+                ++stats_.jumpsThreaded;
+            else
+                ++stats_.branchesSimplified;
+        }
+        if (any) changed |= compact(c_.code, keep) > 0;
+        return changed;
+    }
+
+    // --- unreachable-code removal ----------------------------------------
+
+    bool removeUnreachable()
+    {
+        const std::size_t n = c_.code.size();
+        std::vector<std::uint8_t> seen(n, 0);
+        std::vector<std::size_t> stack;
+        if (n > 0) {
+            stack.push_back(0);
+            seen[0] = 1;
+        }
+        auto visit = [&](std::size_t t) {
+            if (t < n && !seen[t]) {
+                seen[t] = 1;
+                stack.push_back(t);
+            }
+        };
+        while (!stack.empty()) {
+            std::size_t i = stack.back();
+            stack.pop_back();
+            const Instr& I = c_.code[i];
+            if (I.op == Op::Jmp) {
+                visit(static_cast<std::size_t>(I.imm));
+            } else if (I.op == Op::BranchFalse || I.op == Op::BranchTrue) {
+                visit(i + 1);
+                visit(static_cast<std::size_t>(I.imm));
+            } else if (!isTerminal(I.op)) {
+                visit(i + 1);
+            }
+        }
+        std::size_t removed = compact(c_.code, seen);
+        stats_.deadInstrsRemoved += removed;
+        return removed > 0;
+    }
+
+    // --- dead ZeroVar elision ---------------------------------------------
+
+    bool elideZeroVars()
+    {
+        const std::size_t n = c_.code.size();
+        std::vector<std::uint8_t> leader;
+        markLeaders(leader);
+        std::vector<std::uint8_t> keep(n, 1);
+        // slot -> index of a ZeroVar not yet read or overwritten.
+        std::map<std::int32_t, std::size_t> pending;
+        bool any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (leader[i]) pending.clear();
+            const Instr& I = c_.code[i];
+            switch (I.op) {
+            case Op::ZeroVar: pending[I.imm] = i; break;
+            case Op::InitVar: {
+                // InitVar fully overwrites the slot (scalar write or
+                // whole-size memcpy), so a pending ZeroVar is dead.
+                auto it = pending.find(I.imm);
+                if (it != pending.end()) {
+                    keep[it->second] = 0;
+                    pending.erase(it);
+                    ++stats_.storesElided;
+                    any = true;
+                }
+                break;
+            }
+            case Op::LoadVarSc:
+            case Op::LoadVarAg:
+            case Op::AddrVar:
+            case Op::StoreVarSc:
+            case Op::StoreVarImm:
+            // The fused address ops carry hidden slot accesses that the
+            // original AddrVar/LoadVarSc made visible before fusion+DCE:
+            // AddrIndexVar READS store[imm] as its index, AddrVarOff
+            // takes the slot's address.
+            case Op::AddrIndexVar:
+            case Op::AddrVarOff: pending.erase(I.imm); break;
+            case Op::IncDecVar:
+                pending.erase(static_cast<std::int32_t>(I.imm64));
+                break;
+            default: break; // Calls cannot touch this chunk's store.
+            }
+        }
+        if (!any) return false;
+        return compact(c_.code, keep) > 0;
+    }
+
+    // --- dead-register elimination ----------------------------------------
+
+    bool eliminateDead()
+    {
+        const std::size_t n = c_.code.size();
+        if (n == 0) return false;
+        const std::size_t words =
+            (static_cast<std::size_t>(c_.numRegs) + 63) / 64;
+        if (words == 0) return false;
+        std::vector<std::uint64_t> liveIn(n * words, 0);
+        std::vector<std::uint64_t> scratch(words, 0);
+        std::vector<std::uint16_t> reads;
+
+        auto setBit = [&](std::vector<std::uint64_t>& bs, std::size_t base,
+                          std::uint16_t r) {
+            if (r < c_.numRegs) bs[base + r / 64] |= std::uint64_t{1} << (r % 64);
+        };
+        auto testBit = [&](const std::vector<std::uint64_t>& bs,
+                           std::size_t base, std::uint16_t r) {
+            return r < c_.numRegs &&
+                   (bs[base + r / 64] >> (r % 64)) & 1;
+        };
+
+        // Liveness grows monotonically, so a pass bound keeps pathological
+        // chunks cheap — but exiting WITHOUT convergence would
+        // under-approximate liveness, and removal must then fail safe
+        // (skip) rather than delete a live instruction.
+        bool changedLive = true;
+        for (int pass = 0; pass < 64 && changedLive; ++pass) {
+            changedLive = false;
+            for (std::size_t i = n; i-- > 0;) {
+                const Instr& I = c_.code[i];
+                // live-out = union of successors' live-in.
+                std::fill(scratch.begin(), scratch.end(), 0);
+                auto merge = [&](std::size_t t) {
+                    if (t >= n) return;
+                    for (std::size_t w = 0; w < words; ++w)
+                        scratch[w] |= liveIn[t * words + w];
+                };
+                if (I.op == Op::Jmp) {
+                    merge(static_cast<std::size_t>(I.imm));
+                } else if (I.op == Op::BranchFalse ||
+                           I.op == Op::BranchTrue) {
+                    merge(i + 1);
+                    merge(static_cast<std::size_t>(I.imm));
+                } else if (!isTerminal(I.op)) {
+                    merge(i + 1);
+                }
+                // live-in = (live-out \ writes) U reads.
+                if (writesA(I.op) && I.a < c_.numRegs)
+                    scratch[I.a / 64] &=
+                        ~(std::uint64_t{1} << (I.a % 64));
+                readRegs(I, reads);
+                for (std::uint16_t r : reads) setBit(scratch, 0, r);
+                for (std::size_t w = 0; w < words; ++w) {
+                    if (liveIn[i * words + w] != scratch[w]) {
+                        liveIn[i * words + w] = scratch[w];
+                        changedLive = true;
+                    }
+                }
+            }
+        }
+        if (changedLive) return false; // not converged: fail safe
+
+        // An instruction whose only effect is writing a register nobody
+        // reads afterwards is dead. live-out(i) is the union of
+        // successors' live-in, recomputed here per candidate.
+        std::vector<std::uint8_t> keep(n, 1);
+        std::size_t removed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const Instr& I = c_.code[i];
+            if (hasSideEffect(I) || !writesA(I.op)) continue;
+            bool live = false;
+            auto liveAt = [&](std::size_t t) {
+                return t < n && testBit(liveIn, t * words, I.a);
+            };
+            live = liveAt(i + 1); // non-control ops fall through
+            if (!live) {
+                keep[i] = 0;
+                ++removed;
+            }
+        }
+        if (removed == 0) return false;
+        stats_.deadInstrsRemoved += removed;
+        return compact(c_.code, keep) > 0;
+    }
+
+    void recomputeNumRegs()
+    {
+        std::uint16_t top = 0;
+        std::vector<std::uint16_t> reads;
+        for (const Instr& i : c_.code) {
+            if (writesA(i.op))
+                top = std::max<std::uint16_t>(
+                    top, static_cast<std::uint16_t>(i.a + 1));
+            readRegs(i, reads);
+            for (std::uint16_t r : reads)
+                top = std::max<std::uint16_t>(
+                    top, static_cast<std::uint16_t>(r + 1));
+        }
+        c_.numRegs = top;
+    }
+
+    Local& c_;
+    const Program& prog_;
+    BytecodeStats& stats_;
+    std::vector<RegFact> facts_;
+    std::vector<std::uint32_t> versions_;
+    // singleUse() span analysis, rebuilt per foldAndFuse round.
+    std::vector<std::int32_t> curDef_;     ///< Governing def per register.
+    std::vector<std::uint32_t> spanReads_; ///< Reads within a def's span.
+    std::vector<std::uint8_t> spanLeader_; ///< Span crosses a leader.
+};
+
+/// Byte-serialization of one chunk for deduplication: every semantic
+/// field (source locations excluded — merged chunks keep the first
+/// occurrence's locs, which only error messages surface).
+std::string dedupKey(const Local& c)
+{
+    std::string key;
+    key.push_back(c.isExpr ? 1 : 0);
+    auto append = [&key](const void* p, std::size_t bytes) {
+        key.append(static_cast<const char*>(p), bytes);
+    };
+    for (const Instr& i : c.code) {
+        append(&i.op, sizeof(i.op));
+        append(&i.a, sizeof(i.a));
+        append(&i.b, sizeof(i.b));
+        append(&i.c, sizeof(i.c));
+        append(&i.imm, sizeof(i.imm));
+        append(&i.imm64, sizeof(i.imm64));
+        append(&i.type, sizeof(i.type)); // interned TypeTable pointer
+    }
+    return key;
+}
+
+} // namespace
+
+BytecodeStats optimizeBytecode(bc::Program& code, efsm::FlatProgram& flat,
+                               bool transform)
+{
+    BytecodeStats stats;
+    stats.instrsBefore = code.code.size();
+    stats.chunksBefore = code.chunks.size();
+
+    std::vector<Local> locals;
+    locals.reserve(code.chunks.size());
+    for (std::size_t c = 0; c < code.chunks.size(); ++c) {
+        locals.push_back(extractChunk(code, c));
+        if (transform) ChunkOptimizer(locals.back(), code, stats).run();
+    }
+
+    // Deduplicate and re-emit into one dense instruction array.
+    std::map<std::string, std::int32_t> seen;
+    std::vector<std::int32_t> remap(locals.size(), -1);
+    std::vector<bc::Instr> newCode;
+    std::vector<Chunk> newChunks;
+    code.maxRegs = 0;
+    for (std::size_t c = 0; c < locals.size(); ++c) {
+        const Local& lc = locals[c];
+        auto [it, isNew] =
+            seen.emplace(dedupKey(lc),
+                         static_cast<std::int32_t>(newChunks.size()));
+        if (!isNew) {
+            remap[c] = it->second;
+            ++stats.chunksDeduped;
+            continue;
+        }
+        remap[c] = it->second;
+        Chunk nc;
+        nc.begin = static_cast<std::uint32_t>(newCode.size());
+        nc.end = nc.begin + static_cast<std::uint32_t>(lc.code.size());
+        nc.numRegs = lc.numRegs;
+        nc.isExpr = lc.isExpr;
+        for (Instr i : lc.code) {
+            if (isJump(i.op)) i.imm += static_cast<std::int32_t>(nc.begin);
+            newCode.push_back(i);
+        }
+        newChunks.push_back(nc);
+        if (nc.numRegs > code.maxRegs) code.maxRegs = nc.numRegs;
+    }
+    code.code = std::move(newCode);
+    code.chunks = std::move(newChunks);
+
+    // Rewrite every chunk reference.
+    for (bc::CompiledFunction& f : code.functions)
+        if (f.chunk >= 0) f.chunk = remap[static_cast<std::size_t>(f.chunk)];
+    for (efsm::FlatNode& n : flat.nodes)
+        if (n.predChunk >= 0)
+            n.predChunk = remap[static_cast<std::size_t>(n.predChunk)];
+    for (efsm::FlatAction& a : flat.actions)
+        if (a.chunk >= 0)
+            a.chunk = remap[static_cast<std::size_t>(a.chunk)];
+
+    stats.instrsAfter = code.code.size();
+    stats.chunksAfter = code.chunks.size();
+    return stats;
+}
+
+} // namespace ecl::opt

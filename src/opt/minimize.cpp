@@ -1,0 +1,160 @@
+// Flat-state minimization by partition refinement (Moore-style
+// bisimulation). Two states are merged when their decision trees are
+// structurally identical — same signal tests, same data-predicate chunks,
+// same action lists (by deduplicated chunk id), same leaf flags — and
+// their leaf successors land in the same partition blocks. Merged states
+// execute byte-identical reactions, so engine counters (treeTests,
+// actionsRun, emitsRun) and data ExecCounters are preserved exactly;
+// what shrinks is the number of distinct control states — which the
+// explicit-state verifier multiplies its reachable set by.
+//
+// The signature compares the pause-config-DERIVED observables (dead,
+// autoResume), not raw PauseSet identity: the builder keys states by
+// config, so requiring config equality would merge nothing. The merged
+// state keeps the lowest-old-id representative's config, which is what
+// FlatProgram::configOf then reports (a label, not behavior).
+#include <map>
+#include <vector>
+
+#include "src/opt/opt.h"
+
+namespace ecl::opt {
+
+namespace {
+
+using efsm::FlatAction;
+using efsm::FlatNode;
+using efsm::FlatProgram;
+
+/// Appends the partition signature of one node (recursively) to `sig`.
+/// Leaf successors contribute their current block id, everything else its
+/// structure — so equal signatures mean "bisimilar given the current
+/// partition".
+void nodeSignature(const FlatProgram& flat,
+                   const std::vector<std::int32_t>& block, std::int32_t idx,
+                   std::vector<std::int64_t>& sig)
+{
+    const FlatNode& n = flat.nodes[static_cast<std::size_t>(idx)];
+    sig.push_back(n.actionsEnd - n.actionsBegin);
+    for (std::int32_t a = n.actionsBegin; a < n.actionsEnd; ++a) {
+        const FlatAction& fa = flat.actions[static_cast<std::size_t>(a)];
+        sig.push_back(static_cast<std::int64_t>(fa.kind));
+        sig.push_back(fa.isOutput ? 1 : 0);
+        sig.push_back(fa.signal);
+        sig.push_back(fa.chunk);
+    }
+    if (n.isLeaf()) {
+        sig.push_back(-100 - n.flags);
+        sig.push_back(n.nextState >= 0
+                          ? block[static_cast<std::size_t>(n.nextState)]
+                          : -1);
+        return;
+    }
+    sig.push_back(-200);
+    sig.push_back(n.testSignal);
+    sig.push_back(n.predChunk);
+    nodeSignature(flat, block, n.onTrue, sig);
+    nodeSignature(flat, block, n.onFalse, sig);
+}
+
+} // namespace
+
+MinimizeStats minimizeStates(efsm::FlatProgram& flat)
+{
+    MinimizeStats stats;
+    stats.statesBefore = flat.states.size();
+    stats.nodesBefore = flat.nodes.size();
+    stats.actionsBefore = flat.actions.size();
+    stats.configsBefore = flat.configs.size();
+
+    const std::size_t n = flat.states.size();
+    if (n == 0) return stats;
+
+    // Reachability from the initial state over leaf successors.
+    std::vector<std::uint8_t> reach(n, 0);
+    std::vector<std::int32_t> work{flat.initialState};
+    reach[static_cast<std::size_t>(flat.initialState)] = 1;
+    std::vector<std::int32_t> stack;
+    while (!work.empty()) {
+        std::int32_t s = work.back();
+        work.pop_back();
+        stack.assign(1, flat.states[static_cast<std::size_t>(s)].root);
+        while (!stack.empty()) {
+            const FlatNode& nd =
+                flat.nodes[static_cast<std::size_t>(stack.back())];
+            stack.pop_back();
+            if (!nd.isLeaf()) {
+                stack.push_back(nd.onTrue);
+                stack.push_back(nd.onFalse);
+                continue;
+            }
+            if (nd.nextState < 0) continue;
+            auto succ = static_cast<std::size_t>(nd.nextState);
+            if (!reach[succ]) {
+                reach[succ] = 1;
+                work.push_back(nd.nextState);
+            }
+        }
+    }
+    for (std::size_t s = 0; s < n; ++s)
+        if (!reach[s]) ++stats.unreachableStates;
+
+    // Partition refinement. All reachable states start in one block; each
+    // round re-partitions by exact signature under the previous blocks
+    // (std::map keys keep block numbering deterministic: blocks are
+    // ordered by signature, states visited ascending). Splitting is
+    // monotone, so a round that does not grow the block count is stable.
+    std::vector<std::int32_t> block(n, 0);
+    std::size_t blockCount = 1;
+    std::vector<std::int64_t> sig;
+    for (std::size_t round = 0; round < n + 1; ++round) {
+        std::map<std::vector<std::int64_t>, std::int32_t> index;
+        std::vector<std::int32_t> next(n, -1);
+        for (std::size_t s = 0; s < n; ++s) {
+            if (!reach[s]) continue;
+            const efsm::FlatState& st = flat.states[s];
+            sig.clear();
+            sig.push_back(block[s]); // refine: never re-merge split blocks
+            sig.push_back((st.dead ? 1 : 0) | (st.autoResume ? 2 : 0));
+            nodeSignature(flat, block, st.root, sig);
+            auto [it, isNew] =
+                index.emplace(sig, static_cast<std::int32_t>(index.size()));
+            (void)isNew;
+            next[s] = it->second;
+        }
+        ++stats.refinementRounds;
+        bool stable = index.size() == blockCount;
+        blockCount = index.size();
+        block = std::move(next);
+        if (stable) break;
+    }
+
+    // New ids in order of first occurrence (ascending old id), so the
+    // representative rows FlatProgram::remapStates keeps are exactly the
+    // lowest old id per block and numbering is deterministic.
+    std::vector<std::int32_t> blockToNew(blockCount, -1);
+    std::vector<std::int32_t> old2new(n, -1);
+    std::int32_t newCount = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (!reach[s]) continue;
+        std::int32_t& b = blockToNew[static_cast<std::size_t>(block[s])];
+        if (b < 0) b = newCount++;
+        old2new[s] = b;
+    }
+    stats.mergedStates =
+        n - stats.unreachableStates - static_cast<std::size_t>(newCount);
+
+    // Applied even when nothing merged: the identity remap still
+    // re-interns the config pool, keeping the -O1 contract (only configs
+    // referenced by surviving states, no duplicates) for hand-built
+    // tables too.
+    flat.remapStates(old2new);
+
+    stats.statesAfter = flat.states.size();
+    stats.nodesAfter = flat.nodes.size();
+    stats.actionsAfter = flat.actions.size();
+    stats.configsAfter = flat.configs.size();
+    return stats;
+}
+
+} // namespace ecl::opt

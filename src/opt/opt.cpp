@@ -1,0 +1,51 @@
+#include "src/opt/opt.h"
+
+#include <sstream>
+
+namespace ecl::opt {
+
+PipelineStats optimize(efsm::FlatProgram& flat, bc::Program& code, int level)
+{
+    PipelineStats stats;
+    stats.level = level;
+    if (level <= 0) return stats;
+    // Bytecode first (dedup canonicalizes chunk ids), then state
+    // minimization (which compares predicates/actions by chunk id).
+    stats.bytecodeOptimized = level >= 2;
+    stats.bytecode = optimizeBytecode(code, flat, level >= 2);
+    stats.minimized = true;
+    stats.minimize = minimizeStates(flat);
+    return stats;
+}
+
+std::string PipelineStats::report() const
+{
+    std::ostringstream out;
+    out << "optimization pipeline (-O" << level << "):\n";
+    if (level <= 0) {
+        out << "  disabled — flat tables and bytecode emitted verbatim\n";
+        return out.str();
+    }
+    const MinimizeStats& m = minimize;
+    const BytecodeStats& b = bytecode;
+    out << "  bytecode: " << b.instrsBefore << " -> " << b.instrsAfter
+        << " instrs, " << b.chunksBefore << " -> " << b.chunksAfter
+        << " chunks (" << b.chunksDeduped << " deduped)\n";
+    if (bytecodeOptimized)
+        out << "    folded " << b.constantsFolded << " constants, fused "
+            << b.instrsFused << " pairs, removed " << b.deadInstrsRemoved
+            << " dead instrs, elided " << b.storesElided
+            << " dead stores,\n    simplified " << b.branchesSimplified
+            << " branches, threaded " << b.jumpsThreaded
+            << " jumps, propagated " << b.copiesPropagated << " copies\n";
+    out << "  states: " << m.statesBefore << " -> " << m.statesAfter << " ("
+        << m.mergedStates << " merged, " << m.unreachableStates
+        << " unreachable, " << m.refinementRounds << " refinement rounds)\n"
+        << "  nodes: " << m.nodesBefore << " -> " << m.nodesAfter
+        << ", actions: " << m.actionsBefore << " -> " << m.actionsAfter
+        << ", configs: " << m.configsBefore << " -> " << m.configsAfter
+        << "\n";
+    return out.str();
+}
+
+} // namespace ecl::opt

@@ -1,0 +1,111 @@
+// Post-flatten optimization pipeline.
+//
+// The paper's Key Features section promises that "logic synthesis and
+// optimization can be applied to reduce size or improve speed". The
+// pre-flatten stage (src/efsm/optimize.h) cleans up decision trees; this
+// module optimizes the shared executable representation every runtime
+// consumes — the flattened tables (efsm::FlatProgram) and the compiled
+// data bytecode (bc::Program) that drive the SyncEngine hot path, the
+// batch multi-instance runtime and the explicit-state verifier at once.
+//
+// Levels (CompileOptions::optLevel, eclc -O{0,1,2}; default 2):
+//  * -O0  emits the flattened tables verbatim.
+//  * -O1  structural passes, bit-exact INCLUDING instruction-level
+//         ExecCounters: bytecode chunk deduplication (identical
+//         predicates/actions share one chunk), flat-state minimization by
+//         partition refinement (bisimulation over successor / action /
+//         decision-tree signatures plus the pause-config-DERIVED
+//         observables, dead and autoResume — raw config identity is
+//         deliberately not compared, since the builder gives every state
+//         a distinct PauseSet and comparing them would merge nothing;
+//         configOf() of a merged state reports the lowest-old-id
+//         representative's pause set), with unreachable-state pruning
+//         and re-interning of PauseSet configs that become identical or
+//         unreferenced after the state remap.
+//  * -O2  adds the bytecode optimizer: constant folding, copy
+//         propagation, dead-register/dead-store elimination, and a
+//         peephole pass (jump threading, unreachable-code removal, and
+//         superinstruction fusion — BinaryImm / StoreVarSc / IncDecVar).
+//         Observable behavior (outputs, valued emissions, termination,
+//         auto-resume, runtime traps) stays bit-exact with -O0; the
+//         eliminated instructions' ExecCounters bumps disappear with
+//         them, so instruction-level counters are only defined to match
+//         at -O0/-O1 (fused superinstructions still bump the exact
+//         counter sums of the pair they replace).
+//
+// Pass ordering: bytecode transforms run first (so chunk dedup sees
+// canonical code), then chunk dedup (so the state minimizer compares
+// predicates/actions by deduplicated chunk id), then state minimization.
+// Every pass is idempotent; the whole pipeline is a fixpoint after one
+// run (tests/test_opt.cpp pins optimize(optimize(p)) == optimize(p)).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/efsm/flatten.h"
+#include "src/interp/bytecode.h"
+
+namespace ecl::opt {
+
+struct MinimizeStats {
+    std::size_t statesBefore = 0;
+    std::size_t statesAfter = 0;
+    std::size_t nodesBefore = 0;
+    std::size_t nodesAfter = 0;
+    std::size_t actionsBefore = 0;
+    std::size_t actionsAfter = 0;
+    std::size_t configsBefore = 0;
+    std::size_t configsAfter = 0;
+    std::size_t unreachableStates = 0; ///< Dropped by reachability.
+    std::size_t mergedStates = 0;      ///< Reachable states merged away.
+    int refinementRounds = 0;
+};
+
+struct BytecodeStats {
+    std::size_t instrsBefore = 0;
+    std::size_t instrsAfter = 0;
+    std::size_t chunksBefore = 0;
+    std::size_t chunksAfter = 0;
+    std::size_t chunksDeduped = 0;
+    std::size_t constantsFolded = 0;    ///< Instrs replaced by a constant.
+    std::size_t copiesPropagated = 0;   ///< Operand uses redirected.
+    std::size_t deadInstrsRemoved = 0;  ///< DCE + unreachable code.
+    std::size_t storesElided = 0;       ///< Dead ZeroVar before InitVar.
+    std::size_t branchesSimplified = 0; ///< Constant-condition branches.
+    std::size_t jumpsThreaded = 0;
+    std::size_t instrsFused = 0;        ///< Peephole superinstructions.
+};
+
+struct PipelineStats {
+    int level = 0;
+    bool minimized = false;         ///< State minimization ran (>= -O1).
+    bool bytecodeOptimized = false; ///< Chunk transforms ran (>= -O2).
+    MinimizeStats minimize;
+    BytecodeStats bytecode;
+
+    /// Human-readable multi-line report (eclc --opt-stats).
+    [[nodiscard]] std::string report() const;
+};
+
+/// Minimizes the flat machine in place: partition-refinement bisimulation
+/// over (dead, autoResume, decision-tree structure, action lists, leaf
+/// successor blocks), plus unreachable-state pruning and config
+/// re-interning via FlatProgram::remapStates. Chunk ids are compared
+/// verbatim — run bytecode dedup first for the sharpest partition.
+/// Preserves per-reaction behavior AND ExecCounters exactly (merged
+/// states execute identical trees).
+MinimizeStats minimizeStates(efsm::FlatProgram& flat);
+
+/// Optimizes the bytecode in place and rewrites every chunk reference in
+/// `flat` (FlatNode::predChunk, FlatAction::chunk) and in the program's
+/// function table. `transform` = false runs chunk deduplication only
+/// (counter-exact, -O1); true also runs the intra-chunk optimizer (-O2).
+BytecodeStats optimizeBytecode(bc::Program& code, efsm::FlatProgram& flat,
+                               bool transform);
+
+/// Runs the whole post-flatten pipeline at `level` (0, 1 or 2) in place.
+PipelineStats optimize(efsm::FlatProgram& flat, bc::Program& code,
+                       int level);
+
+} // namespace ecl::opt

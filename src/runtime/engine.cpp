@@ -86,6 +86,10 @@ SyncEngine::SyncEngine(const efsm::Efsm& machine, const ModuleSema& sema,
         flat_ = flat;
         code_ = std::move(code);
         vm_ = std::make_unique<bc::Vm>(code_, &store_, &env_);
+        // Post-flatten minimization renumbers flat states, so flat ids
+        // need not equal the Efsm's; in flat mode every state read goes
+        // through the flat tables.
+        state_ = flat_->initialState;
     }
 }
 
@@ -255,11 +259,14 @@ Value SyncEngine::outputValue(int sigIndex) const
 
 bool SyncEngine::terminated() const
 {
+    if (flat_) return flat_->states[static_cast<std::size_t>(state_)].dead;
     return machine_.states[static_cast<std::size_t>(state_)].dead;
 }
 
 bool SyncEngine::needsAutoResume() const
 {
+    if (flat_)
+        return flat_->states[static_cast<std::size_t>(state_)].autoResume;
     return machine_.states[static_cast<std::size_t>(state_)].autoResume;
 }
 

@@ -123,6 +123,9 @@ public:
         return sema_;
     }
 
+    /// Current control state id — a FlatProgram id in flat mode (which
+    /// post-flatten minimization may have renumbered), an Efsm id on the
+    /// tree-walking path.
     [[nodiscard]] int currentState() const { return state_; }
     [[nodiscard]] Store& store() { return store_; }
     [[nodiscard]] const Store& store() const { return store_; }

@@ -641,6 +641,7 @@ ExploreResult Explorer::run()
     const auto t1 = std::chrono::steady_clock::now();
 
     out.stats.states = store_->size();
+    out.stats.controlStates = flat_.states.size();
     out.stats.seconds =
         std::chrono::duration<double>(t1 - t0).count();
     out.stats.statesPerSec =

@@ -106,6 +106,11 @@ struct Violation {
 
 struct ExploreStats {
     std::uint64_t states = 0;      ///< Distinct states interned (root incl.).
+    /// Control states of the explored flat machine (post-flatten
+    /// minimization already applied when the module was compiled at
+    /// -O1/-O2); the packed reachable set is bounded by
+    /// controlStates x data valuations.
+    std::uint64_t controlStates = 0;
     std::uint64_t transitions = 0; ///< (state, letter) expansions executed.
     std::uint64_t peakFrontier = 0;
     int depthReached = 0; ///< Deepest instant expanded into.

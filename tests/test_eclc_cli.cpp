@@ -5,6 +5,7 @@
 // The binary path comes from CMake (ECL_ECLC_PATH = $<TARGET_FILE:eclc>).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
@@ -75,6 +76,40 @@ TEST(EclcCli, EmitSucceedsExit0)
 {
     EXPECT_EQ(runEclc("--paper stack --emit stats"), 0);
     EXPECT_EQ(runEclc("--paper buffer --module blinker --emit c"), 0);
+}
+
+TEST(EclcCli, OptLevelFlags)
+{
+    // Every documented level compiles and emits; anything else is a
+    // usage error.
+    EXPECT_EQ(runEclc("--paper stack --emit stats -O0"), 0);
+    EXPECT_EQ(runEclc("--paper stack --emit stats -O1"), 0);
+    EXPECT_EQ(runEclc("--paper stack --emit stats -O2"), 0);
+    EXPECT_EQ(runEclc("--paper stack --emit stats -O3"), 2);
+    EXPECT_EQ(runEclc("--paper stack --emit stats -Ox"), 2);
+    EXPECT_EQ(runEclc("--paper stack --opt-stats --emit stats"), 0);
+    // Levels apply under --verify too.
+    EXPECT_EQ(runEclc("--paper buffer --module blinker --verify -O0"), 0);
+    EXPECT_EQ(
+        runEclc("--paper buffer --module blinker --verify -O2 --opt-stats"),
+        0);
+}
+
+TEST(EclcCli, OptStatsReportIsPrinted)
+{
+    const std::string cmd = eclcPath() +
+                            " --paper stack --module toplevel --opt-stats "
+                            "--emit stats 2> /dev/null";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string out;
+    char buf[256];
+    while (fgets(buf, sizeof buf, pipe)) out += buf;
+    EXPECT_EQ(pclose(pipe), 0);
+    EXPECT_NE(out.find("optimization pipeline (-O2)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("bytecode:"), std::string::npos) << out;
+    EXPECT_NE(out.find("states:"), std::string::npos) << out;
 }
 
 TEST(EclcCli, VerifyCompleteExit0)

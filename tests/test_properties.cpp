@@ -1,7 +1,10 @@
 // Property-based tests.
 //
-// A seeded generator produces random pure-signal reactive programs from the
-// ECL kernel grammar; properties checked over random stimuli:
+// The seeded full-kernel-grammar generator (tests/ecl_program_gen.h)
+// produces random reactive programs — valued signals, variables and data
+// actions, trap/exit (reactive while + break), strong/weak preemption,
+// parallel branches carrying data; properties checked over random
+// stimuli:
 //  * trace equivalence between the compiled EFSM and the Reactive-C-style
 //    structural interpreter (two independent implementations of the
 //    semantics),
@@ -16,120 +19,13 @@
 
 #include "src/core/compiler.h"
 #include "src/core/paper_sources.h"
+#include "tests/ecl_program_gen.h"
 
 namespace {
 
 using namespace ecl;
-
-constexpr int kNumInputs = 3;
-constexpr int kNumOutputs = 2;
-
-/// Random reactive program over inputs i0..i2 / outputs o0..o1 and local
-/// signals, built from the kernel constructs with bounded depth.
-class ProgramGen {
-public:
-    explicit ProgramGen(unsigned seed) : rng_(seed) {}
-
-    std::string generate()
-    {
-        locals_ = 0;
-        std::ostringstream out;
-        out << "module m (";
-        for (int i = 0; i < kNumInputs; ++i)
-            out << (i ? ", " : "") << "input pure i" << i;
-        for (int o = 0; o < kNumOutputs; ++o)
-            out << ", output pure o" << o;
-        out << ")\n{\n";
-        std::string body = haltingStmt(3);
-        std::string decls;
-        for (int l = 0; l < locals_; ++l)
-            decls += "    signal pure l" + std::to_string(l) + ";\n";
-        out << decls;
-        // Wrap in a loop so traces are long; body always halts.
-        out << "    while (1) {\n" << body << "    }\n}\n";
-        return out.str();
-    }
-
-private:
-    int pick(int n) { return std::uniform_int_distribution<int>(0, n - 1)(rng_); }
-
-    std::string sig()
-    {
-        int k = pick(kNumInputs + locals_);
-        if (k < kNumInputs) return "i" + std::to_string(k);
-        return "l" + std::to_string(k - kNumInputs);
-    }
-
-    std::string sigExpr()
-    {
-        switch (pick(4)) {
-        case 0: return sig();
-        case 1: return "~" + sig();
-        case 2: return sig() + " & " + sig();
-        default: return sig() + " | " + sig();
-        }
-    }
-
-    std::string emitTarget()
-    {
-        int k = pick(kNumOutputs + locals_);
-        if (k < kNumOutputs) return "o" + std::to_string(k);
-        return "l" + std::to_string(k - kNumOutputs);
-    }
-
-    /// A statement guaranteed to halt on every repeating path.
-    std::string haltingStmt(int depth)
-    {
-        if (depth == 0) return "        await (" + sigExpr() + ");\n";
-        switch (pick(6)) {
-        case 0: return "        await (" + sigExpr() + ");\n";
-        case 1:
-            return haltingStmt(depth - 1) + "        emit (" + emitTarget() +
-                   ");\n";
-        case 2:
-            return "        do {\n" + haltingStmt(depth - 1) +
-                   "        halt ();\n        } abort (" + sigExpr() + ");\n";
-        case 3:
-            return "        do {\n" + haltingStmt(depth - 1) +
-                   "        } suspend (" + sigExpr() + ");\n";
-        case 4: {
-            // Emitter-before-tester by construction: the first branch may
-            // emit a fresh local, the second may test it.
-            std::string fresh = "l" + std::to_string(locals_++);
-            std::string a = "            { await (" + sigExpr() +
-                            "); emit (" + fresh + "); }\n";
-            std::string b = "            { do {\n" + haltingStmt(depth - 1) +
-                            "            halt ();\n            } abort (" +
-                            fresh + "); }\n";
-            return "        par {\n" + a + b + "        }\n";
-        }
-        default:
-            return "        present (" + sigExpr() + ") {\n" +
-                   haltingStmt(depth - 1) + "        } else {\n" +
-                   haltingStmt(depth - 1) + "        }\n";
-        }
-    }
-
-    std::mt19937 rng_;
-    int locals_ = 0;
-};
-
-std::string runTrace(rt::ReactiveEngine& eng, unsigned stimulusSeed,
-                     int instants)
-{
-    std::mt19937 rng(stimulusSeed);
-    std::string trace;
-    eng.react(); // boot
-    for (int t = 0; t < instants; ++t) {
-        for (int i = 0; i < kNumInputs; ++i)
-            if (rng() & 1) eng.setInput("i" + std::to_string(i));
-        eng.react();
-        for (int o = 0; o < kNumOutputs; ++o)
-            trace += eng.outputPresent("o" + std::to_string(o)) ? '1' : '0';
-        trace += '.';
-    }
-    return trace;
-}
+using test::ProgramGen;
+using test::runTrace;
 
 class RandomProgramTest : public ::testing::TestWithParam<unsigned> {};
 
@@ -266,7 +162,12 @@ INSTANTIATE_TEST_SUITE_P(AllValuations, InputSweepTest,
 // SyncEngine against the tree-walking SyncEngine (same EFSM, different
 // execution representation — outputs, termination, auto-resume AND exact
 // ExecCounters must agree) and against the structural RcEngine (independent
-// semantics — outputs, termination, auto-resume must agree).
+// semantics — outputs, termination, auto-resume must agree). Runs at both
+// -O0 (verbatim tables) and -O1 (chunk dedup + state minimization), the
+// levels whose contract includes exact instruction-level ExecCounters;
+// -O2's bytecode optimizer legitimately removes counted instructions and
+// is differentially covered (outputs/termination/values) in
+// tests/test_opt.cpp.
 
 struct PaperCase {
     const char* source; ///< "stack" or "buffer".
@@ -298,7 +199,11 @@ TEST_P(PaperSourceDifferentialTest, FlatMatchesTreeWalkAndStructuralOracle)
     Compiler compiler(std::string(pc.source) == std::string("stack")
                           ? paper::protocolStackSource()
                           : paper::audioBufferSource());
-    auto mod = compiler.compile(pc.module);
+    for (int optLevel : {0, 1}) {
+    SCOPED_TRACE("optLevel " + std::to_string(optLevel));
+    CompileOptions copts;
+    copts.optLevel = optLevel;
+    auto mod = compiler.compile(pc.module, copts);
     ASSERT_TRUE(mod->hasFlatProgram()) << pc.module;
     const ModuleSema& sema = mod->moduleSema();
 
@@ -377,6 +282,7 @@ TEST_P(PaperSourceDifferentialTest, FlatMatchesTreeWalkAndStructuralOracle)
             expectCountersEqual(rf.dataCounters, rt2.dataCounters, t);
         }
     }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -408,12 +314,17 @@ struct BatchCase {
     const char* module;
     int instances;
     int threads;
+    /// Post-flatten optimization level the module is compiled at. Batch
+    /// and oracle engines share the same tables, so equality (counters
+    /// included) must hold at every level — the default fast path (-O2)
+    /// and the verbatim tables (-O0) are both swept.
+    int optLevel = 2;
 };
 
 void PrintTo(const BatchCase& c, std::ostream* os)
 {
     *os << c.source << "/" << c.module << "/n" << c.instances << "/t"
-        << c.threads;
+        << c.threads << "/O" << c.optLevel;
 }
 
 class BatchDifferentialTest : public ::testing::TestWithParam<BatchCase> {
@@ -424,7 +335,9 @@ protected:
         Compiler compiler(std::string(bc.source) == std::string("stack")
                               ? paper::protocolStackSource()
                               : paper::audioBufferSource());
-        auto mod = compiler.compile(bc.module);
+        CompileOptions copts;
+        copts.optLevel = bc.optLevel;
+        auto mod = compiler.compile(bc.module, copts);
         if (!mod->hasFlatProgram())
             ADD_FAILURE() << "no flat program for " << bc.module;
         return mod;
@@ -629,6 +542,13 @@ INSTANTIATE_TEST_SUITE_P(
                       BatchCase{"buffer", "blinker", 256, 4},
                       BatchCase{"buffer", "buffer_top", 7, 1},
                       BatchCase{"buffer", "buffer_top", 7, 4},
-                      BatchCase{"buffer", "buffer_top", 256, 4}));
+                      BatchCase{"buffer", "buffer_top", 256, 4},
+                      // Verbatim -O0 tables (default cases above run on
+                      // the optimized -O2 fast path).
+                      BatchCase{"stack", "assemble", 7, 4, 0},
+                      BatchCase{"stack", "toplevel", 7, 1, 0},
+                      BatchCase{"stack", "toplevel", 256, 4, 0},
+                      BatchCase{"buffer", "producer", 7, 4, 0},
+                      BatchCase{"buffer", "buffer_top", 7, 4, 0}));
 
 } // namespace

@@ -741,4 +741,149 @@ TEST(VerifyLayout, PackedStatesAreArenaCompatible)
     EXPECT_EQ(ex2->packedSize(), 4 + layout.dataBytes);
 }
 
+// ---------------------------------------------------------------------------
+// Optimization-level regression: the minimized machine (-O2) must explore
+// no more states than the verbatim tables (-O0) with identical verdicts,
+// and counterexamples found on the minimized machine must replay on
+// engines at EITHER level (the unoptimized SyncEngine included).
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<CompiledModule> compilePaperAt(const char* source,
+                                               const char* module,
+                                               int optLevel)
+{
+    Compiler compiler(std::string(source) == std::string("stack")
+                          ? paper::protocolStackSource()
+                          : paper::audioBufferSource());
+    CompileOptions copts;
+    copts.optLevel = optLevel;
+    return compiler.compile(module, copts);
+}
+
+std::shared_ptr<CompiledModule> compileSrcAt(const std::string& src,
+                                             int optLevel)
+{
+    Compiler compiler(src);
+    CompileOptions copts;
+    copts.optLevel = optLevel;
+    return compiler.compile(compiler.moduleNames().back(), copts);
+}
+
+class VerifyOptLevelTest : public ::testing::TestWithParam<PaperCase> {};
+
+TEST_P(VerifyOptLevelTest, MinimizedMachineExploresNoMoreStates)
+{
+    const PaperCase& pc = GetParam();
+    auto o0 = compilePaperAt(pc.source, pc.module, 0);
+    auto o2 = compilePaperAt(pc.source, pc.module, 2);
+
+    verify::ExplorerOptions opts;
+    opts.maxDepth = pc.depth;
+    opts.maxStates = 200000;
+    auto ex0 = o0->makeExplorer(opts);
+    auto ex2 = o2->makeExplorer(opts);
+    verify::ExploreResult r0 = ex0->run();
+    verify::ExploreResult r2 = ex2->run();
+
+    EXPECT_LE(r2.stats.controlStates, r0.stats.controlStates);
+    EXPECT_LE(r2.stats.states, r0.stats.states);
+    EXPECT_EQ(r2.violated, r0.violated);
+    EXPECT_EQ(r2.stats.complete, r0.stats.complete);
+    EXPECT_EQ(r2.stats.depthReached, r0.stats.depthReached);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperModules, VerifyOptLevelTest,
+    ::testing::Values(PaperCase{"stack", "assemble", 6},
+                      PaperCase{"stack", "checkcrc", 6},
+                      PaperCase{"stack", "prochdr", 6},
+                      PaperCase{"stack", "toplevel", 6},
+                      PaperCase{"buffer", "producer", 8},
+                      PaperCase{"buffer", "playback", 8},
+                      PaperCase{"buffer", "blinker", 8},
+                      PaperCase{"buffer", "buffer_top", 16}));
+
+TEST(VerifyOptLevel, DesignViolationVerdictAndReplayAcrossLevels)
+{
+    auto o0 = compileSrcAt(kOverflowSrc, 0);
+    auto o2 = compileSrcAt(kOverflowSrc, 2);
+    auto ex0 = o0->makeExplorer({});
+    auto ex2 = o2->makeExplorer({});
+    verify::ExploreResult r0 = ex0->run();
+    verify::ExploreResult r2 = ex2->run();
+
+    ASSERT_TRUE(r0.violated);
+    ASSERT_TRUE(r2.violated);
+    EXPECT_EQ(r2.violation.kind, r0.violation.kind);
+    EXPECT_EQ(r2.violation.what, r0.violation.what);
+    // BFS minimal depth is a property of the behavior, which
+    // minimization preserves exactly.
+    EXPECT_EQ(r2.violation.depth, r0.violation.depth);
+    EXPECT_LE(r2.stats.states, r0.stats.states);
+
+    // Bit-exact replay on the engine of the level that found it.
+    auto e2 = o2->makeEngine();
+    verify::ReplayOutcome rp =
+        verify::replayCounterexample(*e2, nullptr, r2);
+    EXPECT_TRUE(rp.reproduced) << rp.detail;
+
+    // The -O2 counterexample must also reproduce the violating emission
+    // on the UNOPTIMIZED engine (state ids differ after minimization, so
+    // the packed-state comparison does not apply — the emission does).
+    auto cross = [](CompiledModule& mod, const verify::ExploreResult& res) {
+        auto eng = mod.makeEngine();
+        for (const verify::TraceStep& step : res.trace) {
+            for (const verify::InputEvent& ev : step.inputs) {
+                if (ev.value.empty())
+                    eng->setInput(ev.signal);
+                else
+                    eng->setInputValue(ev.signal, ev.value);
+            }
+            eng->react();
+        }
+        return eng->outputPresent(res.violation.signal);
+    };
+    EXPECT_TRUE(cross(*o0, r2)) << "O2 trace must violate on the O0 engine";
+    EXPECT_TRUE(cross(*o2, r0)) << "O0 trace must violate on the O2 engine";
+}
+
+TEST(VerifyOptLevel, MonitorViolationReplaysOnUnoptimizedEngines)
+{
+    auto design2 = compilePaperAt("buffer", "buffer_top", 2);
+    auto monitor2 = compileSrcAt(kSpeakerMonitorSrc, 2);
+    auto ex = design2->makeExplorer({});
+    monitor2->attachAsMonitor(*ex);
+    verify::ExploreResult res = ex->run();
+    ASSERT_TRUE(res.violated);
+
+    // Feed the trace found on the minimized machine to -O0 engines of
+    // both modules, wiring the monitor by name exactly as the explorer
+    // does; the monitor must emit its violation in the final instant.
+    auto design0 = compilePaperAt("buffer", "buffer_top", 0);
+    auto monitor0 = compileSrcAt(kSpeakerMonitorSrc, 0);
+    auto dEng = design0->makeEngine();
+    auto mEng = monitor0->makeEngine();
+    const std::vector<verify::MonitorWire> wires =
+        verify::wireMonitor(dEng->moduleSema(), mEng->moduleSema());
+    for (const verify::TraceStep& step : res.trace) {
+        for (const verify::InputEvent& ev : step.inputs) {
+            if (ev.value.empty())
+                dEng->setInput(ev.signal);
+            else
+                dEng->setInputValue(ev.signal, ev.value);
+        }
+        dEng->react();
+        for (const verify::MonitorWire& w : wires) {
+            if (!dEng->outputPresent(w.designSig)) continue;
+            if (w.valued)
+                mEng->setInputScalar(
+                    w.monitorSig, dEng->outputValue(w.designSig).toInt());
+            else
+                mEng->setInput(w.monitorSig);
+        }
+        mEng->react();
+    }
+    EXPECT_TRUE(mEng->outputPresent(res.violation.signal));
+}
+
 } // namespace
