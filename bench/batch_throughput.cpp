@@ -285,9 +285,9 @@ int main(int argc, char** argv)
     modes.set("batch_sparse", modeJson(batchSparse, instances, maxThreads));
 
     bench::JsonValue root = bench::JsonValue::obj();
-    root.set("bench", "batch_throughput")
-        .set("workload", "protocol_stack_toplevel")
-        .set("packets", static_cast<double>(packets));
+    bench::setStandardHeader(root, "batch_throughput",
+                             "protocol_stack_toplevel", 2);
+    root.set("packets", static_cast<double>(packets));
     bench::setScale(root, instances, maxThreads);
     root.set("modes", std::move(modes))
         .set("speedup_batch_vs_sync_loop", speedup)

@@ -1,0 +1,357 @@
+// Benchmark regression gating: compares a current BENCH_*.json against a
+// committed baseline (bench/baselines/) and classifies every metric.
+//
+// The bench JSON schema is flat — objects, numbers and strings only (see
+// bench_util.h) — so the parser here flattens nested objects into
+// dotted-path keys ("modes.flat_bytecode.ns_per_reaction") and the
+// classifier decides per key how a difference is judged:
+//
+//  * ExactCounter   — workload checksums and deterministic counters
+//                     (reactions, tree_tests, actions_run, addr_matches,
+//                     states, transitions, workload parameters,
+//                     schema_version, opt_level). Any difference means
+//                     the two runs measured DIFFERENT work — comparison
+//                     is invalid and the diff fails loudly rather than
+//                     letting a perf number lie.
+//  * LowerBetter    — latencies and durations (ns_per_reaction,
+//                     seconds). Regression when current exceeds baseline
+//                     by more than the noise threshold.
+//  * HigherBetter   — rates and speedups (states_per_sec,
+//                     reactions_per_sec, speedup_*). Regression when
+//                     current falls short by more than the threshold.
+//  * Informational  — shape metrics with no better/worse direction
+//                     (peak_frontier, depth_reached); reported, never
+//                     gating.
+//  * Ignored        — provenance (git_sha) that differs by construction.
+//
+// Strings other than git_sha identify the bench/workload and must match
+// exactly. A metric present in the baseline but missing from the current
+// run fails (a silently dropped metric is how regressions hide); new
+// metrics in the current run are reported informationally.
+//
+// Used by tools/bench_diff.cpp (the CI gate) and unit-tested by
+// tests/test_bench_diff.cpp, including the deliberate-regression path.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/diagnostics.h"
+
+namespace ecl::bench {
+
+// ---------------------------------------------------------------------------
+// Flat JSON parsing (the bench_util.h subset: objects / numbers / strings)
+// ---------------------------------------------------------------------------
+
+struct FlatBench {
+    std::map<std::string, double> nums;      ///< Dotted path -> number.
+    std::map<std::string, std::string> strs; ///< Dotted path -> string.
+};
+
+namespace detail {
+
+class FlatParser {
+public:
+    explicit FlatParser(const std::string& text) : s_(text) {}
+
+    FlatBench parse()
+    {
+        FlatBench out;
+        skipWs();
+        object("", out);
+        skipWs();
+        if (pos_ != s_.size()) fail("trailing content after top object");
+        return out;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const
+    {
+        throw EclError("bench_diff: malformed bench JSON at byte " +
+                       std::to_string(pos_) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size()) fail("dangling escape");
+                out += s_[pos_++];
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    void object(const std::string& prefix, FlatBench& out)
+    {
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            std::string path = prefix.empty() ? key : prefix + "." + key;
+            skipWs();
+            expect(':');
+            skipWs();
+            char c = peek();
+            if (c == '{') {
+                object(path, out);
+            } else if (c == '"') {
+                out.strs[path] = string();
+            } else if (c == '-' || c == '+' ||
+                       std::isdigit(static_cast<unsigned char>(c))) {
+                std::size_t end = 0;
+                double v = std::stod(s_.substr(pos_), &end);
+                if (end == 0) fail("bad number");
+                pos_ += end;
+                out.nums[path] = v;
+            } else {
+                fail("expected object, string or number value");
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            break;
+        }
+        skipWs();
+        expect('}');
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/// Parses a BENCH_*.json body. Throws EclError on malformed input.
+inline FlatBench parseFlatBench(const std::string& text)
+{
+    return detail::FlatParser(text).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Metric classification
+// ---------------------------------------------------------------------------
+
+enum class MetricClass {
+    ExactCounter,
+    LowerBetter,
+    HigherBetter,
+    Informational,
+    Ignored,
+};
+
+inline const char* metricClassName(MetricClass c)
+{
+    switch (c) {
+    case MetricClass::ExactCounter: return "counter";
+    case MetricClass::LowerBetter: return "lower-better";
+    case MetricClass::HigherBetter: return "higher-better";
+    case MetricClass::Informational: return "info";
+    case MetricClass::Ignored: return "ignored";
+    }
+    return "?";
+}
+
+/// Classifies by the LAST path segment, so per-mode metrics inherit the
+/// top-level meaning ("modes.batch_t4.ns_per_reaction" is LowerBetter).
+inline MetricClass classifyMetric(const std::string& dottedKey)
+{
+    std::size_t dot = dottedKey.rfind('.');
+    const std::string leaf =
+        dot == std::string::npos ? dottedKey : dottedKey.substr(dot + 1);
+
+    if (leaf == "git_sha") return MetricClass::Ignored;
+
+    // Rates/speedups before durations: "states_per_sec" must not match a
+    // seconds rule.
+    if (leaf.rfind("speedup", 0) == 0 ||
+        (leaf.size() > 8 &&
+         leaf.compare(leaf.size() - 8, 8, "_per_sec") == 0))
+        return MetricClass::HigherBetter;
+    if (leaf.rfind("ns_per_", 0) == 0 || leaf == "seconds")
+        return MetricClass::LowerBetter;
+
+    // Deterministic work counters + workload parameters: any difference
+    // invalidates the comparison.
+    for (const char* exact :
+         {"schema_version", "opt_level", "reactions", "tree_tests",
+          "actions_run", "emits_run", "addr_matches", "states",
+          "transitions", "packets", "reps", "instances", "threads",
+          "depth", "messages"})
+        if (leaf == exact) return MetricClass::ExactCounter;
+
+    return MetricClass::Informational;
+}
+
+// ---------------------------------------------------------------------------
+// Diffing
+// ---------------------------------------------------------------------------
+
+struct DiffOptions {
+    /// Allowed relative slowdown/shortfall on time-like metrics before a
+    /// difference counts as a regression (0.10 = 10%).
+    double timeThreshold = 0.10;
+};
+
+struct MetricDiff {
+    std::string key;
+    MetricClass cls = MetricClass::Informational;
+    double baseline = 0;
+    double current = 0;
+    double delta = 0; ///< Relative change, signed ((cur-base)/base).
+    bool regression = false;
+    std::string note;
+};
+
+struct DiffResult {
+    std::vector<MetricDiff> metrics;
+    std::vector<std::string> errors; ///< Structural failures (missing
+                                     ///< metrics, identity mismatches).
+    bool regression = false;
+
+    [[nodiscard]] std::size_t regressionCount() const
+    {
+        std::size_t n = 0;
+        for (const MetricDiff& m : metrics)
+            if (m.regression) ++n;
+        return n;
+    }
+};
+
+inline DiffResult diffBench(const FlatBench& baseline,
+                            const FlatBench& current,
+                            const DiffOptions& opts = {})
+{
+    DiffResult out;
+
+    // Identity strings must agree (git_sha excepted).
+    for (const auto& [key, bval] : baseline.strs) {
+        if (classifyMetric(key) == MetricClass::Ignored) continue;
+        auto it = current.strs.find(key);
+        if (it == current.strs.end())
+            out.errors.push_back("missing string field '" + key + "'");
+        else if (it->second != bval)
+            out.errors.push_back("identity mismatch on '" + key + "': '" +
+                                 bval + "' vs '" + it->second + "'");
+    }
+
+    for (const auto& [key, bval] : baseline.nums) {
+        MetricDiff d;
+        d.key = key;
+        d.cls = classifyMetric(key);
+        d.baseline = bval;
+        auto it = current.nums.find(key);
+        if (it == current.nums.end()) {
+            out.errors.push_back("missing metric '" + key + "'");
+            continue;
+        }
+        d.current = it->second;
+        d.delta = bval != 0 ? (d.current - bval) / bval
+                            : (d.current != 0 ? 1.0 : 0.0);
+        switch (d.cls) {
+        case MetricClass::ExactCounter:
+            if (d.current != d.baseline) {
+                d.regression = true;
+                d.note = "counter mismatch — runs measured different work";
+            }
+            break;
+        case MetricClass::LowerBetter:
+            if (d.current > d.baseline * (1.0 + opts.timeThreshold)) {
+                d.regression = true;
+                std::ostringstream n;
+                n.precision(1);
+                n << std::fixed << "slower by " << d.delta * 100 << "% (>"
+                  << opts.timeThreshold * 100 << "% threshold)";
+                d.note = n.str();
+            }
+            break;
+        case MetricClass::HigherBetter:
+            if (d.current < d.baseline * (1.0 - opts.timeThreshold)) {
+                d.regression = true;
+                std::ostringstream n;
+                n.precision(1);
+                n << std::fixed << "dropped by " << -d.delta * 100 << "% (>"
+                  << opts.timeThreshold * 100 << "% threshold)";
+                d.note = n.str();
+            }
+            break;
+        case MetricClass::Informational:
+        case MetricClass::Ignored: break;
+        }
+        out.metrics.push_back(std::move(d));
+    }
+
+    // New metrics in the current run are fine — note them so reports show
+    // the schema growing.
+    for (const auto& [key, cval] : current.nums)
+        if (!baseline.nums.count(key)) {
+            MetricDiff d;
+            d.key = key;
+            d.cls = MetricClass::Informational;
+            d.current = cval;
+            d.note = "new metric (not in baseline)";
+            out.metrics.push_back(std::move(d));
+        }
+
+    out.regression = !out.errors.empty() || out.regressionCount() > 0;
+    return out;
+}
+
+/// Human-readable comparison report for one bench.
+inline std::string renderReport(const std::string& name,
+                                const DiffResult& r)
+{
+    std::ostringstream os;
+    os << "== " << name << ": "
+       << (r.regression ? "REGRESSION" : "ok") << " ("
+       << r.regressionCount() << " regressed, " << r.errors.size()
+       << " errors, " << r.metrics.size() << " metrics)\n";
+    for (const std::string& e : r.errors) os << "  ERROR " << e << "\n";
+    for (const MetricDiff& m : r.metrics) {
+        if (!m.regression && m.note.empty()) continue;
+        os.precision(3);
+        os << (m.regression ? "  FAIL  " : "  note  ") << m.key << " ["
+           << metricClassName(m.cls) << "] " << std::fixed << m.baseline
+           << " -> " << m.current;
+        if (!m.note.empty()) os << " — " << m.note;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ecl::bench

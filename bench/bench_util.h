@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -110,6 +111,27 @@ private:
     std::string str_;
     std::vector<std::pair<std::string, JsonValue>> fields_;
 };
+
+/// Current version of the flat bench-JSON schema. Bump on any field
+/// rename/removal; bench_diff refuses to compare across versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Sets the standard identification header every BENCH_*.json starts
+/// with: schema version, bench/workload names, opt level, and the
+/// producing commit (ECL_GIT_SHA env, "unknown" outside CI — bench_diff
+/// ignores it when comparing). Call FIRST so the header leads the file.
+inline JsonValue& setStandardHeader(JsonValue& root, const std::string& bench,
+                                    const std::string& workload,
+                                    int optLevel)
+{
+    root.set("schema_version", static_cast<double>(kBenchSchemaVersion));
+    root.set("bench", bench);
+    root.set("workload", workload);
+    const char* sha = std::getenv("ECL_GIT_SHA");
+    root.set("git_sha", sha && *sha ? sha : "unknown");
+    root.set("opt_level", static_cast<double>(optLevel));
+    return root;
+}
 
 /// Sets the standard scaling fields on a bench JSON object (schema above).
 inline JsonValue& setScale(JsonValue& obj, int instances, int threads)

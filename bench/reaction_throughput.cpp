@@ -187,9 +187,9 @@ int main(int argc, char** argv)
                 flatO0.nsPerReaction / flat.nsPerReaction);
 
     bench::JsonValue root = bench::JsonValue::obj();
-    root.set("bench", "reaction_throughput")
-        .set("workload", "protocol_stack_toplevel")
-        .set("packets", static_cast<double>(packets))
+    bench::setStandardHeader(root, "reaction_throughput",
+                             "protocol_stack_toplevel", 2);
+    root.set("packets", static_cast<double>(packets))
         .set("reps", static_cast<double>(reps))
         .set("modes", bench::JsonValue::obj()
                           .set("flat_bytecode", modeJson(flat))

@@ -73,8 +73,8 @@ int main(int argc, char** argv)
     auto mod = compiler.compile(module);
 
     bench::JsonValue root = bench::JsonValue::obj();
-    root.set("bench", "verify_throughput");
-    root.set("module", paper + "/" + module);
+    bench::setStandardHeader(root, "verify_throughput", paper + "/" + module,
+                             2);
     root.set("depth", static_cast<double>(depth));
 
     std::uint64_t headlineStates = 0;

@@ -32,6 +32,20 @@
 //   --dfs              depth-first exploration (lower memory, traces not
 //                      minimal)
 //
+// Trace record/replay (src/runtime/trace.h + the corpus stimulus
+// profiles):
+//   --record-trace FILE  drive the top module with a stimulus profile and
+//                        write the full input/output stream to FILE
+//   --trace-text         write the text trace format (default: binary)
+//   --stim-profile NAME  random | bursty | sparse | payload | lockstep
+//                        (default random)
+//   --stim-instants N    instants to record (default 100)
+//   --stim-seed N        stimulus seed (default 1)
+//   --replay-trace FILE  replay FILE on every representation of the
+//                        traced module (flat -O2, flat -O0, tree walk,
+//                        batch instance) and check outputs bit-exactly
+//                        against the recording; exit 1 on any divergence
+//
 // Exit codes (asserted by tests/test_eclc_cli.cpp):
 //   0  success; with --verify: state space exhausted, no violation
 //   1  file / parse / semantic errors
@@ -55,8 +69,10 @@
 #include "src/codegen/verilog_gen.h"
 #include "src/core/compiler.h"
 #include "src/core/paper_sources.h"
+#include "src/corpus/corpus.h"
 #include "src/cost/cost.h"
 #include "src/ir/ir.h"
+#include "src/runtime/trace.h"
 #include "src/verify/replay.h"
 
 namespace {
@@ -83,6 +99,12 @@ struct Options {
     long long maxStates = -1;
     int threads = 1;
     bool dfs = false;
+    std::string recordTrace;
+    std::string replayTrace;
+    std::string stimProfile = "random";
+    int stimInstants = 100;
+    unsigned stimSeed = 1;
+    bool traceText = false;
 };
 
 int usage()
@@ -93,6 +115,10 @@ int usage()
                  "            [--async] [--optimize] [-o PREFIX]\n"
                  "            [--verify [--monitor FILE] [--depth N] "
                  "[--max-states N] [--threads N] [--dfs]]\n"
+                 "            [--record-trace FILE [--trace-text] "
+                 "[--stim-profile NAME] [--stim-instants N] "
+                 "[--stim-seed N]]\n"
+                 "            [--replay-trace FILE]\n"
                  "            file.ecl | --paper stack|buffer\n"
                  "exit codes: 0 ok/verified, 1 compile error, 2 usage, "
                  "3 violation found, 4 verify bound reached\n");
@@ -246,6 +272,98 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
     return kExitViolation;
 }
 
+int runRecord(const Options& opt, ecl::Compiler& compiler,
+              const std::string& top)
+{
+    ecl::corpus::Profile profile =
+        ecl::corpus::profileFromName(opt.stimProfile);
+    ecl::CompileOptions copts;
+    copts.optimizeEfsm = opt.optimize;
+    copts.optLevel = opt.optLevel;
+    auto mod = compiler.compile(top, copts);
+    auto eng = mod->makeEngine();
+    ecl::rt::RecordingEngine rec(*eng, top);
+    ecl::corpus::runStimulus(rec, profile, opt.stimSeed, opt.stimInstants);
+    ecl::rt::writeTraceFile(rec.trace(), opt.recordTrace,
+                            opt.traceText ? ecl::rt::TraceFormat::Text
+                                          : ecl::rt::TraceFormat::Binary);
+    std::fprintf(stderr,
+                 "eclc: recorded %zu instants of '%s' (%s stimulus, seed "
+                 "%u) to %s\n",
+                 rec.trace().instants.size(), top.c_str(),
+                 opt.stimProfile.c_str(), opt.stimSeed,
+                 opt.recordTrace.c_str());
+    return kExitOk;
+}
+
+int runReplay(const Options& opt, ecl::Compiler& compiler)
+{
+    ecl::rt::InputTrace trace = ecl::rt::readTraceFile(opt.replayTrace);
+    const std::string top =
+        opt.module.empty() ? trace.module : opt.module;
+
+    ecl::CompileOptions o2opts;
+    o2opts.optLevel = 2;
+    ecl::CompileOptions o0opts;
+    o0opts.optLevel = 0;
+    auto mod2 = compiler.compile(top, o2opts);
+    auto mod0 = compiler.compile(top, o0opts);
+
+    struct Row {
+        const char* name;
+        ecl::rt::TraceReplayResult r;
+    };
+    std::vector<Row> rows;
+    {
+        auto e = mod2->makeEngine();
+        rows.push_back({"flat -O2", ecl::rt::replayTrace(*e, trace)});
+    }
+    {
+        auto e = mod0->makeEngine();
+        rows.push_back({"flat -O0", ecl::rt::replayTrace(*e, trace)});
+    }
+    {
+        auto e = mod0->makeEngine(ecl::EngineKind::TreeWalk);
+        rows.push_back({"tree-walk", ecl::rt::replayTrace(*e, trace)});
+    }
+    {
+        auto b = mod2->makeBatchEngine(1);
+        rows.push_back({"batch[0] -O2",
+                        ecl::rt::replayTrace(*b, 0, trace)});
+    }
+
+    bool ok = true;
+    for (const Row& row : rows) {
+        std::printf("replay %-13s %zu instants, output digest %s: %s\n",
+                    row.name, row.r.instants, row.r.outputDigest.c_str(),
+                    row.r.outputsMatch ? "outputs match recording"
+                                       : row.r.mismatch.c_str());
+        ok = ok && row.r.outputsMatch;
+    }
+    // Cross-representation agreement: identical output digests, identical
+    // final data bytes (control ids are renumbered at -O1+, so only the
+    // same-compile batch comparison checks the full packed state).
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        if (rows[i].r.outputDigest != rows[0].r.outputDigest) {
+            std::printf("DIVERGENCE: %s output digest differs from %s\n",
+                        rows[i].name, rows[0].name);
+            ok = false;
+        }
+        if (rows[i].r.finalData() != rows[0].r.finalData()) {
+            std::printf("DIVERGENCE: %s final data state differs from %s\n",
+                        rows[i].name, rows[0].name);
+            ok = false;
+        }
+    }
+    if (rows.back().r.finalState != rows.front().r.finalState) {
+        std::printf("DIVERGENCE: batch packed state differs from flat -O2\n");
+        ok = false;
+    }
+    std::printf("replay: %s\n",
+                ok ? "all representations bit-exact" : "DIVERGED");
+    return ok ? kExitOk : kExitError;
+}
+
 int emitAll(const Options& opt, const ecl::CompiledModule& mod)
 {
     for (const std::string& kind : opt.emits) {
@@ -324,6 +442,20 @@ int main(int argc, char** argv)
             if (opt.threads <= 0) return usage();
         } else if (arg == "--dfs") {
             opt.dfs = true;
+        } else if (arg == "--record-trace" && i + 1 < argc) {
+            opt.recordTrace = argv[++i];
+        } else if (arg == "--replay-trace" && i + 1 < argc) {
+            opt.replayTrace = argv[++i];
+        } else if (arg == "--stim-profile" && i + 1 < argc) {
+            opt.stimProfile = argv[++i];
+        } else if (arg == "--stim-instants" && i + 1 < argc) {
+            opt.stimInstants = std::atoi(argv[++i]);
+            if (opt.stimInstants <= 0) return usage();
+        } else if (arg == "--stim-seed" && i + 1 < argc) {
+            opt.stimSeed =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--trace-text") {
+            opt.traceText = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -342,6 +474,17 @@ int main(int argc, char** argv)
     // reject them so exit 0 can never be mistaken for "verified".
     if (!opt.verify && (!opt.monitorFile.empty() || opt.depth > 0 ||
                         opt.maxStates > 0 || opt.threads != 1 || opt.dfs))
+        return usage();
+    // Trace modes are exclusive with each other and with verify/async;
+    // stimulus flags only mean something when recording.
+    if (!opt.recordTrace.empty() && !opt.replayTrace.empty())
+        return usage();
+    const bool traceMode =
+        !opt.recordTrace.empty() || !opt.replayTrace.empty();
+    if (traceMode && (opt.verify || opt.asyncMode)) return usage();
+    if (opt.recordTrace.empty() &&
+        (opt.stimProfile != "random" || opt.stimInstants != 100 ||
+         opt.stimSeed != 1 || opt.traceText))
         return usage();
     if (opt.emits.empty()) opt.emits.push_back("c");
 
@@ -366,6 +509,8 @@ int main(int argc, char** argv)
 
         std::string top = opt.module.empty() ? modules.back() : opt.module;
         if (opt.verify) return runVerify(opt, compiler, top);
+        if (!opt.recordTrace.empty()) return runRecord(opt, compiler, top);
+        if (!opt.replayTrace.empty()) return runReplay(opt, compiler);
 
         ecl::CompileOptions copts;
         copts.optimizeEfsm = opt.optimize;

@@ -1,0 +1,328 @@
+#include "src/corpus/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "src/corpus/program_gen.h"
+#include "src/support/strings.h"
+
+namespace ecl::corpus {
+
+const char* profileName(Profile p)
+{
+    switch (p) {
+    case Profile::Random: return "random";
+    case Profile::Bursty: return "bursty";
+    case Profile::Sparse: return "sparse";
+    case Profile::Payload: return "payload";
+    case Profile::Lockstep: return "lockstep";
+    }
+    return "?";
+}
+
+Profile profileFromName(const std::string& name)
+{
+    for (Profile p : {Profile::Random, Profile::Bursty, Profile::Sparse,
+                      Profile::Payload, Profile::Lockstep})
+        if (name == profileName(p)) return p;
+    throw EclError("corpus: unknown stimulus profile '" + name + "'");
+}
+
+std::string serializeScenario(const Scenario& s)
+{
+    std::ostringstream out;
+    out << "# ecl corpus scenario v" << Scenario::kFormatVersion << "\n";
+    out << "name " << s.name << "\n";
+    out << "kind " << s.kind << "\n";
+    if (!s.shape.empty()) out << "shape " << s.shape << "\n";
+    out << "module " << s.module << "\n";
+    if (s.seed) out << "seed " << s.seed << "\n";
+    if (s.depth) out << "depth " << s.depth << "\n";
+    out << "profile " << profileName(s.profile) << "\n";
+    out << "stim_seed " << s.stimSeed << "\n";
+    out << "instants " << s.instants << "\n";
+    out << "oracle_digest " << s.oracleDigest << "\n";
+    if (!s.source.empty()) {
+        out << "source <<<\n" << s.source;
+        if (s.source.back() != '\n') out << '\n';
+        out << ">>>\n";
+    }
+    return out.str();
+}
+
+Scenario parseScenario(const std::string& text)
+{
+    Scenario s;
+    std::istringstream is(text);
+    std::string line;
+    bool sawHeader = false;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            if (!sawHeader) {
+                if (line.find("ecl corpus scenario v" +
+                              std::to_string(Scenario::kFormatVersion)) ==
+                    std::string::npos)
+                    throw EclError("corpus: unsupported scenario header '" +
+                                   line + "'");
+                sawHeader = true;
+            }
+            continue;
+        }
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "name") {
+            ls >> s.name;
+        } else if (key == "kind") {
+            ls >> s.kind;
+        } else if (key == "shape") {
+            ls >> s.shape;
+        } else if (key == "module") {
+            ls >> s.module;
+        } else if (key == "seed") {
+            ls >> s.seed;
+        } else if (key == "depth") {
+            ls >> s.depth;
+        } else if (key == "profile") {
+            std::string p;
+            ls >> p;
+            s.profile = profileFromName(p);
+        } else if (key == "stim_seed") {
+            ls >> s.stimSeed;
+        } else if (key == "instants") {
+            ls >> s.instants;
+        } else if (key == "oracle_digest") {
+            ls >> s.oracleDigest;
+        } else if (key == "source") {
+            std::string marker;
+            ls >> marker;
+            if (marker != "<<<")
+                throw EclError("corpus: expected 'source <<<' in scenario");
+            std::string body;
+            while (std::getline(is, line)) {
+                if (line == ">>>") break;
+                body += line;
+                body += '\n';
+            }
+            s.source = std::move(body);
+        } else {
+            throw EclError("corpus: unknown scenario key '" + key + "'");
+        }
+    }
+    if (!sawHeader)
+        throw EclError("corpus: missing scenario header comment");
+    if (s.name.empty() || s.kind.empty())
+        throw EclError("corpus: scenario missing name/kind");
+    return s;
+}
+
+std::vector<Scenario> loadCorpusDir(const std::string& dir)
+{
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(dir))
+        throw EclError("corpus: not a directory: " + dir);
+    std::vector<fs::path> files;
+    for (const fs::directory_entry& e : fs::directory_iterator(dir))
+        if (e.is_regular_file() && e.path().extension() == ".scn")
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    std::vector<Scenario> out;
+    out.reserve(files.size());
+    for (const fs::path& p : files) {
+        std::ifstream in(p);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        try {
+            out.push_back(parseScenario(buf.str()));
+        } catch (const EclError& e) {
+            throw EclError(std::string(e.what()) + " (in " + p.string() +
+                           ")");
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> loadQuarantine(const std::string& dir)
+{
+    std::vector<std::string> out;
+    std::ifstream in(dir + "/QUARANTINE");
+    std::string line;
+    while (std::getline(in, line)) {
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        std::istringstream ls(line);
+        std::string name;
+        if (ls >> name) out.push_back(name);
+    }
+    return out;
+}
+
+std::string scenarioSource(const Scenario& s)
+{
+    if (s.kind == "paper_stack") return paper::protocolStackSource();
+    if (s.kind == "paper_buffer") return paper::audioBufferSource();
+    if (s.source.empty())
+        throw EclError("corpus: scenario '" + s.name +
+                       "' has no inline source");
+    return s.source;
+}
+
+std::string regenerateSource(const Scenario& s)
+{
+    if (s.kind == "generated") {
+        ProgramGen gen(s.seed, s.depth > 0 ? s.depth : 3);
+        return gen.generate();
+    }
+    if (s.kind == "shaped") {
+        if (s.shape == "deep_preempt") return deepPreemptProgram(s.depth);
+        if (s.shape == "wide_par") return wideParProgram(s.depth);
+        if (s.shape == "payload") return largePayloadProgram(s.depth);
+        throw EclError("corpus: unknown shape '" + s.shape + "'");
+    }
+    return {};
+}
+
+std::shared_ptr<CompiledModule> compileScenario(const Scenario& s,
+                                                int optLevel)
+{
+    Compiler compiler(scenarioSource(s));
+    CompileOptions opts;
+    opts.optLevel = optLevel;
+    return compiler.compile(s.module, opts);
+}
+
+namespace {
+
+/// One instant of profile-shaped inputs. Deterministic: the rng draw
+/// sequence depends only on (profile, seed, sema) — every engine driven
+/// with the same triple sees identical inputs.
+void applyProfileInputs(std::mt19937& rng, const ModuleSema& sema,
+                        rt::ReactiveEngine& eng, Profile profile, int t)
+{
+    auto randomValue = [&](const SignalInfo& s) {
+        Value v(s.valueType);
+        for (std::size_t i = 0; i < v.size(); ++i)
+            v.data()[i] = static_cast<std::uint8_t>(rng());
+        return v;
+    };
+    const bool inBurst = (t % 16) < 6;
+    for (const SignalInfo& s : sema.signals) {
+        if (s.dir != SignalDir::Input) continue;
+        switch (profile) {
+        case Profile::Random:
+            if (s.pure) {
+                if (rng() & 1u) eng.setInput(s.index);
+            } else if ((rng() & 3u) == 0) {
+                if (s.valueType->isScalar())
+                    eng.setInputScalar(
+                        s.index, static_cast<std::int64_t>(rng() % 7));
+                else
+                    eng.setInputValue(s.index, randomValue(s));
+            }
+            break;
+        case Profile::Bursty:
+            if (!inBurst) {
+                rng(); // keep the draw sequence aligned across windows
+                break;
+            }
+            if (s.pure) {
+                if ((rng() & 3u) != 0) eng.setInput(s.index);
+            } else if (rng() & 1u) {
+                if (s.valueType->isScalar())
+                    eng.setInputScalar(
+                        s.index, static_cast<std::int64_t>(rng() % 256));
+                else
+                    eng.setInputValue(s.index, randomValue(s));
+            }
+            break;
+        case Profile::Sparse:
+            if (s.pure) {
+                if (rng() % 16 == 0) eng.setInput(s.index);
+            } else if (rng() % 32 == 0) {
+                if (s.valueType->isScalar())
+                    eng.setInputScalar(
+                        s.index, static_cast<std::int64_t>(rng() % 7));
+                else
+                    eng.setInputValue(s.index, randomValue(s));
+            }
+            break;
+        case Profile::Payload:
+            if (s.pure) {
+                if ((rng() & 3u) == 0) eng.setInput(s.index);
+            } else {
+                eng.setInputValue(s.index, randomValue(s));
+            }
+            break;
+        case Profile::Lockstep:
+            if (s.pure)
+                eng.setInput(s.index);
+            else if (s.valueType->isScalar())
+                eng.setInputScalar(s.index,
+                                   static_cast<std::int64_t>(t & 0xff));
+            else
+                eng.setInputValue(s.index, randomValue(s));
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string runStimulus(rt::ReactiveEngine& eng, Profile profile,
+                        unsigned seed, int instants)
+{
+    const ModuleSema& sema = eng.moduleSema();
+    std::mt19937 rng(seed);
+    std::ostringstream trace;
+    try {
+        eng.react(); // boot
+        for (int t = 0; t < instants; ++t) {
+            applyProfileInputs(rng, sema, eng, profile, t);
+            eng.react();
+            for (const SignalInfo& s : sema.signals) {
+                if (s.dir != SignalDir::Output) continue;
+                bool present = eng.outputPresent(s.index);
+                trace << (present ? '1' : '0');
+                if (!s.pure && present) {
+                    Value v = eng.outputValue(s.index);
+                    if (v.type()->isScalar()) {
+                        trace << '=' << v.toInt();
+                    } else {
+                        trace << '=';
+                        for (std::size_t i = 0; i < v.size(); ++i)
+                            trace << std::hex << int(v.data()[i] >> 4)
+                                  << int(v.data()[i] & 0xf) << std::dec;
+                    }
+                }
+            }
+            trace << (eng.terminated() ? 'T' : '.')
+                  << (eng.needsAutoResume() ? 'a' : ' ');
+        }
+    } catch (const EclError&) {
+        trace << "TRAP";
+    }
+    return trace.str();
+}
+
+std::string oracleTrace(const Scenario& s)
+{
+    CompileOptions opts;
+    opts.optLevel = 0;
+    Compiler compiler(scenarioSource(s));
+    auto mod = compiler.compile(s.module, opts);
+    auto eng = mod->makeEngine(EngineKind::TreeWalk);
+    return runStimulus(*eng, s.profile, s.stimSeed, s.instants);
+}
+
+std::string computeOracleDigest(const Scenario& s)
+{
+    return hex64(fnv1a64(oracleTrace(s)));
+}
+
+} // namespace ecl::corpus

@@ -1,0 +1,114 @@
+// The persisted scenario corpus: versioned workload fixtures under
+// tests/corpus/.
+//
+// A scenario names a compilable module (a seeded generator program, a
+// deterministic shaped stress program, or an embedded paper source) plus
+// a stimulus profile — the real-world traffic shapes the runtime must
+// serve: random background traffic, bursty windows with idle gaps,
+// sparse keep-alive streams, full-width valued payloads, and dense
+// lockstep. Driving any engine with runStimulus() yields a canonical
+// trace string; its fnv1a64 digest is pinned in the scenario file, so
+// every checked-in scenario is simultaneously
+//  * a differential fixture (flat VM vs tree-walk oracle, -O0 vs -O2),
+//  * a cross-version behavior pin (digest drift fails test_corpus), and
+//  * a generator-stability pin (inline source must equal regeneration).
+//
+// File format (*.scn, text, one scenario per file):
+//   # ecl corpus scenario v1
+//   name <slug>                  kind generated|shaped|paper_stack|paper_buffer
+//   shape deep_preempt|wide_par|payload   (shaped only)
+//   module <module>              seed/depth <generator or shape params>
+//   profile <stimulus>           stim_seed <n>      instants <n>
+//   oracle_digest <hex16>        source <<< ... >>> (inline ECL text)
+//
+// tools/corpusgen regenerates/extends the corpus deterministically and
+// verifies it for drift (--check); tests/test_corpus.cpp sweeps every
+// scenario differentially and enforces the empty-quarantine contract
+// (tests/corpus/QUARANTINE).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/engine.h"
+
+namespace ecl {
+class CompiledModule;
+}
+
+namespace ecl::corpus {
+
+/// Stimulus shapes (see file comment). Deterministic per (profile, seed).
+enum class Profile {
+    Random,   ///< Pure p=1/2, scalars p=1/4 (the property-suite shape).
+    Bursty,   ///< Dense 6-instant bursts separated by idle gaps.
+    Sparse,   ///< Keep-alive traffic: pure p=1/16, valued p=1/32.
+    Payload,  ///< Every valued input fires every instant, full-width
+              ///< random bytes (aggregates included).
+    Lockstep, ///< Every input present every instant.
+};
+
+const char* profileName(Profile p);
+/// Throws EclError on an unknown name.
+Profile profileFromName(const std::string& name);
+
+struct Scenario {
+    static constexpr int kFormatVersion = 1;
+
+    std::string name;
+    std::string kind;  ///< generated | shaped | paper_stack | paper_buffer.
+    std::string shape; ///< deep_preempt | wide_par | payload (shaped only).
+    std::string module = "m";
+    unsigned seed = 0; ///< ProgramGen seed (generated only).
+    int depth = 0;     ///< ProgramGen depth / shaped size parameter.
+    Profile profile = Profile::Random;
+    unsigned stimSeed = 1;
+    int instants = 100;
+    std::string oracleDigest; ///< hex16 fnv1a64 of the oracle trace.
+    std::string source;       ///< Inline ECL text ("" for paper kinds).
+};
+
+std::string serializeScenario(const Scenario& s);
+/// Throws EclError on malformed text or an unknown format version.
+Scenario parseScenario(const std::string& text);
+
+/// All *.scn files in `dir`, sorted by filename. Throws EclError when
+/// the directory is missing or a file fails to parse.
+std::vector<Scenario> loadCorpusDir(const std::string& dir);
+
+/// Scenario names listed in `dir`/QUARANTINE (comments/# and blank lines
+/// skipped). The corpus contract is that this list stays EMPTY — the
+/// mechanism exists so a genuinely blocked scenario can be parked
+/// without deleting evidence, and test_corpus fails until it is drained.
+std::vector<std::string> loadQuarantine(const std::string& dir);
+
+/// The scenario's ECL source: inline text, or the embedded paper source
+/// for paper_* kinds.
+std::string scenarioSource(const Scenario& s);
+
+/// Regenerates the canonical source for generated/shaped kinds from the
+/// scenario's parameters ("" for paper kinds). Inline text differing
+/// from this is generator drift.
+std::string regenerateSource(const Scenario& s);
+
+/// Compiles the scenario's module at `optLevel`.
+std::shared_ptr<CompiledModule> compileScenario(const Scenario& s,
+                                                int optLevel = 2);
+
+/// Drives `eng` with the scenario stimulus: one boot reaction, then
+/// `instants` instants of profile-shaped inputs, sampling every output
+/// (presence + value), termination and auto-resume per instant. Returns
+/// the canonical trace string ("TRAP" suffix on a runtime trap).
+/// Identical strings mean behavior-identical runs; pin fnv1a64 digests.
+std::string runStimulus(rt::ReactiveEngine& eng, Profile profile,
+                        unsigned seed, int instants);
+
+/// runStimulus on a fresh tree-walking (-O0) engine — the pinned oracle.
+std::string oracleTrace(const Scenario& s);
+
+/// hex16 fnv1a64 of oracleTrace().
+std::string computeOracleDigest(const Scenario& s);
+
+} // namespace ecl::corpus

@@ -337,6 +337,18 @@ const ReactionResult& BatchEngine::lastResult(std::size_t inst) const
     return last_[inst];
 }
 
+std::vector<std::uint8_t>
+BatchEngine::packInstanceState(std::size_t inst) const
+{
+    checkInstance(inst);
+    std::vector<std::uint8_t> out(4 + layout_.dataBytes, 0);
+    const std::int32_t st = state_[inst];
+    std::memcpy(out.data(), &st, 4);
+    std::memcpy(out.data() + 4, dataArena_.data() + inst * layout_.stride,
+                layout_.dataBytes);
+    return out;
+}
+
 bool BatchEngine::outputPresent(std::size_t inst, int sigIndex) const
 {
     checkSignal(inst, sigIndex);

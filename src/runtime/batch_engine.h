@@ -116,6 +116,13 @@ public:
         return stepEvents_;
     }
 
+    /// Packs instance `inst` into the shared verification state record
+    /// [i32 control state][instance-layout data bytes] — byte-compatible
+    /// with packEngineState (src/runtime/trace.h) and the explorer's
+    /// interned states: equal byte strings mean same state.
+    [[nodiscard]] std::vector<std::uint8_t>
+    packInstanceState(std::size_t inst) const;
+
     [[nodiscard]] const ModuleSema& moduleSema() const { return sema_; }
     [[nodiscard]] int threads() const
     {

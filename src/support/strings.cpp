@@ -74,4 +74,25 @@ std::string padRight(std::string_view s, std::size_t width)
     return out;
 }
 
+std::uint64_t fnv1a64(std::string_view data)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string hex64(std::uint64_t v)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+        v >>= 4;
+    }
+    return out;
+}
+
 } // namespace ecl

@@ -1,6 +1,7 @@
 // String helpers shared by printers and code generators.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +25,14 @@ std::string padLeft(std::string_view s, std::size_t width);
 
 /// Right-pads `s` with spaces to at least `width` columns.
 std::string padRight(std::string_view s, std::size_t width);
+
+/// FNV-1a 64-bit digest — the stability fingerprint used by the corpus
+/// scenarios, the trace replay oracle, and the generator seed-stability
+/// tests. The constants are fixed by the format (corpus files pin hex
+/// digests), so this must never change.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Lower-case 16-digit hex rendering of a 64-bit digest.
+std::string hex64(std::uint64_t v);
 
 } // namespace ecl

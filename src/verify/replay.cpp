@@ -8,23 +8,9 @@ namespace ecl::verify {
 std::vector<std::uint8_t> encodeEngineState(const rt::SyncEngine& engine,
                                             const rt::InstanceLayout& layout)
 {
-    const ModuleSema& sema = engine.moduleSema();
-    std::vector<std::uint8_t> out(4 + layout.dataBytes, 0);
-    const std::int32_t st = engine.currentState();
-    std::memcpy(out.data(), &st, 4);
-    std::uint8_t* data = out.data() + 4;
-    for (std::size_t i = 0; i < sema.vars.size(); ++i) {
-        const Value& v = engine.store().at(static_cast<int>(i));
-        std::memcpy(data + layout.varOffsets[i], v.data(), v.size());
-    }
-    for (const SignalInfo& s : sema.signals) {
-        if (s.pure) continue;
-        const Value& v = engine.env().signalValue(s.index);
-        std::memcpy(data +
-                        layout.sigOffsets[static_cast<std::size_t>(s.index)],
-                    v.data(), v.size());
-    }
-    return out;
+    // The packing lives with the runtime's shared instance layout (the
+    // trace replay oracle uses it too); this is the verify-facing name.
+    return rt::packEngineState(engine, layout);
 }
 
 namespace {

@@ -1,314 +1,15 @@
-// Seeded random ECL program generator over the FULL kernel grammar,
-// shared by the property suites (tests/test_properties.cpp) and the
-// optimizer differential suite (tests/test_opt.cpp).
-//
-// Every generated module is named `m` and has the fixed interface
-//   input pure i0..i2, input int v0..v1,
-//   output pure o0..o1, output int vo0
-// plus module variables x0/x1, an int array a0[4] (indices masked
-// in-bounds so programs stay trap-free at every optimization level),
-// pure local signals l<N> and valued local signals w<N>. Bodies are
-// built from the reactive kernel with bounded depth: await (signal
-// expressions over pure AND valued signals), delta awaits, emit /
-// emit_v, halt, present, strong/weak abort (with handlers), suspend,
-// parallel (signal-communicating and data-carrying branches), reactive
-// `if` over C conditions, inner reactive `while` loops exited with
-// `break` (the kernel's trap/exit), and interleaved C data actions on
-// the module variables. Every repeating path contains a halting
-// statement, so generation never produces instantaneous loops; static
-// causality can still reject a program (emitter/tester cycles inside
-// par) — suites skip those, and the rejection rate stays low because
-// par communication always emits a fresh local in the first branch.
-//
-// Generation is deterministic per seed: generate() is a pure function
-// of the constructor arguments.
+// Forwarder: the seeded full-kernel-grammar program generator was
+// promoted into the corpus subsystem (src/corpus/program_gen.h) so the
+// persisted scenario corpus (tests/corpus/, tools/corpusgen) and the
+// test suites share one scenario engine. Existing suites keep their
+// ecl::test spelling.
 #pragma once
 
-#include <random>
-#include <sstream>
-#include <string>
-
-#include "src/runtime/engine.h"
+#include "src/corpus/program_gen.h"
 
 namespace ecl::test {
 
-class ProgramGen {
-public:
-    static constexpr int kPureInputs = 3;    ///< i0..i2
-    static constexpr int kValuedInputs = 2;  ///< v0..v1 : int
-    static constexpr int kPureOutputs = 2;   ///< o0..o1
-    static constexpr int kValuedOutputs = 1; ///< vo0 : int
-    static constexpr int kVars = 2;          ///< x0..x1 : int
-    static constexpr int kArraySize = 4;     ///< a0[kArraySize] : int
-
-    explicit ProgramGen(unsigned seed, int depth = 3)
-        : rng_(seed), depth_(depth)
-    {
-    }
-
-    std::string generate()
-    {
-        locals_ = 0;
-        valuedLocals_ = 0;
-        temps_ = 0;
-        std::ostringstream out;
-        out << "module m (";
-        for (int i = 0; i < kPureInputs; ++i)
-            out << (i ? ", " : "") << "input pure i" << i;
-        for (int v = 0; v < kValuedInputs; ++v)
-            out << ", input int v" << v;
-        for (int o = 0; o < kPureOutputs; ++o)
-            out << ", output pure o" << o;
-        for (int o = 0; o < kValuedOutputs; ++o)
-            out << ", output int vo" << o;
-        out << ")\n{\n";
-        std::string body = haltingStmt(depth_);
-        for (int x = 0; x < kVars; ++x)
-            out << "    int x" << x << ";\n";
-        out << "    int a0[" << kArraySize << "];\n";
-        for (int l = 0; l < locals_; ++l)
-            out << "    signal pure l" << l << ";\n";
-        for (int w = 0; w < valuedLocals_; ++w)
-            out << "    signal int w" << w << ";\n";
-        for (int x = 0; x < kVars; ++x)
-            out << "    x" << x << " = " << pick(4) << ";\n";
-        // Wrap in a loop so traces are long; body always halts.
-        out << "    while (1) {\n" << body << "    }\n}\n";
-        return out.str();
-    }
-
-private:
-    int pick(int n)
-    {
-        return std::uniform_int_distribution<int>(0, n - 1)(rng_);
-    }
-
-    /// One signal name for presence tests: inputs (pure and valued) and
-    /// any local declared so far.
-    std::string sig()
-    {
-        int k = pick(kPureInputs + kValuedInputs + locals_ + valuedLocals_);
-        if (k < kPureInputs) return "i" + std::to_string(k);
-        k -= kPureInputs;
-        if (k < kValuedInputs) return "v" + std::to_string(k);
-        k -= kValuedInputs;
-        if (k < locals_) return "l" + std::to_string(k);
-        return "w" + std::to_string(k - locals_);
-    }
-
-    std::string sigExpr()
-    {
-        switch (pick(4)) {
-        case 0: return sig();
-        case 1: return "~" + sig();
-        case 2: return sig() + " & " + sig();
-        default: return sig() + " | " + sig();
-        }
-    }
-
-    std::string pureEmitTarget()
-    {
-        int k = pick(kPureOutputs + locals_);
-        if (k < kPureOutputs) return "o" + std::to_string(k);
-        return "l" + std::to_string(k - kPureOutputs);
-    }
-
-    std::string valuedEmitTarget()
-    {
-        // One time in three, mint a fresh valued local so `signal int
-        // w<N>` declarations (and their value reads in dataTerm) are
-        // actually exercised.
-        int k = pick(kValuedOutputs + valuedLocals_ + 1);
-        if (k < kValuedOutputs) return "vo" + std::to_string(k);
-        k -= kValuedOutputs;
-        if (k < valuedLocals_) return "w" + std::to_string(k);
-        return "w" + std::to_string(valuedLocals_++);
-    }
-
-    /// An always-in-bounds index into a0 (masking keeps generated
-    /// programs trap-free at every opt level).
-    std::string arrayRef(int var)
-    {
-        return "a0[(" + dataTerm(var) + " & " +
-               std::to_string(kArraySize - 1) + ")]";
-    }
-
-    /// An int-valued C term: literal, module variable, or the most
-    /// recent value of a valued signal. `var` restricts variable reads
-    /// to x<var> (parallel data branches keep disjoint variable sets).
-    std::string dataTerm(int var)
-    {
-        switch (pick(5)) {
-        case 0: return std::to_string(pick(4));
-        case 1:
-            return "x" + std::to_string(var >= 0 ? var : pick(kVars));
-        case 2: return "v" + std::to_string(pick(kValuedInputs));
-        case 3:
-            return "a0[" + std::to_string(pick(kArraySize)) + "]";
-        default:
-            if (valuedLocals_ > 0 && pick(2) == 0)
-                return "w" + std::to_string(pick(valuedLocals_));
-            return "v" + std::to_string(pick(kValuedInputs));
-        }
-    }
-
-    /// Division-free int expression (no runtime traps by construction).
-    std::string dataExpr(int var, int depth = 1)
-    {
-        if (depth == 0) return dataTerm(var);
-        static const char* ops[] = {"+", "-", "*", "&", "|", "^"};
-        switch (pick(3)) {
-        case 0: return dataTerm(var);
-        default:
-            return "(" + dataExpr(var, depth - 1) + " " + ops[pick(6)] +
-                   " " + dataExpr(var, depth - 1) + ")";
-        }
-    }
-
-    std::string dataCond(int var)
-    {
-        static const char* cmps[] = {"<", ">", "<=", ">=", "==", "!="};
-        return "(" + dataExpr(var) + " " + cmps[pick(6)] + " " +
-               dataExpr(var) + ")";
-    }
-
-    /// A C statement over the module variables (atomic data action).
-    std::string dataStmt(std::string pad, int var)
-    {
-        std::string x =
-            "x" + std::to_string(var >= 0 ? var : pick(kVars));
-        switch (pick(6)) {
-        case 0: return pad + x + " = " + dataExpr(var) + ";\n";
-        case 1: return pad + x + " += " + dataExpr(var) + ";\n";
-        case 2: return pad + x + "++;\n";
-        case 3: return pad + arrayRef(var) + " = " + dataExpr(var) + ";\n";
-        case 4: {
-            // Block with a scoped local: declaration init reads the
-            // zeroed slot, indexed loads use it, a trailing write
-            // leaves a stale value for the NEXT entry — the shape that
-            // keeps the optimizer's ZeroVar-elision honest.
-            // Hoisted module scope forbids shadowing: temps are unique.
-            std::string t = "t" + std::to_string(temps_++);
-            return pad + "{ int " + t + " = (" + t + " + " +
-                   dataExpr(var) + ") & 3; " + x + " = a0[" + t + "] + " +
-                   t + "; " + t + " = " + std::to_string(pick(4)) + "; }\n";
-        }
-        default: return pad + x + " = (" + x + " & 7) + " +
-                        std::to_string(pick(3)) + ";\n";
-        }
-    }
-
-    /// A statement guaranteed to halt on every repeating path.
-    std::string haltingStmt(int depth)
-    {
-        const std::string pad = "        ";
-        if (depth == 0) {
-            if (pick(4) == 0) return pad + "await ();\n";
-            return pad + "await (" + sigExpr() + ");\n";
-        }
-        switch (pick(14)) {
-        case 0: return pad + "await (" + sigExpr() + ");\n";
-        case 1: return pad + "await ();\n";
-        case 2:
-            return haltingStmt(depth - 1) + pad + "emit (" +
-                   pureEmitTarget() + ");\n";
-        case 3:
-            return haltingStmt(depth - 1) + pad + "emit_v (" +
-                   valuedEmitTarget() + ", " + dataExpr(-1) + ");\n";
-        case 4: return dataStmt(pad, -1) + haltingStmt(depth - 1);
-        case 5: return haltingStmt(depth - 1) + dataStmt(pad, -1);
-        case 6:
-            return pad + "do {\n" + haltingStmt(depth - 1) + pad +
-                   "halt ();\n" + pad + "} abort (" + sigExpr() + ");\n";
-        case 7:
-            return pad + "do {\n" + haltingStmt(depth - 1) + pad +
-                   "halt ();\n" + pad + "} weak_abort (" + sigExpr() +
-                   ");\n";
-        case 8:
-            return pad + "do {\n" + haltingStmt(depth - 1) + pad +
-                   "halt ();\n" + pad + "} abort (" + sigExpr() +
-                   ") handle {\n" + dataStmt(pad, -1) + pad + "emit (" +
-                   pureEmitTarget() + ");\n" + pad + "}\n";
-        case 9:
-            return pad + "do {\n" + haltingStmt(depth - 1) + pad +
-                   "} suspend (" + sigExpr() + ");\n";
-        case 10:
-            return pad + "present (" + sigExpr() + ") {\n" +
-                   haltingStmt(depth - 1) + pad + "} else {\n" +
-                   haltingStmt(depth - 1) + pad + "}\n";
-        case 11:
-            return pad + "if " + dataCond(-1) + " {\n" +
-                   haltingStmt(depth - 1) + pad + "} else {\n" +
-                   haltingStmt(depth - 1) + pad + "}\n";
-        case 12: {
-            // Emitter-before-tester by construction: the first branch
-            // may emit a fresh local, the second may test it.
-            std::string fresh = "l" + std::to_string(locals_++);
-            std::string a = pad + "    { await (" + sigExpr() +
-                            "); emit (" + fresh + "); }\n";
-            std::string b = pad + "    { do {\n" + haltingStmt(depth - 1) +
-                            pad + "    halt ();\n" + pad + "    } abort (" +
-                            fresh + "); }\n";
-            return pad + "par {\n" + a + b + pad + "}\n";
-        }
-        default: {
-            // Kernel trap/exit: an inner reactive while exited by break.
-            std::string guard = pick(2) == 0
-                                    ? "present (" + sigExpr() + ")"
-                                    : "if " + dataCond(-1);
-            return pad + "while (1) {\n" + haltingStmt(depth - 1) + pad +
-                   "    " + guard + " {\n" + pad + "        break;\n" +
-                   pad + "    }\n" + pad + "}\n";
-        }
-        }
-    }
-
-    std::mt19937 rng_;
-    int depth_;
-    int locals_ = 0;
-    int valuedLocals_ = 0;
-    int temps_ = 0;
-};
-
-/// Drives one engine with a seeded random stimulus and returns a trace
-/// covering pure-output presence, valued-output values, termination and
-/// auto-resume per instant — comparable across engine kinds and
-/// optimization levels. A runtime trap is recorded as "TRAP" (without
-/// the message text: chunk deduplication legitimately merges source
-/// locations) and ends the trace.
-inline std::string runTrace(rt::ReactiveEngine& eng, unsigned stimulusSeed,
-                            int instants)
-{
-    const ModuleSema& sema = eng.moduleSema();
-    std::mt19937 rng(stimulusSeed);
-    std::ostringstream trace;
-    try {
-        eng.react(); // boot
-        for (int t = 0; t < instants; ++t) {
-            for (const SignalInfo& s : sema.signals) {
-                if (s.dir != SignalDir::Input) continue;
-                if (s.pure) {
-                    if (rng() & 1u) eng.setInput(s.index);
-                } else if ((rng() & 3u) == 0) {
-                    eng.setInputScalar(
-                        s.index, static_cast<std::int64_t>(rng() % 7));
-                }
-            }
-            eng.react();
-            for (const SignalInfo& s : sema.signals) {
-                if (s.dir != SignalDir::Output) continue;
-                bool present = eng.outputPresent(s.index);
-                trace << (present ? '1' : '0');
-                if (!s.pure && present)
-                    trace << '=' << eng.outputValue(s.index).toInt();
-            }
-            trace << (eng.terminated() ? 'T' : '.')
-                  << (eng.needsAutoResume() ? 'a' : ' ');
-        }
-    } catch (const EclError&) {
-        trace << "TRAP";
-    }
-    return trace.str();
-}
+using corpus::ProgramGen;
+using corpus::runTrace;
 
 } // namespace ecl::test

@@ -1,0 +1,227 @@
+// bench_diff library tests: the flat JSON parser, the metric classifier,
+// and the regression verdicts — including the deliberate ≥10% regression
+// that the CI gate exists to catch, and the committed-baseline sanity
+// checks (every baseline parses and compares clean against itself).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bench/bench_diff.h"
+
+namespace {
+
+using namespace ecl::bench;
+
+FlatBench parse(const std::string& text) { return parseFlatBench(text); }
+
+const char* kSample = R"({
+  "schema_version": 1.0,
+  "bench": "reaction_throughput",
+  "workload": "protocol_stack_toplevel",
+  "git_sha": "abc123",
+  "opt_level": 2.0,
+  "packets": 200.0,
+  "modes": {
+    "flat_bytecode": {
+      "ns_per_reaction": 100.0,
+      "reactions": 8810.0,
+      "tree_tests": 50000.0
+    },
+    "tree_walk": {
+      "ns_per_reaction": 400.0,
+      "reactions": 8810.0
+    }
+  },
+  "speedup_flat_vs_tree": 4.0
+})";
+
+TEST(BenchDiffTest, ParserFlattensNestedObjects)
+{
+    FlatBench b = parse(kSample);
+    EXPECT_DOUBLE_EQ(b.nums.at("schema_version"), 1.0);
+    EXPECT_DOUBLE_EQ(b.nums.at("modes.flat_bytecode.ns_per_reaction"),
+                     100.0);
+    EXPECT_DOUBLE_EQ(b.nums.at("modes.tree_walk.reactions"), 8810.0);
+    EXPECT_DOUBLE_EQ(b.nums.at("speedup_flat_vs_tree"), 4.0);
+    EXPECT_EQ(b.strs.at("bench"), "reaction_throughput");
+    EXPECT_EQ(b.strs.at("git_sha"), "abc123");
+}
+
+TEST(BenchDiffTest, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(parse("{"), ecl::EclError);
+    EXPECT_THROW(parse("{\"a\": }"), ecl::EclError);
+    EXPECT_THROW(parse("{\"a\": 1} trailing"), ecl::EclError);
+    EXPECT_THROW(parse("[1, 2]"), ecl::EclError);
+}
+
+TEST(BenchDiffTest, ClassifierKnowsTheSchema)
+{
+    EXPECT_EQ(classifyMetric("git_sha"), MetricClass::Ignored);
+    EXPECT_EQ(classifyMetric("modes.flat.ns_per_reaction"),
+              MetricClass::LowerBetter);
+    EXPECT_EQ(classifyMetric("modes.batch_t4.seconds"),
+              MetricClass::LowerBetter);
+    EXPECT_EQ(classifyMetric("speedup_flat_vs_tree"),
+              MetricClass::HigherBetter);
+    EXPECT_EQ(classifyMetric("explore_t4.states_per_sec"),
+              MetricClass::HigherBetter);
+    EXPECT_EQ(classifyMetric("modes.batch_t4.reactions_per_sec"),
+              MetricClass::HigherBetter);
+    EXPECT_EQ(classifyMetric("modes.flat.reactions"),
+              MetricClass::ExactCounter);
+    EXPECT_EQ(classifyMetric("modes.flat.tree_tests"),
+              MetricClass::ExactCounter);
+    EXPECT_EQ(classifyMetric("modes.flat.addr_matches"),
+              MetricClass::ExactCounter);
+    EXPECT_EQ(classifyMetric("packets"), MetricClass::ExactCounter);
+    EXPECT_EQ(classifyMetric("schema_version"), MetricClass::ExactCounter);
+    EXPECT_EQ(classifyMetric("explore_t4.states"),
+              MetricClass::ExactCounter);
+    EXPECT_EQ(classifyMetric("explore_t4.peak_frontier"),
+              MetricClass::Informational);
+    EXPECT_EQ(classifyMetric("explore_t4.depth_reached"),
+              MetricClass::Informational);
+}
+
+TEST(BenchDiffTest, IdenticalRunsPass)
+{
+    DiffResult r = diffBench(parse(kSample), parse(kSample));
+    EXPECT_FALSE(r.regression) << renderReport("self", r);
+    EXPECT_EQ(r.regressionCount(), 0u);
+    EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(BenchDiffTest, GitShaDifferenceIsIgnored)
+{
+    std::string cur = kSample;
+    cur.replace(cur.find("abc123"), 6, "def456");
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_FALSE(r.regression) << renderReport("sha", r);
+}
+
+TEST(BenchDiffTest, SmallNoiseWithinThresholdPasses)
+{
+    std::string cur = kSample;
+    // 100.0 -> 105.0 ns/reaction: +5%, inside the 10% default threshold.
+    cur.replace(cur.find("\"ns_per_reaction\": 100.0"),
+                std::strlen("\"ns_per_reaction\": 100.0"),
+                "\"ns_per_reaction\": 105.0");
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_FALSE(r.regression) << renderReport("noise", r);
+}
+
+// The acceptance-criterion demonstration: a deliberate ≥10% time
+// regression must fail the diff.
+TEST(BenchDiffTest, DeliberateTenPercentRegressionFails)
+{
+    std::string cur = kSample;
+    // 100.0 -> 115.0 ns/reaction: +15% slowdown.
+    cur.replace(cur.find("\"ns_per_reaction\": 100.0"),
+                std::strlen("\"ns_per_reaction\": 100.0"),
+                "\"ns_per_reaction\": 115.0");
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_TRUE(r.regression);
+    EXPECT_EQ(r.regressionCount(), 1u);
+    std::string report = renderReport("regressed", r);
+    EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+    EXPECT_NE(report.find("modes.flat_bytecode.ns_per_reaction"),
+              std::string::npos);
+}
+
+TEST(BenchDiffTest, SpeedupDropFails)
+{
+    std::string cur = kSample;
+    cur.replace(cur.find("\"speedup_flat_vs_tree\": 4.0"),
+                std::strlen("\"speedup_flat_vs_tree\": 4.0"),
+                "\"speedup_flat_vs_tree\": 3.0"); // -25%
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_TRUE(r.regression);
+}
+
+TEST(BenchDiffTest, CounterMismatchFailsEvenWhenFaster)
+{
+    std::string cur = kSample;
+    // Faster time but different reaction count: the runs measured
+    // different work, so the comparison must fail, not pass.
+    cur.replace(cur.find("\"ns_per_reaction\": 100.0"),
+                std::strlen("\"ns_per_reaction\": 100.0"),
+                "\"ns_per_reaction\": 50.0");
+    cur.replace(cur.find("\"reactions\": 8810.0"),
+                std::strlen("\"reactions\": 8810.0"),
+                "\"reactions\": 4405.0");
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_TRUE(r.regression);
+    std::string report = renderReport("counters", r);
+    EXPECT_NE(report.find("different work"), std::string::npos);
+}
+
+TEST(BenchDiffTest, MissingMetricFails)
+{
+    std::string cur = kSample;
+    cur.replace(cur.find("\"speedup_flat_vs_tree\": 4.0"),
+                std::strlen("\"speedup_flat_vs_tree\": 4.0"),
+                "\"speedup_renamed\": 4.0");
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_TRUE(r.regression);
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_NE(r.errors[0].find("speedup_flat_vs_tree"), std::string::npos);
+}
+
+TEST(BenchDiffTest, IdentityStringMismatchFails)
+{
+    std::string cur = kSample;
+    cur.replace(cur.find("protocol_stack_toplevel"),
+                std::strlen("protocol_stack_toplevel"),
+                "some_other_workloadxxxx");
+    DiffResult r = diffBench(parse(kSample), parse(cur));
+    EXPECT_TRUE(r.regression);
+}
+
+TEST(BenchDiffTest, CustomThresholdRespected)
+{
+    std::string cur = kSample;
+    cur.replace(cur.find("\"ns_per_reaction\": 100.0"),
+                std::strlen("\"ns_per_reaction\": 100.0"),
+                "\"ns_per_reaction\": 115.0"); // +15%
+    DiffOptions loose;
+    loose.timeThreshold = 0.20;
+    EXPECT_FALSE(diffBench(parse(kSample), parse(cur), loose).regression);
+    DiffOptions tight;
+    tight.timeThreshold = 0.05;
+    EXPECT_TRUE(diffBench(parse(kSample), parse(cur), tight).regression);
+}
+
+// The committed baselines themselves: every bench/baselines/BENCH_*.json
+// must parse, carry the schema header, and compare clean against itself —
+// the same invariants the CI gate relies on.
+TEST(BenchDiffTest, CommittedBaselinesAreWellFormed)
+{
+#ifndef ECL_BASELINE_DIR
+    GTEST_SKIP() << "ECL_BASELINE_DIR not configured";
+#else
+    namespace fs = std::filesystem;
+    std::size_t seen = 0;
+    for (const fs::directory_entry& e :
+         fs::directory_iterator(ECL_BASELINE_DIR)) {
+        if (e.path().extension() != ".json") continue;
+        SCOPED_TRACE(e.path().string());
+        std::ifstream in(e.path());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        FlatBench b = parse(buf.str());
+        EXPECT_DOUBLE_EQ(b.nums.at("schema_version"), 1.0);
+        EXPECT_FALSE(b.strs.at("bench").empty());
+        DiffResult self = diffBench(b, b);
+        EXPECT_FALSE(self.regression)
+            << renderReport(e.path().filename().string(), self);
+        ++seen;
+    }
+    EXPECT_GE(seen, 3u) << "expected committed baselines for all benches";
+#endif
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+// bench_diff — the always-on perf regression gate.
+//
+// Compares every BENCH_*.json in --baseline against the file of the same
+// name in --current using the classifier in bench/bench_diff.h: exact
+// counters must match bit-for-bit (otherwise the runs measured different
+// work and the comparison is void), time-like metrics fail beyond the
+// noise threshold, informational metrics are reported only.
+//
+// Usage:
+//   bench_diff --baseline DIR --current DIR
+//              [--time-threshold F] [--report FILE]
+//
+// Exit codes (asserted by the CI bench-gate job and tests):
+//   0  every bench within threshold
+//   1  regression or structural mismatch found
+//   2  usage / IO error
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_diff.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool readFile(const fs::path& p, std::string& out)
+{
+    std::ifstream in(p);
+    if (!in) return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string baselineDir, currentDir, reportFile;
+    ecl::bench::DiffOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline" && i + 1 < argc) {
+            baselineDir = argv[++i];
+        } else if (arg == "--current" && i + 1 < argc) {
+            currentDir = argv[++i];
+        } else if (arg == "--time-threshold" && i + 1 < argc) {
+            opts.timeThreshold = std::atof(argv[++i]);
+            if (opts.timeThreshold <= 0) {
+                std::fprintf(stderr, "bench_diff: bad threshold\n");
+                return 2;
+            }
+        } else if (arg == "--report" && i + 1 < argc) {
+            reportFile = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_diff --baseline DIR --current DIR "
+                         "[--time-threshold F] [--report FILE]\n");
+            return 2;
+        }
+    }
+    if (baselineDir.empty() || currentDir.empty()) {
+        std::fprintf(stderr,
+                     "usage: bench_diff --baseline DIR --current DIR "
+                     "[--time-threshold F] [--report FILE]\n");
+        return 2;
+    }
+    if (!fs::is_directory(baselineDir) || !fs::is_directory(currentDir)) {
+        std::fprintf(stderr, "bench_diff: --baseline and --current must be "
+                             "directories\n");
+        return 2;
+    }
+
+    std::vector<fs::path> baselines;
+    for (const fs::directory_entry& e : fs::directory_iterator(baselineDir))
+        if (e.is_regular_file() &&
+            e.path().filename().string().rfind("BENCH_", 0) == 0 &&
+            e.path().extension() == ".json")
+            baselines.push_back(e.path());
+    std::sort(baselines.begin(), baselines.end());
+    if (baselines.empty()) {
+        std::fprintf(stderr, "bench_diff: no BENCH_*.json in %s\n",
+                     baselineDir.c_str());
+        return 2;
+    }
+
+    std::ostringstream report;
+    report << "bench_diff: " << baselines.size() << " baseline(s), time "
+           << "threshold " << opts.timeThreshold * 100 << "%\n";
+    bool anyRegression = false;
+    for (const fs::path& bp : baselines) {
+        const std::string name = bp.filename().string();
+        std::string btext, ctext;
+        if (!readFile(bp, btext)) {
+            std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                         bp.c_str());
+            return 2;
+        }
+        fs::path cp = fs::path(currentDir) / name;
+        if (!readFile(cp, ctext)) {
+            report << "== " << name << ": REGRESSION (current run missing "
+                   << cp.string() << ")\n";
+            anyRegression = true;
+            continue;
+        }
+        try {
+            ecl::bench::DiffResult r = ecl::bench::diffBench(
+                ecl::bench::parseFlatBench(btext),
+                ecl::bench::parseFlatBench(ctext), opts);
+            report << ecl::bench::renderReport(name, r);
+            anyRegression = anyRegression || r.regression;
+        } catch (const ecl::EclError& e) {
+            report << "== " << name << ": REGRESSION (" << e.what()
+                   << ")\n";
+            anyRegression = true;
+        }
+    }
+    report << "bench_diff: "
+           << (anyRegression ? "REGRESSION DETECTED" : "all benches ok")
+           << "\n";
+
+    std::printf("%s", report.str().c_str());
+    if (!reportFile.empty()) {
+        std::ofstream out(reportFile);
+        out << report.str();
+        if (!out) {
+            std::fprintf(stderr, "bench_diff: cannot write %s\n",
+                         reportFile.c_str());
+            return 2;
+        }
+    }
+    return anyRegression ? 1 : 0;
+}
