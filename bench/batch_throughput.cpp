@@ -14,6 +14,10 @@
 //
 // Emits BENCH_batch_throughput.json with the standard `instances` and
 // `threads` scaling fields (CI smoke step at 1k instances, no thresholds).
+// The sparse modes additionally report ns_per_dispatched_reaction and
+// ns_per_instance_instant: dispatched-reaction counts differ between the
+// dirty-list batch and the naive loop, so only the instance-instant
+// normalization compares them on equal footing.
 //
 // Usage: bench_batch_throughput [--instances N] [--packets N] [--threads T]
 #include <algorithm>
@@ -62,7 +66,7 @@ struct Workload {
 RunStats runSyncLoop(const CompiledModule& mod, const Workload& w,
                      std::size_t instances, int inByteIdx, int matchIdx)
 {
-    std::vector<std::unique_ptr<rt::SyncEngine>> engines;
+    std::vector<std::unique_ptr<rt::ReactiveEngine>> engines;
     engines.reserve(instances);
     for (std::size_t i = 0; i < instances; ++i)
         engines.push_back(mod.makeEngine(EngineKind::Flat));
@@ -116,7 +120,7 @@ RunStats runSyncLoopSparse(const CompiledModule& mod, const Workload& w,
                            std::size_t instances, std::size_t period,
                            int inByteIdx, int matchIdx)
 {
-    std::vector<std::unique_ptr<rt::SyncEngine>> engines;
+    std::vector<std::unique_ptr<rt::ReactiveEngine>> engines;
     engines.reserve(instances);
     for (std::size_t i = 0; i < instances; ++i)
         engines.push_back(mod.makeEngine(EngineKind::Flat));
@@ -171,6 +175,25 @@ bench::JsonValue modeJson(const RunStats& s, int instances, int threads)
         .set("addr_matches", static_cast<double>(s.matches))
         .set("seconds", s.seconds);
     bench::setScale(m, instances, threads);
+    return m;
+}
+
+/// Sparse modes dispatch different reaction counts (the dirty list skips
+/// idle instances; the naive loop reacts everyone), so ns_per_reaction is
+/// not comparable across them. Report both views explicitly: cost per
+/// reaction actually dispatched, and cost per instance-instant of wall
+/// coverage (instances x driven instants — identical denominator for both
+/// modes, so it is the apples-to-apples sparse metric).
+bench::JsonValue sparseModeJson(const RunStats& s, int instances,
+                                int threads, std::uint64_t instanceInstants)
+{
+    bench::JsonValue m = modeJson(s, instances, threads);
+    m.set("ns_per_dispatched_reaction", s.nsPerReaction())
+        .set("instance_instants", static_cast<double>(instanceInstants))
+        .set("ns_per_instance_instant",
+             instanceInstants ? s.seconds * 1e9 /
+                                    static_cast<double>(instanceInstants)
+                              : 0);
     return m;
 }
 
@@ -262,6 +285,19 @@ int main(int argc, char** argv)
                                           inByteIdx, matchIdx);
     printRow("sync_loop", syncSparse);
     printRow("batch", batchSparse);
+    // Common denominator for the two sparse modes: every instance covers
+    // every driven instant regardless of how many reactions that took.
+    const std::uint64_t instanceInstants =
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(w.steps);
+    auto nsPerInstInstant = [&](const RunStats& s) {
+        return instanceInstants ? s.seconds * 1e9 /
+                                      static_cast<double>(instanceInstants)
+                                : 0;
+    };
+    std::printf("  sparse ns/instance-instant: sync_loop %.1f, batch %.1f "
+                "(%llu instance-instants)\n",
+                nsPerInstInstant(syncSparse), nsPerInstInstant(batchSparse),
+                static_cast<unsigned long long>(instanceInstants));
     double sparseSpeedup = batchSparse.seconds > 0
                                ? syncSparse.seconds / batchSparse.seconds
                                : 0;
@@ -281,8 +317,10 @@ int main(int argc, char** argv)
         std::snprintf(name, sizeof name, "batch_t%d", t);
         modes.set(name, modeJson(b, instances, t));
     }
-    modes.set("sync_loop_sparse", modeJson(syncSparse, instances, 1));
-    modes.set("batch_sparse", modeJson(batchSparse, instances, maxThreads));
+    modes.set("sync_loop_sparse",
+              sparseModeJson(syncSparse, instances, 1, instanceInstants));
+    modes.set("batch_sparse", sparseModeJson(batchSparse, instances,
+                                             maxThreads, instanceInstants));
 
     bench::JsonValue root = bench::JsonValue::obj();
     bench::setStandardHeader(root, "batch_throughput",

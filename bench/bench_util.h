@@ -118,8 +118,10 @@ inline constexpr int kBenchSchemaVersion = 1;
 
 /// Sets the standard identification header every BENCH_*.json starts
 /// with: schema version, bench/workload names, opt level, and the
-/// producing commit (ECL_GIT_SHA env, "unknown" outside CI — bench_diff
-/// ignores it when comparing). Call FIRST so the header leads the file.
+/// producing commit. The sha comes from the ECL_GIT_SHA env var when set
+/// (CI passes the exact run commit), else the configure-time
+/// ECL_GIT_SHA_FALLBACK CMake bakes in, else "unknown" — bench_diff
+/// ignores it when comparing. Call FIRST so the header leads the file.
 inline JsonValue& setStandardHeader(JsonValue& root, const std::string& bench,
                                     const std::string& workload,
                                     int optLevel)
@@ -128,7 +130,11 @@ inline JsonValue& setStandardHeader(JsonValue& root, const std::string& bench,
     root.set("bench", bench);
     root.set("workload", workload);
     const char* sha = std::getenv("ECL_GIT_SHA");
+#ifdef ECL_GIT_SHA_FALLBACK
+    root.set("git_sha", sha && *sha ? sha : ECL_GIT_SHA_FALLBACK);
+#else
     root.set("git_sha", sha && *sha ? sha : "unknown");
+#endif
     root.set("opt_level", static_cast<double>(optLevel));
     return root;
 }

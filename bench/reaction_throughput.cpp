@@ -1,15 +1,19 @@
 // Reaction-throughput comparison: tree-walking vs flat-table/bytecode
 // execution of the same compiled EFSM — at both -O0 (verbatim tables)
-// and -O2 (post-flatten optimizer) — plus the Reactive-C-style baseline.
+// and -O2 (post-flatten optimizer) — plus the Reactive-C-style baseline
+// and the AOT native backend (generated C compiled + dlopened, see
+// src/runtime/native_module.h).
 //
 // Workload: the paper's protocol stack (Figure 4 toplevel) driven with the
 // standard corrupted-packet byte stream — the data-heaviest paper source
 // (per-byte assembly actions, the extracted CRC fold, multi-instant header
 // walk). Plain wall-clock, median of several repetitions; emits
 // BENCH_reaction_throughput.json (modes flat_bytecode / flat_bytecode_O0 /
-// tree_walk / rc_baseline + speedup_o2_vs_o0) for the CI trajectory
-// (smoke step, no thresholds), so the optimizer delta lands in the bench
-// trajectory alongside the flat-vs-tree one.
+// tree_walk / rc_baseline / aot_native + speedup_o2_vs_o0 +
+// speedup_aot_vs_o2_vm) for the CI trajectory (smoke step, no
+// thresholds), so the optimizer and AOT deltas land in the bench
+// trajectory alongside the flat-vs-tree one. When no host C compiler is
+// available the aot_native mode is omitted with a stderr note.
 //
 // Usage: bench_reaction_throughput [--packets N] [--reps N]
 #include <algorithm>
@@ -120,11 +124,27 @@ int main(int argc, char** argv)
     int inByteIdx = mod->moduleSema().findSignal("in_byte")->index;
     int matchIdx = mod->moduleSema().findSignal("addr_match")->index;
 
-    std::vector<RunStats> flatRuns, flatO0Runs, treeRuns, rcRuns;
+    // AOT availability probe: makeEngine(Native) falls back to the VM
+    // when no host C compiler (or no flat program) is available.
+    bool haveAot = false;
+    {
+        auto probe = mod->makeEngine(EngineKind::Native);
+        haveAot = std::string(probe->backendName()) == "native";
+        if (!haveAot)
+            std::fprintf(stderr,
+                         "note: native backend unavailable (no host C "
+                         "compiler?) — omitting aot_native mode\n");
+    }
+
+    std::vector<RunStats> flatRuns, flatO0Runs, treeRuns, rcRuns, aotRuns;
     for (int i = 0; i < reps; ++i) {
         {
             auto e = mod->makeEngine(EngineKind::Flat);
             flatRuns.push_back(driveStream(*e, stream, matchIdx, inByteIdx));
+        }
+        if (haveAot) {
+            auto e = mod->makeEngine(EngineKind::Native);
+            aotRuns.push_back(driveStream(*e, stream, matchIdx, inByteIdx));
         }
         {
             auto e = modO0->makeEngine(EngineKind::Flat);
@@ -144,6 +164,8 @@ int main(int argc, char** argv)
     RunStats flatO0 = median(std::move(flatO0Runs));
     RunStats tree = median(std::move(treeRuns));
     RunStats rc = median(std::move(rcRuns));
+    RunStats aot;
+    if (haveAot) aot = median(std::move(aotRuns));
 
     // State minimization and the bytecode optimizer preserve the
     // engine-level counters exactly (identical trees walked, identical
@@ -153,7 +175,10 @@ int main(int argc, char** argv)
         flat.treeTests != tree.treeTests ||
         flat.treeTests != flatO0.treeTests ||
         flat.actionsRun != flatO0.actionsRun ||
-        flat.actionsRun != tree.actionsRun) {
+        flat.actionsRun != tree.actionsRun ||
+        (haveAot &&
+         (aot.matches != flat.matches || aot.treeTests != flat.treeTests ||
+          aot.actionsRun != flat.actionsRun))) {
         std::fprintf(stderr,
                      "mode disagreement: flat/tree/rc matches %llu/%llu/%llu"
                      " (tree_tests %llu/%llu)\n",
@@ -175,6 +200,7 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(s.treeTests),
                     static_cast<unsigned long long>(s.actionsRun));
     };
+    if (haveAot) row("aot-native", aot);
     row("flat+bytecode (-O2)", flat);
     row("flat+bytecode (-O0)", flatO0);
     row("tree-walk", tree);
@@ -185,21 +211,29 @@ int main(int argc, char** argv)
                 rc.nsPerReaction / flat.nsPerReaction);
     std::printf("  speedup -O2 vs -O0: %.2fx\n",
                 flatO0.nsPerReaction / flat.nsPerReaction);
+    if (haveAot)
+        std::printf("  speedup aot vs -O2 VM: %.2fx\n",
+                    flat.nsPerReaction / aot.nsPerReaction);
 
     bench::JsonValue root = bench::JsonValue::obj();
     bench::setStandardHeader(root, "reaction_throughput",
                              "protocol_stack_toplevel", 2);
+    bench::JsonValue modes = bench::JsonValue::obj()
+                                 .set("flat_bytecode", modeJson(flat))
+                                 .set("flat_bytecode_O0", modeJson(flatO0))
+                                 .set("tree_walk", modeJson(tree))
+                                 .set("rc_baseline", modeJson(rc));
+    if (haveAot) modes.set("aot_native", modeJson(aot));
     root.set("packets", static_cast<double>(packets))
         .set("reps", static_cast<double>(reps))
-        .set("modes", bench::JsonValue::obj()
-                          .set("flat_bytecode", modeJson(flat))
-                          .set("flat_bytecode_O0", modeJson(flatO0))
-                          .set("tree_walk", modeJson(tree))
-                          .set("rc_baseline", modeJson(rc)))
+        .set("modes", std::move(modes))
         .set("speedup_flat_vs_tree",
              tree.nsPerReaction / flat.nsPerReaction)
         .set("speedup_flat_vs_rc", rc.nsPerReaction / flat.nsPerReaction)
         .set("speedup_o2_vs_o0", flatO0.nsPerReaction / flat.nsPerReaction);
+    if (haveAot)
+        root.set("speedup_aot_vs_o2_vm",
+                 flat.nsPerReaction / aot.nsPerReaction);
     bench::writeBenchJson("reaction_throughput", root);
     return 0;
 }

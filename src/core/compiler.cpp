@@ -1,5 +1,6 @@
 #include "src/core/compiler.h"
 
+#include "src/codegen/c_gen.h"
 #include "src/frontend/parser.h"
 #include "src/efsm/optimize.h"
 #include "src/sema/elaborate.h"
@@ -60,8 +61,11 @@ CompiledModule::CompiledModule(std::shared_ptr<const SharedProgram> shared,
 }
 
 std::unique_ptr<rt::SyncEngine>
-CompiledModule::makeEngine(EngineKind kind) const
+CompiledModule::makeSyncEngine(EngineKind kind) const
 {
+    if (kind == EngineKind::Native)
+        throw EclError("makeSyncEngine: the native backend is not a "
+                       "SyncEngine; use makeEngine(EngineKind::Native)");
     bool flat = kind == EngineKind::Flat && hasFlatProgram();
     auto engine = std::make_unique<rt::SyncEngine>(
         *machine_, *sema_, shared_->sema, shared_->functions,
@@ -70,6 +74,44 @@ CompiledModule::makeEngine(EngineKind kind) const
     // shared_ptrs; stack-constructed modules simply skip the retain).
     if (auto self = weak_from_this().lock()) engine->retain(self);
     return engine;
+}
+
+std::shared_ptr<const rt::NativeModule> CompiledModule::nativeModule() const
+{
+    std::lock_guard<std::mutex> lock(nativeMutex_);
+    if (!nativeTried_) {
+        nativeTried_ = true;
+        try {
+            nativeModule_ =
+                rt::NativeModule::build(codegen::generateC(*this), name());
+        } catch (const EclError& e) {
+            nativeError_ = e.what();
+        }
+    }
+    if (!nativeModule_) throw EclError(nativeError_);
+    return nativeModule_;
+}
+
+std::unique_ptr<rt::ReactiveEngine>
+CompiledModule::makeEngine(EngineKind kind) const
+{
+    if (kind == EngineKind::Native) {
+        try {
+            // nativeModule() throws before flatProgram_ is touched when
+            // the module has no flat tables.
+            auto native = nativeModule();
+            auto engine = std::make_unique<rt::NativeEngine>(
+                *sema_, *flatProgram_, std::move(native));
+            if (auto self = weak_from_this().lock()) engine->retain(self);
+            return engine;
+        } catch (const EclError&) {
+            // Native backend unavailable (no flat program, untypeable
+            // chunk, no host compiler, dlopen failure): run the same
+            // semantics on the VM.
+            return makeSyncEngine(EngineKind::Flat);
+        }
+    }
+    return makeSyncEngine(kind);
 }
 
 std::unique_ptr<rt::BatchEngine>

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "src/efsm/efsm.h"
@@ -30,6 +31,7 @@
 #include "src/partition/lower.h"
 #include "src/runtime/batch_engine.h"
 #include "src/runtime/engine.h"
+#include "src/runtime/native_module.h"
 #include "src/sema/sema.h"
 #include "src/support/diagnostics.h"
 #include "src/verify/explorer.h"
@@ -59,11 +61,14 @@ struct CompileOptions {
     int optLevel = 2;
 };
 
-/// Which execution representation makeEngine() wires into the SyncEngine.
+/// Which execution backend makeEngine() wires up.
 enum class EngineKind {
     Flat,     ///< Dense tables + bytecode VM (default fast path).
     TreeWalk, ///< unique_ptr decision trees + tree-walking Evaluator
               ///< (differential-testing oracle, perf baseline).
+    Native,   ///< AOT: generated C compiled + dlopened (rt::NativeEngine);
+              ///< falls back to Flat when the native backend is
+              ///< unavailable — check backendName() == "native".
 };
 
 /// Parsed + program-analyzed source, shared by all modules compiled from it.
@@ -124,11 +129,27 @@ public:
         return byteCode_;
     }
 
-    /// Creates a synchronous EFSM engine. The CompiledModule must outlive
-    /// it. EngineKind::Flat silently degrades to the tree walk when the
-    /// flat representation was not built (flatten=false).
-    [[nodiscard]] std::unique_ptr<rt::SyncEngine>
+    /// Creates a synchronous engine of the requested backend. The
+    /// CompiledModule must outlive it. EngineKind::Flat silently degrades
+    /// to the tree walk when the flat representation was not built
+    /// (flatten=false); EngineKind::Native falls back to Flat when C
+    /// generation, the host compiler, or dlopen is unavailable (the
+    /// returned engine's backendName() tells which one you got).
+    [[nodiscard]] std::unique_ptr<rt::ReactiveEngine>
     makeEngine(EngineKind kind = EngineKind::Flat) const;
+
+    /// Like makeEngine() but statically typed to the VM engine, for
+    /// callers that need SyncEngine internals (verifier replay, RTOS
+    /// scheduler, state packing tests). Rejects EngineKind::Native.
+    [[nodiscard]] std::unique_ptr<rt::SyncEngine>
+    makeSyncEngine(EngineKind kind = EngineKind::Flat) const;
+
+    /// The generated-C source and compiled shared object behind
+    /// EngineKind::Native, built on demand and memoized per module
+    /// (every Native engine of this module shares one dlopened object).
+    /// Throws EclError when the native backend is unavailable.
+    [[nodiscard]] std::shared_ptr<const rt::NativeModule>
+    nativeModule() const;
 
     /// Creates the Reactive-C-style baseline engine (related-work
     /// comparison and differential-testing oracle).
@@ -164,6 +185,11 @@ private:
     std::shared_ptr<const bc::Program> byteCode_;
     LowerStats lowerStats_;
     opt::PipelineStats optStats_;
+    /// Memoized AOT artifact (built on first Native engine request).
+    mutable std::mutex nativeMutex_;
+    mutable std::shared_ptr<const rt::NativeModule> nativeModule_;
+    mutable bool nativeTried_ = false;
+    mutable std::string nativeError_;
 };
 
 class Compiler {

@@ -8,6 +8,7 @@
 //   --module NAME      top module to compile (default: last module in file)
 //   --emit KIND        artifact: c | esterel | verilog | efsm | ir | stats
 //                      (default: c). May be repeated.
+//   --emit-c           shorthand for --emit c (the AOT translation unit)
 //   -O0 | -O1 | -O2    post-flatten optimization level (default -O2):
 //                      0 = flat tables/bytecode verbatim, 1 = chunk dedup
 //                      + state minimization (counter-exact), 2 = + the
@@ -45,6 +46,16 @@
 //                        traced module (flat -O2, flat -O0, tree walk,
 //                        batch instance) and check outputs bit-exactly
 //                        against the recording; exit 1 on any divergence
+//
+// AOT native backend (src/runtime/native_module.h):
+//   --aot              compile the top module's generated C with the host
+//                      C compiler, dlopen it, and differentially check the
+//                      native engine against the bytecode VM of the same
+//                      compile (trace + packed final state bit-exact over
+//                      a stimulus run). Exit 0 on agreement; exit 1 when
+//                      the native backend is unavailable or diverges.
+//                      Honors --stim-profile / --stim-instants /
+//                      --stim-seed and -O0|-O1|-O2.
 //
 // Exit codes (asserted by tests/test_eclc_cli.cpp):
 //   0  success; with --verify: state space exhausted, no violation
@@ -99,6 +110,7 @@ struct Options {
     long long maxStates = -1;
     int threads = 1;
     bool dfs = false;
+    bool aot = false;
     std::string recordTrace;
     std::string replayTrace;
     std::string stimProfile = "random";
@@ -111,8 +123,8 @@ int usage()
 {
     std::fprintf(stderr,
                  "usage: eclc [--module NAME] [--emit c|esterel|verilog|"
-                 "efsm|ir|stats]... [-O0|-O1|-O2] [--opt-stats]\n"
-                 "            [--async] [--optimize] [-o PREFIX]\n"
+                 "efsm|ir|stats]... [--emit-c] [-O0|-O1|-O2] [--opt-stats]\n"
+                 "            [--async] [--optimize] [-o PREFIX] [--aot]\n"
                  "            [--verify [--monitor FILE] [--depth N] "
                  "[--max-states N] [--threads N] [--dfs]]\n"
                  "            [--record-trace FILE [--trace-text] "
@@ -259,9 +271,9 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
                     .c_str());
 
     // Confirm on the production engine before claiming the bug is real.
-    auto designEngine = mod->makeEngine();
+    auto designEngine = mod->makeSyncEngine();
     std::unique_ptr<ecl::rt::SyncEngine> monitorEngine;
-    if (monMod) monitorEngine = monMod->makeEngine();
+    if (monMod) monitorEngine = monMod->makeSyncEngine();
     ecl::verify::ReplayOutcome rp = ecl::verify::replayCounterexample(
         *designEngine, monitorEngine.get(), res);
     std::printf("replay: %s\n", rp.detail.c_str());
@@ -364,6 +376,64 @@ int runReplay(const Options& opt, ecl::Compiler& compiler)
     return ok ? kExitOk : kExitError;
 }
 
+int runAot(const Options& opt, ecl::Compiler& compiler,
+           const std::string& top)
+{
+    ecl::CompileOptions copts;
+    copts.optimizeEfsm = opt.optimize;
+    copts.optLevel = opt.optLevel;
+    auto mod = compiler.compile(top, copts);
+    if (!mod->hasFlatProgram()) {
+        std::fprintf(stderr,
+                     "eclc: module '%s' has no flat program; cannot AOT\n",
+                     top.c_str());
+        return kExitError;
+    }
+    if (opt.optStats) std::printf("%s", mod->optStats().report().c_str());
+
+    auto native = mod->makeEngine(ecl::EngineKind::Native);
+    if (std::string(native->backendName()) != "native") {
+        // Recover the precise failure (no host compiler, dlopen error,
+        // ...) that makeEngine's graceful fallback swallowed.
+        std::string why = "unknown";
+        try {
+            mod->nativeModule();
+        } catch (const ecl::EclError& e) {
+            why = e.what();
+        }
+        std::fprintf(stderr, "eclc: native backend unavailable for '%s': %s\n",
+                     top.c_str(), why.c_str());
+        return kExitError;
+    }
+    std::fprintf(stderr, "eclc: AOT object %s\n",
+                 mod->nativeModule()->objectPath().c_str());
+
+    // Differential acceptance run: the dlopened reaction function must be
+    // bit-exact — emitted outputs per instant AND packed final state —
+    // against the bytecode VM of the very same compile.
+    ecl::corpus::Profile profile =
+        ecl::corpus::profileFromName(opt.stimProfile);
+    std::string nativeTrace = ecl::corpus::runStimulus(
+        *native, profile, opt.stimSeed, opt.stimInstants);
+    auto vm = mod->makeEngine(ecl::EngineKind::Flat);
+    std::string vmTrace = ecl::corpus::runStimulus(*vm, profile,
+                                                   opt.stimSeed,
+                                                   opt.stimInstants);
+    bool tracesOk = nativeTrace == vmTrace;
+    bool stateOk = native->packState() == vm->packState();
+    std::printf("aot %s: %d instants (%s stimulus, seed %u, -O%d): "
+                "traces %s, final state %s\n",
+                top.c_str(), opt.stimInstants, opt.stimProfile.c_str(),
+                opt.stimSeed, opt.optLevel,
+                tracesOk ? "bit-exact" : "DIVERGED",
+                stateOk ? "bit-exact" : "DIVERGED");
+    if (!tracesOk) {
+        std::printf("--- native trace ---\n%s--- vm trace ---\n%s",
+                    nativeTrace.c_str(), vmTrace.c_str());
+    }
+    return tracesOk && stateOk ? kExitOk : kExitError;
+}
+
 int emitAll(const Options& opt, const ecl::CompiledModule& mod)
 {
     for (const std::string& kind : opt.emits) {
@@ -412,6 +482,10 @@ int main(int argc, char** argv)
             opt.module = argv[++i];
         } else if (arg == "--emit" && i + 1 < argc) {
             opt.emits.push_back(argv[++i]);
+        } else if (arg == "--emit-c") {
+            opt.emits.push_back("c");
+        } else if (arg == "--aot") {
+            opt.aot = true;
         } else if (arg == "-o" && i + 1 < argc) {
             opt.outPrefix = argv[++i];
         } else if (arg == "--async") {
@@ -475,17 +549,21 @@ int main(int argc, char** argv)
     if (!opt.verify && (!opt.monitorFile.empty() || opt.depth > 0 ||
                         opt.maxStates > 0 || opt.threads != 1 || opt.dfs))
         return usage();
-    // Trace modes are exclusive with each other and with verify/async;
-    // stimulus flags only mean something when recording.
+    // Trace modes are exclusive with each other and with verify/async/aot;
+    // stimulus flags only mean something when a stimulus is driven
+    // (recording or the AOT differential run).
     if (!opt.recordTrace.empty() && !opt.replayTrace.empty())
         return usage();
     const bool traceMode =
         !opt.recordTrace.empty() || !opt.replayTrace.empty();
-    if (traceMode && (opt.verify || opt.asyncMode)) return usage();
-    if (opt.recordTrace.empty() &&
-        (opt.stimProfile != "random" || opt.stimInstants != 100 ||
-         opt.stimSeed != 1 || opt.traceText))
+    if (traceMode && (opt.verify || opt.asyncMode || opt.aot))
         return usage();
+    if (opt.aot && (opt.verify || opt.asyncMode)) return usage();
+    if (opt.recordTrace.empty() && !opt.aot &&
+        (opt.stimProfile != "random" || opt.stimInstants != 100 ||
+         opt.stimSeed != 1))
+        return usage();
+    if (opt.recordTrace.empty() && opt.traceText) return usage();
     if (opt.emits.empty()) opt.emits.push_back("c");
 
     std::string source;
@@ -509,6 +587,7 @@ int main(int argc, char** argv)
 
         std::string top = opt.module.empty() ? modules.back() : opt.module;
         if (opt.verify) return runVerify(opt, compiler, top);
+        if (opt.aot) return runAot(opt, compiler, top);
         if (!opt.recordTrace.empty()) return runRecord(opt, compiler, top);
         if (!opt.replayTrace.empty()) return runReplay(opt, compiler);
 

@@ -23,7 +23,7 @@ int Network::addTask(std::shared_ptr<const CompiledModule> module,
         t.batch = batches_[it->second].get();
         t.slot = t.batch->addInstance();
     } else {
-        t.engine = t.module->makeEngine();
+        t.engine = t.module->makeSyncEngine();
     }
     t.priority = priority;
     t.pending.resize(t.module->moduleSema().signals.size());

@@ -6,6 +6,12 @@ namespace ecl::rt {
 // ReactiveEngine: name resolution + string wrappers
 // ---------------------------------------------------------------------------
 
+std::vector<std::uint8_t> ReactiveEngine::packState() const
+{
+    throw EclError(std::string("engine backend '") + backendName() +
+                   "' does not support packed state snapshots");
+}
+
 int ReactiveEngine::signalIndex(const std::string& name) const
 {
     const SignalInfo* s = moduleSema().findSignal(name);

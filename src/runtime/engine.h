@@ -77,6 +77,16 @@ public:
     /// Signal table of the module this engine runs (name resolution).
     [[nodiscard]] virtual const ModuleSema& moduleSema() const = 0;
 
+    /// Short stable name of the execution backend: "flat", "tree", "rc"
+    /// or "native". Lets callers of makeEngine(EngineKind::Native) tell a
+    /// real native engine from a VM fallback.
+    [[nodiscard]] virtual const char* backendName() const = 0;
+    /// Packed snapshot [i32 control state][instance-layout data bytes] —
+    /// the shared verification/batch state record, byte-comparable across
+    /// backends of the same compile. Throws EclError when the engine
+    /// cannot snapshot (the default).
+    [[nodiscard]] virtual std::vector<std::uint8_t> packState() const;
+
     // --- string convenience wrappers (resolve the name, then delegate) ---
     void setInput(const std::string& name);
     void setInputScalar(const std::string& name, std::int64_t v);
@@ -122,6 +132,11 @@ public:
     {
         return sema_;
     }
+    [[nodiscard]] const char* backendName() const override
+    {
+        return flat_ ? "flat" : "tree";
+    }
+    [[nodiscard]] std::vector<std::uint8_t> packState() const override;
 
     /// Current control state id — a FlatProgram id in flat mode (which
     /// post-flatten minimization may have renumbered), an Efsm id on the
@@ -184,6 +199,7 @@ public:
     {
         return sema_;
     }
+    [[nodiscard]] const char* backendName() const override { return "rc"; }
 
     [[nodiscard]] Store& store() { return store_; }
 

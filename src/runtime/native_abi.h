@@ -1,0 +1,57 @@
+// The C ABI between the host runtime and AOT-compiled reaction code.
+//
+// src/codegen/c_gen.cpp emits a textual mirror of these structs into
+// every generated translation unit (the generated C is self-contained —
+// it cannot include this header), and NativeModule validates
+// `ecl_module_info.abi_version` against kEclNativeAbiVersion at dlopen
+// time, so any layout change here MUST bump the version and update the
+// emitter in lockstep.
+//
+// One EclNativeCtx is stack-built per react() call: persistent instance
+// state (the arena and presence bytes) is pointed to, per-reaction
+// results (emitted outputs, counters, the next control state) are
+// written back. Runtime traps set `error` and longjmp through `jb`;
+// ecl_native_react then returns nonzero and the host raises EclError.
+#pragma once
+
+#include <cstdint>
+
+namespace ecl::rt {
+
+inline constexpr std::uint32_t kEclNativeAbiVersion = 1;
+
+extern "C" {
+
+/// Mirrors the generated `ecl_nat_ctx` (see c_gen.cpp, emitPrelude).
+struct EclNativeCtx {
+    std::uint8_t* data;     ///< Instance arena (computeInstanceLayout).
+    std::uint8_t* present;  ///< One byte per signal, 1 = present.
+    std::int32_t* emitted;  ///< Output ring, capacity info.max_emits.
+    std::int32_t state;     ///< In: current flat state. Out: next state.
+    std::int32_t terminated;    ///< Out: this reaction terminated.
+    std::int32_t emitted_count; ///< Out: outputs pushed this reaction.
+    std::int32_t depth;         ///< Call depth (host seeds 1).
+    std::int64_t fuel;      ///< Backward-branch budget (runaway guard).
+    std::uint64_t tree_tests;   ///< Out: decision nodes tested.
+    std::uint64_t actions_run;  ///< Out: flat actions executed.
+    std::uint64_t emits_run;    ///< Out: emissions (locals included).
+    const char* error;      ///< Out: trap message (trap path only).
+    void* jb;               ///< jmp_buf* owned by ecl_native_react.
+};
+
+/// Mirrors the generated `ecl_nat_info`; exported as `ecl_module_info`.
+struct EclNativeInfo {
+    std::uint32_t abi_version; ///< kEclNativeAbiVersion at generation.
+    std::uint32_t data_bytes;  ///< InstanceLayout::dataBytes.
+    std::uint32_t signals;     ///< ModuleSema::signals.size().
+    std::uint32_t states;      ///< FlatProgram::states.size().
+    std::int32_t initial_state;
+    std::uint32_t max_emits;   ///< Output-ring capacity required.
+    const char* module_name;
+};
+
+} // extern "C"
+
+using EclNativeReactFn = int (*)(EclNativeCtx*);
+
+} // namespace ecl::rt

@@ -1,0 +1,318 @@
+#include "src/runtime/native_module.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/interp/value.h"
+#include "src/support/strings.h"
+
+namespace ecl::rt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Same lifetime budget as bc::Vm's op budget; the native path only
+/// spends it on backward branches (see c_gen.h on the approximation).
+constexpr std::int64_t kNativeFuel = 500'000'000;
+
+std::string hex16(std::uint64_t v)
+{
+    static const char* digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i, v >>= 4) s[i] = digits[v & 0xf];
+    return s;
+}
+
+/// Mirrors engine.cpp's checkedSignal (same error text).
+const SignalInfo& checkedSignal(const ModuleSema& sema, int sigIndex)
+{
+    if (sigIndex < 0 ||
+        static_cast<std::size_t>(sigIndex) >= sema.signals.size())
+        throw EclError("signal index " + std::to_string(sigIndex) +
+                       " out of range");
+    return sema.signals[static_cast<std::size_t>(sigIndex)];
+}
+
+std::string readLogTail(const fs::path& log)
+{
+    std::ifstream is(log);
+    if (!is) return {};
+    std::stringstream ss;
+    ss << is.rdbuf();
+    std::string text = ss.str();
+    if (text.size() > 512) text = "..." + text.substr(text.size() - 512);
+    return text;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// NativeModule
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const NativeModule>
+NativeModule::build(const std::string& cSource, const std::string& moduleName)
+{
+    if (const char* off = std::getenv("ECL_NATIVE_DISABLE");
+        off && *off)
+        throw EclError("native backend disabled via ECL_NATIVE_DISABLE");
+
+    std::vector<std::string> candidates;
+    if (const char* cc = std::getenv("CC"); cc && *cc)
+        candidates = {cc}; // $CC is authoritative: no silent substitute.
+    else
+        candidates = {"cc", "gcc", "clang"};
+
+    fs::path cacheDir;
+    if (const char* dir = std::getenv("ECL_NATIVE_CACHE_DIR"); dir && *dir)
+        cacheDir = dir;
+    else
+        cacheDir = fs::temp_directory_path() / "ecl-native-cache";
+    std::error_code ec;
+    fs::create_directories(cacheDir, ec);
+    if (ec)
+        throw EclError("native backend: cannot create cache dir '" +
+                       cacheDir.string() + "': " + ec.message());
+
+    auto mod = std::shared_ptr<NativeModule>(new NativeModule());
+    std::string firstError;
+    fs::path soPath;
+    for (const std::string& compiler : candidates) {
+        // The compiler is part of the cache key: different compilers may
+        // produce ABI-identical but byte-different objects, and a failed
+        // $CC must never hit a cache entry a working cc produced.
+        std::uint64_t h = fnv1a64(cSource + '\0' + compiler);
+        fs::path base =
+            cacheDir / ("ecl_" + moduleName + "_" + hex16(h));
+        soPath = base;
+        soPath += ".so";
+        if (fs::exists(soPath)) {
+            mod->compiler_.clear(); // Cache hit.
+            break;
+        }
+
+        fs::path cPath = base;
+        cPath += ".c";
+        fs::path logPath = base;
+        logPath += ".log";
+        {
+            std::ofstream os(cPath, std::ios::binary | std::ios::trunc);
+            os << cSource;
+            if (!os)
+                throw EclError("native backend: cannot write '" +
+                               cPath.string() + "'");
+        }
+        // Write-then-rename: concurrent builders race benignly.
+        fs::path tmp = soPath;
+        tmp += ".tmp" + std::to_string(static_cast<long>(::getpid()));
+        std::string cmd = compiler + " -std=c99 -O2 -fPIC -shared -o '" +
+                          tmp.string() + "' '" + cPath.string() + "' 2>'" +
+                          logPath.string() + "'";
+        int rc = std::system(cmd.c_str());
+        if (rc == 0 && fs::exists(tmp)) {
+            fs::rename(tmp, soPath, ec);
+            if (ec && !fs::exists(soPath))
+                throw EclError("native backend: rename failed: " +
+                               ec.message());
+            mod->compiler_ = compiler;
+            break;
+        }
+        fs::remove(tmp, ec);
+        if (firstError.empty()) {
+            firstError = "'" + compiler + "' failed (exit " +
+                         std::to_string(rc) + ")";
+            std::string tail = readLogTail(logPath);
+            if (!tail.empty()) firstError += ": " + tail;
+        }
+        soPath.clear();
+    }
+    if (soPath.empty())
+        throw EclError("native backend: no working C compiler for module '" +
+                       moduleName + "': " + firstError);
+
+    mod->soPath_ = soPath.string();
+    mod->handle_ = ::dlopen(mod->soPath_.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!mod->handle_) {
+        const char* err = ::dlerror();
+        throw EclError("native backend: dlopen('" + mod->soPath_ +
+                       "') failed: " + (err ? err : "unknown error"));
+    }
+    mod->info_ = static_cast<const EclNativeInfo*>(
+        ::dlsym(mod->handle_, "ecl_module_info"));
+    mod->react_ = reinterpret_cast<EclNativeReactFn>(
+        ::dlsym(mod->handle_, "ecl_native_react"));
+    if (!mod->info_ || !mod->react_)
+        throw EclError("native backend: '" + mod->soPath_ +
+                       "' lacks the ecl_module_info/ecl_native_react "
+                       "symbols");
+    if (mod->info_->abi_version != kEclNativeAbiVersion)
+        throw EclError("native backend: ABI version " +
+                       std::to_string(mod->info_->abi_version) +
+                       " in '" + mod->soPath_ + "', host expects " +
+                       std::to_string(kEclNativeAbiVersion));
+    return mod;
+}
+
+NativeModule::~NativeModule()
+{
+    if (handle_) ::dlclose(handle_);
+}
+
+// ---------------------------------------------------------------------------
+// NativeEngine
+// ---------------------------------------------------------------------------
+
+NativeEngine::NativeEngine(const ModuleSema& sema,
+                           const efsm::FlatProgram& flat,
+                           std::shared_ptr<const NativeModule> module)
+    : sema_(sema), flat_(flat), module_(std::move(module)),
+      layout_(computeInstanceLayout(sema)), fuel_(kNativeFuel)
+{
+    const EclNativeInfo& info = module_->info();
+    if (info.data_bytes != layout_.dataBytes ||
+        info.signals != sema_.signals.size() ||
+        info.states != flat_.states.size() ||
+        info.initial_state != flat_.initialState)
+        throw EclError(std::string("native backend: module '") +
+                       (info.module_name ? info.module_name : "?") +
+                       "' shape does not match this compile (stale cache "
+                       "or wrong flat tables)");
+    arena_.assign(std::max<std::size_t>(layout_.dataBytes, 1), 0);
+    present_.assign(sema_.signals.size(), 0);
+    lastPresent_.assign(sema_.signals.size(), 0);
+    emitted_.assign(std::max<std::uint32_t>(info.max_emits, 1), 0);
+    state_ = flat_.initialState;
+}
+
+const SignalInfo& NativeEngine::checkInput(int sigIndex) const
+{
+    const SignalInfo& s = checkedSignal(sema_, sigIndex);
+    if (s.dir != SignalDir::Input)
+        throw EclError("'" + s.name + "' is not an input signal");
+    return s;
+}
+
+void NativeEngine::beginInput()
+{
+    if (!instantOpen_) {
+        std::fill(present_.begin(), present_.end(), 0);
+        instantOpen_ = true;
+    }
+}
+
+void NativeEngine::setInput(int sigIndex)
+{
+    checkInput(sigIndex);
+    beginInput();
+    present_[static_cast<std::size_t>(sigIndex)] = 1;
+}
+
+void NativeEngine::setInputScalar(int sigIndex, std::int64_t v)
+{
+    const SignalInfo& info = checkInput(sigIndex);
+    if (info.pure)
+        throw EclError("'" + info.name + "' is pure; use setInput()");
+    beginInput();
+    writeScalar(arena_.data() +
+                    layout_.sigOffsets[static_cast<std::size_t>(sigIndex)],
+                info.valueType, v);
+    present_[static_cast<std::size_t>(sigIndex)] = 1;
+}
+
+void NativeEngine::setInputValue(int sigIndex, Value v)
+{
+    const SignalInfo& info = checkInput(sigIndex);
+    beginInput();
+    // SignalEnv::setValue semantics, writing straight into the arena.
+    if (info.pure)
+        throw EclError("cannot set a value on pure signal '" + info.name +
+                       "'");
+    std::uint8_t* slot =
+        arena_.data() +
+        layout_.sigOffsets[static_cast<std::size_t>(sigIndex)];
+    if (info.valueType->isScalar())
+        writeScalar(slot, info.valueType, v.toInt());
+    else if (v.type() == info.valueType)
+        std::memcpy(slot, v.data(), info.valueType->size());
+    else
+        throw EclError("signal value type mismatch for '" + info.name +
+                       "'");
+    present_[static_cast<std::size_t>(sigIndex)] = 1;
+}
+
+ReactionResult NativeEngine::react()
+{
+    if (!instantOpen_) std::fill(present_.begin(), present_.end(), 0);
+    instantOpen_ = false;
+
+    EclNativeCtx ctx{};
+    ctx.data = arena_.data();
+    ctx.present = present_.data();
+    ctx.emitted = emitted_.data();
+    ctx.state = state_;
+    ctx.depth = 1; // Module chunks run at the VM's depth 1.
+    ctx.fuel = fuel_;
+    int rc = module_->react()(&ctx);
+    fuel_ = ctx.fuel; // Lifetime budget, like the VM's op budget.
+    if (rc != 0)
+        throw EclError(ctx.error ? ctx.error
+                                 : "native reaction failed without a "
+                                   "message");
+    state_ = ctx.state;
+
+    ReactionResult result;
+    result.emittedOutputs.assign(
+        emitted_.begin(), emitted_.begin() + ctx.emitted_count);
+    result.terminated = ctx.terminated != 0;
+    result.treeTests = ctx.tree_tests;
+    result.actionsRun = ctx.actions_run;
+    result.emitsRun = ctx.emits_run;
+    lastPresent_ = present_;
+    return result;
+}
+
+bool NativeEngine::outputPresent(int sigIndex) const
+{
+    checkedSignal(sema_, sigIndex);
+    return lastPresent_[static_cast<std::size_t>(sigIndex)] != 0;
+}
+
+Value NativeEngine::outputValue(int sigIndex) const
+{
+    const SignalInfo& s = checkedSignal(sema_, sigIndex);
+    if (s.pure)
+        throw EclError("value read on pure signal '" + s.name + "'");
+    return Value::fromBytes(
+        s.valueType,
+        arena_.data() +
+            layout_.sigOffsets[static_cast<std::size_t>(sigIndex)]);
+}
+
+bool NativeEngine::terminated() const
+{
+    return flat_.states[static_cast<std::size_t>(state_)].dead;
+}
+
+bool NativeEngine::needsAutoResume() const
+{
+    return flat_.states[static_cast<std::size_t>(state_)].autoResume;
+}
+
+std::vector<std::uint8_t> NativeEngine::packState() const
+{
+    std::vector<std::uint8_t> out(4 + layout_.dataBytes, 0);
+    const std::int32_t st = state_;
+    std::memcpy(out.data(), &st, 4);
+    std::memcpy(out.data() + 4, arena_.data(), layout_.dataBytes);
+    return out;
+}
+
+} // namespace ecl::rt

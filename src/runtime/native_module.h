@@ -1,0 +1,123 @@
+// AOT native backend harness: compile the generated C, dlopen it, and
+// run it behind the common ReactiveEngine interface.
+//
+// NativeModule::build() takes the translation unit emitted by
+// codegen::generateC(), invokes a host C compiler on it ($CC if set,
+// else the first of cc/gcc/clang that works), caches the shared object
+// by source+compiler hash (ECL_NATIVE_CACHE_DIR, default a directory
+// under the system temp dir, write-then-rename so concurrent builds are
+// safe), loads it with dlopen and resolves `ecl_module_info` +
+// `ecl_native_react`. Every failure mode — ECL_NATIVE_DISABLE set, no
+// working compiler, compile error, ABI version mismatch — throws
+// EclError; CompiledModule::makeEngine(EngineKind::Native) catches that
+// and falls back to the bytecode VM.
+//
+// NativeEngine is the drop-in SyncEngine replacement over a loaded
+// module: instance state lives in one arena laid out by
+// computeInstanceLayout() (byte-compatible with packEngineState / batch
+// arenas / the verifier), presence is one byte per signal, and each
+// react() stack-builds an EclNativeCtx for the compiled reaction
+// function. Input staging, instant open/close, presence snapshots and
+// every error string mirror SyncEngine exactly so the two are
+// differentially testable down to trap messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/efsm/flatten.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/instance_layout.h"
+#include "src/runtime/native_abi.h"
+#include "src/sema/sema.h"
+
+namespace ecl::rt {
+
+class NativeModule {
+public:
+    /// Compiles + loads `cSource`; throws EclError when the native
+    /// backend is unavailable (see file comment). `moduleName` only
+    /// names cache artifacts and error messages.
+    static std::shared_ptr<const NativeModule>
+    build(const std::string& cSource, const std::string& moduleName);
+
+    NativeModule(const NativeModule&) = delete;
+    NativeModule& operator=(const NativeModule&) = delete;
+    ~NativeModule();
+
+    [[nodiscard]] const EclNativeInfo& info() const { return *info_; }
+    [[nodiscard]] EclNativeReactFn react() const { return react_; }
+    /// The cached shared object backing this module (diagnostics).
+    [[nodiscard]] const std::string& objectPath() const { return soPath_; }
+    /// The compiler command that produced it ("" on a cache hit).
+    [[nodiscard]] const std::string& compiler() const { return compiler_; }
+
+private:
+    NativeModule() = default;
+
+    void* handle_ = nullptr;
+    const EclNativeInfo* info_ = nullptr;
+    EclNativeReactFn react_ = nullptr;
+    std::string soPath_;
+    std::string compiler_;
+};
+
+class NativeEngine final : public ReactiveEngine {
+public:
+    /// The flat tables must be the ones the module was generated from
+    /// (state attributes are read from them); the constructor validates
+    /// the module's shape record against them and the instance layout.
+    NativeEngine(const ModuleSema& sema, const efsm::FlatProgram& flat,
+                 std::shared_ptr<const NativeModule> module);
+
+    using ReactiveEngine::outputPresent;
+    using ReactiveEngine::outputValue;
+    using ReactiveEngine::setInput;
+    using ReactiveEngine::setInputScalar;
+    using ReactiveEngine::setInputValue;
+
+    void setInput(int sigIndex) override;
+    void setInputScalar(int sigIndex, std::int64_t v) override;
+    void setInputValue(int sigIndex, Value v) override;
+    ReactionResult react() override;
+
+    [[nodiscard]] bool outputPresent(int sigIndex) const override;
+    [[nodiscard]] Value outputValue(int sigIndex) const override;
+    [[nodiscard]] bool terminated() const override;
+    [[nodiscard]] bool needsAutoResume() const override;
+    [[nodiscard]] const ModuleSema& moduleSema() const override
+    {
+        return sema_;
+    }
+    [[nodiscard]] const char* backendName() const override
+    {
+        return "native";
+    }
+    [[nodiscard]] std::vector<std::uint8_t> packState() const override;
+
+    [[nodiscard]] int currentState() const { return state_; }
+    [[nodiscard]] const NativeModule& nativeModule() const
+    {
+        return *module_;
+    }
+
+private:
+    const SignalInfo& checkInput(int sigIndex) const;
+    void beginInput();
+
+    const ModuleSema& sema_;
+    const efsm::FlatProgram& flat_;
+    std::shared_ptr<const NativeModule> module_;
+    InstanceLayout layout_;
+    std::vector<std::uint8_t> arena_;
+    std::vector<std::uint8_t> present_;
+    std::vector<std::uint8_t> lastPresent_;
+    std::vector<std::int32_t> emitted_;
+    int state_ = 0;
+    std::int64_t fuel_ = 0;
+    bool instantOpen_ = false;
+};
+
+} // namespace ecl::rt

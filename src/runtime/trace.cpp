@@ -597,6 +597,16 @@ const ModuleSema& RecordingEngine::moduleSema() const
     return inner_.moduleSema();
 }
 
+const char* RecordingEngine::backendName() const
+{
+    return inner_.backendName();
+}
+
+std::vector<std::uint8_t> RecordingEngine::packState() const
+{
+    return inner_.packState();
+}
+
 std::vector<std::uint8_t> packEngineState(const SyncEngine& engine,
                                           const InstanceLayout& layout)
 {
@@ -617,6 +627,11 @@ std::vector<std::uint8_t> packEngineState(const SyncEngine& engine,
                     v.data(), v.size());
     }
     return out;
+}
+
+std::vector<std::uint8_t> SyncEngine::packState() const
+{
+    return packEngineState(*this, computeInstanceLayout(moduleSema()));
 }
 
 namespace {
@@ -654,10 +669,10 @@ int mappedSignal(const std::vector<int>& map, const InputTrace& trace,
     return s;
 }
 
-/// Engine-shape adapter so SyncEngine and a BatchEngine instance replay
-/// through one loop.
+/// Engine-shape adapter so any ReactiveEngine (sync VM, native) and a
+/// BatchEngine instance replay through one loop.
 struct SyncDriver {
-    SyncEngine& eng;
+    ReactiveEngine& eng;
     const ModuleSema& sema() const { return eng.moduleSema(); }
     void setPure(int idx) { eng.setInput(idx); }
     void setValue(int idx, Value v) { eng.setInputValue(idx, std::move(v)); }
@@ -666,10 +681,7 @@ struct SyncDriver {
     Value outputValue(int idx) const { return eng.outputValue(idx); }
     bool terminated() const { return eng.terminated(); }
     bool autoResume() const { return eng.needsAutoResume(); }
-    std::vector<std::uint8_t> packState() const
-    {
-        return packEngineState(eng, computeInstanceLayout(eng.moduleSema()));
-    }
+    std::vector<std::uint8_t> packState() const { return eng.packState(); }
 };
 
 struct BatchDriver {
@@ -800,7 +812,7 @@ TraceReplayResult replayCore(Driver drv, const InputTrace& trace,
 
 } // namespace
 
-TraceReplayResult replayTrace(SyncEngine& engine, const InputTrace& trace,
+TraceReplayResult replayTrace(ReactiveEngine& engine, const InputTrace& trace,
                               const TraceReplayOptions& opts)
 {
     return replayCore(SyncDriver{engine}, trace, opts);

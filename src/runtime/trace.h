@@ -184,6 +184,8 @@ public:
     [[nodiscard]] bool terminated() const override;
     [[nodiscard]] bool needsAutoResume() const override;
     [[nodiscard]] const ModuleSema& moduleSema() const override;
+    [[nodiscard]] const char* backendName() const override;
+    [[nodiscard]] std::vector<std::uint8_t> packState() const override;
 
     [[nodiscard]] const InputTrace& trace() const { return writer_.trace(); }
     [[nodiscard]] InputTrace takeTrace() { return writer_.takeTrace(); }
@@ -236,8 +238,10 @@ struct TraceReplayOptions {
 std::vector<std::uint8_t> packEngineState(const SyncEngine& engine,
                                           const InstanceLayout& layout);
 
-/// Replays `trace` on a fresh (pre-boot) SyncEngine.
-TraceReplayResult replayTrace(SyncEngine& engine, const InputTrace& trace,
+/// Replays `trace` on any fresh (pre-boot) ReactiveEngine; the final
+/// packed state comes from the engine's packState() virtual, so VM and
+/// native engines compare byte-for-byte.
+TraceReplayResult replayTrace(ReactiveEngine& engine, const InputTrace& trace,
                               const TraceReplayOptions& opts = {});
 
 /// Replays `trace` on instance `inst` of a BatchEngine; every instant is

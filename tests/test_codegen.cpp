@@ -15,12 +15,13 @@ namespace {
 
 using namespace ecl;
 
+// The AOT translation unit is self-contained C99 (its own ABI mirror,
+// fail handler and load/store helpers) — no harness stubs needed.
 bool gccSyntaxCheck(const std::string& cSource, std::string tag)
 {
     std::string path = "/tmp/ecl_codegen_" + tag + ".c";
     {
         std::ofstream out(path);
-        out << "void ecl_runtime_error(const char *msg) { (void)msg; }\n";
         out << cSource;
     }
     std::string cmd = "gcc -std=c99 -fsyntax-only -Wall " + path + " 2>/tmp/ecl_gcc_" + tag + ".log";
@@ -96,15 +97,30 @@ TEST(CGenTest, GeneratedCHasExpectedInterface)
     Compiler compiler(paper::protocolStackSource());
     auto mod = compiler.compile("toplevel");
     std::string c = codegen::generateC(*mod);
-    EXPECT_NE(c.find("void toplevel_react(void)"), std::string::npos);
-    EXPECT_NE(c.find("void toplevel_set_reset(void)"), std::string::npos);
-    EXPECT_NE(c.find("void toplevel_set_in_byte("), std::string::npos);
-    EXPECT_NE(c.find("switch (ecl_state)"), std::string::npos);
-    EXPECT_NE(c.find("typedef union"), std::string::npos);
-    // The extracted CRC loop became a function.
-    EXPECT_NE(c.find("static void ecl_data_"), std::string::npos);
+    // The dlopen contract: one info record + one reaction entry point
+    // (src/runtime/native_abi.h).
+    EXPECT_NE(c.find("const ecl_nat_info ecl_module_info"),
+              std::string::npos);
+    EXPECT_NE(c.find("int ecl_native_react(ecl_nat_ctx *c)"),
+              std::string::npos);
+    // Dense state dispatch: computed goto where available, a plain
+    // switch elsewhere — both must be present in the emitted text.
+    EXPECT_NE(c.find("goto *ecl_roots[c->state];"), std::string::npos);
+    EXPECT_NE(c.find("switch (c->state)"), std::string::npos);
+    // Traps longjmp through the shared failure path.
+    EXPECT_NE(c.find("static void ecl_fail(ecl_nat_ctx *c"),
+              std::string::npos);
     // The paper's array cast uses the little-endian helper.
-    EXPECT_NE(c.find("ecl_le_bytes("), std::string::npos);
+    EXPECT_NE(c.find("ecl_ldle("), std::string::npos);
+}
+
+TEST(CGenTest, RejectsModuleWithoutFlatProgram)
+{
+    Compiler compiler(paper::protocolStackSource());
+    CompileOptions opts;
+    opts.flatten = false;
+    auto mod = compiler.compile("assemble", opts);
+    EXPECT_THROW(codegen::generateC(*mod), EclError);
 }
 
 TEST(VerilogGenTest, PureControlModulesSynthesize)

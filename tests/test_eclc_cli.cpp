@@ -155,4 +155,57 @@ TEST(EclcCli, MonitorFileErrorsExit1)
     EXPECT_EQ(runEclc("--paper buffer --verify --monitor " + unwirable), 1);
 }
 
+// True when some host C compiler answers --version — the same probe
+// order the native backend uses ($CC, then cc).
+bool hostCompilerAvailable()
+{
+    const char* cc = std::getenv("CC");
+    const std::string probe = (cc && *cc ? std::string(cc) : "cc");
+    return std::system((probe + " --version > /dev/null 2> /dev/null")
+                           .c_str()) == 0;
+}
+
+TEST(EclcCli, EmitCAliasExit0)
+{
+    EXPECT_EQ(runEclc("--paper buffer --module blinker --emit-c"), 0);
+}
+
+TEST(EclcCli, AotDifferentialExit0)
+{
+    if (!hostCompilerAvailable())
+        GTEST_SKIP() << "no host C compiler for the AOT backend";
+    // The documented acceptance run: dlopened native reaction function
+    // bit-exact against the VM of the same compile.
+    EXPECT_EQ(runEclc("--paper buffer --module blinker --aot"), 0);
+    // Stimulus and opt-level flags are honored in AOT mode.
+    EXPECT_EQ(runEclc("--paper stack --module assemble --aot "
+                      "--stim-profile payload --stim-instants 50 "
+                      "--stim-seed 7 -O0"),
+              0);
+}
+
+TEST(EclcCli, AotUnavailableExit1)
+{
+    // ECL_NATIVE_DISABLE forces the unavailable path deterministically,
+    // with or without a host compiler installed.
+    const std::string cmd = "ECL_NATIVE_DISABLE=1 " + eclcPath() +
+                            " --paper buffer --module blinker --aot "
+                            "> /dev/null 2> /dev/null";
+    const int status = std::system(cmd.c_str());
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 1);
+}
+
+TEST(EclcCli, AotUsageConflictsExit2)
+{
+    EXPECT_EQ(runEclc("--paper stack --aot --verify"), 2);
+    EXPECT_EQ(runEclc("--paper stack --aot --async"), 2);
+    EXPECT_EQ(runEclc("--paper stack --aot --record-trace /tmp/t.trc"), 2);
+    EXPECT_EQ(runEclc("--paper stack --aot --replay-trace /tmp/t.trc"), 2);
+    // Stimulus flags still require a mode that drives a stimulus, and
+    // --trace-text still requires --record-trace.
+    EXPECT_EQ(runEclc("--paper stack --stim-seed 5"), 2);
+    EXPECT_EQ(runEclc("--paper stack --aot --trace-text"), 2);
+}
+
 } // namespace

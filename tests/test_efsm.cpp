@@ -37,7 +37,7 @@ struct Machine {
 
     Compiler compiler;
     std::shared_ptr<CompiledModule> mod;
-    std::unique_ptr<rt::SyncEngine> eng;
+    std::unique_ptr<rt::ReactiveEngine> eng;
 };
 
 TEST(EfsmSemanticsTest, AwaitIsNotImmediate)

@@ -45,7 +45,7 @@ TEST_P(RandomProgramTest, EfsmMatchesStructuralInterpreter)
     }
 
     for (unsigned stim = 1; stim <= 3; ++stim) {
-        auto efsm = mod->makeEngine();
+        auto efsm = mod->makeSyncEngine();
         auto rc = mod->makeBaselineEngine();
         EXPECT_EQ(runTrace(*efsm, stim, 40), runTrace(*rc, stim, 40))
             << "program seed " << seed << " stimulus " << stim;
@@ -65,8 +65,8 @@ TEST_P(RandomProgramTest, DeterministicReplay)
     } catch (const EclError&) {
         GTEST_SKIP();
     }
-    auto e1 = mod->makeEngine();
-    auto e2 = mod->makeEngine();
+    auto e1 = mod->makeSyncEngine();
+    auto e2 = mod->makeSyncEngine();
     EXPECT_EQ(runTrace(*e1, 7, 50), runTrace(*e2, 7, 50));
 }
 
@@ -87,8 +87,8 @@ TEST_P(RandomProgramTest, FlatExecutionMatchesTreeWalk)
         GTEST_SKIP();
     }
     ASSERT_TRUE(mod->hasFlatProgram());
-    auto flat = mod->makeEngine(EngineKind::Flat);
-    auto tree = mod->makeEngine(EngineKind::TreeWalk);
+    auto flat = mod->makeSyncEngine(EngineKind::Flat);
+    auto tree = mod->makeSyncEngine(EngineKind::TreeWalk);
     ASSERT_TRUE(flat->usesFlatExecution());
     ASSERT_FALSE(tree->usesFlatExecution());
     EXPECT_EQ(runTrace(*flat, 11, 50), runTrace(*tree, 11, 50));
@@ -134,7 +134,7 @@ TEST_P(InputSweepTest, EveryInputValuationHasExactlyOneReaction)
         "  }"
         " } }");
     auto mod = compiler.compile("m");
-    auto efsm = mod->makeEngine();
+    auto efsm = mod->makeSyncEngine();
     auto rc = mod->makeBaselineEngine();
     efsm->react();
     rc->react();
@@ -208,8 +208,8 @@ TEST_P(PaperSourceDifferentialTest, FlatMatchesTreeWalkAndStructuralOracle)
     const ModuleSema& sema = mod->moduleSema();
 
     for (unsigned seed = 1; seed <= 3; ++seed) {
-        auto flat = mod->makeEngine(EngineKind::Flat);
-        auto tree = mod->makeEngine(EngineKind::TreeWalk);
+        auto flat = mod->makeSyncEngine(EngineKind::Flat);
+        auto tree = mod->makeSyncEngine(EngineKind::TreeWalk);
         auto rc = mod->makeBaselineEngine();
         ASSERT_TRUE(flat->usesFlatExecution());
 
@@ -355,7 +355,7 @@ protected:
     /// exact inputs). Returns true when any input was set.
     bool applyInputs(std::mt19937& rng, const ModuleSema& sema,
                      rt::BatchEngine* batch, std::size_t inst,
-                     rt::SyncEngine* oracle)
+                     rt::ReactiveEngine* oracle)
     {
         bool any = false;
         for (const SignalInfo& s : sema.signals) {
@@ -379,7 +379,7 @@ protected:
     /// Full per-instance equality after a reaction of both sides.
     void expectInstanceEqual(const ModuleSema& sema,
                              const rt::BatchEngine& batch, std::size_t inst,
-                             const rt::SyncEngine& oracle,
+                             const rt::ReactiveEngine& oracle,
                              const rt::ReactionResult& rb,
                              const rt::ReactionResult& ro, int instant)
     {
@@ -422,10 +422,10 @@ TEST_P(BatchDifferentialTest, LockstepMatchesIndependentSyncEngines)
 
     auto batch = mod->makeBatchEngine(n, {.threads = bc.threads});
     ASSERT_EQ(batch->threads(), bc.threads);
-    std::vector<std::unique_ptr<rt::SyncEngine>> oracles;
+    std::vector<std::unique_ptr<rt::ReactiveEngine>> oracles;
     std::vector<std::mt19937> rngs;
     for (std::size_t i = 0; i < n; ++i) {
-        oracles.push_back(mod->makeEngine(EngineKind::Flat));
+        oracles.push_back(mod->makeSyncEngine(EngineKind::Flat));
         rngs.emplace_back(static_cast<unsigned>(1000003 * i + 17));
     }
 
@@ -473,10 +473,10 @@ TEST_P(BatchDifferentialTest, DirtySchedulingMatchesEventDrivenOracle)
     const auto n = static_cast<std::size_t>(bc.instances);
 
     auto batch = mod->makeBatchEngine(n, {.threads = bc.threads});
-    std::vector<std::unique_ptr<rt::SyncEngine>> oracles;
+    std::vector<std::unique_ptr<rt::ReactiveEngine>> oracles;
     std::vector<std::mt19937> rngs;
     for (std::size_t i = 0; i < n; ++i) {
-        oracles.push_back(mod->makeEngine(EngineKind::Flat));
+        oracles.push_back(mod->makeSyncEngine(EngineKind::Flat));
         rngs.emplace_back(static_cast<unsigned>(2000003 * i + 29));
     }
 

@@ -46,7 +46,7 @@ TEST(EngineTest, InputApiValidation)
     Compiler compiler("module m (input pure p, input int v, output pure o)"
                       " { halt(); }");
     auto mod = compiler.compile("m");
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     EXPECT_THROW(eng->setInput("nosuch"), EclError);
     EXPECT_THROW(eng->setInput("o"), EclError);      // not an input
     EXPECT_THROW(eng->setInputScalar("p", 1), EclError); // pure
@@ -58,7 +58,7 @@ TEST(EngineTest, ReactionCountersPopulated)
                       " int s; while (1) { await (v); s = s + v;"
                       " emit_v (o, s); } }");
     auto mod = compiler.compile("m");
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     eng->react();
     eng->setInputScalar("v", 3);
     rt::ReactionResult r = eng->react();
@@ -76,7 +76,7 @@ TEST(EngineTest, DataBytesReportsFootprint)
                       " byte buf[32]; int n;"
                       " while (1) { await (v); buf[n % 32] = v; n++; } }");
     auto mod = compiler.compile("m");
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     EXPECT_GE(eng->dataBytes(), 32u + 4u + 1u);
 }
 
@@ -89,7 +89,7 @@ void expectEnginesAgree(const std::string& src,
 {
     Compiler compiler(src);
     auto mod = compiler.compile("m");
-    auto efsm = mod->makeEngine();
+    auto efsm = mod->makeSyncEngine();
     auto rc = mod->makeBaselineEngine();
     efsm->react();
     rc->react();
@@ -165,7 +165,7 @@ TEST(DifferentialTest, WeakAbortWithData)
         " halt (); }";
     Compiler compiler(src);
     auto mod = compiler.compile("m");
-    auto efsm = mod->makeEngine();
+    auto efsm = mod->makeSyncEngine();
     auto rc = mod->makeBaselineEngine();
     efsm->react();
     rc->react();

@@ -17,7 +17,7 @@ TEST(TraceTest, TimelineShowsBlinkerPattern)
 {
     Compiler compiler(paper::audioBufferSource());
     auto mod = compiler.compile("blinker");
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     rt::TraceRecorder trace(mod->moduleSema(), {"tick", "led_on", "led_off"});
     eng->react();
     for (int t = 0; t < 10; ++t) {
@@ -36,7 +36,7 @@ TEST(TraceTest, VcdWellFormed)
 {
     Compiler compiler(paper::audioBufferSource());
     auto mod = compiler.compile("blinker");
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     rt::TraceRecorder trace(mod->moduleSema());
     eng->react();
     for (int t = 0; t < 6; ++t) {
@@ -64,7 +64,7 @@ TEST(TraceTest, ValuedSignalTracked)
     Compiler compiler("module m (input int v, output int o) {"
                       " while (1) { await (v); emit_v (o, v * 2); } }");
     auto mod = compiler.compile("m");
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     rt::TraceRecorder trace(mod->moduleSema(), {"o"});
     eng->react();
     for (int t = 1; t <= 3; ++t) {
@@ -119,7 +119,7 @@ rt::InputTrace recordRandom(const CompiledModule& mod, unsigned seed,
                             int instants,
                             std::vector<std::uint8_t>* finalState = nullptr)
 {
-    auto eng = mod.makeEngine();
+    auto eng = mod.makeSyncEngine();
     rt::RecordingEngine rec(*eng, mod.name());
     corpus::runStimulus(rec, corpus::Profile::Random, seed, instants);
     if (finalState)
@@ -187,7 +187,7 @@ TEST(TraceReplayTest, ReplayDetectsTamperedOutputs)
         }
     }
     ASSERT_TRUE(tampered);
-    auto eng = mod->makeEngine();
+    auto eng = mod->makeSyncEngine();
     rt::TraceReplayResult r = rt::replayTrace(*eng, t);
     EXPECT_FALSE(r.outputsMatch);
     EXPECT_NE(r.mismatch.find("instant"), std::string::npos);
@@ -198,7 +198,7 @@ TEST(TraceReplayTest, ReplayOnWrongModuleFails)
     Compiler stack(paper::protocolStackSource());
     rt::InputTrace t = recordRandom(*stack.compile("toplevel"), 2, 10);
     Compiler buffer(paper::audioBufferSource());
-    auto eng = buffer.compile("buffer_top")->makeEngine();
+    auto eng = buffer.compile("buffer_top")->makeSyncEngine();
     EXPECT_THROW(rt::replayTrace(*eng, t), EclError);
 }
 
@@ -221,7 +221,7 @@ TEST(TraceReplayTest, RecordedTraceReplaysBitExactEverywhere)
         rt::InputTrace t = recordRandom(*mod2, seed++, 50, &recordedState);
 
         // Fresh SyncEngine, same compile: outputs + full packed state.
-        auto e2 = mod2->makeEngine();
+        auto e2 = mod2->makeSyncEngine();
         rt::TraceReplayResult sync2 = rt::replayTrace(*e2, t);
         EXPECT_TRUE(sync2.outputsMatch) << sync2.mismatch;
         EXPECT_EQ(sync2.finalState, recordedState);
@@ -243,13 +243,13 @@ TEST(TraceReplayTest, RecordedTraceReplaysBitExactEverywhere)
 
         // Flat -O0 and the tree-walking oracle: outputs match, data bytes
         // match (control ids are renumbered by minimization at -O1+).
-        auto e0 = mod0->makeEngine();
+        auto e0 = mod0->makeSyncEngine();
         rt::TraceReplayResult sync0 = rt::replayTrace(*e0, t);
         EXPECT_TRUE(sync0.outputsMatch) << sync0.mismatch;
         EXPECT_EQ(sync0.finalData(), sync2.finalData());
         EXPECT_EQ(sync0.outputDigest, sync2.outputDigest);
 
-        auto tw = mod0->makeEngine(EngineKind::TreeWalk);
+        auto tw = mod0->makeSyncEngine(EngineKind::TreeWalk);
         rt::TraceReplayResult tree = rt::replayTrace(*tw, t);
         EXPECT_TRUE(tree.outputsMatch) << tree.mismatch;
         EXPECT_EQ(tree.finalData(), sync2.finalData());
@@ -285,7 +285,7 @@ TEST(TraceReplayTest, SerializedTraceReplaysBitExact)
          {rt::TraceFormat::Binary, rt::TraceFormat::Text}) {
         std::istringstream is(serialize(t, fmt));
         rt::InputTrace back = rt::readTrace(is);
-        auto eng = mod->makeEngine();
+        auto eng = mod->makeSyncEngine();
         rt::TraceReplayResult r = rt::replayTrace(*eng, back);
         EXPECT_TRUE(r.outputsMatch) << r.mismatch;
         EXPECT_EQ(r.finalState, recordedState);

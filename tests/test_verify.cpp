@@ -163,7 +163,7 @@ BruteResult bruteForce(const CompiledModule& mod,
 
     BruteResult out;
     {
-        auto fresh = mod.makeEngine();
+        auto fresh = mod.makeSyncEngine();
         out.states.insert(verify::encodeEngineState(*fresh, layout));
     }
 
@@ -172,7 +172,7 @@ BruteResult bruteForce(const CompiledModule& mod,
         bool violated = false;
     };
     auto replaySeq = [&](const std::vector<int>& seq) {
-        auto eng = mod.makeEngine();
+        auto eng = mod.makeSyncEngine();
         Replay r;
         for (int li : seq) {
             for (const auto& [sig, v] : alphabet[static_cast<std::size_t>(
@@ -350,7 +350,7 @@ TEST(VerifyBruteForce, MinimalViolationTraceMatches)
     expectLettersEqual(traceLetters(res.trace), bruteLetters);
 
     // And it replays on the production engine.
-    auto engine = mod->makeEngine();
+    auto engine = mod->makeSyncEngine();
     verify::ReplayOutcome rp =
         verify::replayCounterexample(*engine, nullptr, res);
     EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -371,7 +371,7 @@ TEST(VerifyBruteForce, RandomWalkStatesAreReachable)
 
     std::mt19937 rng(20260728u);
     for (int walk = 0; walk < 10; ++walk) {
-        auto eng = mod->makeEngine();
+        auto eng = mod->makeSyncEngine();
         EXPECT_TRUE(states.count(verify::encodeEngineState(*eng, layout)));
         for (int t = 0; t < 30; ++t) {
             const BfLetter& letter = alphabet[rng() % alphabet.size()];
@@ -492,7 +492,7 @@ TEST(VerifyPredicates, PredicateViolationWithReplay)
     EXPECT_EQ(res.violation.what, "acc_le_2");
     // Minimal: acc > 2 needs three go/x=1 instants after boot.
     EXPECT_EQ(res.trace.size(), 4u);
-    auto engine = mod->makeEngine();
+    auto engine = mod->makeSyncEngine();
     verify::ReplayOutcome rp =
         verify::replayCounterexample(*engine, nullptr, res);
     EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -528,8 +528,8 @@ TEST(VerifyMonitor, PaperModuleViolationReplaysBitExactly)
                   verify::Violation::Kind::MonitorSignal);
         EXPECT_EQ(res.violation.what, "violation");
 
-        auto dEng = design->makeEngine();
-        auto mEng = monitor->makeEngine();
+        auto dEng = design->makeSyncEngine();
+        auto mEng = monitor->makeSyncEngine();
         verify::ReplayOutcome rp =
             verify::replayCounterexample(*dEng, mEng.get(), res);
         EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -572,8 +572,8 @@ TEST(VerifyMonitor, ValuedViolationValueIsBitExact)
     ASSERT_FALSE(res.violation.value.empty());
     EXPECT_EQ(res.violation.value.toInt(), 20);
 
-    auto dEng = design->makeEngine();
-    auto mEng = monitor->makeEngine();
+    auto dEng = design->makeSyncEngine();
+    auto mEng = monitor->makeSyncEngine();
     verify::ReplayOutcome rp =
         verify::replayCounterexample(*dEng, mEng.get(), res);
     EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -598,8 +598,8 @@ TEST(VerifyMonitor, WiredUntestedPureInputIsNotPruned)
     EXPECT_EQ(res.violation.kind, verify::Violation::Kind::MonitorSignal);
     EXPECT_EQ(res.trace.size(), 2u); // arm the await at boot, then b
 
-    auto dEng = design->makeEngine();
-    auto mEng = monitor->makeEngine();
+    auto dEng = design->makeSyncEngine();
+    auto mEng = monitor->makeSyncEngine();
     verify::ReplayOutcome rp =
         verify::replayCounterexample(*dEng, mEng.get(), res);
     EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -625,8 +625,8 @@ TEST(VerifyMonitor, MonitorRuntimeErrorViolationReplays)
     ASSERT_TRUE(res.violated);
     EXPECT_EQ(res.violation.kind, verify::Violation::Kind::RuntimeError);
 
-    auto dEng = design->makeEngine();
-    auto mEng = monitor->makeEngine();
+    auto dEng = design->makeSyncEngine();
+    auto mEng = monitor->makeSyncEngine();
     verify::ReplayOutcome rp =
         verify::replayCounterexample(*dEng, mEng.get(), res);
     EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -822,7 +822,7 @@ TEST(VerifyOptLevel, DesignViolationVerdictAndReplayAcrossLevels)
     EXPECT_LE(r2.stats.states, r0.stats.states);
 
     // Bit-exact replay on the engine of the level that found it.
-    auto e2 = o2->makeEngine();
+    auto e2 = o2->makeSyncEngine();
     verify::ReplayOutcome rp =
         verify::replayCounterexample(*e2, nullptr, r2);
     EXPECT_TRUE(rp.reproduced) << rp.detail;
@@ -831,7 +831,7 @@ TEST(VerifyOptLevel, DesignViolationVerdictAndReplayAcrossLevels)
     // on the UNOPTIMIZED engine (state ids differ after minimization, so
     // the packed-state comparison does not apply — the emission does).
     auto cross = [](CompiledModule& mod, const verify::ExploreResult& res) {
-        auto eng = mod.makeEngine();
+        auto eng = mod.makeSyncEngine();
         for (const verify::TraceStep& step : res.trace) {
             for (const verify::InputEvent& ev : step.inputs) {
                 if (ev.value.empty())
@@ -861,8 +861,8 @@ TEST(VerifyOptLevel, MonitorViolationReplaysOnUnoptimizedEngines)
     // does; the monitor must emit its violation in the final instant.
     auto design0 = compilePaperAt("buffer", "buffer_top", 0);
     auto monitor0 = compileSrcAt(kSpeakerMonitorSrc, 0);
-    auto dEng = design0->makeEngine();
-    auto mEng = monitor0->makeEngine();
+    auto dEng = design0->makeSyncEngine();
+    auto mEng = monitor0->makeSyncEngine();
     const std::vector<verify::MonitorWire> wires =
         verify::wireMonitor(dEng->moduleSema(), mEng->moduleSema());
     for (const verify::TraceStep& step : res.trace) {
