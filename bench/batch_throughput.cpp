@@ -4,7 +4,11 @@
 //  * sync_loop  — N independent SyncEngines stepped in a loop (the
 //                 pre-batch architecture: one engine + VM per session);
 //  * batch_tT   — one BatchEngine over shared flat tables, SoA arenas and
-//                 T worker threads, for each requested thread count.
+//                 T worker threads, for each requested thread count;
+//  * batch_native_tT — the same batch engine with every reaction running
+//                 the AOT-compiled ecl_native_react (EngineKind::Native);
+//                 recorded only when the native backend really loaded, so
+//                 the baseline gate catches silent VM fallbacks.
 // Every instance receives one byte per instant (phase-shifted through the
 // standard corrupted-packet stream), so the dense section reacts all N
 // instances per step in every mode — the speedup isolates the shared-table
@@ -94,20 +98,26 @@ RunStats runSyncLoop(const CompiledModule& mod, const Workload& w,
 
 RunStats runBatch(const CompiledModule& mod, const Workload& w,
                   std::size_t instances, int threads, int inByteIdx,
-                  int matchIdx)
+                  int matchIdx, EngineKind kind = EngineKind::Flat,
+                  const char** backend = nullptr)
 {
-    auto batch = mod.makeBatchEngine(instances, {.threads = threads});
+    auto batch = mod.makeBatchEngine(instances, {.threads = threads}, kind);
+    if (backend) *backend = batch->backendName();
     RunStats s;
     auto t0 = std::chrono::steady_clock::now();
     s.reactions += batch->step(); // boot (all instances start dirty)
-    for (int t = 0; t < w.steps + w.drainSteps; ++t) {
-        if (t < w.steps)
-            for (std::size_t i = 0; i < instances; ++i)
-                batch->setInputScalar(i, inByteIdx, w.byteFor(i, t));
+    for (int t = 0; t < w.steps; ++t) {
+        for (std::size_t i = 0; i < instances; ++i)
+            batch->setInputScalar(i, inByteIdx, w.byteFor(i, t));
         s.reactions += batch->step();
         for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
             if (ev.signal == matchIdx) ++s.matches;
     }
+    // Input-free drain: one worker-pool epoch for the whole auto-resume
+    // tail instead of drainSteps separate wakeups.
+    s.reactions += batch->stepDrain(w.drainSteps);
+    for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
+        if (ev.signal == matchIdx) ++s.matches;
     auto t1 = std::chrono::steady_clock::now();
     s.seconds = std::chrono::duration<double>(t1 - t0).count();
     return s;
@@ -147,16 +157,20 @@ RunStats runSyncLoopSparse(const CompiledModule& mod, const Workload& w,
 
 RunStats runBatchSparse(const CompiledModule& mod, const Workload& w,
                         std::size_t instances, std::size_t period,
-                        int threads, int inByteIdx, int matchIdx)
+                        int threads, int inByteIdx, int matchIdx,
+                        EngineKind kind = EngineKind::Flat)
 {
-    auto batch = mod.makeBatchEngine(instances, {.threads = threads});
+    auto batch = mod.makeBatchEngine(instances, {.threads = threads}, kind);
     RunStats s;
     auto t0 = std::chrono::steady_clock::now();
     s.reactions += batch->step(); // boot
     for (int t = 0; t < w.steps; ++t) {
-        for (std::size_t i = 0; i < instances; ++i)
-            if (i % period == static_cast<std::size_t>(t) % period)
-                batch->setInputScalar(i, inByteIdx, w.byteFor(i, t));
+        // Event-driven staging: touch only the driven instances (the
+        // point of the dirty list); same set as the naive loop's
+        // i % period == t % period scan.
+        for (std::size_t i = static_cast<std::size_t>(t) % period;
+             i < instances; i += period)
+            batch->setInputScalar(i, inByteIdx, w.byteFor(i, t));
         s.reactions += batch->step();
         for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
             if (ev.signal == matchIdx) ++s.matches;
@@ -275,6 +289,65 @@ int main(int argc, char** argv)
     std::printf("  speedup batch_t%d vs sync_loop (wall clock): %.2fx\n",
                 batchRuns.back().first, speedup);
 
+    // Thread-scaling gate: dense reactions/sec at 4 workers vs 1 (the
+    // regression this bench exists to police). Recorded only when both
+    // thread counts ran, which the CI pin (--threads 4) guarantees.
+    double scalingT4 = 0;
+    {
+        const RunStats* t1 = nullptr;
+        const RunStats* t4 = nullptr;
+        for (const auto& [t, b] : batchRuns) {
+            if (t == 1) t1 = &b;
+            if (t == 4) t4 = &b;
+        }
+        if (t1 && t4 && t1->reactionsPerSec() > 0)
+            scalingT4 = t4->reactionsPerSec() / t1->reactionsPerSec();
+        if (scalingT4 > 0)
+            std::printf("  speedup batch_t4 vs batch_t1: %.2fx\n",
+                        scalingT4);
+    }
+
+    // Native batch: the AOT reaction function on the batch arenas. A
+    // silent VM fallback must not record native-looking numbers — the
+    // baseline carries these metrics, so bench_diff then fails on the
+    // missing metric (same contract as speedup_aot_vs_o2_vm).
+    std::vector<std::pair<int, RunStats>> nativeRuns;
+    const char* nativeBackend = nullptr;
+    {
+        RunStats probe = runBatch(*mod, w, n, 1, inByteIdx, matchIdx,
+                                  EngineKind::Native, &nativeBackend);
+        if (std::strcmp(nativeBackend, "native") == 0) {
+            printRow("batch_native_t1", probe);
+            if (probe.matches != sync.matches) {
+                std::fprintf(stderr, "native checksum mismatch\n");
+                return 1;
+            }
+            nativeRuns.emplace_back(1, probe);
+            if (maxThreads > 1) {
+                RunStats bn = runBatch(*mod, w, n, maxThreads, inByteIdx,
+                                       matchIdx, EngineKind::Native);
+                char name[32];
+                std::snprintf(name, sizeof name, "batch_native_t%d",
+                              maxThreads);
+                printRow(name, bn);
+                if (bn.matches != sync.matches) {
+                    std::fprintf(stderr, "native checksum mismatch\n");
+                    return 1;
+                }
+                nativeRuns.emplace_back(maxThreads, bn);
+            }
+        } else {
+            std::fprintf(stderr,
+                         "note: native backend unavailable (VM fallback) — "
+                         "batch_native_* modes not recorded\n");
+        }
+    }
+    double nativeVsVm = 0;
+    if (!nativeRuns.empty() && best.reactionsPerSec() > 0)
+        nativeVsVm =
+            nativeRuns.back().second.reactionsPerSec() /
+            best.reactionsPerSec();
+
     // Sparse section: ~1% of instances driven per step.
     const std::size_t period = 100;
     std::printf("sparse traffic — 1 instance in %zu driven per instant\n",
@@ -309,6 +382,35 @@ int main(int argc, char** argv)
                      static_cast<unsigned long long>(syncSparse.matches));
         return 1;
     }
+    // Dispatch efficiency: the dirty list only pays off if the cost per
+    // reaction it actually dispatches stays close to the sync loop's
+    // per-reaction cost (>= 0.5 here == the "within 2x" budget).
+    double sparseDispatch = 0;
+    if (batchSparse.nsPerReaction() > 0)
+        sparseDispatch =
+            syncSparse.nsPerReaction() / batchSparse.nsPerReaction();
+    std::printf("  sparse dispatch efficiency vs sync loop: %.2fx\n",
+                sparseDispatch);
+    RunStats batchSparseNative;
+    bool haveSparseNative = false;
+    double sparseDispatchNative = 0;
+    if (!nativeRuns.empty()) {
+        batchSparseNative =
+            runBatchSparse(*mod, w, n, period, maxThreads, inByteIdx,
+                           matchIdx, EngineKind::Native);
+        printRow("batch_sparse_nat", batchSparseNative);
+        if (batchSparseNative.matches != syncSparse.matches) {
+            std::fprintf(stderr, "sparse native checksum mismatch\n");
+            return 1;
+        }
+        haveSparseNative = true;
+        if (batchSparseNative.nsPerReaction() > 0)
+            sparseDispatchNative = syncSparse.nsPerReaction() /
+                                   batchSparseNative.nsPerReaction();
+        std::printf("  sparse native dispatch efficiency vs sync loop: "
+                    "%.2fx\n",
+                    sparseDispatchNative);
+    }
 
     bench::JsonValue modes = bench::JsonValue::obj();
     modes.set("sync_loop", modeJson(sync, instances, 1));
@@ -317,19 +419,35 @@ int main(int argc, char** argv)
         std::snprintf(name, sizeof name, "batch_t%d", t);
         modes.set(name, modeJson(b, instances, t));
     }
+    for (const auto& [t, b] : nativeRuns) {
+        char name[32];
+        std::snprintf(name, sizeof name, "batch_native_t%d", t);
+        modes.set(name, modeJson(b, instances, t));
+    }
     modes.set("sync_loop_sparse",
               sparseModeJson(syncSparse, instances, 1, instanceInstants));
     modes.set("batch_sparse", sparseModeJson(batchSparse, instances,
                                              maxThreads, instanceInstants));
+    if (haveSparseNative)
+        modes.set("batch_sparse_native",
+                  sparseModeJson(batchSparseNative, instances, maxThreads,
+                                 instanceInstants));
 
     bench::JsonValue root = bench::JsonValue::obj();
     bench::setStandardHeader(root, "batch_throughput",
-                             "protocol_stack_toplevel", 2);
+                             "protocol_stack_toplevel", 3);
     root.set("packets", static_cast<double>(packets));
     bench::setScale(root, instances, maxThreads);
     root.set("modes", std::move(modes))
         .set("speedup_batch_vs_sync_loop", speedup)
-        .set("speedup_sparse_batch_vs_sync_loop", sparseSpeedup);
+        .set("speedup_sparse_batch_vs_sync_loop", sparseSpeedup)
+        .set("speedup_sparse_dispatch_vs_sync_loop", sparseDispatch);
+    if (scalingT4 > 0) root.set("speedup_batch_t4_vs_t1", scalingT4);
+    if (nativeVsVm > 0)
+        root.set("speedup_batch_native_vs_vm", nativeVsVm);
+    if (sparseDispatchNative > 0)
+        root.set("speedup_sparse_native_dispatch_vs_sync_loop",
+                 sparseDispatchNative);
     bench::writeBenchJson("batch_throughput", root);
     return 0;
 }

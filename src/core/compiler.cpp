@@ -116,14 +116,31 @@ CompiledModule::makeEngine(EngineKind kind) const
 
 std::unique_ptr<rt::BatchEngine>
 CompiledModule::makeBatchEngine(std::size_t instances,
-                                rt::BatchOptions options) const
+                                rt::BatchOptions options,
+                                EngineKind kind) const
 {
     if (!hasFlatProgram())
         throw EclError("makeBatchEngine: module '" + flat_->name +
                        "' has no flat program (compiled with flatten=false "
                        "or flattening was disabled by a note)");
+    if (kind == EngineKind::TreeWalk)
+        throw EclError("makeBatchEngine: the batch runtime is arena-based; "
+                       "EngineKind::TreeWalk has no batch backend");
+    std::shared_ptr<const rt::NativeModule> native;
+    if (kind == EngineKind::Native) {
+        try {
+            native = nativeModule();
+            rt::validateNativeShape(native->info(), *sema_, *flatProgram_,
+                                    rt::computeInstanceLayout(*sema_));
+        } catch (const EclError&) {
+            // Native backend unavailable: run the same semantics on the
+            // VM (makeEngine's fallback contract; backendName() tells).
+            native.reset();
+        }
+    }
     auto engine = std::make_unique<rt::BatchEngine>(
-        *flatProgram_, byteCode_, *sema_, instances, options);
+        *flatProgram_, byteCode_, *sema_, instances, options,
+        std::move(native));
     if (auto self = weak_from_this().lock()) engine->retain(self);
     return engine;
 }

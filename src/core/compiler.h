@@ -159,9 +159,14 @@ public:
     /// this module over the shared flat tables + bytecode (see
     /// src/runtime/batch_engine.h). Requires hasFlatProgram(); throws
     /// EclError when the flat representation was not built.
+    /// EngineKind::Native makes every batch worker call the AOT-compiled
+    /// reaction function on the shared arenas, with the same silent
+    /// fall-back-to-VM policy as makeEngine (check backendName());
+    /// EngineKind::TreeWalk is rejected — the batch runtime is
+    /// arena-based by construction.
     [[nodiscard]] std::unique_ptr<rt::BatchEngine>
-    makeBatchEngine(std::size_t instances,
-                    rt::BatchOptions options = {}) const;
+    makeBatchEngine(std::size_t instances, rt::BatchOptions options = {},
+                    EngineKind kind = EngineKind::Flat) const;
 
     /// Creates an explicit-state verification explorer over this module's
     /// shared flat tables + bytecode (see src/verify/explorer.h).

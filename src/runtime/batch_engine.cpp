@@ -5,6 +5,17 @@
 
 namespace ecl::rt {
 
+namespace {
+
+/// Minimum reactions per participating worker: below this, waking a
+/// helper (futex + cache handoff) costs more than reacting the
+/// instances on the caller. Sized so a sparse step with a handful of
+/// dirty instances runs caller-only while CI's dense workload (1000
+/// instances / 4 threads) still uses every worker.
+constexpr std::size_t kMinShardGrain = 128;
+
+} // namespace
+
 // ---------------------------------------------------------------------------
 // Shard: per-worker scratch context
 // ---------------------------------------------------------------------------
@@ -12,9 +23,10 @@ namespace ecl::rt {
 BatchEngine::Shard::Shard(std::shared_ptr<const bc::Program> code,
                           const ModuleSema& sema,
                           const InstanceLayout& layout,
-                          std::uint8_t* scratchBase)
+                          std::uint8_t* scratchBase,
+                          std::size_t emitRingSlots)
     : vm(std::move(code)), store(sema.vars, scratchBase, layout.varOffsets),
-      sigs(sema, layout, scratchBase)
+      sigs(sema, layout, scratchBase), emitRing(emitRingSlots, 0)
 {
 }
 
@@ -25,8 +37,10 @@ BatchEngine::Shard::Shard(std::shared_ptr<const bc::Program> code,
 BatchEngine::BatchEngine(const efsm::FlatProgram& flat,
                          std::shared_ptr<const bc::Program> code,
                          const ModuleSema& sema, std::size_t instances,
-                         BatchOptions options)
-    : flat_(flat), code_(std::move(code)), sema_(sema)
+                         BatchOptions options,
+                         std::shared_ptr<const NativeModule> native)
+    : flat_(flat), code_(std::move(code)), sema_(sema),
+      native_(std::move(native))
 {
     if (!code_)
         throw EclError("BatchEngine requires the compiled bytecode program");
@@ -37,11 +51,18 @@ BatchEngine::BatchEngine(const efsm::FlatProgram& flat,
     layout_ = computeInstanceLayout(sema_);
     scratchSlice_.assign(layout_.stride, 0);
 
+    std::size_t emitRingSlots = 1;
+    if (native_) {
+        validateNativeShape(native_->info(), sema_, flat_, layout_);
+        nativeReact_ = native_->react();
+        emitRingSlots = std::max<std::size_t>(native_->info().max_emits, 1);
+    }
+
     const int t = std::max(1, options.threads);
     shards_.reserve(static_cast<std::size_t>(t));
     for (int w = 0; w < t; ++w)
-        shards_.push_back(std::make_unique<Shard>(code_, sema_, layout_,
-                                                  scratchSlice_.data()));
+        shards_.push_back(std::make_unique<Shard>(
+            code_, sema_, layout_, scratchSlice_.data(), emitRingSlots));
     ranges_.resize(static_cast<std::size_t>(t));
     pool_ = std::make_unique<WorkerPool>(t, [this](int w) { runShard(w); });
 
@@ -156,8 +177,6 @@ void BatchEngine::reactOne(Shard& shard, std::size_t inst)
     const std::size_t S = sema_.signals.size();
     std::uint8_t* base = slice(inst);
     std::uint8_t* present = presentRow(inst);
-    shard.store.rebindAll(base, layout_.varOffsets);
-    shard.sigs.bind(base);
 
     if (!instantOpen_[inst] && S != 0) std::memset(present, 0, S);
     instantOpen_[inst] = 0;
@@ -171,57 +190,89 @@ void BatchEngine::reactOne(Shard& shard, std::size_t inst)
     result.actionsRun = 0;
     result.emitsRun = 0;
     result.dataCounters.reset();
-    shard.vm.resetCounters();
-    shard.vm.resetOpWindow();
+    ++shard.reactions;
 
-    // The walk mirrors SyncEngine::reactFlat exactly (outputs, state
-    // update, termination, counters) so the differential tests can demand
-    // bit-equality.
-    const efsm::FlatNode* nodes = flat_.nodes.data();
-    const efsm::FlatAction* actions = flat_.actions.data();
-    auto runActions = [&](const efsm::FlatNode& node) {
-        for (std::int32_t i = node.actionsBegin; i < node.actionsEnd; ++i) {
-            const efsm::FlatAction& a = actions[i];
-            ++result.actionsRun;
-            if (a.kind == efsm::FlatAction::Kind::Emit) {
-                ++result.emitsRun;
-                if (a.chunk >= 0) {
-                    Value v =
-                        shard.vm.runExpr(a.chunk, shard.store, shard.sigs);
-                    storeSignalValue(
-                        inst,
-                        sema_.signals[static_cast<std::size_t>(a.signal)],
-                        v);
-                } else {
-                    present[a.signal] = 1;
+    if (nativeReact_) {
+        // AOT path: the generated ecl_native_react runs directly on this
+        // instance's arena slice and presence row. Fuel reseeds per
+        // reaction, mirroring the VM path's resetOpWindow() below;
+        // dataCounters stay zero exactly like NativeEngine::react().
+        EclNativeCtx ctx{};
+        ctx.data = base;
+        ctx.present = present;
+        ctx.emitted = shard.emitRing.data();
+        ctx.state = state_[inst];
+        ctx.depth = 1; // Module chunks run at the VM's depth 1.
+        ctx.fuel = kNativeReactFuel;
+        const int rc = nativeReact_(&ctx);
+        if (rc != 0)
+            throw EclError(ctx.error ? ctx.error
+                                     : "native reaction failed without a "
+                                       "message");
+        state_[inst] = ctx.state;
+        result.emittedOutputs.assign(
+            shard.emitRing.begin(),
+            shard.emitRing.begin() + ctx.emitted_count);
+        result.terminated = ctx.terminated != 0;
+        result.treeTests = ctx.tree_tests;
+        result.actionsRun = ctx.actions_run;
+        result.emitsRun = ctx.emits_run;
+    } else {
+        shard.store.rebindAll(base, layout_.varOffsets);
+        shard.sigs.bind(base);
+        shard.vm.resetCounters();
+        shard.vm.resetOpWindow();
+
+        // The walk mirrors SyncEngine::reactFlat exactly (outputs, state
+        // update, termination, counters) so the differential tests can
+        // demand bit-equality.
+        const efsm::FlatNode* nodes = flat_.nodes.data();
+        const efsm::FlatAction* actions = flat_.actions.data();
+        auto runActions = [&](const efsm::FlatNode& node) {
+            for (std::int32_t i = node.actionsBegin; i < node.actionsEnd;
+                 ++i) {
+                const efsm::FlatAction& a = actions[i];
+                ++result.actionsRun;
+                if (a.kind == efsm::FlatAction::Kind::Emit) {
+                    ++result.emitsRun;
+                    if (a.chunk >= 0) {
+                        Value v = shard.vm.runExpr(a.chunk, shard.store,
+                                                   shard.sigs);
+                        storeSignalValue(
+                            inst,
+                            sema_.signals[static_cast<std::size_t>(a.signal)],
+                            v);
+                    } else {
+                        present[a.signal] = 1;
+                    }
+                    if (a.isOutput) result.emittedOutputs.push_back(a.signal);
+                } else if (a.chunk >= 0) {
+                    shard.vm.runAction(a.chunk, shard.store, shard.sigs);
                 }
-                if (a.isOutput) result.emittedOutputs.push_back(a.signal);
-            } else if (a.chunk >= 0) {
-                shard.vm.runAction(a.chunk, shard.store, shard.sigs);
             }
-        }
-    };
+        };
 
-    const efsm::FlatNode* node =
-        &nodes[flat_.states[static_cast<std::size_t>(state_[inst])].root];
-    while (!node->isLeaf()) {
+        const efsm::FlatNode* node =
+            &nodes[flat_.states[static_cast<std::size_t>(state_[inst])].root];
+        while (!node->isLeaf()) {
+            runActions(*node);
+            ++result.treeTests;
+            bool taken = node->testSignal >= 0
+                             ? present[node->testSignal] != 0
+                             : shard.vm.runPredicate(node->predChunk,
+                                                     shard.store, shard.sigs);
+            node = &nodes[taken ? node->onTrue : node->onFalse];
+        }
+        if (node->runtimeError())
+            throw EclError("instantaneous loop detected at runtime (a "
+                           "statically-unverifiable loop path was reached)");
         runActions(*node);
-        ++result.treeTests;
-        bool taken = node->testSignal >= 0
-                         ? present[node->testSignal] != 0
-                         : shard.vm.runPredicate(node->predChunk,
-                                                 shard.store, shard.sigs);
-        node = &nodes[taken ? node->onTrue : node->onFalse];
+        state_[inst] = node->nextState;
+        result.terminated =
+            node->terminates() ||
+            flat_.states[static_cast<std::size_t>(node->nextState)].dead;
+        result.dataCounters = shard.vm.counters();
     }
-    if (node->runtimeError())
-        throw EclError("instantaneous loop detected at runtime (a "
-                       "statically-unverifiable loop path was reached)");
-    runActions(*node);
-    state_[inst] = node->nextState;
-    result.terminated =
-        node->terminates() ||
-        flat_.states[static_cast<std::size_t>(node->nextState)].dead;
-    result.dataCounters = shard.vm.counters();
 
     if (S != 0)
         std::memcpy(lastPresent_.data() + inst * S, present, S);
@@ -235,14 +286,49 @@ void BatchEngine::runShard(int w)
     Shard& s = *shards_[static_cast<std::size_t>(w)];
     const auto [begin, end] = ranges_[static_cast<std::size_t>(w)];
     try {
-        for (std::size_t i = begin; i < end; ++i) reactOne(s, work_[i]);
+        // Sub-step 0: the shard's contiguous slice of work_. When the
+        // epoch drains more than one step, collect the auto-resume
+        // survivors (ascending, since the slice is) for re-reaction
+        // without another pool wakeup.
+        s.active.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t inst = work_[i];
+            reactOne(s, inst);
+            if (drainSteps_ > 1 &&
+                flat_.states[static_cast<std::size_t>(state_[inst])]
+                    .autoResume)
+                s.active.push_back(inst);
+        }
+        s.substepEnds.push_back(static_cast<std::uint32_t>(s.events.size()));
+        for (int sub = 1; sub < drainSteps_; ++sub) {
+            // Pad the boundary even when this shard has nothing left so
+            // the merged stream stays sub-step aligned across shards.
+            s.nextActive.clear();
+            for (const std::uint32_t inst : s.active) {
+                reactOne(s, inst);
+                if (flat_.states[static_cast<std::size_t>(state_[inst])]
+                        .autoResume)
+                    s.nextActive.push_back(inst);
+            }
+            s.active.swap(s.nextActive);
+            s.substepEnds.push_back(
+                static_cast<std::uint32_t>(s.events.size()));
+        }
     } catch (...) {
         s.error = std::current_exception();
     }
 }
 
-std::size_t BatchEngine::runStep(bool all)
+std::size_t BatchEngine::runStep(bool all, int drainSteps)
 {
+    // Clear the reacted flags of exactly the instances the previous step
+    // (and any reactInstance calls since) touched. The sparse path must
+    // never pay an O(instances) fill for a handful of dirty instances —
+    // that fill alone dominated the old per-dispatched-reaction cost.
+    for (const std::uint32_t inst : work_) reacted_[inst] = 0;
+    for (const std::uint32_t inst : extraReacted_) reacted_[inst] = 0;
+    extraReacted_.clear();
+
     work_.clear();
     if (all) {
         work_.reserve(state_.size());
@@ -259,40 +345,95 @@ std::size_t BatchEngine::runStep(bool all)
         dirtyList_.clear();
         std::sort(work_.begin(), work_.end());
     }
-    std::fill(reacted_.begin(), reacted_.end(), 0);
     stepEvents_.clear();
+    eventsMerged_ = true;
+    participants_ = 0;
+    drainSteps_ = drainSteps;
     if (work_.empty()) return 0;
 
-    const std::size_t T = shards_.size();
-    for (const std::unique_ptr<Shard>& s : shards_) {
-        s->events.clear();
-        s->error = nullptr;
+    // Small epochs run on fewer workers (down to the caller alone):
+    // below kMinShardGrain reactions per worker the wakeup costs more
+    // than the work, and the contiguous partition keeps the merged
+    // event order identical however many participate.
+    std::size_t parts = work_.size() / kMinShardGrain;
+    if (parts < 1) parts = 1;
+    if (parts > shards_.size()) parts = shards_.size();
+    for (std::size_t w = 0; w < parts; ++w) {
+        Shard& s = *shards_[w];
+        s.events.clear();
+        s.substepEnds.clear();
+        s.reactions = 0;
+        s.error = nullptr;
     }
-    const std::size_t chunk = (work_.size() + T - 1) / T;
-    for (std::size_t w = 0; w < T; ++w) {
+    const std::size_t chunk = (work_.size() + parts - 1) / parts;
+    for (std::size_t w = 0; w < parts; ++w) {
         const std::size_t b = std::min(work_.size(), w * chunk);
         ranges_[w] = {b, std::min(work_.size(), b + chunk)};
     }
+    participants_ = parts;
+    eventsMerged_ = false;
 
-    pool_->run();
+    pool_->run(static_cast<int>(parts));
 
-    for (const std::unique_ptr<Shard>& s : shards_)
-        if (s->error) std::rethrow_exception(s->error);
-    for (const std::unique_ptr<Shard>& s : shards_)
-        stepEvents_.insert(stepEvents_.end(), s->events.begin(),
-                           s->events.end());
+    std::size_t reactions = 0;
+    for (std::size_t w = 0; w < parts; ++w) {
+        if (shards_[w]->error) std::rethrow_exception(shards_[w]->error);
+        reactions += shards_[w]->reactions;
+    }
 
     // Delta pauses keep instances scheduled without new events (the same
-    // rule rtos::Network applies to its tasks).
+    // rule rtos::Network applies to its tasks). For a drain epoch the
+    // final state decides: survivors the sub-step budget cut off resume
+    // next step, chains that settled do not.
     for (std::uint32_t inst : work_)
         if (flat_.states[static_cast<std::size_t>(state_[inst])].autoResume)
             markDirty(inst);
-    return work_.size();
+    return reactions;
 }
 
-std::size_t BatchEngine::step() { return runStep(/*all=*/false); }
+void BatchEngine::mergeStepEvents() const
+{
+    if (eventsMerged_) return;
+    eventsMerged_ = true;
+    stepEvents_.clear();
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < participants_; ++w)
+        total += shards_[w]->events.size();
+    stepEvents_.reserve(total);
+    // Sub-step major, shard minor: each shard's [prev, end) slice holds
+    // that sub-step's events in ascending instance order, and the shard
+    // ranges partition work_ contiguously — so the concatenation equals
+    // the event stream of the equivalent sequential step() loop. The
+    // bounds fall back to events.size() so a shard that faulted mid-epoch
+    // (short substepEnds) still merges what it produced.
+    for (int sub = 0; sub < drainSteps_; ++sub) {
+        for (std::size_t w = 0; w < participants_; ++w) {
+            const Shard& s = *shards_[w];
+            const std::size_t e =
+                static_cast<std::size_t>(sub) < s.substepEnds.size()
+                    ? s.substepEnds[static_cast<std::size_t>(sub)]
+                    : s.events.size();
+            std::size_t b = 0;
+            if (sub > 0)
+                b = static_cast<std::size_t>(sub - 1) < s.substepEnds.size()
+                        ? s.substepEnds[static_cast<std::size_t>(sub - 1)]
+                        : s.events.size();
+            if (b > e) b = e;
+            stepEvents_.insert(stepEvents_.end(), s.events.begin() + b,
+                               s.events.begin() + e);
+        }
+    }
+}
 
-std::size_t BatchEngine::stepAll() { return runStep(/*all=*/true); }
+std::size_t BatchEngine::step() { return runStep(/*all=*/false, 1); }
+
+std::size_t BatchEngine::stepAll() { return runStep(/*all=*/true, 1); }
+
+std::size_t BatchEngine::stepDrain(int maxSteps)
+{
+    if (maxSteps < 1) return 0;
+    return runStep(/*all=*/false, maxSteps);
+}
 
 const ReactionResult& BatchEngine::reactInstance(std::size_t inst)
 {
@@ -309,9 +450,16 @@ const ReactionResult& BatchEngine::reactInstance(std::size_t inst)
             dirtyList_.pop_back();
         }
     }
+    // The last step's events merge lazily from the shard buffers; force
+    // the merge before this reaction clobbers shard 0's buffer.
+    mergeStepEvents();
     // Step-scoped event accumulation is meaningless here; clear so the
     // shard buffer stays bounded by one reaction's emissions.
     shards_[0]->events.clear();
+    // Queue the reacted flag for the next step's incremental clear (at
+    // most once per instance — the flag gates the push).
+    if (!reacted_[inst])
+        extraReacted_.push_back(static_cast<std::uint32_t>(inst));
     reactOne(*shards_[0], inst);
     if (flat_.states[static_cast<std::size_t>(state_[inst])].autoResume)
         markDirty(inst);

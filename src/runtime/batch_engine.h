@@ -18,20 +18,41 @@
 // every instance the worker serves, so a reaction still runs without heap
 // allocation no matter how many instances exist.
 //
+// Two execution backends run over the same arenas. The default reacts
+// each instance through the reentrant bytecode VM. When constructed with
+// a loaded rt::NativeModule (CompiledModule::makeBatchEngine with
+// EngineKind::Native), every reaction instead calls the AOT-compiled
+// `ecl_native_react` — the generated C operates on the exact
+// computeInstanceLayout arena bytes, so the instance slice is passed
+// straight through an EclNativeCtx with no marshalling. Both backends
+// are bit-exact per reacted instance with the corresponding single
+// engine (SyncEngine / NativeEngine): outputs, packed state, termination,
+// auto-resume and counters (the native backend reports the ctx counters
+// and zero VM dataCounters, exactly like NativeEngine::react). The
+// native fuel window resets per reaction, mirroring the VM backend's
+// per-reaction resetOpWindow().
+//
 // Scheduling is dirty-list driven: step() reacts only instances that have
 // pending inputs or auto-resume (an await() delta pause), the same
 // event-driven contract as rtos::Network tasks. stepAll() reacts every
 // instance — exact lockstep with N independent SyncEngines, including
-// empty-instant reactions. Both are bit-exact with SyncEngine per reacted
-// instance: outputs, termination, auto-resume and ExecCounters
-// (tests/test_properties.cpp proves it differentially).
+// empty-instant reactions. stepDrain(k) runs up to k consecutive
+// input-free steps inside ONE worker-pool epoch (auto-resume chains
+// drain without per-step wakeups); it is output- and state-equivalent to
+// k step() calls with no input staging in between, except that
+// reactedLastStep() reports "reacted in ANY drained sub-step".
 //
 // With BatchOptions::threads > 1 the reacting instances are partitioned
 // into contiguous shards over a persistent worker pool. Instances are
 // independent (no instant-level communication), every worker writes only
 // its instances' rows, and the merged per-step output events are
 // concatenated in shard order — so results and event order are identical
-// for any thread count.
+// for any thread count. Steps whose work list is small run on fewer
+// workers (down to the caller alone): waking a helper costs more than a
+// handful of reactions, and the contiguous partition keeps the merged
+// order identical regardless of how many workers participate. The merge
+// itself is lazy — step() returns without touching the event buffers,
+// and lastStepEvents() concatenates on first use.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +64,7 @@
 #include "src/interp/vm.h"
 #include "src/runtime/engine.h"
 #include "src/runtime/instance_layout.h"
+#include "src/runtime/native_module.h"
 #include "src/runtime/worker_pool.h"
 #include "src/sema/sema.h"
 
@@ -57,11 +79,16 @@ class BatchEngine {
 public:
     /// `flat`, `sema` and the structures behind `code` must outlive the
     /// engine (retain() the CompiledModule). Starts with `instances`
-    /// slots, all marked dirty so the first step() boots them.
+    /// slots, all marked dirty so the first step() boots them. When
+    /// `native` is non-null its reaction function replaces the VM for
+    /// every reaction (the caller — normally makeBatchEngine — is
+    /// responsible for the fall-back-to-VM policy); the module shape is
+    /// validated against `flat` and the instance layout.
     BatchEngine(const efsm::FlatProgram& flat,
                 std::shared_ptr<const bc::Program> code,
                 const ModuleSema& sema, std::size_t instances,
-                BatchOptions options = {});
+                BatchOptions options = {},
+                std::shared_ptr<const NativeModule> native = nullptr);
 
     BatchEngine(const BatchEngine&) = delete;
     BatchEngine& operator=(const BatchEngine&) = delete;
@@ -86,6 +113,13 @@ public:
     std::size_t step();
     /// Reacts every instance (lockstep with N independent SyncEngines).
     std::size_t stepAll();
+    /// Up to `maxSteps` consecutive input-free step()s amortized into one
+    /// worker-pool epoch: sub-step 0 reacts the dirty set, later
+    /// sub-steps only the auto-resume survivors, stopping early when no
+    /// instance resumes. Returns total reactions across all sub-steps;
+    /// lastStepEvents() is the concatenation of the per-sub-step merges
+    /// (identical to the step()-loop event stream for any thread count).
+    std::size_t stepDrain(int maxSteps);
     /// Immediate single-instance reaction on the calling thread (the
     /// rtos::Network batch backing); clears the instance's dirty mark.
     const ReactionResult& reactInstance(std::size_t inst);
@@ -104,15 +138,17 @@ public:
     /// inputs, auto-resume, or not yet booted).
     [[nodiscard]] bool pendingDirty(std::size_t inst) const;
 
-    /// One output emission of the last step()/stepAll().
+    /// One output emission of the last step()/stepAll()/stepDrain().
     struct StepEvent {
         std::uint32_t instance;
         std::int32_t signal;
     };
     /// Merged outputs of the last step, ascending instance id, per-instance
-    /// emission order preserved; identical for any thread count.
+    /// emission order preserved; identical for any thread count. Merged
+    /// lazily from the per-worker buffers on first call after a step.
     [[nodiscard]] const std::vector<StepEvent>& lastStepEvents() const
     {
+        mergeStepEvents();
         return stepEvents_;
     }
 
@@ -128,6 +164,12 @@ public:
     {
         return static_cast<int>(shards_.size());
     }
+    /// "native" when reactions run the AOT-compiled function, else
+    /// "flat" (the bytecode VM) — the same names the single engines use.
+    [[nodiscard]] const char* backendName() const
+    {
+        return native_ ? "native" : "flat";
+    }
     /// Arena stride: variables + valued-signal bytes per instance, padded
     /// to a 64-byte boundary (memory model / capacity planning).
     [[nodiscard]] std::size_t bytesPerInstance() const
@@ -142,12 +184,18 @@ private:
         bc::Vm vm;
         Store store;        ///< View store, rebased per instance.
         ArenaSigView sigs;  ///< View signal reader, rebased per instance.
-        std::vector<StepEvent> events; ///< This step, processing order.
+        std::vector<std::int32_t> emitRing; ///< Native output ring.
+        std::vector<StepEvent> events; ///< This epoch, processing order.
+        /// Event count at each sub-step boundary (stepDrain merge keys).
+        std::vector<std::uint32_t> substepEnds;
+        std::vector<std::uint32_t> active;     ///< Drain survivors.
+        std::vector<std::uint32_t> nextActive; ///< Drain scratch.
+        std::size_t reactions = 0; ///< Reactions run this epoch.
         std::exception_ptr error;
 
         Shard(std::shared_ptr<const bc::Program> code,
               const ModuleSema& sema, const InstanceLayout& layout,
-              std::uint8_t* scratchBase);
+              std::uint8_t* scratchBase, std::size_t emitRingSlots);
     };
 
     void checkInstance(std::size_t inst) const;
@@ -166,13 +214,17 @@ private:
     void storeSignalValue(std::size_t inst, const SignalInfo& info,
                           const Value& v);
     void reactOne(Shard& shard, std::size_t inst);
-    std::size_t runStep(bool all);
+    std::size_t runStep(bool all, int drainSteps);
     void runShard(int w);
+    void mergeStepEvents() const;
 
     const efsm::FlatProgram& flat_;
     std::shared_ptr<const bc::Program> code_;
     const ModuleSema& sema_;
     std::shared_ptr<const void> owner_;
+    /// AOT backend; null = bytecode VM.
+    std::shared_ptr<const NativeModule> native_;
+    EclNativeReactFn nativeReact_ = nullptr;
 
     /// Shared fixed layout of one instance's arena slice (the same layout
     /// the verification explorer packs states with — see
@@ -195,15 +247,23 @@ private:
     std::vector<std::uint32_t> dirtyList_; ///< Marked instances (may hold
                                            ///< stale entries; dirty_ rules).
     std::vector<std::uint32_t> work_;      ///< This step, sorted ascending.
-    std::vector<StepEvent> stepEvents_;
+    /// reactInstance() ids whose reacted_ flag the next step must clear
+    /// (step-reacted ids are cleared via the previous work_ list — the
+    /// sparse path must not pay an O(instances) fill per step).
+    std::vector<std::uint32_t> extraReacted_;
+    /// Lazily merged event stream of the last step (mergeStepEvents).
+    mutable std::vector<StepEvent> stepEvents_;
+    mutable bool eventsMerged_ = true;
 
     // Worker pool (threads > 1): one epoch per step, contiguous ranges
     // over work_ per shard. All per-instance rows a worker touches are
     // disjoint byte ranges, so the only synchronization is the pool's
-    // step handshake.
+    // epoch barrier.
     std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::pair<std::size_t, std::size_t>> ranges_;
     std::unique_ptr<WorkerPool> pool_;
+    std::size_t participants_ = 1; ///< Shards used by the last epoch.
+    int drainSteps_ = 1;           ///< Sub-step budget of the epoch.
 };
 
 } // namespace ecl::rt

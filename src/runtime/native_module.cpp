@@ -19,10 +19,6 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Same lifetime budget as bc::Vm's op budget; the native path only
-/// spends it on backward branches (see c_gen.h on the approximation).
-constexpr std::int64_t kNativeFuel = 500'000'000;
-
 std::string hex16(std::uint64_t v)
 {
     static const char* digits = "0123456789abcdef";
@@ -166,6 +162,20 @@ NativeModule::~NativeModule()
     if (handle_) ::dlclose(handle_);
 }
 
+void validateNativeShape(const EclNativeInfo& info, const ModuleSema& sema,
+                         const efsm::FlatProgram& flat,
+                         const InstanceLayout& layout)
+{
+    if (info.data_bytes != layout.dataBytes ||
+        info.signals != sema.signals.size() ||
+        info.states != flat.states.size() ||
+        info.initial_state != flat.initialState)
+        throw EclError(std::string("native backend: module '") +
+                       (info.module_name ? info.module_name : "?") +
+                       "' shape does not match this compile (stale cache "
+                       "or wrong flat tables)");
+}
+
 // ---------------------------------------------------------------------------
 // NativeEngine
 // ---------------------------------------------------------------------------
@@ -174,17 +184,10 @@ NativeEngine::NativeEngine(const ModuleSema& sema,
                            const efsm::FlatProgram& flat,
                            std::shared_ptr<const NativeModule> module)
     : sema_(sema), flat_(flat), module_(std::move(module)),
-      layout_(computeInstanceLayout(sema)), fuel_(kNativeFuel)
+      layout_(computeInstanceLayout(sema)), fuel_(kNativeReactFuel)
 {
     const EclNativeInfo& info = module_->info();
-    if (info.data_bytes != layout_.dataBytes ||
-        info.signals != sema_.signals.size() ||
-        info.states != flat_.states.size() ||
-        info.initial_state != flat_.initialState)
-        throw EclError(std::string("native backend: module '") +
-                       (info.module_name ? info.module_name : "?") +
-                       "' shape does not match this compile (stale cache "
-                       "or wrong flat tables)");
+    validateNativeShape(info, sema_, flat_, layout_);
     arena_.assign(std::max<std::size_t>(layout_.dataBytes, 1), 0);
     present_.assign(sema_.signals.size(), 0);
     lastPresent_.assign(sema_.signals.size(), 0);

@@ -64,6 +64,22 @@ private:
     std::string compiler_;
 };
 
+/// Backward-branch budget a fresh reaction starts from — the native
+/// analogue of bc::Vm's op budget (see c_gen.h on the approximation).
+/// NativeEngine spends it across the engine's lifetime exactly like the
+/// VM's lifetime op budget; BatchEngine reseeds it per reaction,
+/// mirroring the batch VM path's per-reaction resetOpWindow().
+inline constexpr std::int64_t kNativeReactFuel = 500'000'000;
+
+/// Validates a loaded module's shape record against the host tables it
+/// is about to run over (data layout, signal/state counts, initial
+/// state); throws EclError on any mismatch (stale cache, wrong flat
+/// tables). Shared by NativeEngine, BatchEngine and makeBatchEngine so
+/// every native entry point rejects a mismatched module the same way.
+void validateNativeShape(const EclNativeInfo& info, const ModuleSema& sema,
+                         const efsm::FlatProgram& flat,
+                         const InstanceLayout& layout);
+
 class NativeEngine final : public ReactiveEngine {
 public:
     /// The flat tables must be the ones the module was generated from

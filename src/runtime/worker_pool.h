@@ -1,20 +1,31 @@
-// Persistent epoch-handshake worker pool, shared by the batch runtime
+// Persistent spin-then-park worker pool, shared by the batch runtime
 // (src/runtime/batch_engine.cpp) and the verification explorer
 // (src/verify/explorer.cpp).
 //
-// `threads - 1` helper threads park on a condition variable; run() bumps
-// an epoch, wakes them, executes worker 0's share on the caller and
-// returns once every helper has finished — one synchronization round
-// trip per epoch, no work queue. Callers pre-stage each worker's input
-// (e.g. a contiguous range) in their own state before run() and harvest
-// results after; the callback must not throw (capture failures into an
-// exception_ptr and rethrow after run(), as both users do).
+// `threads - 1` helper threads each watch their own cache-line-padded
+// atomic epoch slot; run() bumps the slots of the helpers it wants this
+// epoch, executes worker 0's share on the caller, and returns once the
+// shared pending counter drains to zero. Both sides spin briefly before
+// parking on a C++20 atomic wait (a futex on Linux), so back-to-back
+// epochs — the batch runtime's step loop — never pay a mutex/condvar
+// round trip, while idle pools still sleep. When the pool has more
+// threads than the machine has cores the spin is skipped entirely:
+// spinning would only steal the timeslice the working thread needs.
+//
+// run(participants) wakes only the first `participants - 1` helpers —
+// small epochs (a sparse batch step with a handful of dirty instances)
+// must not pay threads-1 wakeups for work one core finishes faster.
+// Callers pre-stage each worker's input (e.g. a contiguous range) in
+// their own state before run() and harvest results after; the callback
+// must not throw (capture failures into an exception_ptr and rethrow
+// after run(), as both users do). Amortizing several engine steps into
+// one epoch is likewise the caller's job — see BatchEngine::stepDrain().
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -23,21 +34,30 @@ namespace ecl::rt {
 class WorkerPool {
 public:
     /// Spawns `threads - 1` helpers. work(w) runs with w in
-    /// [1, threads) on helpers and w == 0 on the caller inside run().
+    /// [1, participants) on helpers and w == 0 on the caller inside
+    /// run().
     WorkerPool(int threads, std::function<void(int)> work)
         : work_(std::move(work))
     {
+        const int helperCount = threads > 1 ? threads - 1 : 0;
+        slots_ = std::make_unique<Slot[]>(
+            static_cast<std::size_t>(helperCount > 0 ? helperCount : 1));
+        const unsigned hw = std::thread::hardware_concurrency();
+        spinIters_ = (hw == 0 || static_cast<unsigned>(threads) <= hw)
+                         ? kSpinIters
+                         : 1;
+        helpers_.reserve(static_cast<std::size_t>(helperCount));
         for (int w = 1; w < threads; ++w)
             helpers_.emplace_back([this, w] { loop(w); });
     }
 
     ~WorkerPool()
     {
-        {
-            std::lock_guard<std::mutex> lk(mx_);
-            stop_ = true;
+        stop_.store(true, std::memory_order_release);
+        for (std::size_t i = 0; i < helpers_.size(); ++i) {
+            slots_[i].go.fetch_add(1, std::memory_order_release);
+            slots_[i].go.notify_one();
         }
-        cv_.notify_all();
         for (std::thread& t : helpers_) t.join();
     }
 
@@ -49,53 +69,83 @@ public:
         return static_cast<int>(helpers_.size()) + 1;
     }
 
-    /// Runs one epoch: work(0) on the caller, work(w) on every helper;
-    /// returns when all are done.
-    void run()
+    /// Runs one epoch: work(0) on the caller and work(w) for w in
+    /// [1, participants) on helpers; returns when all are done.
+    /// participants <= 0 (the default) means every thread; sleeping
+    /// helpers beyond `participants` are not woken.
+    void run(int participants = 0)
     {
-        if (helpers_.empty()) {
+        const int total = threads();
+        if (participants <= 0 || participants > total) participants = total;
+        const int wake = participants - 1;
+        if (wake == 0) {
             work_(0);
             return;
         }
-        {
-            std::lock_guard<std::mutex> lk(mx_);
-            ++epoch_;
-            running_ = static_cast<int>(helpers_.size());
+        pending_.store(wake, std::memory_order_relaxed);
+        for (int i = 0; i < wake; ++i) {
+            slots_[i].go.fetch_add(1, std::memory_order_release);
+            slots_[i].go.notify_one();
         }
-        cv_.notify_all();
         work_(0);
-        std::unique_lock<std::mutex> lk(mx_);
-        doneCv_.wait(lk, [&] { return running_ == 0; });
+        for (int spins = 0;;) {
+            const int p = pending_.load(std::memory_order_acquire);
+            if (p == 0) break;
+            if (++spins < spinIters_) {
+                cpuRelax();
+                continue;
+            }
+            pending_.wait(p, std::memory_order_acquire);
+        }
     }
 
 private:
+    /// One epoch slot per helper, alone on its cache line so spinning
+    /// helpers never bounce each other's lines.
+    struct alignas(64) Slot {
+        std::atomic<std::uint64_t> go{0};
+    };
+
+    static constexpr int kSpinIters = 1 << 12;
+
+    static void cpuRelax()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield");
+#endif
+    }
+
     void loop(int w)
     {
+        Slot& slot = slots_[static_cast<std::size_t>(w - 1)];
         std::uint64_t seen = 0;
         for (;;) {
-            {
-                std::unique_lock<std::mutex> lk(mx_);
-                cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-                if (stop_) return;
-                seen = epoch_;
+            std::uint64_t e;
+            int spins = 0;
+            while ((e = slot.go.load(std::memory_order_acquire)) == seen) {
+                if (stop_.load(std::memory_order_acquire)) return;
+                if (++spins < spinIters_) {
+                    cpuRelax();
+                    continue;
+                }
+                slot.go.wait(seen, std::memory_order_acquire);
             }
+            if (stop_.load(std::memory_order_acquire)) return;
+            seen = e;
             work_(w);
-            {
-                std::lock_guard<std::mutex> lk(mx_);
-                --running_;
-            }
-            doneCv_.notify_one();
+            if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                pending_.notify_one();
         }
     }
 
     std::function<void(int)> work_;
     std::vector<std::thread> helpers_;
-    std::mutex mx_;
-    std::condition_variable cv_;
-    std::condition_variable doneCv_;
-    std::uint64_t epoch_ = 0;
-    int running_ = 0;
-    bool stop_ = false;
+    std::unique_ptr<Slot[]> slots_;
+    alignas(64) std::atomic<int> pending_{0};
+    std::atomic<bool> stop_{false};
+    int spinIters_ = kSpinIters;
 };
 
 } // namespace ecl::rt

@@ -1,0 +1,423 @@
+// Randomized concurrency/differential stress suite for the batch
+// multi-instance runtime (src/runtime/batch_engine.h).
+//
+// For every (module, backend) pair the suite builds a single-threaded
+// REFERENCE by driving N independent single engines (SyncEngine for the
+// VM backend, NativeEngine for the AOT one) with a seeded mixed
+// sparse/dense stimulus, recording each instant's reacted set, full
+// ReactionResults and the final packed state of every instance. Batch
+// engines at every thread count — including more threads than the
+// machine has cores — must then reproduce the reference bit-exactly:
+// reacted flags, outputs, ExecCounters, the merged step-event stream
+// (ascending instance order, per-instance emission order preserved) and
+// packed final state. A separate determinism pin compares the
+// concatenated event streams across thread counts directly, and a drain
+// test proves stepDrain(k) is output- and state-equivalent to k step()
+// calls. Modules cover the paper designs and full-kernel-grammar
+// generated programs (tests/ecl_program_gen.h).
+//
+// Tests named *Smoke* are the fast subset the ASan CI job runs; the
+// TSan job runs the whole binary.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/paper_sources.h"
+#include "tests/ecl_program_gen.h"
+
+namespace {
+
+using namespace ecl;
+using test::ProgramGen;
+
+// --- module corpus -----------------------------------------------------------
+
+struct ModuleCase {
+    const char* name;   ///< Display/test-parameter name.
+    const char* paper;  ///< "stack"/"buffer", or nullptr for generated.
+    const char* module; ///< Top module (paper sources).
+    unsigned genSeed;   ///< ProgramGen seed when paper == nullptr.
+};
+
+std::shared_ptr<CompiledModule> compileCase(const ModuleCase& mc)
+{
+    if (mc.paper) {
+        Compiler compiler(std::string(mc.paper) == std::string("stack")
+                              ? paper::protocolStackSource()
+                              : paper::audioBufferSource());
+        return compiler.compile(mc.module);
+    }
+    ProgramGen gen(mc.genSeed);
+    Compiler compiler(gen.generate());
+    return compiler.compile("m"); // may throw (causality): caller skips
+}
+
+constexpr ModuleCase kModules[] = {
+    {"stack_toplevel", "stack", "toplevel", 0},
+    {"buffer_top", "buffer", "buffer_top", 0},
+    {"gen5", nullptr, nullptr, 5},
+    {"gen12", nullptr, nullptr, 12},
+};
+
+// --- seeded stimulus ---------------------------------------------------------
+
+/// Mixed sparse/dense population: instance i's traffic class is i % 4 —
+/// dense (every instant), bursty (5 on / 15 off), sparse (1 in 17),
+/// idle (boot only).
+bool classActive(std::size_t i, int t)
+{
+    switch (i % 4) {
+    case 0: return true;
+    case 1: return t % 20 < 5;
+    case 2: return t % 17 == 0;
+    default: return false;
+    }
+}
+
+/// One instant's input draw for one instance, applied to a batch slot
+/// and/or a single engine. The draw sequence depends only on the rng
+/// state, so identical seeds reproduce identical stimuli on every side.
+bool applyInputs(std::mt19937& rng, const ModuleSema& sema,
+                 rt::BatchEngine* batch, std::size_t inst,
+                 rt::ReactiveEngine* single)
+{
+    bool any = false;
+    for (const SignalInfo& s : sema.signals) {
+        if (s.dir != SignalDir::Input) continue;
+        if ((rng() & 3u) != 0) continue; // present 1/4 of draws
+        any = true;
+        if (s.pure) {
+            if (batch) batch->setInput(inst, s.index);
+            if (single) single->setInput(s.index);
+        } else {
+            Value v(s.valueType);
+            for (std::size_t b = 0; b < v.size(); ++b)
+                v.data()[b] = static_cast<std::uint8_t>(rng());
+            if (batch) batch->setInputValue(inst, s.index, v);
+            if (single) single->setInputValue(s.index, std::move(v));
+        }
+    }
+    return any;
+}
+
+unsigned instanceSeed(std::size_t i) // one rng stream per instance
+{
+    return static_cast<unsigned>(7000003 * i + 101);
+}
+
+int instantsFor(int instances)
+{
+    return instances >= 1000 ? 6 : instances >= 64 ? 16 : 40;
+}
+
+// --- reference (N independent single engines) --------------------------------
+
+struct Reference {
+    std::string backend; ///< Resolved backend name ("flat"/"native").
+    /// Per instant: ascending reacted instance ids and their full
+    /// reaction records (parallel arrays). Instant 0 is the boot step.
+    std::vector<std::vector<std::uint32_t>> reacted;
+    std::vector<std::vector<rt::ReactionResult>> results;
+    std::vector<std::vector<std::uint8_t>> finalState;
+};
+
+std::unique_ptr<rt::ReactiveEngine>
+makeSingle(const std::shared_ptr<CompiledModule>& mod, bool native)
+{
+    if (native) return mod->makeEngine(EngineKind::Native);
+    return mod->makeSyncEngine(EngineKind::Flat);
+}
+
+Reference buildReference(const std::shared_ptr<CompiledModule>& mod,
+                         std::size_t n, bool native, int instants)
+{
+    const ModuleSema& sema = mod->moduleSema();
+    Reference ref;
+    std::vector<std::unique_ptr<rt::ReactiveEngine>> engines;
+    std::vector<std::mt19937> rngs;
+    for (std::size_t i = 0; i < n; ++i) {
+        engines.push_back(makeSingle(mod, native));
+        rngs.emplace_back(instanceSeed(i));
+    }
+    ref.backend = engines[0]->backendName();
+
+    for (int t = 0; t <= instants; ++t) {
+        std::vector<std::uint32_t> reacted;
+        std::vector<rt::ReactionResult> results;
+        for (std::size_t i = 0; i < n; ++i) {
+            bool run;
+            if (t == 0) {
+                run = true; // boot: fresh batch instances are all dirty
+            } else {
+                bool resume = engines[i]->needsAutoResume();
+                bool any = classActive(i, t - 1) &&
+                           applyInputs(rngs[i], sema, nullptr, i,
+                                       engines[i].get());
+                run = any || resume;
+            }
+            if (!run) continue;
+            reacted.push_back(static_cast<std::uint32_t>(i));
+            results.push_back(engines[i]->react());
+        }
+        ref.reacted.push_back(std::move(reacted));
+        ref.results.push_back(std::move(results));
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        ref.finalState.push_back(engines[i]->packState());
+    return ref;
+}
+
+// --- batch run + comparison --------------------------------------------------
+
+void expectCountersEqual(const ExecCounters& a, const ExecCounters& b,
+                         const char* where)
+{
+    EXPECT_EQ(a.exprOps, b.exprOps) << where;
+    EXPECT_EQ(a.loads, b.loads) << where;
+    EXPECT_EQ(a.stores, b.stores) << where;
+    EXPECT_EQ(a.branches, b.branches) << where;
+    EXPECT_EQ(a.calls, b.calls) << where;
+    EXPECT_EQ(a.aggBytes, b.aggBytes) << where;
+}
+
+/// Runs the seeded stimulus through a batch engine at `threads` and
+/// asserts bit-exactness against the reference; returns the full
+/// concatenated event stream for cross-thread-count determinism pins.
+std::vector<rt::BatchEngine::StepEvent>
+runAndCompare(const std::shared_ptr<CompiledModule>& mod,
+              const Reference& ref, std::size_t n, int threads, bool native,
+              int instants)
+{
+    const ModuleSema& sema = mod->moduleSema();
+    auto batch = mod->makeBatchEngine(
+        n, {.threads = threads},
+        native ? EngineKind::Native : EngineKind::Flat);
+    EXPECT_EQ(ref.backend, batch->backendName());
+    std::vector<std::mt19937> rngs;
+    for (std::size_t i = 0; i < n; ++i) rngs.emplace_back(instanceSeed(i));
+
+    std::vector<rt::BatchEngine::StepEvent> allEvents;
+    for (int t = 0; t <= instants; ++t) {
+        if (t > 0)
+            for (std::size_t i = 0; i < n; ++i)
+                if (classActive(i, t - 1))
+                    applyInputs(rngs[i], sema, batch.get(), i, nullptr);
+        const std::vector<std::uint32_t>& reacted =
+            ref.reacted[static_cast<std::size_t>(t)];
+        const std::vector<rt::ReactionResult>& results =
+            ref.results[static_cast<std::size_t>(t)];
+        EXPECT_EQ(batch->step(), reacted.size())
+            << "t" << threads << " instant " << t;
+
+        std::size_t cursor = 0; // walks the reference's reacted set
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool expect =
+                cursor < reacted.size() && reacted[cursor] == i;
+            EXPECT_EQ(batch->reactedLastStep(i), expect)
+                << "t" << threads << " inst " << i << " instant " << t;
+            if (!expect) continue;
+            const rt::ReactionResult& ro = results[cursor];
+            const rt::ReactionResult& rb = batch->lastResult(i);
+            EXPECT_EQ(rb.emittedOutputs, ro.emittedOutputs)
+                << "t" << threads << " inst " << i << " instant " << t;
+            EXPECT_EQ(rb.terminated, ro.terminated)
+                << "t" << threads << " inst " << i << " instant " << t;
+            EXPECT_EQ(rb.treeTests, ro.treeTests)
+                << "t" << threads << " inst " << i << " instant " << t;
+            EXPECT_EQ(rb.actionsRun, ro.actionsRun)
+                << "t" << threads << " inst " << i << " instant " << t;
+            EXPECT_EQ(rb.emitsRun, ro.emitsRun)
+                << "t" << threads << " inst " << i << " instant " << t;
+            expectCountersEqual(rb.dataCounters, ro.dataCounters, "batch");
+            ++cursor;
+        }
+        EXPECT_EQ(cursor, reacted.size());
+
+        // Merged event stream: the reference outputs in ascending
+        // instance order, identical for every thread count.
+        const auto& events = batch->lastStepEvents();
+        std::size_t e = 0;
+        for (std::size_t r = 0; r < reacted.size(); ++r)
+            for (int sig : results[r].emittedOutputs) {
+                if (e >= events.size()) {
+                    ADD_FAILURE() << "event stream short: t" << threads
+                                  << " instant " << t;
+                    return allEvents;
+                }
+                EXPECT_EQ(events[e].instance, reacted[r])
+                    << "t" << threads << " instant " << t;
+                EXPECT_EQ(events[e].signal, sig)
+                    << "t" << threads << " instant " << t;
+                ++e;
+            }
+        EXPECT_EQ(e, events.size()) << "t" << threads << " instant " << t;
+        allEvents.insert(allEvents.end(), events.begin(), events.end());
+    }
+
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(batch->packInstanceState(i), ref.finalState[i])
+            << "t" << threads << " inst " << i;
+    return allEvents;
+}
+
+// --- the matrix --------------------------------------------------------------
+
+struct StressCase {
+    ModuleCase mod;
+    bool native;
+};
+
+void PrintTo(const StressCase& c, std::ostream* os)
+{
+    *os << c.mod.name << (c.native ? "/native" : "/vm");
+}
+
+class BatchStressTest : public ::testing::TestWithParam<StressCase> {
+protected:
+    /// Null when the generator produced a rejected program or the flat
+    /// tables were not built — the caller GTEST_SKIPs.
+    std::shared_ptr<CompiledModule> compileOrNull()
+    {
+        std::shared_ptr<CompiledModule> mod;
+        try {
+            mod = compileCase(GetParam().mod);
+        } catch (const EclError&) {
+            return nullptr;
+        }
+        return mod->hasFlatProgram() ? mod : nullptr;
+    }
+
+    /// Full sweep for one instance count: reference once, then every
+    /// thread count (including oversubscribed: 8 > typical CI cores)
+    /// compared to it and to each other (determinism pin).
+    void sweepThreads(const std::shared_ptr<CompiledModule>& mod,
+                      std::size_t n, std::initializer_list<int> threads)
+    {
+        const bool native = GetParam().native;
+        const int instants = instantsFor(static_cast<int>(n));
+        Reference ref = buildReference(mod, n, native, instants);
+        std::vector<rt::BatchEngine::StepEvent> pinned;
+        bool first = true;
+        for (int t : threads) {
+            auto events = runAndCompare(mod, ref, n, t, native, instants);
+            if (first) {
+                pinned = std::move(events);
+                first = false;
+                continue;
+            }
+            // Same seed => byte-identical output ordering at every
+            // thread count.
+            ASSERT_EQ(events.size(), pinned.size()) << "threads " << t;
+            for (std::size_t k = 0; k < events.size(); ++k) {
+                ASSERT_EQ(events[k].instance, pinned[k].instance)
+                    << "threads " << t << " event " << k;
+                ASSERT_EQ(events[k].signal, pinned[k].signal)
+                    << "threads " << t << " event " << k;
+            }
+        }
+    }
+};
+
+TEST_P(BatchStressTest, SmokeSingleInstanceAllThreadCounts)
+{
+    auto mod = compileOrNull();
+    if (!mod) GTEST_SKIP() << "module unavailable (causality-rejected or no flat tables)";
+    sweepThreads(mod, 1, {1, 2, 4, 8});
+}
+
+TEST_P(BatchStressTest, SmokeMidPopulationAllThreadCounts)
+{
+    auto mod = compileOrNull();
+    if (!mod) GTEST_SKIP() << "module unavailable (causality-rejected or no flat tables)";
+    sweepThreads(mod, 64, {1, 2, 4, 8});
+}
+
+TEST_P(BatchStressTest, LargePopulation)
+{
+    auto mod = compileOrNull();
+    if (!mod) GTEST_SKIP() << "module unavailable (causality-rejected or no flat tables)";
+    // 1000 instances crosses the adaptive-participation grain at every
+    // thread count (1000 / 128 ≈ 7 shards wanted), so all workers really
+    // run; instants are few to keep the TSan budget sane.
+    sweepThreads(mod, 1000, {1, 4, 8});
+}
+
+TEST_P(BatchStressTest, StepDrainMatchesStepLoop)
+{
+    // stepDrain(k) (one worker-pool epoch) must be event- and
+    // state-equivalent to k step() calls with no inputs in between —
+    // auto-resume chains drain identically, and the merged stream is
+    // sub-step major in ascending instance order on both sides.
+    auto mod = compileOrNull();
+    if (!mod) GTEST_SKIP() << "module unavailable (causality-rejected or no flat tables)";
+    const bool native = GetParam().native;
+    const ModuleSema& sema = mod->moduleSema();
+    const std::size_t n = 64;
+    const EngineKind kind = native ? EngineKind::Native : EngineKind::Flat;
+
+    for (int threads : {1, 4}) {
+        auto loop = mod->makeBatchEngine(n, {.threads = threads}, kind);
+        auto drain = mod->makeBatchEngine(n, {.threads = threads}, kind);
+        std::vector<std::mt19937> rngA, rngB;
+        for (std::size_t i = 0; i < n; ++i) {
+            rngA.emplace_back(instanceSeed(i));
+            rngB.emplace_back(instanceSeed(i));
+        }
+        loop->step();
+        drain->step();
+        constexpr int kDrain = 4;
+        for (int round = 0; round < 8; ++round) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!classActive(i, round)) continue;
+                applyInputs(rngA[i], sema, loop.get(), i, nullptr);
+                applyInputs(rngB[i], sema, drain.get(), i, nullptr);
+            }
+            std::vector<rt::BatchEngine::StepEvent> loopEvents;
+            std::size_t loopReactions = 0;
+            for (int k = 0; k < kDrain; ++k) {
+                loopReactions += loop->step();
+                const auto& ev = loop->lastStepEvents();
+                loopEvents.insert(loopEvents.end(), ev.begin(), ev.end());
+            }
+            const std::size_t drainReactions = drain->stepDrain(kDrain);
+            const auto& drainEvents = drain->lastStepEvents();
+
+            ASSERT_EQ(drainReactions, loopReactions)
+                << "threads " << threads << " round " << round;
+            ASSERT_EQ(drainEvents.size(), loopEvents.size())
+                << "threads " << threads << " round " << round;
+            for (std::size_t k = 0; k < drainEvents.size(); ++k) {
+                ASSERT_EQ(drainEvents[k].instance, loopEvents[k].instance)
+                    << "threads " << threads << " round " << round
+                    << " event " << k;
+                ASSERT_EQ(drainEvents[k].signal, loopEvents[k].signal)
+                    << "threads " << threads << " round " << round
+                    << " event " << k;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(drain->packInstanceState(i),
+                          loop->packInstanceState(i))
+                    << "threads " << threads << " round " << round
+                    << " inst " << i;
+                ASSERT_EQ(drain->pendingDirty(i), loop->pendingDirty(i))
+                    << "threads " << threads << " round " << round
+                    << " inst " << i;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BatchStressTest,
+    ::testing::Values(StressCase{kModules[0], false},
+                      StressCase{kModules[0], true},
+                      StressCase{kModules[1], false},
+                      StressCase{kModules[1], true},
+                      StressCase{kModules[2], false},
+                      StressCase{kModules[2], true},
+                      StressCase{kModules[3], false},
+                      StressCase{kModules[3], true}));
+
+} // namespace

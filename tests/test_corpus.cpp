@@ -1,7 +1,7 @@
 // The persisted scenario corpus (tests/corpus/*.scn): every committed
 // scenario runs a differential sweep — flat VM at -O2 and -O0 against
 // the tree-walking oracle — and every trace must match the digest pinned
-// in the scenario file. Also enforces the corpus contracts: at least 20
+// in the scenario file. Also enforces the corpus contracts: at least 24
 // scenarios, generator sources free of drift, the quarantine list EMPTY,
 // and the program generator stable for a fixed seed set.
 #include <gtest/gtest.h>
@@ -28,9 +28,9 @@ std::vector<corpus::Scenario> loadAll()
     return set;
 }
 
-TEST(CorpusTest, AtLeastTwentyScenariosCommitted)
+TEST(CorpusTest, AtLeastTwentyFourScenariosCommitted)
 {
-    EXPECT_GE(loadAll().size(), 20u);
+    EXPECT_GE(loadAll().size(), 24u);
 }
 
 TEST(CorpusTest, ScenarioNamesUniqueAndWellFormed)
@@ -130,7 +130,38 @@ TEST(CorpusTest, DifferentialSweepMatchesPinnedDigests)
             << "flat -O0 diverged from the tree-walk oracle";
         ++swept;
     }
-    EXPECT_GE(swept, 20u);
+    EXPECT_GE(swept, 24u);
+}
+
+// The batch dirty-list stressers added alongside the multi-instance
+// concurrency suite: their oracle digests are pinned HERE as well as in
+// the .scn files, so a silent regeneration of the corpus cannot move
+// them without this test naming the scenario. Every one was chosen for
+// observability (the trace shows at least one present output).
+TEST(CorpusTest, BatchStresserDigestsPinned)
+{
+    const std::pair<const char*, const char*> kPinned[] = {
+        {"stack_checkcrc_sparse", "60d1aa93088c87b2"},
+        {"buffer_sparse", "4d74143f6d60cb46"},
+        {"buffer_blinker_bursty", "4f173a2cf6bf6845"},
+        {"buffer_playback_sparse", "ea9ad3d193b8101f"},
+        {"buffer_producer_random", "4502c48faca56f7d"},
+    };
+    std::vector<corpus::Scenario> all = loadAll();
+    for (const auto& [name, digest] : kPinned) {
+        SCOPED_TRACE(name);
+        auto it = std::find_if(all.begin(), all.end(),
+                               [n = std::string(name)](const auto& s) {
+                                   return s.name == n;
+                               });
+        ASSERT_NE(it, all.end()) << "scenario missing from the corpus";
+        EXPECT_EQ(it->oracleDigest, digest);
+        std::string oracle = corpus::oracleTrace(*it);
+        EXPECT_EQ(hex64(fnv1a64(oracle)), digest);
+        EXPECT_TRUE(oracle.find('1') != std::string::npos ||
+                    oracle.find('=') != std::string::npos)
+            << "scenario is unobservable (no output ever present)";
+    }
 }
 
 // Generator stability: the program TEXT for a fixed (seed, depth) set is

@@ -319,16 +319,39 @@ struct BatchCase {
     /// included) must hold at every level — the default fast path (-O2)
     /// and the verbatim tables (-O0) are both swept.
     int optLevel = 2;
+    /// Run the batch under EngineKind::Native (AOT reaction function on
+    /// the shared arenas) against NativeEngine oracles. When the native
+    /// backend is unavailable both sides fall back to the VM, so the
+    /// differential stays meaningful either way.
+    bool native = false;
 };
 
 void PrintTo(const BatchCase& c, std::ostream* os)
 {
     *os << c.source << "/" << c.module << "/n" << c.instances << "/t"
-        << c.threads << "/O" << c.optLevel;
+        << c.threads << "/O" << c.optLevel << (c.native ? "/native" : "");
 }
 
 class BatchDifferentialTest : public ::testing::TestWithParam<BatchCase> {
 protected:
+    std::unique_ptr<rt::BatchEngine>
+    makeBatch(const std::shared_ptr<CompiledModule>& mod, std::size_t n)
+    {
+        const BatchCase& bc = GetParam();
+        return mod->makeBatchEngine(
+            n, {.threads = bc.threads},
+            bc.native ? EngineKind::Native : EngineKind::Flat);
+    }
+
+    std::unique_ptr<rt::ReactiveEngine>
+    makeOracle(const std::shared_ptr<CompiledModule>& mod)
+    {
+        // Backend-matched oracle: Native batch vs NativeEngine, VM batch
+        // vs SyncEngine — both fall back to the VM together.
+        if (GetParam().native) return mod->makeEngine(EngineKind::Native);
+        return mod->makeSyncEngine(EngineKind::Flat);
+    }
+
     std::shared_ptr<CompiledModule> compileCase()
     {
         const BatchCase& bc = GetParam();
@@ -420,14 +443,17 @@ TEST_P(BatchDifferentialTest, LockstepMatchesIndependentSyncEngines)
     const ModuleSema& sema = mod->moduleSema();
     const auto n = static_cast<std::size_t>(bc.instances);
 
-    auto batch = mod->makeBatchEngine(n, {.threads = bc.threads});
+    auto batch = makeBatch(mod, n);
     ASSERT_EQ(batch->threads(), bc.threads);
     std::vector<std::unique_ptr<rt::ReactiveEngine>> oracles;
     std::vector<std::mt19937> rngs;
     for (std::size_t i = 0; i < n; ++i) {
-        oracles.push_back(mod->makeSyncEngine(EngineKind::Flat));
+        oracles.push_back(makeOracle(mod));
         rngs.emplace_back(static_cast<unsigned>(1000003 * i + 17));
     }
+    // Batch and oracle must have resolved to the same backend (shared
+    // memoized native module: both succeed or both fall back).
+    ASSERT_STREQ(batch->backendName(), oracles[0]->backendName());
 
     // Boot instant: everyone reacts with no inputs.
     ASSERT_EQ(batch->stepAll(), n);
@@ -472,13 +498,14 @@ TEST_P(BatchDifferentialTest, DirtySchedulingMatchesEventDrivenOracle)
     const ModuleSema& sema = mod->moduleSema();
     const auto n = static_cast<std::size_t>(bc.instances);
 
-    auto batch = mod->makeBatchEngine(n, {.threads = bc.threads});
+    auto batch = makeBatch(mod, n);
     std::vector<std::unique_ptr<rt::ReactiveEngine>> oracles;
     std::vector<std::mt19937> rngs;
     for (std::size_t i = 0; i < n; ++i) {
-        oracles.push_back(mod->makeSyncEngine(EngineKind::Flat));
+        oracles.push_back(makeOracle(mod));
         rngs.emplace_back(static_cast<unsigned>(2000003 * i + 29));
     }
+    ASSERT_STREQ(batch->backendName(), oracles[0]->backendName());
 
     // Fresh instances are dirty: the first step() boots all of them.
     for (std::size_t i = 0; i < n; ++i)
@@ -519,6 +546,82 @@ TEST_P(BatchDifferentialTest, DirtySchedulingMatchesEventDrivenOracle)
     }
 }
 
+TEST_P(BatchDifferentialTest, MixedPopulationDirtyScheduling)
+{
+    // Mixed sparse/dense populations: instance i's traffic class is
+    // i % 4 — 0 = dense (inputs every instant), 1 = bursty (5 instants
+    // on, 15 off), 2 = sparse (one instant in 17), 3 = idle (boot only).
+    // The dirty list must react exactly the active-or-resuming subset
+    // each step and leave idle instances untouched, with every reacted
+    // instance still bit-exact against its event-driven oracle.
+    const BatchCase& bc = GetParam();
+    auto mod = compileCase();
+    ASSERT_TRUE(mod->hasFlatProgram());
+    const ModuleSema& sema = mod->moduleSema();
+    const auto n = static_cast<std::size_t>(bc.instances);
+
+    auto batch = makeBatch(mod, n);
+    std::vector<std::unique_ptr<rt::ReactiveEngine>> oracles;
+    std::vector<std::mt19937> rngs;
+    for (std::size_t i = 0; i < n; ++i) {
+        oracles.push_back(makeOracle(mod));
+        rngs.emplace_back(static_cast<unsigned>(3000017 * i + 41));
+    }
+    ASSERT_STREQ(batch->backendName(), oracles[0]->backendName());
+
+    ASSERT_EQ(batch->step(), n); // boot
+    for (std::size_t i = 0; i < n; ++i) {
+        rt::ReactionResult ro = oracles[i]->react();
+        expectInstanceEqual(sema, *batch, i, *oracles[i],
+                            batch->lastResult(i), ro, -1);
+    }
+
+    auto classActive = [](std::size_t i, int t) {
+        switch (i % 4) {
+        case 0: return true;                      // dense
+        case 1: return t % 20 < 5;                // bursty
+        case 2: return t % 17 == 0;               // sparse
+        default: return false;                    // idle
+        }
+    };
+
+    const int instants = instantsFor(bc.instances);
+    std::vector<bool> expectReact(n);
+    for (int t = 0; t < instants; ++t) {
+        std::size_t expected = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            bool preDirty = batch->pendingDirty(i);
+            ASSERT_EQ(preDirty, oracles[i]->needsAutoResume())
+                << "inst " << i << " instant " << t;
+            bool any = false;
+            if (classActive(i, t)) {
+                std::mt19937 replay = rngs[i];
+                any = applyInputs(rngs[i], sema, batch.get(), i, nullptr);
+                if (any) applyInputs(replay, sema, nullptr, i,
+                                     oracles[i].get());
+            }
+            expectReact[i] = any || preDirty;
+            if (expectReact[i]) ++expected;
+        }
+        ASSERT_EQ(batch->step(), expected) << "instant " << t;
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(batch->reactedLastStep(i), expectReact[i])
+                << "inst " << i << " instant " << t;
+            if (!expectReact[i]) continue;
+            rt::ReactionResult ro = oracles[i]->react();
+            expectInstanceEqual(sema, *batch, i, *oracles[i],
+                                batch->lastResult(i), ro, t);
+        }
+    }
+
+    // Idle instances really were left alone: still in their post-boot
+    // packed state unless auto-resume kept them live.
+    for (std::size_t i = 3; i < n; i += 4)
+        ASSERT_EQ(batch->packInstanceState(i),
+                  oracles[i]->packState())
+            << "idle inst " << i;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllPaperModules, BatchDifferentialTest,
     ::testing::Values(BatchCase{"stack", "assemble", 1, 1},
@@ -550,5 +653,22 @@ INSTANTIATE_TEST_SUITE_P(
                       BatchCase{"stack", "toplevel", 256, 4, 0},
                       BatchCase{"buffer", "producer", 7, 4, 0},
                       BatchCase{"buffer", "buffer_top", 7, 4, 0}));
+
+// EngineKind::Native sweep: the AOT reaction function on the batch
+// arenas vs NativeEngine oracles (VM fallback on both sides when no host
+// compiler is available), across thread counts and both schedulers.
+INSTANTIATE_TEST_SUITE_P(
+    NativeBackend, BatchDifferentialTest,
+    ::testing::Values(
+        BatchCase{"stack", "assemble", 7, 1, 2, true},
+        BatchCase{"stack", "assemble", 7, 4, 2, true},
+        BatchCase{"stack", "toplevel", 1, 1, 2, true},
+        BatchCase{"stack", "toplevel", 7, 4, 2, true},
+        BatchCase{"stack", "toplevel", 256, 4, 2, true},
+        BatchCase{"stack", "checkcrc", 7, 2, 2, true},
+        BatchCase{"buffer", "producer", 7, 4, 2, true},
+        BatchCase{"buffer", "playback", 7, 2, 2, true},
+        BatchCase{"buffer", "buffer_top", 7, 1, 2, true},
+        BatchCase{"buffer", "buffer_top", 256, 4, 2, true}));
 
 } // namespace

@@ -134,6 +134,33 @@ std::vector<corpus::Scenario> standardScenarios()
         shaped("payload_" + std::to_string(size), "payload", size,
                corpus::Profile::Payload);
 
+    // Batch dirty-list stressers: sparse, bursty and dense-random
+    // traffic over additional paper modules, so the batch scheduler's
+    // mixed sparse/dense populations replay committed stimuli with
+    // pinned oracles (appended — see the reshuffle rule). Each combo
+    // was picked for observability: random traffic never completes a
+    // packet for assemble/prochdr, so those modules stay out of the
+    // corpus and are exercised by the batch differential suites
+    // instead.
+    paper("stack_checkcrc_sparse", "paper_stack", "checkcrc",
+          corpus::Profile::Sparse, 200);
+    paper("buffer_sparse", "paper_buffer", "buffer_top",
+          corpus::Profile::Sparse, 200);
+    paper("buffer_blinker_bursty", "paper_buffer", "blinker",
+          corpus::Profile::Bursty, 160);
+    paper("buffer_playback_sparse", "paper_buffer", "playback",
+          corpus::Profile::Sparse, 200);
+    {
+        corpus::Scenario s;
+        s.name = "buffer_producer_random";
+        s.kind = "paper_buffer";
+        s.module = "producer";
+        s.profile = corpus::Profile::Random;
+        s.stimSeed = 11;
+        s.instants = 160;
+        out.push_back(std::move(s));
+    }
+
     return out;
 }
 
