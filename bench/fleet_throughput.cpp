@@ -1,0 +1,446 @@
+// Sharded-fleet serving throughput: sessions/sec through the full
+// src/serve surface at 10k / 100k / 1M sessions.
+//
+// Three modes per session count, all running the identical byte
+// workload (every session streams `--steps` phase-shifted bytes of the
+// standard packet stream, then drains its delta tail):
+//  * single_batch_t1 — one BatchEngine, direct setInputScalar + step:
+//    the PR-8 serving architecture and the comparison the fleet must
+//    beat at scale;
+//  * fleet_s1_t1     — a ShardedFleet with one shard and one thread:
+//    same engine underneath, so the delta IS the serving-layer tax
+//    (session table lookups, ring hop, admission bookkeeping);
+//  * fleet_sS_tT     — the sharded fleet at --shards/--threads: the
+//    speedup_fleet_vs_single_batch headline and the
+//    speedup_fleet_shards shard-scaling gate come from here.
+// Submission is single-threaded and the workload fixed, so `reactions`
+// and `addr_matches` are exact counters: bench_diff fails the gate when
+// two runs measured different work.
+//
+// A separate section measures the state-mobility primitives on a warm
+// 4-shard fleet: ns_per_migration (checkpoint bytes + slot reuse + table
+// flip, round-robin to the next shard) and ns_per_checkpoint_restore
+// (serialize to the versioned format, admit back as a new session).
+//
+// Emits BENCH_fleet_throughput.json (gated by bench_diff in CI at the
+// pinned parameters below).
+//
+// Usage: bench_fleet_throughput [--steps N] [--shards S] [--threads T]
+//                               [--max-sessions N] [--migrations N]
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serve/fleet.h"
+
+using namespace ecl;
+
+namespace {
+
+struct RunStats {
+    double seconds = 0;       ///< Serve wall time (boot..drain).
+    double admitSeconds = 0;  ///< Fleet modes: the admission loop.
+    std::uint64_t reactions = 0;
+    std::uint64_t matches = 0; ///< addr_match count (workload checksum).
+
+    [[nodiscard]] double sessionsPerSec(std::size_t sessions) const
+    {
+        return seconds > 0 ? static_cast<double>(sessions) / seconds : 0;
+    }
+    [[nodiscard]] double reactionsPerSec() const
+    {
+        return seconds > 0 ? static_cast<double>(reactions) / seconds : 0;
+    }
+    [[nodiscard]] double nsPerReaction() const
+    {
+        return reactions ? seconds * 1e9 / static_cast<double>(reactions)
+                         : 0;
+    }
+};
+
+struct Workload {
+    std::vector<std::uint8_t> stream;
+    int steps = 16;
+    int drainSteps = 12;
+
+    [[nodiscard]] std::uint8_t byteFor(std::size_t inst, int t) const
+    {
+        return stream[(static_cast<std::size_t>(t) + 7 * inst) %
+                      stream.size()];
+    }
+};
+
+RunStats runSingleBatch(const CompiledModule& mod, const Workload& w,
+                        std::size_t sessions, int inByte, int match,
+                        EngineKind kind = EngineKind::Flat,
+                        const char** backend = nullptr)
+{
+    auto batch = mod.makeBatchEngine(sessions, rt::BatchOptions{1}, kind);
+    if (backend) *backend = batch->backendName();
+    RunStats s;
+    const auto t0 = std::chrono::steady_clock::now();
+    s.reactions += batch->step(); // boot
+    for (int t = 0; t < w.steps; ++t) {
+        for (std::size_t i = 0; i < sessions; ++i)
+            batch->setInputScalar(i, inByte, w.byteFor(i, t));
+        s.reactions += batch->step();
+        for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
+            if (ev.signal == match) ++s.matches;
+    }
+    s.reactions += batch->stepDrain(w.drainSteps);
+    for (const rt::BatchEngine::StepEvent& ev : batch->lastStepEvents())
+        if (ev.signal == match) ++s.matches;
+    const auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return s;
+}
+
+/// Fleet mode. `producers` > 1 stages each instant's events from that
+/// many concurrent threads — the workload the lock-free MPSC rings
+/// exist for (a single BatchEngine's input phase is single-threaded by
+/// contract). Producer p owns sessions i with i % producers == p; with
+/// round-robin admission and producers == shards that aligns each
+/// producer with one shard's ring, which is also how a real frontend
+/// would partition. Events per round are identical for any producer
+/// count, so `reactions`/`addr_matches` stay exact counters.
+RunStats runFleet(std::shared_ptr<const CompiledModule> mod,
+                  const Workload& w, std::size_t sessions, int shards,
+                  int threads, int producers, int inByte, int match,
+                  EngineKind kind = EngineKind::Flat)
+{
+    serve::FleetOptions opts;
+    opts.shards = shards;
+    opts.threads = threads;
+    opts.kind = kind;
+    opts.queueCapacity =
+        sessions / static_cast<std::size_t>(shards) + 64;
+    serve::ShardedFleet fleet(std::move(mod), opts);
+
+    RunStats s;
+    const auto ta = std::chrono::steady_clock::now();
+    std::vector<serve::SessionId> ids;
+    ids.reserve(sessions);
+    for (std::size_t i = 0; i < sessions; ++i)
+        ids.push_back(fleet.admit().session);
+    const auto tAdmit = std::chrono::steady_clock::now();
+    s.admitSeconds = std::chrono::duration<double>(tAdmit - ta).count();
+
+    std::vector<serve::SessionEvent> events;
+    auto collect = [&] {
+        events.clear();
+        fleet.collectLastRoundEvents(events);
+        for (const serve::SessionEvent& ev : events)
+            if (ev.signal == match) ++s.matches;
+    };
+
+    // Producer crew (spawned before the serve timer starts). Each round:
+    // main opens the round at the first barrier, producers submit their
+    // slice, the second barrier closes it, main steps the fleet.
+    std::vector<std::thread> crew;
+    std::barrier<> sync(producers > 1 ? producers + 1 : 2);
+    std::atomic<int> instant{-1};
+    std::atomic<bool> done{false};
+    if (producers > 1) {
+        crew.reserve(static_cast<std::size_t>(producers));
+        for (int p = 0; p < producers; ++p)
+            crew.emplace_back([&, p] {
+                for (;;) {
+                    sync.arrive_and_wait();
+                    if (done.load(std::memory_order_acquire)) return;
+                    const int t = instant.load(std::memory_order_relaxed);
+                    for (std::size_t i = static_cast<std::size_t>(p);
+                         i < sessions;
+                         i += static_cast<std::size_t>(producers))
+                        fleet.submitScalar(ids[i], inByte,
+                                           w.byteFor(i, t));
+                    sync.arrive_and_wait();
+                }
+            });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    s.reactions += fleet.step(); // boot
+    for (int t = 0; t < w.steps; ++t) {
+        if (producers > 1) {
+            instant.store(t, std::memory_order_relaxed);
+            sync.arrive_and_wait(); // open the round
+            sync.arrive_and_wait(); // all slices submitted
+        } else {
+            for (std::size_t i = 0; i < sessions; ++i)
+                fleet.submitScalar(ids[i], inByte, w.byteFor(i, t));
+        }
+        s.reactions += fleet.step();
+        collect();
+    }
+    while (fleet.hasPendingTraffic()) {
+        s.reactions += fleet.step();
+        collect();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    s.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (producers > 1) {
+        done.store(true, std::memory_order_release);
+        sync.arrive_and_wait();
+        for (std::thread& th : crew) th.join();
+    }
+    return s;
+}
+
+bench::JsonValue modeJson(const RunStats& s, std::size_t sessions,
+                          int threads)
+{
+    bench::JsonValue m = bench::JsonValue::obj();
+    m.set("sessions_per_sec", s.sessionsPerSec(sessions))
+        .set("reactions_per_sec", s.reactionsPerSec())
+        .set("ns_per_reaction", s.nsPerReaction())
+        .set("reactions", static_cast<double>(s.reactions))
+        .set("addr_matches", static_cast<double>(s.matches))
+        .set("seconds", s.seconds);
+    bench::setScale(m, static_cast<int>(sessions), threads);
+    return m;
+}
+
+void printRow(const char* name, const RunStats& s, std::size_t sessions)
+{
+    std::printf("  %-20s %12.0f sessions/s %14.0f r/s %12llu reactions "
+                "%8llu matches\n",
+                name, s.sessionsPerSec(sessions), s.reactionsPerSec(),
+                static_cast<unsigned long long>(s.reactions),
+                static_cast<unsigned long long>(s.matches));
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Workload w;
+    int shards = 4;
+    int threads = 4;
+    std::size_t maxSessions = 1000000;
+    std::size_t migrations = 5000;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--steps") && i + 1 < argc)
+            w.steps = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--shards") && i + 1 < argc)
+            shards = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--max-sessions") && i + 1 < argc)
+            maxSessions = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--migrations") && i + 1 < argc)
+            migrations = std::strtoull(argv[++i], nullptr, 10);
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--steps N] [--shards S] [--threads T] "
+                         "[--max-sessions N] [--migrations N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (w.steps < 1 || shards < 1 || threads < 1 || maxSessions < 1) {
+        std::fprintf(stderr, "bad parameters\n");
+        return 2;
+    }
+
+    Compiler compiler(paper::protocolStackSource());
+    auto mod = compiler.compile("toplevel");
+    if (!mod->hasFlatProgram()) {
+        std::fprintf(stderr,
+                     "flat program unavailable for toplevel — aborting\n");
+        return 1;
+    }
+    w.stream = bench::stackByteStream(1);
+    const int inByte = mod->moduleSema().findSignal("in_byte")->index;
+    const int match = mod->moduleSema().findSignal("addr_match")->index;
+
+    std::vector<std::size_t> sizes;
+    for (std::size_t n : {std::size_t{10000}, std::size_t{100000},
+                          std::size_t{1000000}})
+        if (n <= maxSessions) sizes.push_back(n);
+    if (sizes.empty()) sizes.push_back(maxSessions);
+
+    // Probe the AOT native backend once: when it loads, every size also
+    // runs the fleet with native shard engines (the serving layer
+    // composes with the per-reaction AOT win; on multicore it compounds
+    // with shard parallelism). A silent VM fallback records nothing, so
+    // the baseline gate catches it (same contract as batch_native_*).
+    bool haveNative = false;
+    {
+        const char* backend = nullptr;
+        Workload probe = w;
+        probe.steps = 1;
+        runSingleBatch(*mod, probe, 1, inByte, match, EngineKind::Native,
+                       &backend);
+        haveNative = std::strcmp(backend, "native") == 0;
+        if (!haveNative)
+            std::fprintf(stderr, "note: native backend unavailable (VM "
+                                 "fallback) — *_native modes not "
+                                 "recorded\n");
+    }
+
+    bench::JsonValue modes = bench::JsonValue::obj();
+    double speedupFleetVsSingle = 0;       ///< At the largest size.
+    double speedupShards = 0;              ///< fleet_sS_tT vs fleet_s1_t1.
+    double speedupNativeFleetVsSingle = 0; ///< Native fleet vs VM single.
+    for (std::size_t n : sizes) {
+        std::printf("%zu sessions — %d byte instants each\n", n, w.steps);
+        const RunStats single =
+            runSingleBatch(*mod, w, n, inByte, match);
+        printRow("single_batch_t1", single, n);
+        const RunStats f1 = runFleet(mod, w, n, 1, 1, 1, inByte, match);
+        printRow("fleet_s1_t1", f1, n);
+        char name[48];
+        std::snprintf(name, sizeof name, "fleet_s%d_t%d", shards, threads);
+        const RunStats fs = runFleet(mod, w, n, shards, threads,
+                                     /*producers=*/shards, inByte, match);
+        printRow(name, fs, n);
+        if (fs.matches != single.matches || f1.matches != single.matches) {
+            std::fprintf(stderr,
+                         "checksum mismatch at %zu sessions: single %llu, "
+                         "fleet_s1 %llu, fleet_sN %llu\n",
+                         n, static_cast<unsigned long long>(single.matches),
+                         static_cast<unsigned long long>(f1.matches),
+                         static_cast<unsigned long long>(fs.matches));
+            return 1;
+        }
+        std::printf("  fleet admit: %.0f admissions/s (s1), %.0f (s%d)\n",
+                    f1.admitSeconds > 0
+                        ? static_cast<double>(n) / f1.admitSeconds
+                        : 0,
+                    fs.admitSeconds > 0
+                        ? static_cast<double>(n) / fs.admitSeconds
+                        : 0,
+                    shards);
+
+        char key[64];
+        std::snprintf(key, sizeof key, "s%zu_single_batch_t1", n);
+        modes.set(key, modeJson(single, n, 1));
+        std::snprintf(key, sizeof key, "s%zu_fleet_s1_t1", n);
+        modes.set(key, modeJson(f1, n, 1));
+        std::snprintf(key, sizeof key, "s%zu_fleet_s%d_t%d", n, shards,
+                      threads);
+        modes.set(key, modeJson(fs, n, threads));
+
+        RunStats fsNative;
+        if (haveNative) {
+            fsNative = runFleet(mod, w, n, shards, threads,
+                                /*producers=*/shards, inByte, match,
+                                EngineKind::Native);
+            char nname[64];
+            std::snprintf(nname, sizeof nname, "fleet_s%d_t%d_native",
+                          shards, threads);
+            printRow(nname, fsNative, n);
+            if (fsNative.matches != single.matches) {
+                std::fprintf(stderr, "native fleet checksum mismatch\n");
+                return 1;
+            }
+            std::snprintf(key, sizeof key, "s%zu_fleet_s%d_t%d_native", n,
+                          shards, threads);
+            modes.set(key, modeJson(fsNative, n, threads));
+        }
+
+        if (n == sizes.back()) {
+            if (single.seconds > 0)
+                speedupFleetVsSingle = single.seconds / fs.seconds;
+            if (f1.seconds > 0) speedupShards = f1.seconds / fs.seconds;
+            if (haveNative && single.seconds > 0)
+                speedupNativeFleetVsSingle =
+                    single.seconds / fsNative.seconds;
+        }
+    }
+    std::printf("largest size: fleet_s%d_t%d %.2fx vs single_batch_t1, "
+                "%.2fx vs fleet_s1_t1\n",
+                shards, threads, speedupFleetVsSingle, speedupShards);
+    if (speedupNativeFleetVsSingle > 0)
+        std::printf("largest size: fleet_s%d_t%d_native %.2fx vs "
+                    "single_batch_t1\n",
+                    shards, threads, speedupNativeFleetVsSingle);
+
+    // State mobility on a warm 4-shard fleet: every session has streamed
+    // a few bytes, so the moved state is a real mid-assembly snapshot.
+    const std::size_t mobSessions = std::min<std::size_t>(20000, maxSessions);
+    if (migrations > mobSessions) migrations = mobSessions;
+    serve::FleetOptions mopts;
+    mopts.shards = 4;
+    mopts.threads = 1; // Timing the control plane, not the workers.
+    mopts.queueCapacity = mobSessions / 4 + 64;
+    serve::ShardedFleet mfleet(mod, mopts);
+    std::vector<serve::SessionId> mids;
+    mids.reserve(mobSessions);
+    for (std::size_t i = 0; i < mobSessions; ++i)
+        mids.push_back(mfleet.admit().session);
+    mfleet.step();
+    for (int t = 0; t < 8; ++t) {
+        for (std::size_t i = 0; i < mobSessions; ++i)
+            mfleet.submitScalar(mids[i], inByte, w.byteFor(i, t));
+        mfleet.step();
+    }
+    mfleet.drainAll();
+
+    const auto m0 = std::chrono::steady_clock::now();
+    std::size_t migrated = 0;
+    for (std::size_t i = 0; i < migrations; ++i) {
+        const auto [sh, slot] = mfleet.locate(mids[i]);
+        if (mfleet.migrate(mids[i], (sh + 1) % 4) ==
+            serve::MigrateStatus::Ok)
+            ++migrated;
+    }
+    const auto m1 = std::chrono::steady_clock::now();
+    const double migSeconds =
+        std::chrono::duration<double>(m1 - m0).count();
+    const double nsPerMigration =
+        migrated ? migSeconds * 1e9 / static_cast<double>(migrated) : 0;
+
+    const auto c0 = std::chrono::steady_clock::now();
+    std::size_t restored = 0;
+    for (std::size_t i = 0; i < migrations; ++i) {
+        const std::vector<std::uint8_t> ckpt =
+            mfleet.checkpointSession(mids[i]);
+        mfleet.endSession(mids[i]);
+        const serve::RestoreResult r = mfleet.restoreSession(ckpt);
+        if (r.status == serve::RestoreStatus::Ok) {
+            mids[i] = r.session;
+            ++restored;
+        }
+    }
+    const auto c1 = std::chrono::steady_clock::now();
+    const double ckptSeconds =
+        std::chrono::duration<double>(c1 - c0).count();
+    const double nsPerCkptRestore =
+        restored ? ckptSeconds * 1e9 / static_cast<double>(restored) : 0;
+    if (migrated != migrations || restored != migrations) {
+        std::fprintf(stderr, "mobility count mismatch: %zu/%zu migrated, "
+                     "%zu restored\n",
+                     migrated, migrations, restored);
+        return 1;
+    }
+    std::printf("state mobility (%zu warm sessions): %.0f ns/migration, "
+                "%.0f ns/checkpoint+restore (%zu each)\n",
+                mobSessions, nsPerMigration, nsPerCkptRestore, migrations);
+
+    bench::JsonValue root = bench::JsonValue::obj();
+    bench::setStandardHeader(root, "fleet_throughput",
+                             "protocol_stack_toplevel", 3);
+    root.set("steps", static_cast<double>(w.steps));
+    bench::setScale(root, static_cast<int>(sizes.back()), threads);
+    root.set("shards", static_cast<double>(shards));
+    root.set("modes", std::move(modes))
+        .set("speedup_fleet_vs_single_batch", speedupFleetVsSingle)
+        .set("speedup_fleet_shards", speedupShards);
+    if (speedupNativeFleetVsSingle > 0)
+        root.set("speedup_fleet_native_vs_single_batch",
+                 speedupNativeFleetVsSingle);
+    root.set("migrations", static_cast<double>(migrations))
+        .set("ns_per_migration", nsPerMigration)
+        .set("ns_per_checkpoint_restore", nsPerCkptRestore);
+    bench::writeBenchJson("fleet_throughput", root);
+    return 0;
+}

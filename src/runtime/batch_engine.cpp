@@ -85,6 +85,62 @@ std::size_t BatchEngine::addInstance()
     return id;
 }
 
+void BatchEngine::parkInstance(std::size_t inst)
+{
+    checkInstance(inst);
+    // A stale dirtyList_ entry is fine — runStep skips entries whose
+    // dirty_ flag is clear (the same rule reactInstance relies on).
+    dirty_[inst] = 0;
+    instantOpen_[inst] = 0;
+}
+
+void BatchEngine::resetInstance(std::size_t inst)
+{
+    checkInstance(inst);
+    const std::size_t S = sema_.signals.size();
+    state_[inst] = flat_.initialState;
+    instantOpen_[inst] = 0;
+    dirty_[inst] = 0;
+    if (S != 0) {
+        std::memset(presentRow(inst), 0, S);
+        std::memset(lastPresent_.data() + inst * S, 0, S);
+    }
+    std::memset(slice(inst), 0, layout_.stride);
+    last_[inst] = ReactionResult{};
+    markDirty(inst); // boot reaction pending, exactly like addInstance
+}
+
+void BatchEngine::restoreInstanceState(std::size_t inst,
+                                       const std::uint8_t* data,
+                                       std::size_t size)
+{
+    checkInstance(inst);
+    if (size != 4 + layout_.dataBytes)
+        throw EclError("restoreInstanceState: packed state is " +
+                       std::to_string(size) + " bytes, expected " +
+                       std::to_string(4 + layout_.dataBytes));
+    std::int32_t st = 0;
+    std::memcpy(&st, data, 4);
+    if (st < 0 || static_cast<std::size_t>(st) >= flat_.states.size())
+        throw EclError("restoreInstanceState: control state " +
+                       std::to_string(st) + " out of range (machine has " +
+                       std::to_string(flat_.states.size()) + " states)");
+    const std::size_t S = sema_.signals.size();
+    state_[inst] = st;
+    instantOpen_[inst] = 0;
+    dirty_[inst] = 0;
+    if (S != 0) {
+        std::memset(presentRow(inst), 0, S);
+        std::memset(lastPresent_.data() + inst * S, 0, S);
+    }
+    std::memset(slice(inst), 0, layout_.stride);
+    std::memcpy(slice(inst), data + 4, layout_.dataBytes);
+    last_[inst] = ReactionResult{};
+    // The snapshot is post-boot: only a delta pause re-schedules it.
+    if (flat_.states[static_cast<std::size_t>(st)].autoResume)
+        markDirty(inst);
+}
+
 const SignalInfo& BatchEngine::checkSignal(std::size_t inst,
                                            int sigIndex) const
 {
@@ -531,6 +587,21 @@ bool BatchEngine::pendingDirty(std::size_t inst) const
 {
     checkInstance(inst);
     return dirty_[inst] != 0;
+}
+
+bool BatchEngine::hasStagedInputs(std::size_t inst) const
+{
+    checkInstance(inst);
+    return instantOpen_[inst] != 0;
+}
+
+bool BatchEngine::hasPendingWork() const
+{
+    // dirtyList_ may hold stale entries (consumed by reactInstance or a
+    // park); the dirty_ flags rule.
+    for (const std::uint32_t inst : dirtyList_)
+        if (dirty_[inst]) return true;
+    return false;
 }
 
 } // namespace ecl::rt

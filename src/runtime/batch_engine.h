@@ -102,6 +102,27 @@ public:
     /// between steps.
     std::size_t addInstance();
 
+    // --- slot lifecycle (between steps; single-threaded) ---
+    // Instances can never be removed (ids are stable arena offsets), but a
+    // serving layer reuses slots: park a slot when its session leaves,
+    // then reset (fresh session) or restore (migrated-in session) it.
+    /// Makes the slot inert: clears its dirty mark and any staged inputs
+    /// so no future step reacts it until reset/restored. State bytes are
+    /// left in place (checkpoint first if they matter).
+    void parkInstance(std::size_t inst);
+    /// Returns the slot to the exact post-addInstance state: initial
+    /// control state, zeroed arena slice and presence rows, boot reaction
+    /// pending.
+    void resetInstance(std::size_t inst);
+    /// Loads a packed state record [i32 control state][instance-layout
+    /// data bytes] (the packInstanceState / packEngineState format) into
+    /// the slot: control + data restored, presence/staged inputs cleared,
+    /// no boot (the record is a post-boot snapshot). The slot is re-marked
+    /// dirty only when the restored control state auto-resumes. Throws
+    /// EclError on a size mismatch or an out-of-range control state.
+    void restoreInstanceState(std::size_t inst, const std::uint8_t* data,
+                              std::size_t size);
+
     // --- input phase (between steps; single-threaded) ---
     void setInput(std::size_t inst, int sigIndex);
     void setInputScalar(std::size_t inst, int sigIndex, std::int64_t v);
@@ -137,6 +158,12 @@ public:
     /// True when the instance is queued for the next step() (pending
     /// inputs, auto-resume, or not yet booted).
     [[nodiscard]] bool pendingDirty(std::size_t inst) const;
+    /// True when inputs have been staged on the instance since its last
+    /// reaction (the instant is open).
+    [[nodiscard]] bool hasStagedInputs(std::size_t inst) const;
+    /// True when any instance is queued for the next step() — the
+    /// scheduler probe a serving layer uses to skip idle engines.
+    [[nodiscard]] bool hasPendingWork() const;
 
     /// One output emission of the last step()/stepAll()/stepDrain().
     struct StepEvent {

@@ -1,0 +1,176 @@
+#include "src/serve/checkpoint.h"
+
+#include <cstring>
+
+namespace ecl::serve {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'E', 'C', 'L', 'C', 'K', 'P', 'T', '1'};
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+public:
+    Reader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint32_t u32() { return static_cast<std::uint32_t>(uN(4)); }
+    std::uint64_t u64() { return uN(8); }
+    std::uint8_t u8() { return static_cast<std::uint8_t>(uN(1)); }
+
+    const std::uint8_t* bytes(std::size_t n)
+    {
+        need(n);
+        const std::uint8_t* p = data_ + pos_;
+        pos_ += n;
+        return p;
+    }
+
+    [[nodiscard]] bool done() const { return pos_ == size_; }
+
+private:
+    void need(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw EclError("checkpoint truncated at byte " +
+                           std::to_string(pos_));
+    }
+
+    std::uint64_t uN(std::size_t n)
+    {
+        need(n);
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += n;
+        return v;
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/// Order-sensitive structural hash: every field is length-prefixed or
+/// fixed-width, so distinct shapes cannot collide by concatenation.
+class Fnv {
+public:
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void str(const std::string& s)
+    {
+        u64(s.size());
+        for (char c : s) byte(static_cast<std::uint8_t>(c));
+    }
+    [[nodiscard]] std::uint64_t hash() const { return h_; }
+
+private:
+    void byte(std::uint8_t b)
+    {
+        h_ ^= b;
+        h_ *= 0x100000001b3ull;
+    }
+    std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+} // namespace
+
+std::uint64_t compileFingerprint(const CompiledModule& mod)
+{
+    if (!mod.hasFlatProgram())
+        throw EclError("compileFingerprint: module '" + mod.name() +
+                       "' has no flat program");
+    const efsm::FlatProgram& flat = mod.flatProgram();
+    const ModuleSema& sema = mod.moduleSema();
+    const rt::InstanceLayout layout = rt::computeInstanceLayout(sema);
+
+    Fnv f;
+    f.str(mod.name());
+    // Signal table: names, directions and value widths decide which
+    // arena offsets exist and what replaying inputs means.
+    f.u64(sema.signals.size());
+    for (const SignalInfo& s : sema.signals) {
+        f.str(s.name);
+        f.u64(static_cast<std::uint64_t>(s.dir));
+        f.u64(s.pure ? 1 : 0);
+        f.u64(s.pure ? 0 : s.valueType->size());
+    }
+    f.u64(sema.vars.size());
+    for (const VarInfo& v : sema.vars) {
+        f.str(v.name);
+        f.u64(v.type->size());
+    }
+    // Instance layout: the exact byte interpretation of the data slice.
+    f.u64(layout.dataBytes);
+    for (std::uint32_t off : layout.varOffsets) f.u64(off);
+    for (std::uint32_t off : layout.sigOffsets) f.u64(off);
+    // Flat machine shape: control-state ids are indices into these
+    // tables, so their sizes (plus the initial state) pin the numbering
+    // a snapshot's control id is relative to.
+    f.u64(flat.states.size());
+    f.u64(flat.nodes.size());
+    f.u64(flat.actions.size());
+    f.u64(flat.configs.size());
+    f.u64(static_cast<std::uint64_t>(flat.initialState));
+    return f.hash();
+}
+
+std::vector<std::uint8_t> serializeCheckpoint(const SessionCheckpoint& cp)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(8 + 4 + 8 + 8 + 1 + 4 + cp.state.size());
+    for (std::uint8_t b : kMagic) out.push_back(b);
+    putU32(out, SessionCheckpoint::kVersion);
+    putU64(out, cp.fingerprint);
+    putU64(out, cp.sessionId);
+    out.push_back(static_cast<std::uint8_t>((cp.terminated ? 1 : 0) |
+                                            (cp.autoResume ? 2 : 0)));
+    putU32(out, static_cast<std::uint32_t>(cp.state.size()));
+    out.insert(out.end(), cp.state.begin(), cp.state.end());
+    return out;
+}
+
+SessionCheckpoint parseCheckpoint(const std::uint8_t* data, std::size_t size)
+{
+    Reader r(data, size);
+    const std::uint8_t* magic = r.bytes(8);
+    if (std::memcmp(magic, kMagic, 8) != 0)
+        throw EclError("checkpoint: bad magic (not an ECL checkpoint)");
+    const std::uint32_t version = r.u32();
+    if (version != SessionCheckpoint::kVersion)
+        throw EclError("checkpoint: unknown format version " +
+                       std::to_string(version) + " (reader understands " +
+                       std::to_string(SessionCheckpoint::kVersion) + ")");
+    SessionCheckpoint cp;
+    cp.fingerprint = r.u64();
+    cp.sessionId = r.u64();
+    const std::uint8_t flags = r.u8();
+    cp.terminated = (flags & 1) != 0;
+    cp.autoResume = (flags & 2) != 0;
+    const std::uint32_t n = r.u32();
+    if (n < 4)
+        throw EclError("checkpoint: packed state shorter than its control "
+                       "word");
+    const std::uint8_t* p = r.bytes(n);
+    cp.state.assign(p, p + n);
+    if (!r.done())
+        throw EclError("checkpoint: trailing bytes after packed state");
+    return cp;
+}
+
+} // namespace ecl::serve

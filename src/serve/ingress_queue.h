@@ -1,0 +1,124 @@
+// Bounded lock-free ingress ring for the sharded serving layer.
+//
+// IngressRing is Dmitry Vyukov's bounded MPMC queue: a power-of-two ring
+// of cells, each carrying its own sequence number. Producers claim a
+// cell by CAS on the enqueue cursor and stamp it ready with a release
+// store; consumers mirror the dance on the dequeue cursor. Nothing ever
+// blocks, nothing allocates after construction, and a full ring FAILS
+// the push instead of overwriting — which is exactly the backpressure
+// contract the fleet needs: tryPush() == false is a typed rejection the
+// producer surfaces to admission control, not a silent drop.
+//
+// The fleet uses it MPSC per shard (any thread produces via
+// ShardedFleet::submit; only the shard's pinned worker consumes during
+// a step), but the algorithm is safe MPMC, so cross-shard forwarding —
+// a worker pushing a migrated session's stale events onto another
+// shard's ring while that shard's worker drains it — needs no extra
+// synchronization.
+//
+// T must be trivially copyable (cells are raw storage reused forever).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace ecl::serve {
+
+template <typename T> class IngressRing {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "IngressRing cells are raw reusable storage");
+
+public:
+    /// Capacity is rounded up to a power of two (minimum 2).
+    explicit IngressRing(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity) cap <<= 1;
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    IngressRing(const IngressRing&) = delete;
+    IngressRing& operator=(const IngressRing&) = delete;
+
+    [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+    /// False when the ring is full (the caller's typed-rejection path).
+    bool tryPush(const T& v)
+    {
+        Cell* cell;
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+            const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                                       static_cast<std::ptrdiff_t>(pos);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // full
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->val = v;
+        cell->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// False when the ring is empty.
+    bool tryPop(T& out)
+    {
+        Cell* cell;
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+            const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                                       static_cast<std::ptrdiff_t>(pos + 1);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(pos, pos + 1,
+                                                std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // empty
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        out = cell->val;
+        cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Racy occupancy estimate (scheduling hint, never a correctness
+    /// input): cursors are read independently, so the value can be
+    /// momentarily stale in either direction.
+    [[nodiscard]] std::size_t approxSize() const
+    {
+        const std::size_t h = head_.load(std::memory_order_relaxed);
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        return h > t ? h - t : 0;
+    }
+
+private:
+    /// Sequence-stamped cell; aligned so neighbouring cells of hot rings
+    /// do not share a line with the cursors.
+    struct Cell {
+        std::atomic<std::size_t> seq;
+        T val;
+    };
+
+    std::unique_ptr<Cell[]> cells_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0}; ///< Enqueue cursor.
+    alignas(64) std::atomic<std::size_t> tail_{0}; ///< Dequeue cursor.
+};
+
+} // namespace ecl::serve

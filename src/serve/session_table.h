@@ -1,0 +1,129 @@
+// Session table: external session id -> (shard, slot), lock-free for
+// readers.
+//
+// The fleet assigns session ids monotonically (1, 2, 3, ...), so the
+// table is not a hash map at all: it is a two-level array indexed by id
+// — an atomic spine of segment pointers, each segment a fixed block of
+// atomic packed locations. Readers (producer-side submit resolving a
+// session's shard, shard workers re-resolving a queued event after a
+// migration) do two loads; they never see a torn entry because the
+// location is a single 64-bit atomic and a segment pointer is published
+// with a release store only after the segment is fully initialized.
+//
+// Writes are single-writer by contract: admission, migration and
+// session end all run on the fleet's control thread (the same thread
+// that calls step()). Migration is one atomic store — a concurrent
+// reader sees either the old or the new placement, and the fleet's
+// dequeue-time re-resolution + cross-shard forwarding make both
+// outcomes correct.
+//
+// Capacity: kMaxSegments * kSegmentSize = 2^28 session ids per fleet
+// lifetime; the spine itself is a flat 2 MiB of null atomic pointers,
+// segments allocate lazily as ids grow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace ecl::serve {
+
+/// Opaque external session handle (0 is never a valid session).
+using SessionId = std::uint64_t;
+
+class SessionTable {
+public:
+    static constexpr std::uint64_t kInvalid = ~0ull; ///< Unknown or ended.
+
+    SessionTable() = default;
+    ~SessionTable()
+    {
+        for (std::size_t i = 0; i < kMaxSegments; ++i)
+            delete[] segments_[i].load(std::memory_order_relaxed);
+    }
+
+    SessionTable(const SessionTable&) = delete;
+    SessionTable& operator=(const SessionTable&) = delete;
+
+    static constexpr std::uint64_t pack(std::uint32_t shard,
+                                        std::uint32_t slot)
+    {
+        return (static_cast<std::uint64_t>(shard) << 32) | slot;
+    }
+    static constexpr std::uint32_t shardOf(std::uint64_t packed)
+    {
+        return static_cast<std::uint32_t>(packed >> 32);
+    }
+    static constexpr std::uint32_t slotOf(std::uint64_t packed)
+    {
+        return static_cast<std::uint32_t>(packed & 0xffffffffu);
+    }
+
+    /// Packed placement of `id`, or kInvalid when the id was never
+    /// admitted (or has ended). Safe from any thread.
+    [[nodiscard]] std::uint64_t lookup(SessionId id) const
+    {
+        const std::uint64_t idx = id;
+        const std::size_t seg = static_cast<std::size_t>(idx >> kSegmentBits);
+        if (seg >= kMaxSegments) return kInvalid;
+        const Entry* block = segments_[seg].load(std::memory_order_acquire);
+        if (!block) return kInvalid;
+        return block[idx & kSegmentMask].load(std::memory_order_acquire);
+    }
+
+    /// Control-thread only: places (or re-places, for migration) `id`.
+    /// Returns false when the id is beyond the table's lifetime capacity.
+    bool set(SessionId id, std::uint32_t shard, std::uint32_t slot)
+    {
+        Entry* block = segmentFor(id);
+        if (!block) return false;
+        block[id & kSegmentMask].store(pack(shard, slot),
+                                       std::memory_order_release);
+        return true;
+    }
+
+    /// Control-thread only: marks `id` ended (lookup returns kInvalid).
+    void erase(SessionId id)
+    {
+        const std::size_t seg = static_cast<std::size_t>(id >> kSegmentBits);
+        if (seg >= kMaxSegments) return;
+        Entry* block = segments_[seg].load(std::memory_order_relaxed);
+        if (block)
+            block[id & kSegmentMask].store(kInvalid,
+                                           std::memory_order_release);
+    }
+
+    /// Lifetime id capacity (admissions beyond this fail).
+    [[nodiscard]] static constexpr std::uint64_t idCapacity()
+    {
+        return static_cast<std::uint64_t>(kMaxSegments) << kSegmentBits;
+    }
+
+private:
+    using Entry = std::atomic<std::uint64_t>;
+    static constexpr std::size_t kSegmentBits = 16;
+    static constexpr std::size_t kSegmentMask = (1u << kSegmentBits) - 1;
+    static constexpr std::size_t kMaxSegments = 1u << 12;
+
+    Entry* segmentFor(SessionId id)
+    {
+        const std::size_t seg = static_cast<std::size_t>(id >> kSegmentBits);
+        if (seg >= kMaxSegments) return nullptr;
+        Entry* block = segments_[seg].load(std::memory_order_acquire);
+        if (!block) {
+            block = new Entry[1u << kSegmentBits];
+            for (std::size_t i = 0; i < (1u << kSegmentBits); ++i)
+                block[i].store(kInvalid, std::memory_order_relaxed);
+            // Single writer: no CAS needed, but publish with release so
+            // readers that follow the pointer see initialized entries.
+            segments_[seg].store(block, std::memory_order_release);
+        }
+        return block;
+    }
+
+    std::unique_ptr<std::atomic<Entry*>[]> spineStorage_ =
+        std::make_unique<std::atomic<Entry*>[]>(kMaxSegments);
+    std::atomic<Entry*>* segments_ = spineStorage_.get();
+};
+
+} // namespace ecl::serve
