@@ -16,9 +16,10 @@
 //  * LowerBetter    — latencies and durations (ns_per_reaction,
 //                     seconds). Regression when current exceeds baseline
 //                     by more than the noise threshold.
-//  * HigherBetter   — rates and speedups (states_per_sec,
-//                     reactions_per_sec, speedup_*). Regression when
-//                     current falls short by more than the threshold.
+//  * HigherBetter   — rates, speedups and reduction factors
+//                     (states_per_sec, reactions_per_sec, speedup_*,
+//                     *_factor). Regression when current falls short by
+//                     more than the threshold.
 //  * Informational  — shape metrics with no better/worse direction
 //                     (peak_frontier, depth_reached); reported, never
 //                     gating.
@@ -28,6 +29,13 @@
 // exactly. A metric present in the baseline but missing from the current
 // run fails (a silently dropped metric is how regressions hide); new
 // metrics in the current run are reported informationally.
+//
+// Two per-metric knobs keep the gate honest (DiffOptions): `thresholds`
+// overrides the relative noise threshold for a named metric, and
+// `floors` sets an absolute minimum a metric may never fall below even
+// when the relative diff passes — the guard against baselines recorded
+// on slower hardware than the gate runs on. Both look up the full
+// dotted path first, then the bare leaf name.
 //
 // Used by tools/bench_diff.cpp (the CI gate) and unit-tested by
 // tests/test_bench_diff.cpp, including the deliberate-regression path.
@@ -197,11 +205,13 @@ inline MetricClass classifyMetric(const std::string& dottedKey)
 
     if (leaf == "git_sha") return MetricClass::Ignored;
 
-    // Rates/speedups before durations: "states_per_sec" must not match a
-    // seconds rule.
+    // Rates/speedups/reduction factors before durations:
+    // "states_per_sec" must not match a seconds rule.
     if (leaf.rfind("speedup", 0) == 0 ||
         (leaf.size() > 8 &&
-         leaf.compare(leaf.size() - 8, 8, "_per_sec") == 0))
+         leaf.compare(leaf.size() - 8, 8, "_per_sec") == 0) ||
+        (leaf.size() > 7 &&
+         leaf.compare(leaf.size() - 7, 7, "_factor") == 0))
         return MetricClass::HigherBetter;
     if (leaf.rfind("ns_per_", 0) == 0 || leaf == "seconds")
         return MetricClass::LowerBetter;
@@ -226,7 +236,34 @@ struct DiffOptions {
     /// Allowed relative slowdown/shortfall on time-like metrics before a
     /// difference counts as a regression (0.10 = 10%).
     double timeThreshold = 0.10;
+    /// Per-metric overrides of timeThreshold (--threshold NAME=FRACTION).
+    /// Keyed by the full dotted path or the bare leaf name; the full
+    /// path wins when both are present. Lets one noisy metric run loose
+    /// without loosening the whole gate — the fix for thresholds so wide
+    /// they gate nothing.
+    std::map<std::string, double> thresholds;
+    /// Absolute floors (--floor NAME=VALUE), same key lookup: any
+    /// metric whose current value falls below its floor is a regression
+    /// regardless of the baseline (and floors apply to metrics the
+    /// baseline does not carry yet). The backstop for baselines recorded
+    /// on weaker hardware than CI runs on: a relative diff against a
+    /// slow baseline passes trivially, the floor still bites.
+    std::map<std::string, double> floors;
 };
+
+/// Full-dotted-path-then-leaf lookup shared by thresholds and floors.
+inline const double* lookupMetricOption(
+    const std::map<std::string, double>& m, const std::string& key)
+{
+    auto it = m.find(key);
+    if (it != m.end()) return &it->second;
+    std::size_t dot = key.rfind('.');
+    if (dot != std::string::npos) {
+        it = m.find(key.substr(dot + 1));
+        if (it != m.end()) return &it->second;
+    }
+    return nullptr;
+}
 
 struct MetricDiff {
     std::string key;
@@ -283,6 +320,8 @@ inline DiffResult diffBench(const FlatBench& baseline,
         d.current = it->second;
         d.delta = bval != 0 ? (d.current - bval) / bval
                             : (d.current != 0 ? 1.0 : 0.0);
+        const double* tOverride = lookupMetricOption(opts.thresholds, key);
+        const double threshold = tOverride ? *tOverride : opts.timeThreshold;
         switch (d.cls) {
         case MetricClass::ExactCounter:
             if (d.current != d.baseline) {
@@ -291,33 +330,43 @@ inline DiffResult diffBench(const FlatBench& baseline,
             }
             break;
         case MetricClass::LowerBetter:
-            if (d.current > d.baseline * (1.0 + opts.timeThreshold)) {
+            if (d.current > d.baseline * (1.0 + threshold)) {
                 d.regression = true;
                 std::ostringstream n;
                 n.precision(1);
                 n << std::fixed << "slower by " << d.delta * 100 << "% (>"
-                  << opts.timeThreshold * 100 << "% threshold)";
+                  << threshold * 100 << "% threshold)";
                 d.note = n.str();
             }
             break;
         case MetricClass::HigherBetter:
-            if (d.current < d.baseline * (1.0 - opts.timeThreshold)) {
+            if (d.current < d.baseline * (1.0 - threshold)) {
                 d.regression = true;
                 std::ostringstream n;
                 n.precision(1);
                 n << std::fixed << "dropped by " << -d.delta * 100 << "% (>"
-                  << opts.timeThreshold * 100 << "% threshold)";
+                  << threshold * 100 << "% threshold)";
                 d.note = n.str();
             }
             break;
         case MetricClass::Informational:
         case MetricClass::Ignored: break;
         }
+        if (const double* floor = lookupMetricOption(opts.floors, key)) {
+            if (d.current < *floor) {
+                d.regression = true;
+                std::ostringstream n;
+                n.precision(3);
+                n << std::fixed << "below absolute floor " << *floor;
+                d.note = d.note.empty() ? n.str() : d.note + "; " + n.str();
+            }
+        }
         out.metrics.push_back(std::move(d));
     }
 
     // New metrics in the current run are fine — note them so reports show
-    // the schema growing.
+    // the schema growing. Floors still apply: a floor names the minimum
+    // acceptable value whether or not the baseline has caught up.
     for (const auto& [key, cval] : current.nums)
         if (!baseline.nums.count(key)) {
             MetricDiff d;
@@ -325,6 +374,15 @@ inline DiffResult diffBench(const FlatBench& baseline,
             d.cls = MetricClass::Informational;
             d.current = cval;
             d.note = "new metric (not in baseline)";
+            if (const double* floor = lookupMetricOption(opts.floors, key)) {
+                if (cval < *floor) {
+                    d.regression = true;
+                    std::ostringstream n;
+                    n.precision(3);
+                    n << std::fixed << "below absolute floor " << *floor;
+                    d.note += "; " + n.str();
+                }
+            }
             out.metrics.push_back(std::move(d));
         }
 

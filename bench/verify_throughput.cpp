@@ -8,9 +8,24 @@
 // over the same space; determinism means every mode interns the exact
 // same states, so states/sec isolates expansion throughput.
 //
+// Beyond the thread-scaling headline, three mode families measure the
+// scaling machinery itself:
+//  * store_exact / store_compressed / store_bitstate — the same bounded
+//    exploration through each StateStore kind (identical `states`
+//    counters for the non-lossy kinds; `store_memory_bytes` shows what
+//    the memory went to);
+//  * por_off / por_on — a pure-par wide-independence program explored
+//    with partial-order reduction off vs on, plus the headline
+//    `por_reduction_factor` (unreduced states / reduced states);
+//  * native_succ — design successors computed by the AOT native
+//    reaction, plus `speedup_native_succ_vs_vm` against the
+//    1-thread VM run (1.0 with `used_native_succ` 0 when no host C
+//    compiler is available).
+//
 // Emits BENCH_verify_throughput.json with the standard `instances`
 // (= states explored) and `threads` scaling fields plus per-mode
-// breakdowns (CI smoke step, no thresholds).
+// breakdowns, gated by bench_diff (CI pins --floor
+// por_reduction_factor=3).
 //
 // Usage: bench_verify_throughput [--paper stack|buffer] [--module NAME]
 //                                [--depth N] [--threads T] [--reps N]
@@ -20,11 +35,25 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "src/corpus/program_gen.h"
 #include "src/verify/explorer.h"
 
 using namespace ecl;
 
 namespace {
+
+verify::ExploreStats runOpts(const CompiledModule& mod,
+                             verify::ExplorerOptions opts)
+{
+    opts.maxStates = 2'000'000;
+    auto ex = mod.makeExplorer(std::move(opts));
+    verify::ExploreResult res = ex->run();
+    if (res.violated) {
+        std::fprintf(stderr, "unexpected violation in bench workload\n");
+        std::exit(1);
+    }
+    return res.stats;
+}
 
 verify::ExploreStats runOnce(const CompiledModule& mod, int depth,
                              int threads)
@@ -32,14 +61,39 @@ verify::ExploreStats runOnce(const CompiledModule& mod, int depth,
     verify::ExplorerOptions opts;
     opts.maxDepth = depth;
     opts.threads = threads;
-    opts.maxStates = 2'000'000;
-    auto ex = mod.makeExplorer(opts);
-    verify::ExploreResult res = ex->run();
-    if (res.violated) {
-        std::fprintf(stderr, "unexpected violation in bench workload\n");
-        std::exit(1);
+    return runOpts(mod, std::move(opts));
+}
+
+/// Best-of-reps run of one configuration, serialized as a mode object.
+verify::ExploreStats benchMode(bench::JsonValue& root,
+                               const std::string& name,
+                               const CompiledModule& mod,
+                               const verify::ExplorerOptions& opts,
+                               int reps)
+{
+    verify::ExploreStats best{};
+    for (int r = 0; r < reps; ++r) {
+        verify::ExploreStats s = runOpts(mod, opts);
+        if (r == 0 || s.statesPerSec > best.statesPerSec) best = s;
     }
-    return res.stats;
+    bench::JsonValue m = bench::JsonValue::obj();
+    bench::setScale(m, static_cast<int>(best.states), opts.threads);
+    m.set("states", static_cast<double>(best.states));
+    m.set("transitions", static_cast<double>(best.transitions));
+    m.set("seconds", best.seconds);
+    m.set("states_per_sec", best.statesPerSec);
+    m.set("store_memory_bytes",
+          static_cast<double>(best.storeMemoryBytes));
+    if (opts.partialOrder)
+        m.set("letters_reduced",
+              static_cast<double>(best.lettersReduced));
+    std::printf("%-16s %8llu states  %10.0f states/s  store %llu B\n",
+                name.c_str(),
+                static_cast<unsigned long long>(best.states),
+                best.statesPerSec,
+                static_cast<unsigned long long>(best.storeMemoryBytes));
+    root.set(name, std::move(m));
+    return best;
 }
 
 } // namespace
@@ -78,12 +132,14 @@ int main(int argc, char** argv)
     root.set("depth", static_cast<double>(depth));
 
     std::uint64_t headlineStates = 0;
+    verify::ExploreStats vmBaseline{}; ///< 1-thread VM run (speedup ref).
     for (int t : {1, threads}) {
         verify::ExploreStats best{};
         for (int r = 0; r < reps; ++r) {
             verify::ExploreStats s = runOnce(*mod, depth, t);
             if (r == 0 || s.statesPerSec > best.statesPerSec) best = s;
         }
+        if (t == 1) vmBaseline = best;
         headlineStates = best.states;
         bench::JsonValue m = bench::JsonValue::obj();
         bench::setScale(m, static_cast<int>(best.states), t);
@@ -101,6 +157,57 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(best.peakFrontier));
         if (t == threads) break; // threads == 1: single mode
     }
+    // Store kinds: the same bounded exploration through each StateStore
+    // implementation (1 thread so the numbers isolate store cost).
+    for (verify::StoreKind kind :
+         {verify::StoreKind::Exact, verify::StoreKind::Compressed,
+          verify::StoreKind::Bitstate}) {
+        verify::ExplorerOptions sopts;
+        sopts.maxDepth = depth;
+        sopts.storeKind = kind;
+        benchMode(root,
+                  std::string("store_") + verify::storeKindName(kind),
+                  *mod, sopts, reps);
+    }
+
+    // Partial-order reduction on the wide-independence pure-par program
+    // (every arm awaits a private pure input, so composite input letters
+    // commute with their singleton chains).
+    Compiler parCompiler(corpus::pureParProgram(10));
+    auto parMod = parCompiler.compile(parCompiler.moduleNames().back());
+    verify::ExplorerOptions popts;
+    popts.maxDepth = 3;
+    verify::ExploreStats porOff =
+        benchMode(root, "por_off", *parMod, popts, reps);
+    popts.partialOrder = true;
+    verify::ExploreStats porOn =
+        benchMode(root, "por_on", *parMod, popts, reps);
+    const double porFactor =
+        porOn.states ? static_cast<double>(porOff.states) /
+                           static_cast<double>(porOn.states)
+                     : 1.0;
+    root.set("por_reduction_factor", porFactor);
+    std::printf("por_reduction_factor %.1fx (%llu -> %llu states)\n",
+                porFactor, static_cast<unsigned long long>(porOff.states),
+                static_cast<unsigned long long>(porOn.states));
+
+    // AOT native successor computation vs the VM (honest fallback: when
+    // no host C compiler is available the mode IS the VM, used_native_succ
+    // reports 0 and the speedup pins to 1.0).
+    verify::ExplorerOptions nopts;
+    nopts.maxDepth = depth;
+    nopts.nativeSuccessors = true;
+    verify::ExploreStats nat =
+        benchMode(root, "native_succ", *mod, nopts, reps);
+    root.set("used_native_succ", nat.usedNativeSuccessors ? 1.0 : 0.0);
+    const double natSpeedup =
+        (nat.usedNativeSuccessors && vmBaseline.statesPerSec > 0)
+            ? nat.statesPerSec / vmBaseline.statesPerSec
+            : 1.0;
+    root.set("speedup_native_succ_vs_vm", natSpeedup);
+    std::printf("speedup_native_succ_vs_vm %.2fx (native %s)\n", natSpeedup,
+                nat.usedNativeSuccessors ? "yes" : "unavailable");
+
     bench::setScale(root, static_cast<int>(headlineStates), threads);
     bench::writeBenchJson("verify_throughput", root);
     return 0;

@@ -152,8 +152,18 @@ CompiledModule::makeExplorer(verify::ExplorerOptions options) const
         throw EclError("makeExplorer: module '" + flat_->name +
                        "' has no flat program (compiled with flatten=false "
                        "or flattening was disabled by a note)");
+    const bool wantNative = options.nativeSuccessors;
     auto explorer = std::make_unique<verify::Explorer>(
         *flatProgram_, byteCode_, *sema_, std::move(options));
+    if (wantNative) {
+        try {
+            explorer->attachNative(nativeModule());
+        } catch (const EclError&) {
+            // Native backend unavailable: explore on the VM (the same
+            // fallback contract as makeEngine/makeBatchEngine;
+            // ExploreStats::usedNativeSuccessors reports which ran).
+        }
+    }
     if (auto self = weak_from_this().lock()) explorer->retain(self);
     return explorer;
 }

@@ -32,6 +32,19 @@
 //   --threads N        worker threads for the BFS frontier (default 1)
 //   --dfs              depth-first exploration (lower memory, traces not
 //                      minimal)
+//   --store KIND       state store: exact | compressed | bitstate
+//                      (default exact; --store=KIND also accepted).
+//                      bitstate is LOSSY — a clean run prints an explicit
+//                      bounded/lossy line and exits 0, meaning "no
+//                      violation found", never "verified"
+//   --store-mem N      state-store memory budget in bytes (K/M/G suffix
+//                      accepted). Sizes the bitstate table; exact and
+//                      compressed stores stop at the budget (exit 4)
+//   --por              partial-order reduction over independent pure
+//                      input letters (sound; see src/verify/explorer.h)
+//   --native-succ      compute design successors with the AOT-compiled
+//                      reaction when the native backend is available
+//                      (bit-exact; silently falls back to the VM)
 //
 // Trace record/replay (src/runtime/trace.h + the corpus stimulus
 // profiles):
@@ -62,13 +75,17 @@
 //   1  file / parse / semantic errors
 //   2  usage errors
 //   3  --verify found a violation (counterexample printed + replayed)
-//   4  --verify hit an exploration bound (depth/states/alphabet) without
-//      finding a violation — the result is inconclusive
+//   4  --verify hit an exploration bound (depth/states/alphabet/memory)
+//      without finding a violation — the result is inconclusive. The
+//      partial ExploreStats always print before this exit. A bitstate
+//      run never exits 4: its result is bounded/lossy by construction,
+//      so a violation-free run reports that explicitly and exits 0
 //
 // Mirrors the paper's flow: one ECL file in; Esterel + C (+ glue) out; the
 // EFSM and synthesis artifacts derived from them — plus the verification
 // workload the synchronous semantics was chosen for.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -110,6 +127,11 @@ struct Options {
     long long maxStates = -1;
     int threads = 1;
     bool dfs = false;
+    std::string store;
+    ecl::verify::StoreKind storeKind = ecl::verify::StoreKind::Exact;
+    long long storeMem = -1;
+    bool por = false;
+    bool nativeSucc = false;
     bool aot = false;
     std::string recordTrace;
     std::string replayTrace;
@@ -126,7 +148,9 @@ int usage()
                  "efsm|ir|stats]... [--emit-c] [-O0|-O1|-O2] [--opt-stats]\n"
                  "            [--async] [--optimize] [-o PREFIX] [--aot]\n"
                  "            [--verify [--monitor FILE] [--depth N] "
-                 "[--max-states N] [--threads N] [--dfs]]\n"
+                 "[--max-states N] [--threads N] [--dfs]\n"
+                 "                      [--store exact|compressed|bitstate] "
+                 "[--store-mem N[K|M|G]] [--por] [--native-succ]]\n"
                  "            [--record-trace FILE [--trace-text] "
                  "[--stim-profile NAME] [--stim-instants N] "
                  "[--stim-seed N]]\n"
@@ -168,6 +192,22 @@ std::string statsText(const ecl::CompiledModule& mod)
         << "  est. code size:     " << sz.codeBytes << " B (R3000 model)\n"
         << "  est. data size:     " << sz.dataBytes << " B\n";
     return out.str();
+}
+
+/// "65536", "64K", "4M", "1G" -> bytes; <= 0 on malformed input.
+long long parseByteSize(const char* s)
+{
+    char* end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    if (end == s || v <= 0) return -1;
+    switch (*end) {
+    case '\0': return v;
+    case 'k': case 'K': ++end; v *= 1024; break;
+    case 'm': case 'M': ++end; v *= 1024 * 1024; break;
+    case 'g': case 'G': ++end; v *= 1024 * 1024 * 1024; break;
+    default: return -1;
+    }
+    return *end == '\0' ? v : -1;
 }
 
 bool readFile(const std::string& path, std::string& out)
@@ -213,6 +253,11 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
     if (opt.maxStates > 0)
         vopts.maxStates = static_cast<std::uint32_t>(opt.maxStates);
     if (opt.dfs) vopts.strategy = ecl::verify::Strategy::Dfs;
+    vopts.storeKind = opt.storeKind;
+    if (opt.storeMem > 0)
+        vopts.storeBudgetBytes = static_cast<std::uint64_t>(opt.storeMem);
+    vopts.partialOrder = opt.por;
+    vopts.nativeSuccessors = opt.nativeSucc;
     auto explorer = mod->makeExplorer(vopts);
 
     std::shared_ptr<ecl::CompiledModule> monMod;
@@ -260,8 +305,30 @@ int runVerify(const Options& opt, ecl::Compiler& compiler,
                            : (st.alphabetTruncated
                                   ? "incomplete (alphabet truncated)"
                                   : "incomplete (bound reached)")));
+    // The stats above print on EVERY path — a bound-reached (exit 4) or
+    // violated run still reports its partial exploration.
+    std::printf("store %s: %llu bytes%s\n",
+                ecl::verify::storeKindName(st.storeKind),
+                static_cast<unsigned long long>(st.storeMemoryBytes),
+                st.lossyStore ? ", lossy" : "");
+    if (opt.por)
+        std::printf("por: %llu expansions skipped\n",
+                    static_cast<unsigned long long>(st.lettersReduced));
+    if (opt.nativeSucc)
+        std::printf("native successors: %s\n",
+                    st.usedNativeSuccessors ? "yes" : "no (VM fallback)");
 
-    if (!res.violated) return st.complete ? kExitOk : kExitBoundReached;
+    if (!res.violated) {
+        if (st.lossyStore) {
+            // Honest lossy reporting: bitstate hash collisions may have
+            // merged distinct states, so a clean sweep is coverage, not
+            // proof — and never exit 4: lossiness IS the bound.
+            std::printf("result: no violation found (bounded/lossy "
+                        "bitstate search, not a proof)\n");
+            return kExitOk;
+        }
+        return st.complete ? kExitOk : kExitBoundReached;
+    }
 
     const ecl::verify::Violation& v = res.violation;
     std::printf("VIOLATION (%s) '%s' at depth %d\n",
@@ -516,6 +583,17 @@ int main(int argc, char** argv)
             if (opt.threads <= 0) return usage();
         } else if (arg == "--dfs") {
             opt.dfs = true;
+        } else if (arg == "--store" && i + 1 < argc) {
+            opt.store = argv[++i];
+        } else if (arg.rfind("--store=", 0) == 0) {
+            opt.store = arg.substr(8);
+        } else if (arg == "--store-mem" && i + 1 < argc) {
+            opt.storeMem = parseByteSize(argv[++i]);
+            if (opt.storeMem <= 0) return usage();
+        } else if (arg == "--por") {
+            opt.por = true;
+        } else if (arg == "--native-succ") {
+            opt.nativeSucc = true;
         } else if (arg == "--record-trace" && i + 1 < argc) {
             opt.recordTrace = argv[++i];
         } else if (arg == "--replay-trace" && i + 1 < argc) {
@@ -547,8 +625,18 @@ int main(int argc, char** argv)
     // Verify-only flags without --verify would be silently ignored —
     // reject them so exit 0 can never be mistaken for "verified".
     if (!opt.verify && (!opt.monitorFile.empty() || opt.depth > 0 ||
-                        opt.maxStates > 0 || opt.threads != 1 || opt.dfs))
+                        opt.maxStates > 0 || opt.threads != 1 || opt.dfs ||
+                        !opt.store.empty() || opt.storeMem > 0 || opt.por ||
+                        opt.nativeSucc))
         return usage();
+    ecl::verify::StoreKind storeKind = ecl::verify::StoreKind::Exact;
+    if (!opt.store.empty() &&
+        !ecl::verify::parseStoreKind(opt.store, storeKind)) {
+        std::fprintf(stderr, "eclc: unknown --store kind '%s'\n",
+                     opt.store.c_str());
+        return usage();
+    }
+    opt.storeKind = storeKind;
     // Trace modes are exclusive with each other and with verify/async/aot;
     // stimulus flags only mean something when a stimulus is driven
     // (recording or the AOT differential run).

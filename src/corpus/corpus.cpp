@@ -182,6 +182,7 @@ std::string regenerateSource(const Scenario& s)
     if (s.kind == "shaped") {
         if (s.shape == "deep_preempt") return deepPreemptProgram(s.depth);
         if (s.shape == "wide_par") return wideParProgram(s.depth);
+        if (s.shape == "pure_par") return pureParProgram(s.depth);
         if (s.shape == "payload") return largePayloadProgram(s.depth);
         throw EclError("corpus: unknown shape '" + s.shape + "'");
     }

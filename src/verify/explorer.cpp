@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <map>
+
+#include "src/runtime/native_module.h"
 
 namespace ecl::verify {
 
@@ -124,7 +127,7 @@ Explorer::ModuleCtx::ModuleCtx(const ModuleSema& sema,
 }
 
 Explorer::Worker::Worker(const Explorer& ex)
-    : design(ex.sema_, ex.layout_, ex.code_)
+    : design(ex.sema_, ex.layout_, ex.code_), emitRing(ex.nativeEmitSlots_, 0)
 {
     if (ex.monSema_)
         monitor.emplace(*ex.monSema_, ex.monLayout_, ex.monCode_);
@@ -162,6 +165,18 @@ void Explorer::attachMonitor(const efsm::FlatProgram& flat,
     monSema_ = &sema;
     monLayout_ = rt::computeInstanceLayout(sema);
     if (owner) owners_.push_back(std::move(owner));
+}
+
+void Explorer::attachNative(std::shared_ptr<const rt::NativeModule> native)
+{
+    if (ran_) throw EclError("attachNative after run()");
+    if (!native) throw EclError("attachNative: null native module");
+    // Same gate as every other native entry point: a module generated
+    // from different flat tables must not run over these arenas.
+    rt::validateNativeShape(native->info(), sema_, flat_, layout_);
+    nativeEmitSlots_ = std::max<std::size_t>(native->info().max_emits, 1);
+    nativeReact_ = native->react();
+    native_ = std::move(native);
 }
 
 void Explorer::addPredicate(std::string name, Predicate fn)
@@ -315,6 +330,231 @@ void Explorer::resolveChecks()
 }
 
 // ---------------------------------------------------------------------------
+// Explorer: partial-order reduction
+// ---------------------------------------------------------------------------
+
+bool Explorer::isCommutativeChunk(std::int32_t chunk) const
+{
+    // Accepts exactly the shapes a state-independent constant increment
+    // of one scalar variable compiles to — at -O0 (discrete
+    // AddrVar/Binary sequences) and after the -O2 peephole pass (fused
+    // superinstructions). Scalar adds wrap through normalizeScalar /
+    // writeScalar truncation (never trap), so any multiset of such
+    // updates produces the same slot bytes in any execution order —
+    // the property the POR chain decomposition relies on.
+    const bc::Chunk& ck = code_->chunks[static_cast<std::size_t>(chunk)];
+    if (ck.isExpr) return false;
+    const bc::Instr* ins = code_->code.data() + ck.begin;
+    const std::size_t n = ck.end - ck.begin;
+    auto isAddSub = [](std::int32_t imm) {
+        const auto op = static_cast<ast::BinaryOp>(imm);
+        return op == ast::BinaryOp::Add || op == ast::BinaryOp::Sub;
+    };
+    auto isAssignAddSub = [](std::int32_t imm) {
+        const auto op = static_cast<ast::AssignOp>(imm);
+        return op == ast::AssignOp::Add || op == ast::AssignOp::Sub;
+    };
+    switch (n) {
+    case 2:
+        // x++ / x-- fused: [IncDecVar][End] (imm = UnaryOp, always ±1).
+        return ins[0].op == bc::Op::IncDecVar && ins[1].op == bc::Op::End;
+    case 3:
+        // x++ / x--: [AddrVar][IncDec][End].
+        return ins[0].op == bc::Op::AddrVar && ins[1].op == bc::Op::IncDec &&
+               ins[1].b == ins[0].a && ins[2].op == bc::Op::End;
+    case 4:
+        // x = x + k fused: [LoadVarSc][BinaryImm][StoreVarSc same slot].
+        if (ins[0].op == bc::Op::LoadVarSc &&
+            ins[1].op == bc::Op::BinaryImm && ins[1].b == ins[0].a &&
+            isAddSub(ins[1].imm) && ins[2].op == bc::Op::StoreVarSc &&
+            ins[2].c == ins[1].a && ins[2].imm == ins[0].imm &&
+            ins[3].op == bc::Op::End)
+            return true;
+        // x += k: [AddrVar][ConstInt][StoreCompound][End].
+        if (ins[0].op == bc::Op::AddrVar && ins[1].op == bc::Op::ConstInt &&
+            ins[2].op == bc::Op::StoreCompound && ins[2].b == ins[0].a &&
+            ins[2].c == ins[1].a && isAssignAddSub(ins[2].imm) &&
+            ins[3].op == bc::Op::End)
+            return true;
+        return false;
+    case 5:
+        // x = x + k / x = k + x / x = x - k:
+        // [LoadVarSc][ConstInt][Binary][StoreVarSc same slot][End].
+        if (!(ins[0].op == bc::Op::LoadVarSc &&
+              ins[1].op == bc::Op::ConstInt && ins[2].op == bc::Op::Binary &&
+              isAddSub(ins[2].imm) && ins[3].op == bc::Op::StoreVarSc &&
+              ins[3].c == ins[2].a && ins[3].imm == ins[0].imm &&
+              ins[4].op == bc::Op::End))
+            return false;
+        if (ins[2].b == ins[0].a && ins[2].c == ins[1].a) return true;
+        // k + x commutes too; k - x does not.
+        return ins[2].b == ins[1].a && ins[2].c == ins[0].a &&
+               static_cast<ast::BinaryOp>(ins[2].imm) == ast::BinaryOp::Add;
+    default:
+        return false;
+    }
+}
+
+bool Explorer::simPure(int state, const std::vector<std::uint8_t>& presentIn,
+                       SimResult& out) const
+{
+    // Presence-only twin of reactModule: walks the decision tree with
+    // the given input presence (emissions feed back into it exactly as
+    // the real reaction's present[] does) WITHOUT executing data code.
+    // Fails — conservatively disqualifying the letter — on anything
+    // whose effect presence alone cannot predict: a data-dependent
+    // branch, a valued emission, a runtime-error leaf, or a data action
+    // outside the commutative-increment whitelist.
+    out.endState = -1;
+    out.emitted.clear();
+    out.chunks.clear();
+    std::vector<std::uint8_t> present = presentIn;
+    const efsm::FlatNode* nodes = flat_.nodes.data();
+    const efsm::FlatAction* actions = flat_.actions.data();
+    auto runActs = [&](const efsm::FlatNode& node) -> bool {
+        for (std::int32_t i = node.actionsBegin; i < node.actionsEnd; ++i) {
+            const efsm::FlatAction& a = actions[i];
+            if (a.kind == efsm::FlatAction::Kind::Emit) {
+                if (a.chunk >= 0) return false; // valued emission
+                present[a.signal] = 1;
+                out.emitted.push_back(a.signal);
+            } else if (a.chunk >= 0) {
+                if (!isCommutativeChunk(a.chunk)) return false;
+                out.chunks.push_back(a.chunk);
+            }
+        }
+        return true;
+    };
+    const std::int32_t root =
+        flat_.states[static_cast<std::size_t>(state)].root;
+    if (root < 0) return false;
+    const efsm::FlatNode* node = &nodes[root];
+    while (!node->isLeaf()) {
+        if (!runActs(*node)) return false;
+        if (node->testSignal < 0) return false; // data-dependent branch
+        node = &nodes[present[node->testSignal] != 0 ? node->onTrue
+                                                     : node->onFalse];
+    }
+    if (node->runtimeError()) return false;
+    if (!runActs(*node)) return false;
+    out.endState = node->nextState;
+    return true;
+}
+
+void Explorer::computePartialOrder()
+{
+    // Decides, per (control state, letter), whether a composite pure
+    // letter {s1 < s2 < ... < sm} is redundant: the ascending singleton
+    // chain s1-then-s2-... reaches the identical packed state, and the
+    // singletons (and the empty letter) are never dropped — so removing
+    // the composite loses no reachable state and no violation. The
+    // chain comparison demands: the same end control state, the same
+    // emitted-signal set, and the same multiset of executed data
+    // chunks, every chunk a commutative constant increment (simPure
+    // enforces that). Letters that emit a checked violation signal stay
+    // (the direct transition is the shortest counterexample), and a
+    // monitor disables the reduction wholesale: the monitor observes
+    // instants, and the decomposition multiplies them.
+    if (monSema_) return;
+
+    std::vector<std::uint8_t> checkedSig(sema_.signals.size(), 0);
+    for (const Check& ck : checks_)
+        if (ck.kind == Violation::Kind::DesignSignal && ck.signal >= 0)
+            checkedSig[static_cast<std::size_t>(ck.signal)] = 1;
+
+    auto signalSet = [](std::vector<std::int32_t> v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        return v;
+    };
+
+    // Chains revisit the same (state, signal) steps across the letters
+    // of one state — and across states that share successors.
+    std::map<std::pair<int, int>, std::optional<SimResult>> singles;
+    std::vector<std::uint8_t> present(sema_.signals.size(), 0);
+    SimResult combined;
+
+    for (std::size_t st = 0; st < flat_.states.size(); ++st) {
+        if (flat_.states[st].dead || flat_.states[st].root < 0) continue;
+        StateAlphabet& sa = alphabet_[st];
+        std::vector<std::uint8_t> reduced(sa.letters.size(), 0);
+        bool any = false;
+        for (std::size_t L = 0; L < sa.letters.size(); ++L) {
+            const Letter& letter = sa.letters[L];
+            if (letter.sets.size() < 2) continue;
+            bool allPure = true;
+            for (const auto& [sig, dom] : letter.sets)
+                if (dom >= 0) {
+                    allPure = false;
+                    break;
+                }
+            if (!allPure) continue;
+
+            std::fill(present.begin(), present.end(), 0);
+            for (const auto& [sig, dom] : letter.sets)
+                present[static_cast<std::size_t>(sig)] = 1;
+            if (!simPure(static_cast<int>(st), present, combined)) continue;
+
+            bool emitsChecked = false;
+            for (std::int32_t e : combined.emitted)
+                if (checkedSig[static_cast<std::size_t>(e)]) {
+                    emitsChecked = true;
+                    break;
+                }
+            if (emitsChecked) continue;
+
+            // Ascending singleton chain (letter.sets is built ascending
+            // by the mixed-radix enumeration).
+            int cur = static_cast<int>(st);
+            std::vector<std::int32_t> chainEmits;
+            std::vector<std::int32_t> chainChunks;
+            bool ok = true;
+            for (const auto& [sig, dom] : letter.sets) {
+                // An intermediate dead state cannot take further
+                // instants; the chain breaks.
+                if (cur < 0 ||
+                    flat_.states[static_cast<std::size_t>(cur)].dead) {
+                    ok = false;
+                    break;
+                }
+                const auto key = std::make_pair(cur, static_cast<int>(sig));
+                auto it = singles.find(key);
+                if (it == singles.end()) {
+                    std::fill(present.begin(), present.end(), 0);
+                    present[static_cast<std::size_t>(sig)] = 1;
+                    std::optional<SimResult> r;
+                    SimResult one;
+                    if (simPure(cur, present, one)) r = std::move(one);
+                    it = singles.emplace(key, std::move(r)).first;
+                }
+                if (!it->second) {
+                    ok = false;
+                    break;
+                }
+                const SimResult& one = *it->second;
+                chainEmits.insert(chainEmits.end(), one.emitted.begin(),
+                                  one.emitted.end());
+                chainChunks.insert(chainChunks.end(), one.chunks.begin(),
+                                   one.chunks.end());
+                cur = one.endState;
+            }
+            if (!ok || cur != combined.endState) continue;
+            if (signalSet(combined.emitted) != signalSet(chainEmits))
+                continue;
+            std::vector<std::int32_t> a = combined.chunks;
+            std::vector<std::int32_t> b = std::move(chainChunks);
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            if (a != b) continue;
+
+            reduced[L] = 1;
+            any = true;
+        }
+        if (any) sa.reduced = std::move(reduced);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Explorer: successor computation
 // ---------------------------------------------------------------------------
 
@@ -363,15 +603,10 @@ int Explorer::reactModule(ModuleCtx& ctx, const efsm::FlatProgram& flat,
     return node->nextState;
 }
 
-std::int32_t Explorer::designStateOf(const std::uint8_t* rec) const
+void Explorer::expandOne(Worker& w, const std::uint8_t* rec, std::uint32_t id,
+                         std::uint32_t letterIdx)
 {
-    return readI32(rec);
-}
-
-void Explorer::expandOne(Worker& w, std::uint32_t id, std::uint32_t letterIdx)
-{
-    const std::uint8_t* rec = store_->at(id);
-    const int ds = designStateOf(rec);
+    const int ds = readI32(rec);
     const Letter& letter =
         alphabet_[static_cast<std::size_t>(ds)].letters[letterIdx];
 
@@ -395,7 +630,30 @@ void Explorer::expandOne(Worker& w, std::uint32_t id, std::uint32_t letterIdx)
     int newDs = ds;
     int newMs = -1;
     try {
-        newDs = reactModule(w.design, flat_, sema_, layout_, ds);
+        if (nativeReact_) {
+            // AOT path: the generated ecl_native_react runs directly on
+            // the worker's slice and presence row (the generated code
+            // marks every emission present, locals included, so monitor
+            // wiring and signal checks below see the VM's exact
+            // instant). Fuel reseeds per reaction like the batch
+            // engine's native path; a nonzero return carries the same
+            // trap message the VM path throws.
+            rt::EclNativeCtx ctx{};
+            ctx.data = w.design.slice.data();
+            ctx.present = w.design.present.data();
+            ctx.emitted = w.emitRing.data();
+            ctx.state = ds;
+            ctx.depth = 1;
+            ctx.fuel = rt::kNativeReactFuel;
+            const int rc = nativeReact_(&ctx);
+            if (rc != 0)
+                throw EclError(ctx.error ? ctx.error
+                                         : "native reaction failed without "
+                                           "a message");
+            newDs = ctx.state;
+        } else {
+            newDs = reactModule(w.design, flat_, sema_, layout_, ds);
+        }
         if (monSema_) {
             const int ms = readI32(rec + 4);
             std::memcpy(w.monitor->slice.data(),
@@ -489,15 +747,27 @@ void Explorer::expandRange(Worker& w, std::uint32_t begin, std::uint32_t end)
 {
     try {
         for (std::uint32_t id = begin; id < end; ++id) {
-            const int ds = designStateOf(store_->at(id));
+            // Frontier records travel in the level buffer — workers
+            // never touch the store (its at() pointers are invalidated
+            // by the merge phase's interning, and a bitstate store has
+            // no records at all).
+            const std::uint8_t* rec =
+                levelRecs_.data() +
+                static_cast<std::size_t>(id - levelBase_) * packedSize_;
+            const int ds = readI32(rec);
             if (flat_.states[static_cast<std::size_t>(ds)].dead)
                 continue; // terminated: no future instants
             const StateAlphabet& sa =
                 alphabet_[static_cast<std::size_t>(ds)];
             if (sa.truncated) w.sawTruncation = true;
             for (std::uint32_t L = 0;
-                 L < static_cast<std::uint32_t>(sa.letters.size()); ++L)
-                expandOne(w, id, L);
+                 L < static_cast<std::uint32_t>(sa.letters.size()); ++L) {
+                if (!sa.reduced.empty() && sa.reduced[L]) {
+                    ++w.lettersReduced;
+                    continue;
+                }
+                expandOne(w, rec, id, L);
+            }
         }
     } catch (...) {
         w.fatal = std::current_exception();
@@ -510,6 +780,8 @@ void Explorer::expandRange(Worker& w, std::uint32_t begin, std::uint32_t end)
 
 bool Explorer::mergeWorker(Worker& w, ExploreResult& out)
 {
+    const bool budgeted =
+        options_.storeBudgetBytes != 0 && !store_->lossy();
     const std::uint8_t* bytes = w.packed.data();
     for (std::size_t i = 0; i < w.succs.size();
          ++i, bytes += packedSize_) {
@@ -519,14 +791,20 @@ bool Explorer::mergeWorker(Worker& w, ExploreResult& out)
             recordViolation(s, bytes, out);
             return true;
         }
-        // The state cap stops interning (deterministically: merge order
-        // is canonical) but the remaining transitions of the level are
-        // still scanned for violations.
+        // The state cap (and the store memory budget) stops interning
+        // deterministically — merge order is canonical — but the
+        // remaining transitions of the level are still scanned for
+        // violations.
         if (store_->size() >= options_.maxStates) continue;
+        if (budgeted && store_->memoryBytes() > options_.storeBudgetBytes)
+            continue;
         auto [newId, isNew] = store_->intern(bytes);
+        (void)newId;
         if (isNew) {
             parents_.push_back({s.parent, s.letter});
             depths_.push_back(depths_[s.parent] + 1);
+            designStates_.push_back(readI32(bytes));
+            nextRecs_.insert(nextRecs_.end(), bytes, bytes + packedSize_);
         }
     }
     return false;
@@ -573,7 +851,9 @@ void Explorer::recordViolation(const Succ& s, const std::uint8_t* packed,
 TraceStep Explorer::letterToStep(std::uint32_t stateId,
                                  std::uint32_t letterIdx) const
 {
-    const int ds = designStateOf(store_->at(stateId));
+    // designStates_ carries every id's control state: trace rebuilding
+    // must not read the store (bitstate retains no records).
+    const int ds = designStates_[stateId];
     const Letter& letter =
         alphabet_[static_cast<std::size_t>(ds)].letters[letterIdx];
     TraceStep step;
@@ -622,9 +902,14 @@ ExploreResult Explorer::run()
     headerBytes_ = monSema_ ? 8 : 4;
     packedSize_ = headerBytes_ + layout_.dataBytes +
                   (monSema_ ? monLayout_.dataBytes : 0);
-    store_ = std::make_unique<StateStore>(packedSize_);
+    StoreConfig cfg;
+    cfg.memoryBudgetBytes = options_.storeBudgetBytes;
+    cfg.componentSizes = {headerBytes_, layout_.dataBytes};
+    if (monSema_) cfg.componentSizes.push_back(monLayout_.dataBytes);
+    store_ = StateStore::make(options_.storeKind, packedSize_, cfg);
     buildAlphabet();
     resolveChecks();
+    if (options_.partialOrder) computePartialOrder();
 
     // Root: pre-boot — initial control states, all data zero. The first
     // explored instant is the boot reaction (which may consume inputs).
@@ -632,8 +917,11 @@ ExploreResult Explorer::run()
     writeI32(root.data(), flat_.initialState);
     if (monSema_) writeI32(root.data() + 4, monFlat_->initialState);
     store_->intern(root.data());
+    designStates_.push_back(flat_.initialState);
     parents_.push_back({std::numeric_limits<std::uint32_t>::max(), 0});
     depths_.push_back(0);
+    levelRecs_ = root;
+    levelBase_ = 0;
 
     const auto t0 = std::chrono::steady_clock::now();
     ExploreResult out = options_.strategy == Strategy::Dfs ? runDfs()
@@ -642,6 +930,12 @@ ExploreResult Explorer::run()
 
     out.stats.states = store_->size();
     out.stats.controlStates = flat_.states.size();
+    out.stats.storeKind = store_->kind();
+    out.stats.lossyStore = store_->lossy();
+    out.stats.storeMemoryBytes = store_->memoryBytes();
+    out.stats.usedNativeSuccessors = nativeReact_ != nullptr;
+    for (const auto& w : workers_)
+        out.stats.lettersReduced += w->lettersReduced;
     out.stats.seconds =
         std::chrono::duration<double>(t1 - t0).count();
     out.stats.statesPerSec =
@@ -697,7 +991,9 @@ ExploreResult Explorer::runBfs()
         // Canonical merge: worker chunks are contiguous ascending
         // frontier ranges, so concatenation in worker order IS
         // frontier x letter order — ids and the first violation are
-        // thread-count independent.
+        // thread-count independent. New records accumulate in
+        // nextRecs_, becoming the next level's frontier buffer.
+        nextRecs_.clear();
         for (const auto& w : workers_) {
             if (mergeWorker(*w, out)) {
                 stopped = true;
@@ -706,11 +1002,16 @@ ExploreResult Explorer::runBfs()
         }
         levelBegin = levelEnd;
         levelEnd = store_->size();
+        levelBase_ = levelBegin;
+        levelRecs_.swap(nextRecs_);
         out.stats.peakFrontier =
             std::max(out.stats.peakFrontier,
                      static_cast<std::uint64_t>(levelEnd - levelBegin));
         out.stats.depthReached = depth;
         if (store_->size() >= options_.maxStates) capped = true;
+        if (options_.storeBudgetBytes != 0 && !store_->lossy() &&
+            store_->memoryBytes() > options_.storeBudgetBytes)
+            capped = true;
     }
 
     for (const auto& w : workers_)
@@ -728,7 +1029,12 @@ ExploreResult Explorer::runDfs()
     Worker& w = *workers_[0];
 
     ExploreResult out;
+    // Parallel stacks: ids plus their packed records (entry i's record
+    // at byte offset i * packedSize_) — DFS re-expansion must not read
+    // the store either.
     std::vector<std::uint32_t> stack{0};
+    std::vector<std::uint8_t> recStack = levelRecs_;
+    std::vector<std::uint8_t> cur(packedSize_);
     out.stats.peakFrontier = 1;
     bool capped = false;
     bool depthBounded = false;
@@ -737,7 +1043,10 @@ ExploreResult Explorer::runDfs()
     while (!stack.empty() && !stopped && !capped) {
         const std::uint32_t id = stack.back();
         stack.pop_back();
-        const int ds = designStateOf(store_->at(id));
+        std::memcpy(cur.data(), recStack.data() + stack.size() * packedSize_,
+                    packedSize_);
+        recStack.resize(stack.size() * packedSize_);
+        const int ds = readI32(cur.data());
         if (flat_.states[static_cast<std::size_t>(ds)].dead) continue;
         if (depths_[id] >=
             static_cast<std::uint32_t>(options_.maxDepth)) {
@@ -753,21 +1062,39 @@ ExploreResult Explorer::runDfs()
         const StateAlphabet& sa = alphabet_[static_cast<std::size_t>(ds)];
         if (sa.truncated) w.sawTruncation = true;
         for (std::uint32_t L = 0;
-             L < static_cast<std::uint32_t>(sa.letters.size()); ++L)
-            expandOne(w, id, L);
+             L < static_cast<std::uint32_t>(sa.letters.size()); ++L) {
+            if (!sa.reduced.empty() && sa.reduced[L]) {
+                ++w.lettersReduced;
+                continue;
+            }
+            expandOne(w, cur.data(), id, L);
+        }
 
         const std::uint32_t before = store_->size();
+        nextRecs_.clear();
         if (mergeWorker(w, out)) {
             stopped = true;
             break;
         }
         // Push in reverse so the letter-0 successor is explored first.
-        for (std::uint32_t newId = store_->size(); newId > before;)
-            stack.push_back(--newId);
+        const std::uint32_t added = store_->size() - before;
+        for (std::uint32_t k = added; k > 0;) {
+            --k;
+            stack.push_back(before + k);
+            recStack.insert(recStack.end(),
+                            nextRecs_.data() +
+                                static_cast<std::size_t>(k) * packedSize_,
+                            nextRecs_.data() +
+                                static_cast<std::size_t>(k + 1) *
+                                    packedSize_);
+        }
         out.stats.peakFrontier = std::max(
             out.stats.peakFrontier,
             static_cast<std::uint64_t>(stack.size()));
         if (store_->size() >= options_.maxStates) capped = true;
+        if (options_.storeBudgetBytes != 0 && !store_->lossy() &&
+            store_->memoryBytes() > options_.storeBudgetBytes)
+            capped = true;
     }
 
     if (w.sawTruncation) out.stats.alphabetTruncated = true;

@@ -16,7 +16,9 @@
 // where "data bytes" is the module's rt::InstanceLayout slice (variables
 // + valued-signal slots) — byte-compatible with a batch-engine arena
 // slice, and with rt::SyncEngine state via verify::encodeEngineState
-// (src/verify/replay.h). Records are hash-interned in a StateStore; the
+// (src/verify/replay.h). Records are interned in a pluggable StateStore
+// (ExplorerOptions::storeKind — exact arena, collapse-compressed, or
+// lossy supertrace bitstate; see src/verify/state_store.h); the
 // interned pause-set configuration behind a control state id is
 // available through FlatProgram::configOf.
 //
@@ -33,6 +35,25 @@
 // for minimal counterexamples (the minimal trace never sets an
 // untested pure input).
 //
+// Partial-order reduction (ExplorerOptions::partialOrder, default off) —
+// a composite letter {a, b, ...} of pure inputs commutes with its
+// singleton decomposition when the per-signal reactions are independent:
+// the same end control state, the same emitted-signal set and the same
+// multiset of executed data actions, every executed action a
+// state-independent commutative update (constant increment/decrement of
+// a scalar variable). Such letters are dropped: the canonical
+// interleaving a-then-b-then-... reaches the identical packed state
+// through singleton letters that are ALWAYS kept, so every reachable
+// state stays reachable (reduced set == unreduced set on complete runs;
+// under a depth bound the reduced frontier is narrower, which is where
+// the state-count reduction shows up). Soundness of the check is
+// decided by a presence-only simulation of the decision tree: any
+// data-dependent branch, valued emission, runtime-error leaf or
+// non-commutative action disqualifies the letter. Letters that emit a
+// checked violation signal are kept (shortest-counterexample quality),
+// and the reduction is disabled entirely when a monitor is attached
+// (the monitor observes instants, which the decomposition multiplies).
+//
 // Frontier expansion — BFS by default: each depth level is a contiguous
 // id range; worker threads expand disjoint contiguous chunks of it
 // through per-worker scratch (view Store + ArenaSigView + reentrant
@@ -40,9 +61,20 @@
 // sequential merge interns successors in canonical frontier x letter
 // order. State numbering, state count, and the reported counterexample
 // are therefore identical for any thread count, and BFS parent links
-// give shortest traces. Strategy::Dfs explores depth-first on the
-// calling thread instead (lower memory for deep narrow spaces; traces
-// not minimal).
+// give shortest traces. Workers never read the state store: the current
+// level's records travel in an explicit frontier buffer (which is also
+// what makes the write-only bitstate store possible, and removes the
+// at()-across-intern() stale-pointer hazard by construction).
+// Strategy::Dfs explores depth-first on the calling thread instead
+// (lower memory for deep narrow spaces; traces not minimal).
+//
+// Native successors — when an AOT-compiled module is attached
+// (attachNative / ExplorerOptions::nativeSuccessors via
+// CompiledModule::makeExplorer), workers call the generated
+// ecl_native_react for the DESIGN successor computation instead of the
+// bytecode VM: same arena slice, same presence bytes, same trap
+// messages, bit-exact states (differentially tested). The monitor, when
+// attached, always reacts through the VM.
 //
 // Violations — three sources, checked per *transition* (emissions are
 // per-instant and not part of the packed state):
@@ -70,9 +102,14 @@
 #include "src/efsm/flatten.h"
 #include "src/interp/vm.h"
 #include "src/runtime/instance_layout.h"
+#include "src/runtime/native_abi.h"
 #include "src/runtime/worker_pool.h"
 #include "src/sema/sema.h"
 #include "src/verify/state_store.h"
+
+namespace ecl::rt {
+class NativeModule;
+}
 
 namespace ecl::verify {
 
@@ -114,8 +151,21 @@ struct ExploreStats {
     std::uint64_t transitions = 0; ///< (state, letter) expansions executed.
     std::uint64_t peakFrontier = 0;
     int depthReached = 0; ///< Deepest instant expanded into.
-    bool complete = false; ///< Frontier exhausted within every bound.
+    /// Frontier exhausted within every bound. NOTE: with a lossy store
+    /// (lossyStore below) this is a coverage statement only — hash
+    /// collisions may have merged distinct states, so a complete lossy
+    /// run means "no violation found", never "verified".
+    bool complete = false;
     bool alphabetTruncated = false; ///< maxLettersPerState hit somewhere.
+    StoreKind storeKind = StoreKind::Exact;
+    bool lossyStore = false;          ///< stateStore().lossy().
+    std::uint64_t storeMemoryBytes = 0; ///< stateStore().memoryBytes().
+    /// (state, letter) expansions skipped by partial-order reduction.
+    std::uint64_t lettersReduced = 0;
+    /// Design successors were computed by the AOT native reaction (an
+    /// attached module that failed validation falls back to the VM and
+    /// leaves this false — honest reporting over silent assumptions).
+    bool usedNativeSuccessors = false;
     double seconds = 0;
     double statesPerSec = 0;
 };
@@ -148,6 +198,20 @@ struct ExplorerOptions {
     /// Hold pure inputs absent in states whose decision tree never tests
     /// them (sound; see the header comment). Off = full alphabet.
     bool pruneInputs = true;
+    /// Which StateStore implementation holds the reachable set.
+    StoreKind storeKind = StoreKind::Exact;
+    /// State-store byte budget. Bitstate sizes its bit table from it
+    /// (0 = its 4 MiB default); exact/compressed runs stop — marked
+    /// incomplete — once memoryBytes() exceeds it (0 = unlimited).
+    std::uint64_t storeBudgetBytes = 0;
+    /// Partial-order reduction over independent pure input letters
+    /// (see the header comment for the exact commutation check).
+    bool partialOrder = false;
+    /// Ask CompiledModule::makeExplorer to attach the module's AOT
+    /// native reaction for design successor computation (silently
+    /// falls back to the VM when the backend is unavailable — check
+    /// ExploreStats::usedNativeSuccessors).
+    bool nativeSuccessors = false;
     /// Candidate values for scalar-valued inputs, smallest set that can
     /// drive both branches of most predicates by default.
     std::vector<std::int64_t> scalarDomain = {0, 1};
@@ -158,6 +222,9 @@ struct ExplorerOptions {
     /// name contains "violation".
     std::vector<std::string> violationSignals;
 };
+
+/// The name the ISSUE-facing docs use; same type.
+using ExploreOptions = ExplorerOptions;
 
 /// Read-only view of one packed design state (predicate interface).
 class StateView {
@@ -240,6 +307,13 @@ public:
                        const ModuleSema& sema,
                        std::shared_ptr<const void> owner = nullptr);
 
+    /// Attaches the design's AOT-compiled reaction function: workers
+    /// call it for design successor computation (bit-exact with the VM
+    /// path). Validates the module's shape record against the design
+    /// tables; throws EclError on mismatch. Must be called before
+    /// run().
+    void attachNative(std::shared_ptr<const rt::NativeModule> native);
+
     /// Registers a safety predicate over post-reaction design states;
     /// returning true flags the transition as a violation.
     void addPredicate(std::string name, Predicate fn);
@@ -254,7 +328,8 @@ public:
         return layout_;
     }
     /// Order-sensitive digest over all interned states (determinism
-    /// fingerprint for tests). Valid after run().
+    /// fingerprint for tests; comparable across store kinds). Valid
+    /// after run().
     [[nodiscard]] std::uint64_t stateDigest() const;
     /// The interned packed records (reachable-set introspection; tests
     /// cross-check it against brute-force enumeration). Valid after
@@ -271,6 +346,9 @@ private:
     };
     struct StateAlphabet {
         std::vector<Letter> letters;
+        /// Partial-order reduction verdicts, empty when none dropped
+        /// (1 = skip the expansion; see computePartialOrder).
+        std::vector<std::uint8_t> reduced;
         bool truncated = false;
     };
 
@@ -298,8 +376,10 @@ private:
     struct Worker {
         ModuleCtx design;
         std::optional<ModuleCtx> monitor;
+        std::vector<std::int32_t> emitRing; ///< Native-successor scratch.
         std::vector<std::uint8_t> packed; ///< Successors, packedSize each.
         std::vector<Succ> succs;
+        std::uint64_t lettersReduced = 0; ///< POR-skipped expansions.
         bool sawTruncation = false; ///< Expanded a truncated-alphabet state.
         std::exception_ptr fatal;
 
@@ -319,19 +399,32 @@ private:
         std::string name;
     };
 
+    /// Presence-only decision-tree simulation result (POR).
+    struct SimResult {
+        int endState = -1;
+        std::vector<std::int32_t> emitted; ///< Signals, walk order.
+        std::vector<std::int32_t> chunks;  ///< Executed action chunks.
+    };
+
     void buildAlphabet();
     void resolveChecks();
+    void computePartialOrder();
+    bool simPure(int state, const std::vector<std::uint8_t>& present,
+                 SimResult& out) const;
+    [[nodiscard]] bool isCommutativeChunk(std::int32_t chunk) const;
     int reactModule(ModuleCtx& ctx, const efsm::FlatProgram& flat,
                     const ModuleSema& sema, const rt::InstanceLayout& layout,
                     int state) const;
-    /// Expands one (state, letter); returns false on runtime error (succ
-    /// recorded with the error, packed bytes undefined).
-    void expandOne(Worker& w, std::uint32_t id, std::uint32_t letterIdx);
+    /// Expands one (state, letter) from the packed record `rec`.
+    void expandOne(Worker& w, const std::uint8_t* rec, std::uint32_t id,
+                   std::uint32_t letterIdx);
+    /// Expands frontier ids [begin, end); records are read from the
+    /// level buffer (levelRecs_ at levelBase_), never from the store.
     void expandRange(Worker& w, std::uint32_t begin, std::uint32_t end);
     ExploreResult runBfs();
     ExploreResult runDfs();
-    /// Merges one worker buffer in canonical order; returns true when a
-    /// violation or the state cap stops exploration.
+    /// Merges one worker buffer in canonical order; appends new records
+    /// to nextRecs_. Returns true when a violation stops exploration.
     bool mergeWorker(Worker& w, ExploreResult& out);
     void recordViolation(const Succ& s, const std::uint8_t* packed,
                          ExploreResult& out);
@@ -339,7 +432,6 @@ private:
                                       std::uint32_t letterIdx) const;
     TraceStep letterToStep(std::uint32_t stateId,
                            std::uint32_t letterIdx) const;
-    [[nodiscard]] std::int32_t designStateOf(const std::uint8_t* rec) const;
 
     const efsm::FlatProgram& flat_;
     std::shared_ptr<const bc::Program> code_;
@@ -355,6 +447,11 @@ private:
     rt::InstanceLayout monLayout_;
     std::vector<MonitorWire> wires_;
 
+    // Native successor function (optional).
+    std::shared_ptr<const rt::NativeModule> native_;
+    rt::EclNativeReactFn nativeReact_ = nullptr;
+    std::size_t nativeEmitSlots_ = 1;
+
     // Packed-record geometry.
     std::size_t headerBytes_ = 4;
     std::size_t packedSize_ = 0;
@@ -367,8 +464,18 @@ private:
     std::vector<Check> checks_;
     std::vector<std::pair<std::string, Predicate>> predicates_;
 
-    // Exploration state.
+    // Exploration state. Workers never read store_: the current BFS
+    // level's records live in levelRecs_ (id i at offset
+    // (i - levelBase_) * packedSize_), the merge appends newly interned
+    // records to nextRecs_, and designStates_ carries each id's design
+    // control state for dead-state checks and trace reconstruction —
+    // which is what lets the bitstate store drop the records entirely,
+    // and removes every at()-across-intern() stale-pointer site.
     std::unique_ptr<StateStore> store_;
+    std::vector<std::uint8_t> levelRecs_;
+    std::vector<std::uint8_t> nextRecs_;
+    std::uint32_t levelBase_ = 0;
+    std::vector<std::int32_t> designStates_; ///< Per interned id.
     std::vector<ParentLink> parents_; ///< Per interned id.
     std::vector<std::uint32_t> depths_;
     bool ran_ = false;

@@ -9,6 +9,13 @@
 // violation (signal presence, emitted value bytes, and the packed
 // post-state via encodeEngineState). Optional rt::TraceRecorders
 // capture the run for VCD / timeline dumps (runtime/trace).
+//
+// Replay is store- and reduction-agnostic: the trace carries the full
+// input letters, so a counterexample found through a lossy bitstate
+// store, under partial-order reduction, or via native-successor
+// expansion replays on the same production engines — the lossy store
+// can miss violations, but any violation it reports is replayed and
+// real.
 #pragma once
 
 #include <string>

@@ -8,14 +8,49 @@ namespace ecl::verify {
 
 namespace {
 constexpr std::size_t kInitialCapacity = 1u << 12;
+constexpr std::uint64_t kDefaultBitstateBytes = 1ull << 22; // 4 MiB
+
+/// splitmix64 finalizer: derives independent probe hashes from one
+/// record hash (bitstate probes must not be linearly related or the
+/// probes collide together and the effective filter degrades to one
+/// bit per state).
+std::uint64_t remix(std::uint64_t h)
+{
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+}
 } // namespace
+
+// ---------------------------------------------------------------------------
+// StateStore base
+// ---------------------------------------------------------------------------
+
+const char* storeKindName(StoreKind kind)
+{
+    switch (kind) {
+    case StoreKind::Exact: return "exact";
+    case StoreKind::Compressed: return "compressed";
+    case StoreKind::Bitstate: return "bitstate";
+    }
+    return "?";
+}
+
+bool parseStoreKind(const std::string& name, StoreKind& out)
+{
+    if (name == "exact") out = StoreKind::Exact;
+    else if (name == "compressed") out = StoreKind::Compressed;
+    else if (name == "bitstate") out = StoreKind::Bitstate;
+    else return false;
+    return true;
+}
 
 StateStore::StateStore(std::size_t packedSize) : packedSize_(packedSize)
 {
     if (packedSize_ == 0)
         throw EclError("StateStore: packed state size must be non-zero");
-    table_.assign(kInitialCapacity, 0);
-    mask_ = kInitialCapacity - 1;
+    scratch_.assign(packedSize_, 0);
 }
 
 std::uint64_t StateStore::hashBytes(const std::uint8_t* p, std::size_t n)
@@ -34,7 +69,61 @@ std::uint64_t StateStore::hashBytes(const std::uint8_t* p, std::size_t n)
     return h;
 }
 
-std::pair<std::uint32_t, bool> StateStore::intern(const std::uint8_t* bytes)
+void StateStore::noteNewRecord(const std::uint8_t* bytes)
+{
+    // Same fold the pre-pluggable store computed after the fact, so
+    // digests are directly comparable across store kinds and with
+    // historical fingerprints.
+    digest_ = digest_ * 0x100000001b3ull ^ hashBytes(bytes, packedSize_);
+    ++generation_;
+#ifndef NDEBUG
+    // Poison the scratch every at() result materializes through: a
+    // caller that held the pointer across this intern now reads 0xDD
+    // bytes instead of silently-stale state (see the header contract).
+    std::memset(scratch_.data(), 0xDD, scratch_.size());
+#endif
+}
+
+std::unique_ptr<StateStore> StateStore::make(StoreKind kind,
+                                             std::size_t packedSize,
+                                             StoreConfig config)
+{
+    switch (kind) {
+    case StoreKind::Exact:
+        return std::make_unique<ExactStore>(packedSize);
+    case StoreKind::Compressed:
+        return std::make_unique<CompressedStore>(
+            packedSize, std::move(config.componentSizes));
+    case StoreKind::Bitstate:
+        return std::make_unique<BitstateStore>(packedSize,
+                                               config.memoryBudgetBytes);
+    }
+    throw EclError("StateStore::make: unknown store kind");
+}
+
+// ---------------------------------------------------------------------------
+// ExactStore
+// ---------------------------------------------------------------------------
+
+ExactStore::ExactStore(std::size_t packedSize) : StateStore(packedSize)
+{
+    table_.assign(kInitialCapacity, 0);
+    mask_ = kInitialCapacity - 1;
+}
+
+const std::uint8_t* ExactStore::at(std::uint32_t id) const
+{
+    if (id >= count_)
+        throw EclError("StateStore::at: id out of range");
+#ifndef NDEBUG
+    std::memcpy(scratch(), arenaPtr(id), packedSize_);
+    return scratch();
+#else
+    return arenaPtr(id);
+#endif
+}
+
+std::pair<std::uint32_t, bool> ExactStore::intern(const std::uint8_t* bytes)
 {
     // Load factor 3/4 (size_t arithmetic: count_ * 4 would wrap uint32).
     if ((static_cast<std::size_t>(count_) + 1) * 4 > table_.size() * 3)
@@ -45,32 +134,216 @@ std::pair<std::uint32_t, bool> StateStore::intern(const std::uint8_t* bytes)
         if (entry == 0) {
             arena_.insert(arena_.end(), bytes, bytes + packedSize_);
             table_[slot] = ++count_;
+            noteNewRecord(bytes);
             return {count_ - 1, true};
         }
-        if (std::memcmp(at(entry - 1), bytes, packedSize_) == 0)
+        if (std::memcmp(arenaPtr(entry - 1), bytes, packedSize_) == 0)
             return {entry - 1, false};
     }
 }
 
-void StateStore::grow()
+void ExactStore::grow()
 {
     std::vector<std::uint32_t> old = std::move(table_);
     table_.assign(old.size() * 2, 0);
     mask_ = table_.size() - 1;
     for (std::uint32_t entry : old) {
         if (entry == 0) continue;
-        std::size_t slot = hashBytes(at(entry - 1), packedSize_) & mask_;
+        std::size_t slot =
+            hashBytes(arenaPtr(entry - 1), packedSize_) & mask_;
         while (table_[slot] != 0) slot = (slot + 1) & mask_;
         table_[slot] = entry;
     }
 }
 
-std::uint64_t StateStore::digest() const
+std::uint64_t ExactStore::memoryBytes() const
 {
-    std::uint64_t h = 0x9e3779b97f4a7c15ull;
-    for (std::uint32_t id = 0; id < count_; ++id)
-        h = h * 0x100000001b3ull ^ hashBytes(at(id), packedSize_);
-    return h;
+    return arena_.size() + table_.size() * sizeof(std::uint32_t);
+}
+
+// ---------------------------------------------------------------------------
+// CompressedStore
+// ---------------------------------------------------------------------------
+
+CompressedStore::CompressedStore(std::size_t packedSize,
+                                 std::vector<std::size_t> split)
+    : StateStore(packedSize)
+{
+    if (split.empty()) split.push_back(packedSize);
+    std::size_t offset = 0;
+    for (std::size_t w : split) {
+        if (w == 0) continue; // monitor-less runs pass a zero third slice
+        Pool p;
+        p.width = w;
+        p.offset = offset;
+        p.table.assign(kInitialCapacity, 0);
+        p.mask = kInitialCapacity - 1;
+        pools_.push_back(std::move(p));
+        offset += w;
+    }
+    if (offset != packedSize)
+        throw EclError("CompressedStore: component sizes must sum to the "
+                       "packed record size");
+    table_.assign(kInitialCapacity, 0);
+    mask_ = kInitialCapacity - 1;
+    probe_.assign(pools_.size(), 0);
+}
+
+std::uint32_t CompressedStore::Pool::intern(const std::uint8_t* bytes)
+{
+    if ((static_cast<std::size_t>(count) + 1) * 4 > table.size() * 3) grow();
+    std::size_t slot = hashBytes(bytes, width) & mask;
+    for (;; slot = (slot + 1) & mask) {
+        std::uint32_t entry = table[slot];
+        if (entry == 0) {
+            arena.insert(arena.end(), bytes, bytes + width);
+            table[slot] = ++count;
+            return count - 1;
+        }
+        if (std::memcmp(at(entry - 1), bytes, width) == 0) return entry - 1;
+    }
+}
+
+void CompressedStore::Pool::grow()
+{
+    std::vector<std::uint32_t> old = std::move(table);
+    table.assign(old.size() * 2, 0);
+    mask = table.size() - 1;
+    for (std::uint32_t entry : old) {
+        if (entry == 0) continue;
+        std::size_t slot = hashBytes(at(entry - 1), width) & mask;
+        while (table[slot] != 0) slot = (slot + 1) & mask;
+        table[slot] = entry;
+    }
+}
+
+std::pair<std::uint32_t, bool>
+CompressedStore::intern(const std::uint8_t* bytes)
+{
+    // Collapse: every component through its pool first. Components of a
+    // record that turns out to be a duplicate are interned too — they
+    // are duplicates in their pools by construction, so no bytes leak.
+    for (std::size_t k = 0; k < pools_.size(); ++k)
+        probe_[k] = pools_[k].intern(bytes + pools_[k].offset);
+
+    if ((static_cast<std::size_t>(count_) + 1) * 4 > table_.size() * 3)
+        growTuples();
+    const std::size_t tupleBytes = pools_.size() * sizeof(std::uint32_t);
+    std::size_t slot =
+        hashBytes(reinterpret_cast<const std::uint8_t*>(probe_.data()),
+                  tupleBytes) &
+        mask_;
+    for (;; slot = (slot + 1) & mask_) {
+        std::uint32_t entry = table_[slot];
+        if (entry == 0) {
+            tuples_.insert(tuples_.end(), probe_.begin(), probe_.end());
+            table_[slot] = ++count_;
+            noteNewRecord(bytes);
+            return {count_ - 1, true};
+        }
+        if (std::memcmp(tupleOf(entry - 1), probe_.data(), tupleBytes) == 0)
+            return {entry - 1, false};
+    }
+}
+
+void CompressedStore::growTuples()
+{
+    const std::size_t tupleBytes = pools_.size() * sizeof(std::uint32_t);
+    std::vector<std::uint32_t> old = std::move(table_);
+    table_.assign(old.size() * 2, 0);
+    mask_ = table_.size() - 1;
+    for (std::uint32_t entry : old) {
+        if (entry == 0) continue;
+        std::size_t slot =
+            hashBytes(reinterpret_cast<const std::uint8_t*>(
+                          tupleOf(entry - 1)),
+                      tupleBytes) &
+            mask_;
+        while (table_[slot] != 0) slot = (slot + 1) & mask_;
+        table_[slot] = entry;
+    }
+}
+
+const std::uint8_t* CompressedStore::at(std::uint32_t id) const
+{
+    if (id >= count_)
+        throw EclError("StateStore::at: id out of range");
+    // Materialize the record from its components into the shared
+    // scratch (both build types: the components are not contiguous).
+    const std::uint32_t* tuple = tupleOf(id);
+    for (std::size_t k = 0; k < pools_.size(); ++k)
+        std::memcpy(scratch() + pools_[k].offset, pools_[k].at(tuple[k]),
+                    pools_[k].width);
+    return scratch();
+}
+
+std::uint64_t CompressedStore::memoryBytes() const
+{
+    std::uint64_t total = tuples_.size() * sizeof(std::uint32_t) +
+                          table_.size() * sizeof(std::uint32_t);
+    for (const Pool& p : pools_)
+        total += p.arena.size() + p.table.size() * sizeof(std::uint32_t);
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// BitstateStore
+// ---------------------------------------------------------------------------
+
+BitstateStore::BitstateStore(std::size_t packedSize,
+                             std::uint64_t budgetBytes)
+    : StateStore(packedSize)
+{
+    if (budgetBytes == 0) budgetBytes = kDefaultBitstateBytes;
+    if (budgetBytes < 64) budgetBytes = 64;
+    // Largest power-of-two bit count fitting the budget (mask probing).
+    std::uint64_t bits = 64;
+    while (bits * 2 <= budgetBytes * 8) bits *= 2;
+    bits_.assign(static_cast<std::size_t>(bits / 64), 0);
+    bitMask_ = bits - 1;
+}
+
+std::pair<std::uint32_t, bool>
+BitstateStore::intern(const std::uint8_t* bytes)
+{
+    // Supertrace membership: three independent probe bits per record.
+    // "Seen" = all three set; a fresh record sets them. False positives
+    // (distinct states mapping to three already-set bits) silently drop
+    // states — hence lossy(), hence "no violation found" only.
+    const std::uint64_t h = hashBytes(bytes, packedSize_);
+    const std::uint64_t h2 = remix(h);
+    const std::uint64_t probes[3] = {h & bitMask_, h2 & bitMask_,
+                                     remix(h2) & bitMask_};
+    bool seen = true;
+    for (std::uint64_t p : probes)
+        if (!(bits_[static_cast<std::size_t>(p >> 6)] &
+              (1ull << (p & 63))))
+            seen = false;
+    if (seen) return {kNoId, false};
+    for (std::uint64_t p : probes)
+        bits_[static_cast<std::size_t>(p >> 6)] |= 1ull << (p & 63);
+    ++count_;
+    noteNewRecord(bytes);
+    return {count_ - 1, true};
+}
+
+const std::uint8_t* BitstateStore::at(std::uint32_t) const
+{
+    throw EclError("BitstateStore::at: bitstate stores membership bits "
+                   "only — interned records cannot be read back");
+}
+
+std::uint64_t BitstateStore::memoryBytes() const
+{
+    return bits_.size() * sizeof(std::uint64_t);
+}
+
+double BitstateStore::fillRatio() const
+{
+    std::uint64_t set = 0;
+    for (std::uint64_t w : bits_) set += __builtin_popcountll(w);
+    return static_cast<double>(set) /
+           static_cast<double>(bits_.size() * 64);
 }
 
 } // namespace ecl::verify

@@ -1,58 +1,247 @@
-// Hash-interned store of packed exploration states.
+// Pluggable stores of packed exploration states.
 //
 // Every state the explorer reaches is one fixed-size byte record (the
 // packed encoding built in src/verify/explorer.h: control state ids
 // followed by the instance-layout data bytes of the design and, when a
-// monitor is attached, the monitor). The store deduplicates records and
+// monitor is attached, the monitor). A store deduplicates records and
 // assigns dense ids in interning order — the explorer interns strictly
 // in canonical frontier x letter order, so ids are deterministic for
 // any worker-thread count, and BFS parent links over these ids yield
 // shortest counterexample traces.
 //
-// Records live back-to-back in one arena (no per-state allocation); the
-// index is open-addressing with power-of-two capacity, storing id + 1
-// (0 = empty slot). Interning is single-threaded by design: workers
-// expand in parallel, the merge phase interns sequentially.
+// Three implementations live behind the StateStore interface
+// (selected by StoreKind / ExplorerOptions::storeKind):
+//
+//  * ExactStore — the baseline: records back-to-back in one arena (no
+//    per-state allocation), open-addressing index with power-of-two
+//    capacity storing id + 1 (0 = empty slot).
+//  * CompressedStore — Spin-COLLAPSE-style component compression: the
+//    record is split into components (control header / design data /
+//    monitor data), each component interned in its own byte pool, and
+//    the state becomes a tuple of 32-bit component ids. States that
+//    share data valuations (the common case: many control states over
+//    few distinct data states, or vice versa) pay 4 bytes per
+//    component instead of the full slice. Exact — same dedup, ids and
+//    digest as ExactStore.
+//  * BitstateStore — supertrace-style lossy membership: a bit table
+//    sized from a byte budget, k independent probe bits per record
+//    hash. A hash collision silently merges two distinct states, so a
+//    run can only ever report "no violation found", never "verified"
+//    — but the memory per state is a few BITS, so the same budget
+//    covers orders of magnitude more states. at() throws (records are
+//    not retained): the explorer carries frontier records out-of-band.
+//
+// Interning is single-threaded by design: workers expand in parallel,
+// the merge phase interns sequentially.
+//
+// Pointer-stability contract: a pointer returned by at() is valid only
+// until the next intern() or at() call on the same store. In debug
+// builds every at() materializes through one per-store scratch buffer
+// that intern() poisons (0xDD) — a caller holding a record pointer
+// across an intern reads poison instead of silently-stale arena bytes,
+// and generation() gives callers a counter to assert against.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace ecl::verify {
 
+enum class StoreKind {
+    Exact,      ///< Hash-interned arena (default; canonical behavior).
+    Compressed, ///< Component-collapsed exact store (less memory).
+    Bitstate,   ///< Lossy supertrace bit table (coverage sweeps).
+};
+
+/// CLI/JSON name of a store kind ("exact", "compressed", "bitstate").
+const char* storeKindName(StoreKind kind);
+/// Parses a store-kind name; returns false on unknown names.
+bool parseStoreKind(const std::string& name, StoreKind& out);
+
+struct StoreConfig {
+    /// Byte budget. BitstateStore sizes its bit table from it (0 = the
+    /// 4 MiB default); exact/compressed stores ignore it (the explorer
+    /// enforces the budget against memoryBytes() instead).
+    std::uint64_t memoryBudgetBytes = 0;
+    /// CompressedStore: record split, in record order; must sum to the
+    /// packed size (zero-width components are dropped). Empty = one
+    /// component spanning the whole record.
+    std::vector<std::size_t> componentSizes;
+};
+
 class StateStore {
 public:
-    /// All records have exactly `packedSize` bytes (> 0).
-    explicit StateStore(std::size_t packedSize);
+    virtual ~StateStore() = default;
 
-    /// Interns one record. Returns (id, isNew); the bytes are copied into
-    /// the arena only when new.
-    std::pair<std::uint32_t, bool> intern(const std::uint8_t* bytes);
+    /// Interns one record of exactly packedSize() bytes. Returns
+    /// (id, isNew); ids are dense in interning order. A lossy store
+    /// returns (kNoId, false) for a record it considers already seen.
+    /// Invalidates every pointer previously returned by at().
+    virtual std::pair<std::uint32_t, bool>
+    intern(const std::uint8_t* bytes) = 0;
 
-    /// Stable pointer valid until the next intern().
-    [[nodiscard]] const std::uint8_t* at(std::uint32_t id) const
+    /// The interned record bytes. Valid until the next intern() or
+    /// at() call; calls with the same id between interns return
+    /// identical bytes (but not necessarily the same pointer is
+    /// guaranteed — treat the result as a read-once view). Throws
+    /// EclError when !canRead() (bitstate does not retain records).
+    [[nodiscard]] virtual const std::uint8_t* at(std::uint32_t id) const = 0;
+
+    /// Bytes held live by the store (arenas + index tables). The
+    /// explorer gates exploration on this against its memory budget.
+    [[nodiscard]] virtual std::uint64_t memoryBytes() const = 0;
+
+    [[nodiscard]] virtual StoreKind kind() const = 0;
+
+    /// True when distinct records can silently merge (bitstate): a
+    /// clean run means "no violation found", never "verified".
+    [[nodiscard]] bool lossy() const { return kind() == StoreKind::Bitstate; }
+    /// True when at() can return interned record bytes.
+    [[nodiscard]] bool canRead() const
     {
-        return arena_.data() + static_cast<std::size_t>(id) * packedSize_;
+        return kind() != StoreKind::Bitstate;
     }
 
     [[nodiscard]] std::uint32_t size() const { return count_; }
     [[nodiscard]] std::size_t packedSize() const { return packedSize_; }
-    [[nodiscard]] std::size_t arenaBytes() const { return arena_.size(); }
 
-    /// Order-sensitive digest over all interned records (determinism
-    /// fingerprint: equal iff same records in the same order).
-    [[nodiscard]] std::uint64_t digest() const;
+    /// Order-sensitive digest over all interned records, accumulated
+    /// incrementally at intern time (determinism fingerprint: equal iff
+    /// the same records were accepted in the same order — comparable
+    /// across store kinds).
+    [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+    /// Bumped by every intern() that mutates the store. Debug aid for
+    /// the at() contract: capture before a read, assert unchanged at
+    /// the last dereference.
+    [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+    /// Sentinel id returned by lossy stores for already-seen records.
+    static constexpr std::uint32_t kNoId = 0xffffffffu;
 
     static std::uint64_t hashBytes(const std::uint8_t* p, std::size_t n);
 
-private:
-    void grow();
+    /// Builds a store of the requested kind.
+    static std::unique_ptr<StateStore>
+    make(StoreKind kind, std::size_t packedSize, StoreConfig config = {});
+
+protected:
+    explicit StateStore(std::size_t packedSize);
+
+    /// Folds a newly-accepted record into the digest and invalidates
+    /// outstanding at() pointers (generation bump + debug poison).
+    /// Every implementation calls this exactly once per new id.
+    void noteNewRecord(const std::uint8_t* bytes);
+
+    /// Debug-build scratch all at() results materialize through (the
+    /// poison target). Sized packedSize(); unused in release builds by
+    /// ExactStore, always used by CompressedStore.
+    [[nodiscard]] std::uint8_t* scratch() const { return scratch_.data(); }
 
     std::size_t packedSize_;
+    std::uint32_t count_ = 0;
+
+private:
+    std::uint64_t digest_ = 0x9e3779b97f4a7c15ull;
+    std::uint64_t generation_ = 0;
+    mutable std::vector<std::uint8_t> scratch_;
+};
+
+/// The baseline hash-interned arena store.
+class ExactStore final : public StateStore {
+public:
+    /// All records have exactly `packedSize` bytes (> 0).
+    explicit ExactStore(std::size_t packedSize);
+
+    std::pair<std::uint32_t, bool> intern(const std::uint8_t* bytes) override;
+    [[nodiscard]] const std::uint8_t* at(std::uint32_t id) const override;
+    [[nodiscard]] std::uint64_t memoryBytes() const override;
+    [[nodiscard]] StoreKind kind() const override { return StoreKind::Exact; }
+
+    [[nodiscard]] std::size_t arenaBytes() const { return arena_.size(); }
+
+private:
+    /// Raw arena pointer (internal: bypasses the debug scratch copy).
+    [[nodiscard]] const std::uint8_t* arenaPtr(std::uint32_t id) const
+    {
+        return arena_.data() + static_cast<std::size_t>(id) * packedSize_;
+    }
+    void grow();
+
     std::vector<std::uint8_t> arena_;
     std::vector<std::uint32_t> table_; ///< id + 1; 0 = empty.
     std::size_t mask_ = 0;
-    std::uint32_t count_ = 0;
+};
+
+/// Component-collapsed store: each record component interned in its own
+/// pool, states stored as tuples of component ids. Exact dedup.
+class CompressedStore final : public StateStore {
+public:
+    CompressedStore(std::size_t packedSize, std::vector<std::size_t> split);
+
+    std::pair<std::uint32_t, bool> intern(const std::uint8_t* bytes) override;
+    [[nodiscard]] const std::uint8_t* at(std::uint32_t id) const override;
+    [[nodiscard]] std::uint64_t memoryBytes() const override;
+    [[nodiscard]] StoreKind kind() const override
+    {
+        return StoreKind::Compressed;
+    }
+
+private:
+    /// One component pool: unique byte strings of one fixed width.
+    struct Pool {
+        std::size_t width = 0;
+        std::size_t offset = 0; ///< Component offset in the record.
+        std::vector<std::uint8_t> arena;
+        std::vector<std::uint32_t> table; ///< id + 1; 0 = empty.
+        std::size_t mask = 0;
+        std::uint32_t count = 0;
+
+        std::uint32_t intern(const std::uint8_t* bytes);
+        [[nodiscard]] const std::uint8_t* at(std::uint32_t id) const
+        {
+            return arena.data() + static_cast<std::size_t>(id) * width;
+        }
+        void grow();
+    };
+
+    [[nodiscard]] const std::uint32_t* tupleOf(std::uint32_t id) const
+    {
+        return tuples_.data() + static_cast<std::size_t>(id) * pools_.size();
+    }
+    void growTuples();
+
+    std::vector<Pool> pools_;
+    std::vector<std::uint32_t> tuples_; ///< count_ * pools_.size() ids.
+    std::vector<std::uint32_t> table_;  ///< id + 1; 0 = empty.
+    std::size_t mask_ = 0;
+    std::vector<std::uint32_t> probe_; ///< Scratch tuple being interned.
+};
+
+/// Supertrace-style lossy bit table: a few probe bits per state hash.
+class BitstateStore final : public StateStore {
+public:
+    /// Table sized to the largest power-of-two bit count fitting
+    /// `budgetBytes` (>= 64 bytes enforced; 0 = 4 MiB default).
+    BitstateStore(std::size_t packedSize, std::uint64_t budgetBytes);
+
+    std::pair<std::uint32_t, bool> intern(const std::uint8_t* bytes) override;
+    /// Always throws: records are not retained.
+    [[nodiscard]] const std::uint8_t* at(std::uint32_t id) const override;
+    [[nodiscard]] std::uint64_t memoryBytes() const override;
+    [[nodiscard]] StoreKind kind() const override
+    {
+        return StoreKind::Bitstate;
+    }
+
+    /// Fraction of table bits set (coverage-saturation diagnostic).
+    [[nodiscard]] double fillRatio() const;
+
+private:
+    std::vector<std::uint64_t> bits_;
+    std::uint64_t bitMask_ = 0;
 };
 
 } // namespace ecl::verify

@@ -195,6 +195,72 @@ TEST(BenchDiffTest, CustomThresholdRespected)
     EXPECT_TRUE(diffBench(parse(kSample), parse(cur), tight).regression);
 }
 
+TEST(BenchDiffTest, FactorMetricsAreHigherBetter)
+{
+    EXPECT_EQ(classifyMetric("por_on.por_reduction_factor"),
+              MetricClass::HigherBetter);
+    EXPECT_EQ(classifyMetric("speedup_native_succ_vs_vm"),
+              MetricClass::HigherBetter);
+    EXPECT_EQ(classifyMetric("explore_t1.states_per_sec"),
+              MetricClass::HigherBetter);
+}
+
+TEST(BenchDiffTest, PerMetricThresholdOverridesTheGlobalOne)
+{
+    std::string cur = kSample;
+    cur.replace(cur.find("\"ns_per_reaction\": 100.0"),
+                std::strlen("\"ns_per_reaction\": 100.0"),
+                "\"ns_per_reaction\": 115.0"); // +15%
+    // Leaf-name override loosens just this metric past the default 10%.
+    DiffOptions perLeaf;
+    perLeaf.thresholds["ns_per_reaction"] = 0.20;
+    EXPECT_FALSE(diffBench(parse(kSample), parse(cur), perLeaf).regression);
+    // Full-dotted-path override wins over the leaf entry.
+    DiffOptions perPath;
+    perPath.thresholds["ns_per_reaction"] = 0.20;
+    perPath.thresholds["modes.flat_bytecode.ns_per_reaction"] = 0.05;
+    EXPECT_TRUE(diffBench(parse(kSample), parse(cur), perPath).regression);
+    // Tightening a DIFFERENT metric must not affect this one.
+    DiffOptions other;
+    other.thresholds["seconds"] = 0.01;
+    other.timeThreshold = 0.20;
+    EXPECT_FALSE(diffBench(parse(kSample), parse(cur), other).regression);
+}
+
+TEST(BenchDiffTest, AbsoluteFloorBitesEvenWhenRelativeDiffPasses)
+{
+    // Identical runs pass the relative gate trivially — the vacuous-gate
+    // failure mode when the baseline was recorded on slow hardware. The
+    // floor is absolute and still fails the run.
+    DiffOptions opts;
+    opts.floors["speedup_flat_vs_tree"] = 5.0; // current is 4.0
+    DiffResult r = diffBench(parse(kSample), parse(kSample), opts);
+    EXPECT_TRUE(r.regression);
+    std::string report = renderReport("floor", r);
+    EXPECT_NE(report.find("below absolute floor"), std::string::npos);
+    // A floor the metric clears changes nothing.
+    DiffOptions ok;
+    ok.floors["speedup_flat_vs_tree"] = 3.0;
+    EXPECT_FALSE(diffBench(parse(kSample), parse(kSample), ok).regression);
+}
+
+TEST(BenchDiffTest, FloorGatesMetricsMissingFromTheBaseline)
+{
+    // A metric only the current run carries is informational for the
+    // relative diff but still subject to its floor — new metrics are
+    // born gated.
+    std::string cur = kSample;
+    cur.replace(cur.find("\"speedup_flat_vs_tree\": 4.0"),
+                std::strlen("\"speedup_flat_vs_tree\": 4.0"),
+                "\"speedup_flat_vs_tree\": 4.0, \"por_reduction_factor\": "
+                "2.0");
+    DiffOptions opts;
+    opts.floors["por_reduction_factor"] = 3.0;
+    EXPECT_TRUE(diffBench(parse(kSample), parse(cur), opts).regression);
+    opts.floors["por_reduction_factor"] = 1.5;
+    EXPECT_FALSE(diffBench(parse(kSample), parse(cur), opts).regression);
+}
+
 // The committed baselines themselves: every bench/baselines/BENCH_*.json
 // must parse, carry the schema header, and compare clean against itself —
 // the same invariants the CI gate relies on.

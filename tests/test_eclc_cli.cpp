@@ -25,6 +25,22 @@ int runEclc(const std::string& args)
     return -2;
 }
 
+/// Like runEclc but also captures stdout (stderr still discarded), for
+/// pinning the human-readable contract lines next to the exit codes.
+int runEclcCapture(const std::string& args, std::string& out)
+{
+    const std::string cmd = eclcPath() + " " + args + " 2> /dev/null";
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (!pipe) return -1;
+    out.clear();
+    char buf[256];
+    while (fgets(buf, sizeof buf, pipe)) out += buf;
+    const int status = pclose(pipe);
+    if (status == -1) return -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    return -2;
+}
+
 std::string writeTemp(const std::string& name, const std::string& content)
 {
     const std::string path = ::testing::TempDir() + name;
@@ -153,6 +169,83 @@ TEST(EclcCli, MonitorFileErrorsExit1)
         "module mon (input pure nosuch, output pure violation) {"
         " while (1) { await (nosuch); emit (violation); } }");
     EXPECT_EQ(runEclc("--paper buffer --verify --monitor " + unwirable), 1);
+}
+
+TEST(EclcCli, VerifyStoreFlags)
+{
+    // Every store kind explores the same (finite) module to completion;
+    // only bitstate refuses to call that "verified".
+    EXPECT_EQ(
+        runEclc("--paper buffer --module blinker --verify --store exact"),
+        0);
+    EXPECT_EQ(runEclc("--paper buffer --module blinker --verify "
+                      "--store=compressed"),
+              0);
+    // Unknown kinds and malformed budgets are usage errors.
+    EXPECT_EQ(runEclc("--paper buffer --verify --store hashcompact"), 2);
+    EXPECT_EQ(runEclc("--paper buffer --verify --store-mem 12Q"), 2);
+    // Verify-only flags without --verify exit 2 (never silently ignored).
+    EXPECT_EQ(runEclc("--paper buffer --store exact"), 2);
+    EXPECT_EQ(runEclc("--paper buffer --store-mem 1M"), 2);
+    EXPECT_EQ(runEclc("--paper buffer --por"), 2);
+    EXPECT_EQ(runEclc("--paper buffer --native-succ"), 2);
+}
+
+TEST(EclcCli, VerifyBitstateNeverClaimsVerified)
+{
+    // A clean bitstate sweep exits 0 with the explicit bounded/lossy
+    // disclaimer — and never exit 4: lossiness IS the bound.
+    std::string out;
+    EXPECT_EQ(runEclcCapture("--paper buffer --module blinker --verify "
+                             "--store=bitstate",
+                             out),
+              0);
+    EXPECT_NE(out.find("store bitstate:"), std::string::npos) << out;
+    EXPECT_NE(out.find(", lossy"), std::string::npos) << out;
+    EXPECT_NE(out.find("result: no violation found (bounded/lossy "
+                       "bitstate search, not a proof)"),
+              std::string::npos)
+        << out;
+}
+
+TEST(EclcCli, VerifyBitstateViolationStillExit3)
+{
+    // Lossiness only ever loses states; a violation the sweep DOES reach
+    // is real (replayed on SyncEngine) and must keep exit 3.
+    const std::string monitor =
+        writeTemp("eclc_bitstate_monitor.ecl", kSpeakerMonitor);
+    std::string out;
+    EXPECT_EQ(runEclcCapture(
+                  "--paper buffer --verify --store=bitstate --monitor " +
+                      monitor,
+                  out),
+              3);
+    EXPECT_NE(out.find("VIOLATION"), std::string::npos) << out;
+}
+
+TEST(EclcCli, VerifyBoundReachedPrintsPartialStats)
+{
+    // Exit 4 must still report the partial exploration: the stats and
+    // store lines print on every path.
+    std::string out;
+    EXPECT_EQ(runEclcCapture(
+                  "--paper stack --module assemble --verify --depth 3", out),
+              4);
+    EXPECT_NE(out.find("verify assemble:"), std::string::npos) << out;
+    EXPECT_NE(out.find("incomplete (bound reached)"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("store exact:"), std::string::npos) << out;
+}
+
+TEST(EclcCli, VerifyPorAndStoreMemReportLines)
+{
+    std::string out;
+    EXPECT_EQ(runEclcCapture("--paper buffer --module blinker --verify "
+                             "--por --store-mem 16M",
+                             out),
+              0);
+    EXPECT_NE(out.find("por: "), std::string::npos) << out;
+    EXPECT_NE(out.find("expansions skipped"), std::string::npos) << out;
 }
 
 // True when some host C compiler answers --version — the same probe

@@ -10,7 +10,15 @@
 //    state count, interning order (digest), transition count and the
 //    minimal counterexample, over all 8 paper modules;
 //  * acceptance — a paper module + monitor pair yields a counterexample
-//    that replays bit-exactly on SyncEngine.
+//    that replays bit-exactly on SyncEngine;
+//  * store kinds — exact / compressed / bitstate stores agree on state
+//    counts, interning digests and thread-count determinism (bitstate
+//    modulo its documented lossiness, which never fires on the pinned
+//    paper inputs);
+//  * partial-order reduction — reduced runs are differentially checked
+//    against the unreduced explorer over the committed corpus and 200
+//    generated programs: verdict agreement, state-set equality on
+//    complete runs, and bit-exact counterexample replays.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,12 +26,19 @@
 #include <random>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/core/compiler.h"
 #include "src/core/paper_sources.h"
+#include "src/corpus/corpus.h"
+#include "src/corpus/program_gen.h"
 #include "src/verify/replay.h"
 #include "src/verify/state_store.h"
+
+#ifndef ECL_CORPUS_DIR
+#define ECL_CORPUS_DIR "tests/corpus"
+#endif
 
 using namespace ecl;
 
@@ -262,7 +277,7 @@ void expectLettersEqual(const std::vector<BfLetter>& a,
 
 TEST(StateStore, InternDedupsAndNumbersSequentially)
 {
-    verify::StateStore store(8);
+    verify::ExactStore store(8);
     std::uint8_t rec[8] = {0};
     for (std::uint32_t i = 0; i < 10000; ++i) {
         std::memcpy(rec, &i, 4);
@@ -285,6 +300,114 @@ TEST(StateStore, InternDedupsAndNumbersSequentially)
     std::uint32_t probe = 4242;
     std::memcpy(rec, &probe, 4);
     EXPECT_EQ(0, std::memcmp(store.at(4242), rec, 8));
+}
+
+TEST(StateStore, CompressedMatchesExactIdsAndDigest)
+{
+    // The compressed store is exact: same records in the same order must
+    // produce the same ids, dedup decisions and the same order-sensitive
+    // digest — it only changes the memory representation.
+    verify::ExactStore exact(64);
+    verify::CompressedStore comp(64, {4, 60});
+    std::uint8_t rec[64] = {0};
+    // Many records sharing a few distinct wide tail components (the
+    // COLLAPSE case the component pools exist for: many control states
+    // over few distinct data valuations).
+    for (std::uint32_t i = 0; i < 4000; ++i) {
+        std::uint32_t head = i;
+        std::uint64_t tail = i % 7;
+        std::memset(rec, 0, sizeof rec);
+        std::memcpy(rec, &head, 4);
+        std::memcpy(rec + 4, &tail, 8);
+        auto [eid, enew] = exact.intern(rec);
+        auto [cid, cnew] = comp.intern(rec);
+        EXPECT_EQ(eid, cid);
+        EXPECT_EQ(enew, cnew);
+    }
+    EXPECT_EQ(exact.size(), comp.size());
+    EXPECT_EQ(exact.digest(), comp.digest());
+    // Records reassemble bit-exactly from the component pools.
+    for (std::uint32_t id = 0; id < comp.size(); id += 113) {
+        std::uint8_t want[64];
+        std::memcpy(want, exact.at(id), 64);
+        EXPECT_EQ(0, std::memcmp(comp.at(id), want, 64)) << "id " << id;
+    }
+    // Re-intern dedups identically.
+    std::uint32_t head = 17;
+    std::uint64_t tail = 17 % 7;
+    std::memset(rec, 0, sizeof rec);
+    std::memcpy(rec, &head, 4);
+    std::memcpy(rec + 4, &tail, 8);
+    EXPECT_EQ(comp.intern(rec), (std::pair<std::uint32_t, bool>{17u, false}));
+    // 4000 x 64B records with 7 distinct 60B tails: tuples + pools must
+    // undercut the flat arena.
+    EXPECT_LT(comp.memoryBytes(), exact.memoryBytes());
+}
+
+TEST(StateStore, BitstateIsLossyMembershipOnly)
+{
+    verify::BitstateStore store(8, 1 << 16);
+    EXPECT_TRUE(store.lossy());
+    EXPECT_FALSE(store.canRead());
+    EXPECT_EQ(store.memoryBytes(), 1u << 16);
+    std::uint8_t rec[8] = {0};
+    std::uint32_t fresh = 0;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        std::memcpy(rec, &i, 4);
+        auto [id, isNew] = store.intern(rec);
+        if (isNew) {
+            EXPECT_EQ(id, fresh);
+            ++fresh;
+        } else {
+            // A (rare at this fill) collision merges silently.
+            EXPECT_EQ(id, verify::StateStore::kNoId);
+        }
+    }
+    EXPECT_EQ(store.size(), fresh);
+    EXPECT_GT(store.fillRatio(), 0.0);
+    // Exact re-probes of seen records always report seen.
+    for (std::uint32_t i = 0; i < 1000; i += 41) {
+        std::memcpy(rec, &i, 4);
+        auto [id, isNew] = store.intern(rec);
+        EXPECT_FALSE(isNew);
+        EXPECT_EQ(id, verify::StateStore::kNoId);
+    }
+    // Records are not retained: at() must refuse rather than fabricate.
+    EXPECT_THROW((void)store.at(0), EclError);
+}
+
+TEST(StateStore, FactoryBuildsEveryKindAndParsesNames)
+{
+    for (verify::StoreKind kind :
+         {verify::StoreKind::Exact, verify::StoreKind::Compressed,
+          verify::StoreKind::Bitstate}) {
+        auto store = verify::StateStore::make(kind, 16);
+        ASSERT_TRUE(store);
+        EXPECT_EQ(store->kind(), kind);
+        EXPECT_EQ(store->packedSize(), 16u);
+        verify::StoreKind parsed;
+        ASSERT_TRUE(
+            verify::parseStoreKind(verify::storeKindName(kind), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+    verify::StoreKind parsed;
+    EXPECT_FALSE(verify::parseStoreKind("hashcompact", parsed));
+}
+
+TEST(StateStore, GenerationCountsMutatingInternsOnly)
+{
+    verify::ExactStore store(4);
+    const std::uint64_t g0 = store.generation();
+    std::uint32_t v = 1;
+    store.intern(reinterpret_cast<const std::uint8_t*>(&v));
+    EXPECT_EQ(store.generation(), g0 + 1);
+    store.intern(reinterpret_cast<const std::uint8_t*>(&v)); // dup: no bump
+    EXPECT_EQ(store.generation(), g0 + 1);
+    v = 2;
+    store.intern(reinterpret_cast<const std::uint8_t*>(&v));
+    EXPECT_EQ(store.generation(), g0 + 2);
+    (void)store.at(0); // reads never bump
+    EXPECT_EQ(store.generation(), g0 + 2);
 }
 
 // ---------------------------------------------------------------------------
@@ -884,6 +1007,350 @@ TEST(VerifyOptLevel, MonitorViolationReplaysOnUnoptimizedEngines)
         mEng->react();
     }
     EXPECT_TRUE(mEng->outputPresent(res.violation.signal));
+}
+
+// ---------------------------------------------------------------------------
+// Store-kind determinism: every store kind must reproduce the exact
+// store's canonical state counts and interning digest, at any thread
+// count, over all 8 paper modules. (Bitstate equality is a property of
+// the pinned inputs — no collision occurs at the default table size —
+// and is deterministic, so pinning it here means a digest change is a
+// real behavior change, not noise.)
+// ---------------------------------------------------------------------------
+
+class VerifyStoreDeterminismTest
+    : public ::testing::TestWithParam<
+          std::tuple<PaperCase, verify::StoreKind>> {};
+
+TEST_P(VerifyStoreDeterminismTest, KindAndThreadCountAgree)
+{
+    const PaperCase& pc = std::get<0>(GetParam());
+    const verify::StoreKind kind = std::get<1>(GetParam());
+    auto mod = compilePaper(pc.source, pc.module);
+
+    // Canonical reference: the exact store at 1 thread.
+    std::uint64_t refStates = 0, refTransitions = 0, refDigest = 0;
+    if (kind != verify::StoreKind::Exact) {
+        verify::ExplorerOptions ref;
+        ref.maxDepth = pc.depth;
+        ref.maxStates = 200000;
+        auto exRef = mod->makeExplorer(ref);
+        verify::ExploreResult r = exRef->run();
+        refStates = r.stats.states;
+        refTransitions = r.stats.transitions;
+        refDigest = exRef->stateDigest();
+    }
+
+    verify::ExploreStats first;
+    std::uint64_t firstDigest = 0;
+    for (int threads : {1, 4}) {
+        verify::ExplorerOptions opts;
+        opts.threads = threads;
+        opts.maxDepth = pc.depth;
+        opts.maxStates = 200000;
+        opts.storeKind = kind;
+        auto ex = mod->makeExplorer(opts);
+        verify::ExploreResult res = ex->run();
+        EXPECT_FALSE(res.violated);
+        EXPECT_EQ(res.stats.storeKind, kind);
+        EXPECT_EQ(res.stats.lossyStore,
+                  kind == verify::StoreKind::Bitstate);
+        EXPECT_GT(res.stats.storeMemoryBytes, 0u);
+        if (threads == 1) {
+            first = res.stats;
+            firstDigest = ex->stateDigest();
+            if (kind != verify::StoreKind::Exact) {
+                EXPECT_EQ(res.stats.states, refStates);
+                EXPECT_EQ(res.stats.transitions, refTransitions);
+                EXPECT_EQ(ex->stateDigest(), refDigest);
+            }
+        } else {
+            EXPECT_EQ(res.stats.states, first.states);
+            EXPECT_EQ(res.stats.transitions, first.transitions);
+            EXPECT_EQ(res.stats.peakFrontier, first.peakFrontier);
+            EXPECT_EQ(res.stats.depthReached, first.depthReached);
+            EXPECT_EQ(res.stats.complete, first.complete);
+            EXPECT_EQ(ex->stateDigest(), firstDigest);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPaperModulesAllKinds, VerifyStoreDeterminismTest,
+    ::testing::Combine(
+        ::testing::Values(PaperCase{"stack", "assemble", 8},
+                          PaperCase{"stack", "checkcrc", 8},
+                          PaperCase{"stack", "prochdr", 8},
+                          PaperCase{"stack", "toplevel", 8},
+                          PaperCase{"buffer", "producer", 8},
+                          PaperCase{"buffer", "playback", 8},
+                          PaperCase{"buffer", "blinker", 8},
+                          PaperCase{"buffer", "buffer_top", 20}),
+        ::testing::Values(verify::StoreKind::Exact,
+                          verify::StoreKind::Compressed,
+                          verify::StoreKind::Bitstate)));
+
+// ---------------------------------------------------------------------------
+// Partial-order reduction differentials vs the unreduced explorer
+// ---------------------------------------------------------------------------
+
+// Finite pure-par module: three arms awaiting private pure inputs with
+// pure emissions — the shape whose composite input letters commute with
+// their singleton chains.
+const char* kFinitePureParSrc =
+    "module m (input pure a, input pure b, input pure c,"
+    " output pure oa, output pure ob, output pure oc) {"
+    " while (1) {"
+    "  par {"
+    "    { await (a); emit (oa); }"
+    "    { await (b); emit (ob); }"
+    "    { await (c); emit (oc); }"
+    "  }"
+    "  await ();"
+    " } }";
+
+TEST(VerifyPor, FinitePureParStateSetMatchesUnreduced)
+{
+    auto mod = compileSrc(kFinitePureParSrc);
+    auto base = mod->makeExplorer({});
+    verify::ExploreResult rb = base->run();
+    ASSERT_TRUE(rb.stats.complete);
+    EXPECT_FALSE(rb.violated);
+
+    verify::ExplorerOptions opts;
+    opts.partialOrder = true;
+    auto red = mod->makeExplorer(opts);
+    verify::ExploreResult rr = red->run();
+    ASSERT_TRUE(rr.stats.complete);
+    EXPECT_FALSE(rr.violated);
+
+    // The reduction must actually fire on this shape, skip work, and —
+    // because every dropped composite letter commutes with a kept
+    // singleton chain — still reach the IDENTICAL reachable set once
+    // both runs complete (interning order differs; compare sets).
+    EXPECT_GT(rr.stats.lettersReduced, 0u);
+    EXPECT_LT(rr.stats.transitions, rb.stats.transitions);
+    EXPECT_EQ(explorerStates(*red), explorerStates(*base));
+
+    // The reduced explorer keeps thread-count determinism.
+    opts.threads = 4;
+    auto red4 = mod->makeExplorer(opts);
+    verify::ExploreResult rr4 = red4->run();
+    EXPECT_EQ(rr4.stats.states, rr.stats.states);
+    EXPECT_EQ(rr4.stats.transitions, rr.stats.transitions);
+    EXPECT_EQ(red4->stateDigest(), red->stateDigest());
+}
+
+TEST(VerifyPor, CorpusScenariosAgreeWithUnreduced)
+{
+    std::vector<corpus::Scenario> set =
+        corpus::loadCorpusDir(ECL_CORPUS_DIR);
+    ASSERT_GE(set.size(), 24u);
+    int compared = 0;
+    for (const corpus::Scenario& s : set) {
+        std::shared_ptr<CompiledModule> mod;
+        try {
+            mod = corpus::compileScenario(s, 2);
+        } catch (const EclError&) {
+            continue;
+        }
+        if (!mod->hasFlatProgram()) continue;
+
+        verify::ExplorerOptions opts;
+        opts.maxDepth = 3;
+        opts.maxStates = 4000;
+        verify::ExploreResult base = mod->makeExplorer(opts)->run();
+        opts.partialOrder = true;
+        verify::ExploreResult red = mod->makeExplorer(opts)->run();
+
+        // Reduction only ever skips work.
+        EXPECT_LE(red.stats.states, base.stats.states) << s.name;
+        EXPECT_LE(red.stats.transitions, base.stats.transitions) << s.name;
+        // Every reduced behavior is an unreduced behavior: a reduced
+        // violation must exist in the unreduced run too, and replay
+        // bit-exactly on the production engine.
+        if (red.violated) {
+            EXPECT_TRUE(base.violated) << s.name;
+            auto eng = mod->makeSyncEngine();
+            verify::ReplayOutcome rp =
+                verify::replayCounterexample(*eng, nullptr, red);
+            EXPECT_TRUE(rp.reproduced) << s.name << ": " << rp.detail;
+        }
+        if (base.violated) {
+            auto eng = mod->makeSyncEngine();
+            verify::ReplayOutcome rp =
+                verify::replayCounterexample(*eng, nullptr, base);
+            EXPECT_TRUE(rp.reproduced) << s.name << ": " << rp.detail;
+            // A complete reduced run covers every reachable behavior up
+            // to commutation, so it cannot miss the verdict.
+            if (red.stats.complete) EXPECT_TRUE(red.violated) << s.name;
+        }
+        if (base.stats.complete && red.stats.complete)
+            EXPECT_EQ(red.violated, base.violated) << s.name;
+        ++compared;
+    }
+    EXPECT_GE(compared, 24);
+}
+
+TEST(VerifyPor, GeneratedProgramsVerdictDifferential)
+{
+    // 200 generator programs (first compiling seeds from 1 up), each
+    // explored with reduction off and on under identical bounds.
+    int tested = 0;
+    for (unsigned seed = 1; tested < 200 && seed < 4000; ++seed) {
+        corpus::ProgramGen gen(seed, 3);
+        std::shared_ptr<CompiledModule> mod;
+        try {
+            mod = compileSrc(gen.generate());
+        } catch (const EclError&) {
+            continue; // causality-rejected seed
+        }
+        if (!mod->hasFlatProgram()) continue;
+
+        verify::ExplorerOptions opts;
+        opts.maxDepth = 3;
+        opts.maxStates = 1500;
+        verify::ExploreResult base = mod->makeExplorer(opts)->run();
+        opts.partialOrder = true;
+        verify::ExploreResult red = mod->makeExplorer(opts)->run();
+
+        EXPECT_LE(red.stats.states, base.stats.states) << "seed " << seed;
+        EXPECT_LE(red.stats.transitions, base.stats.transitions)
+            << "seed " << seed;
+        if (red.violated) {
+            EXPECT_TRUE(base.violated) << "seed " << seed;
+            auto eng = mod->makeSyncEngine();
+            verify::ReplayOutcome rp =
+                verify::replayCounterexample(*eng, nullptr, red);
+            EXPECT_TRUE(rp.reproduced)
+                << "seed " << seed << ": " << rp.detail;
+        }
+        if (base.violated && red.stats.complete)
+            EXPECT_TRUE(red.violated) << "seed " << seed;
+        if (base.stats.complete && red.stats.complete)
+            EXPECT_EQ(red.violated, base.violated) << "seed " << seed;
+        ++tested;
+    }
+    EXPECT_EQ(tested, 200);
+}
+
+TEST(VerifyPor, PureParCorpusScenarioReducesAtLeast3x)
+{
+    // The acceptance bar: on the committed wide-par corpus scenario the
+    // reduced run explores at least 3x fewer states than the unreduced
+    // one under the same bounds, with the same (clean) verdict. The
+    // exact counts are pinned — they are as deterministic as the corpus
+    // digests themselves.
+    std::vector<corpus::Scenario> set =
+        corpus::loadCorpusDir(ECL_CORPUS_DIR);
+    const corpus::Scenario* par = nullptr;
+    for (const corpus::Scenario& s : set)
+        if (s.name == "par_pure10") par = &s;
+    ASSERT_NE(par, nullptr) << "par_pure10.scn missing from the corpus";
+    auto mod = corpus::compileScenario(*par, 2);
+
+    verify::ExplorerOptions opts;
+    opts.maxDepth = 3;
+    verify::ExploreResult base = mod->makeExplorer(opts)->run();
+    opts.partialOrder = true;
+    verify::ExploreResult red = mod->makeExplorer(opts)->run();
+
+    EXPECT_FALSE(base.violated);
+    EXPECT_FALSE(red.violated);
+    EXPECT_EQ(base.stats.states, 1026u);
+    EXPECT_EQ(red.stats.states, 59u);
+    EXPECT_GT(red.stats.lettersReduced, 0u);
+    EXPECT_GE(base.stats.states, 3 * red.stats.states);
+}
+
+// ---------------------------------------------------------------------------
+// Native successor computation vs the VM
+// ---------------------------------------------------------------------------
+
+class VerifyNativeSuccTest : public ::testing::TestWithParam<PaperCase> {};
+
+TEST_P(VerifyNativeSuccTest, StateSetMatchesVm)
+{
+    const PaperCase& pc = GetParam();
+    auto mod = compilePaper(pc.source, pc.module);
+
+    verify::ExplorerOptions opts;
+    opts.maxDepth = pc.depth;
+    opts.maxStates = 200000;
+    auto vmEx = mod->makeExplorer(opts);
+    verify::ExploreResult rv = vmEx->run();
+
+    opts.nativeSuccessors = true;
+    auto natEx = mod->makeExplorer(opts);
+    verify::ExploreResult rn = natEx->run();
+    if (!rn.stats.usedNativeSuccessors)
+        GTEST_SKIP() << "no host C compiler; native successors fell back "
+                        "to the VM";
+
+    // Bit-exact agreement: same states in the same canonical order.
+    EXPECT_EQ(rn.stats.states, rv.stats.states);
+    EXPECT_EQ(rn.stats.transitions, rv.stats.transitions);
+    EXPECT_EQ(rn.stats.complete, rv.stats.complete);
+    EXPECT_EQ(natEx->stateDigest(), vmEx->stateDigest());
+    EXPECT_EQ(rn.violated, rv.violated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperModules, VerifyNativeSuccTest,
+    ::testing::Values(PaperCase{"stack", "assemble", 8},
+                      PaperCase{"stack", "toplevel", 8},
+                      PaperCase{"buffer", "producer", 8},
+                      PaperCase{"buffer", "buffer_top", 12}));
+
+TEST(VerifyNativeSucc, ValuedModuleAgreesAndFallbackIsHonest)
+{
+    auto mod = compileSrc(kAccSrc);
+    verify::ExplorerOptions opts;
+    opts.maxDepth = 5;
+    auto vmEx = mod->makeExplorer(opts);
+    verify::ExploreResult rv = vmEx->run();
+    EXPECT_FALSE(rv.stats.usedNativeSuccessors); // not requested
+
+    opts.nativeSuccessors = true;
+    auto natEx = mod->makeExplorer(opts);
+    verify::ExploreResult rn = natEx->run();
+    if (!rn.stats.usedNativeSuccessors)
+        GTEST_SKIP() << "no host C compiler; native successors fell back "
+                        "to the VM";
+    EXPECT_EQ(rn.stats.states, rv.stats.states);
+    EXPECT_EQ(natEx->stateDigest(), vmEx->stateDigest());
+}
+
+// ---------------------------------------------------------------------------
+// Bitstate coverage in a fixed memory budget
+// ---------------------------------------------------------------------------
+
+TEST(VerifyStoreScaling, BitstateCoversTenTimesMoreStatesInBudget)
+{
+    // A generated deep-preemption program whose counter makes the data
+    // state space effectively unbounded. The exact store stops when its
+    // arena + index exceed the budget; the bitstate table — a few BITS
+    // per state in the same budget — must cover >= 10x more states.
+    auto mod = compileSrc(corpus::deepPreemptProgram(8));
+    const std::uint64_t kBudget = 64 * 1024;
+
+    verify::ExplorerOptions opts;
+    opts.storeBudgetBytes = kBudget;
+    verify::ExploreResult exact = mod->makeExplorer(opts)->run();
+    ASSERT_FALSE(exact.stats.complete); // the budget is what stopped it
+    ASSERT_GT(exact.stats.states, 0u);
+    EXPECT_FALSE(exact.violated);
+
+    verify::ExplorerOptions bopts;
+    bopts.storeKind = verify::StoreKind::Bitstate;
+    bopts.storeBudgetBytes = kBudget;
+    bopts.maxStates =
+        static_cast<std::uint32_t>(30 * exact.stats.states);
+    verify::ExploreResult bit = mod->makeExplorer(bopts)->run();
+    EXPECT_TRUE(bit.stats.lossyStore);
+    EXPECT_LE(bit.stats.storeMemoryBytes, kBudget);
+    EXPECT_FALSE(bit.violated);
+    EXPECT_GE(bit.stats.states, 10 * exact.stats.states);
 }
 
 } // namespace

@@ -8,7 +8,12 @@
 //
 // Usage:
 //   bench_diff --baseline DIR --current DIR
-//              [--time-threshold F] [--report FILE]
+//              [--time-threshold F] [--threshold NAME=FRACTION]...
+//              [--floor NAME=VALUE]... [--report FILE]
+//
+// --threshold overrides the relative noise threshold for one metric
+// (full dotted path or bare leaf name); --floor sets an absolute
+// minimum the metric may never fall below regardless of the baseline.
 //
 // Exit codes (asserted by the CI bench-gate job and tests):
 //   0  every bench within threshold
@@ -16,6 +21,7 @@
 //   2  usage / IO error
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -39,6 +45,27 @@ bool readFile(const fs::path& p, std::string& out)
     return true;
 }
 
+/// Parses a NAME=VALUE metric option ("states_per_sec=0.25").
+bool parseMetricOption(const std::string& arg, std::string& name,
+                       double& value)
+{
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size())
+        return false;
+    name = arg.substr(0, eq);
+    char* end = nullptr;
+    value = std::strtod(arg.c_str() + eq + 1, &end);
+    return end && *end == '\0';
+}
+
+void usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_diff --baseline DIR --current DIR "
+                 "[--time-threshold F] [--threshold NAME=FRACTION]... "
+                 "[--floor NAME=VALUE]... [--report FILE]\n");
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -57,19 +84,37 @@ int main(int argc, char** argv)
                 std::fprintf(stderr, "bench_diff: bad threshold\n");
                 return 2;
             }
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            std::string name;
+            double value = 0;
+            if (!parseMetricOption(argv[++i], name, value) || value <= 0) {
+                std::fprintf(stderr,
+                             "bench_diff: --threshold wants NAME=FRACTION "
+                             "with a positive fraction, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            opts.thresholds[name] = value;
+        } else if (arg == "--floor" && i + 1 < argc) {
+            std::string name;
+            double value = 0;
+            if (!parseMetricOption(argv[++i], name, value)) {
+                std::fprintf(stderr,
+                             "bench_diff: --floor wants NAME=VALUE, got "
+                             "'%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            opts.floors[name] = value;
         } else if (arg == "--report" && i + 1 < argc) {
             reportFile = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_diff --baseline DIR --current DIR "
-                         "[--time-threshold F] [--report FILE]\n");
+            usage();
             return 2;
         }
     }
     if (baselineDir.empty() || currentDir.empty()) {
-        std::fprintf(stderr,
-                     "usage: bench_diff --baseline DIR --current DIR "
-                     "[--time-threshold F] [--report FILE]\n");
+        usage();
         return 2;
     }
     if (!fs::is_directory(baselineDir) || !fs::is_directory(currentDir)) {

@@ -161,6 +161,14 @@ std::vector<corpus::Scenario> standardScenarios()
         out.push_back(std::move(s));
     }
 
+    // Independent-letter shapes for the verifier's partial-order
+    // reduction differentials: every parallel arm awaits its own private
+    // pure input, so composite input letters commute with their
+    // singleton chains (appended — see the reshuffle rule).
+    for (int width : {6, 10})
+        shaped("par_pure" + std::to_string(width), "pure_par", width,
+               corpus::Profile::Random);
+
     return out;
 }
 
